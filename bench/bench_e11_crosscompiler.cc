@@ -1,0 +1,84 @@
+// E11 — Figure 1's new component: SQL -> Ingres-like plan -> cross
+// compiler -> X100 algebra -> rewriter. Per-stage latency and rewrite
+// rule hit counts.
+#include "bench_util.h"
+#include "engine/session.h"
+#include "frontend/frontend.h"
+#include "rewriter/rewriter.h"
+#include "tpch/tpch.h"
+
+using namespace x100;
+
+int main() {
+  bench::Header("E11", "cross compiler + rewriter pipeline");
+  Database db;
+  if (!tpch::Generate(&db, 0.001).ok()) return 1;
+  Session session(&db);
+
+  const char* queries[] = {
+      "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS q FROM "
+      "lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+      "SELECT l_orderkey, l_extendedprice * (1.0 - l_discount) AS rev FROM "
+      "lineitem WHERE l_shipdate BETWEEN DATE '1994-01-01' AND DATE "
+      "'1994-12-31' AND l_discount BETWEEN 0.05 AND 0.07 LIMIT 100",
+      "SELECT upper(l_shipmode) AS m, AVG(l_extendedprice) AS p FROM "
+      "lineitem WHERE l_comment LIKE '%bold%' GROUP BY l_shipmode",
+  };
+
+  const int kIters = 2000;
+  std::printf("%-8s %12s %12s %12s %12s\n", "query", "parse(us)",
+              "xcompile(us)", "rewrite(us)", "total(us)");
+  for (size_t q = 0; q < 3; q++) {
+    double parse_t = bench::MinTime(3, [&] {
+      for (int i = 0; i < kIters; i++) {
+        auto rel = ParseSql(queries[q]);
+        if (!rel.ok()) std::abort();
+      }
+    });
+    auto rel = *ParseSql(queries[q]);
+    CrossCompiler cc([&](const std::string& name) -> Result<Schema> {
+      UpdatableTable* t;
+      X100_ASSIGN_OR_RETURN(t, db.GetTable(name));
+      return t->base()->schema();
+    });
+    double compile_t = bench::MinTime(3, [&] {
+      for (int i = 0; i < kIters; i++) {
+        auto alg = cc.Compile(rel);
+        if (!alg.ok()) std::abort();
+      }
+    });
+    auto alg = *cc.Compile(rel);
+    double rewrite_t = bench::MinTime(3, [&] {
+      for (int i = 0; i < kIters; i++) {
+        Rewriter rw;
+        auto out = rw.Rewrite(CloneAlgebra(alg));
+        if (!out.ok()) std::abort();
+      }
+    });
+    std::printf("Q%-7zu %12.2f %12.2f %12.2f %12.2f\n", q + 1,
+                parse_t * 1e6 / kIters, compile_t * 1e6 / kIters,
+                rewrite_t * 1e6 / kIters,
+                (parse_t + compile_t + rewrite_t) * 1e6 / kIters);
+  }
+
+  // Rewrite statistics over a rule-heavy expression.
+  Rewriter rw;
+  AlgebraPtr plan = SelectNode(
+      ScanNode("lineitem"),
+      And(Call("between", {Col("l_discount"), Lit(Value::F64(0.05)),
+                           Lit(Value::F64(0.07))}),
+          And(Call("not", {Call("not", {Gt(Col("l_quantity"),
+                                           Lit(Value::F64(0)))})}),
+              Eq(Call("upper", {Lit(Value::Str("air"))}),
+                 Lit(Value::Str("AIR"))))));
+  (void)rw.Rewrite(plan);
+  std::printf("\nrewrite rule applications on a rule-heavy predicate:\n");
+  for (const auto& [rule, count] : rw.stats()) {
+    std::printf("  %-24s %lld\n", rule.c_str(),
+                static_cast<long long>(count));
+  }
+  std::printf("\nplan translation costs microseconds — negligible against"
+              " execution, which is why the cross-compiler boundary was"
+              " viable (Figure 1).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// E2 — the vectorization-granularity ablation behind X100 [1,6]: sweep
+// the vector size from 1 (≈ tuple-at-a-time) to 64K (≈ full column
+// materialization). Expect interpretation overhead to dominate at small
+// sizes and cache misses at large sizes, with the optimum near 1K.
+#include "bench_util.h"
+#include "engine/session.h"
+#include "tpch/tpch.h"
+
+using namespace x100;
+
+int main() {
+  bench::Header("E2", "vector size sweep (Q6-shaped scan-filter-aggregate)");
+  Database db;
+  if (!tpch::Generate(&db, 0.02).ok()) return 1;
+  Session session(&db);
+  const int64_t rows = (*db.GetTable("lineitem"))->visible_rows();
+  (void)session.Execute(tpch::Q6Plan());  // warm buffer pool
+
+  std::printf("%-12s %12s %14s\n", "vector_size", "time(ms)", "ns/tuple");
+  double best_t = 1e30;
+  int best_n = 0;
+  for (int n : {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}) {
+    db.config().vector_size = n;
+    const double t = bench::MinTime(n < 16 ? 1 : 3, [&] {
+      auto r = session.Execute(tpch::Q6Plan());
+      if (!r.ok()) std::abort();
+    });
+    std::printf("%-12d %12.2f %14.2f\n", n, t * 1e3, t * 1e9 / rows);
+    if (t < best_t) {
+      best_t = t;
+      best_n = n;
+    }
+  }
+  std::printf("\noptimum at vector_size=%d — X100 design point is O(1K)\n",
+              best_n);
+  return 0;
+}

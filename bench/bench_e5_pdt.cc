@@ -1,0 +1,121 @@
+// E5 — PDT differential updates [2]: update throughput, positional
+// merge-scan overhead as a function of the delta fraction, and the
+// value-based (key-probing) delta baseline PDTs replace.
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "engine/database.h"
+#include "exec/scan.h"
+#include "exec/select_project.h"
+#include "pdt/transaction.h"
+
+using namespace x100;
+
+int main() {
+  bench::Header("E5", "Positional Delta Trees: updates + merge scans");
+  const int64_t kRows = 256 * 1024;
+
+  // --- update throughput on the committed read-PDT ------------------------
+  {
+    Pdt pdt(kRows);
+    Rng rng(1);
+    const int kOps = 50000;
+    bench::Timer t;
+    for (int i = 0; i < kOps; i++) {
+      (void)pdt.InsertAt(rng.Uniform(0, pdt.visible_rows()),
+                         {Value::I64(i)});
+    }
+    const double ins = t.Seconds();
+    t.Reset();
+    for (int i = 0; i < kOps; i++) {
+      (void)pdt.ModifyAt(rng.Uniform(0, pdt.visible_rows() - 1), 0,
+                         Value::I64(-i));
+    }
+    const double mod = t.Seconds();
+    t.Reset();
+    for (int i = 0; i < kOps; i++) {
+      (void)pdt.DeleteAt(rng.Uniform(0, pdt.visible_rows() - 1));
+    }
+    const double del = t.Seconds();
+    std::printf("update throughput (base %lld rows, %d ops each):\n",
+                static_cast<long long>(kRows), kOps);
+    std::printf("  random insert: %8.0f ops/s\n", kOps / ins);
+    std::printf("  random modify: %8.0f ops/s\n", kOps / mod);
+    std::printf("  random delete: %8.0f ops/s\n", kOps / del);
+  }
+
+  // --- merge-scan overhead vs delta fraction ------------------------------
+  Database db;
+  auto builder = db.CreateTable(
+      "t", Schema({Field("id", TypeId::kI64), Field("v", TypeId::kF64)}),
+      Layout::kDsm);
+  for (int64_t i = 0; i < kRows; i++) {
+    (void)builder->AppendRow({Value::I64(i), Value::F64(i * 0.5)});
+  }
+  {
+    auto t = builder->Finish();
+    (void)db.RegisterTable(std::move(t).value());
+  }
+  UpdatableTable* table = *db.GetTable("t");
+  TransactionManager tm;
+
+  auto scan_time = [&] {
+    return bench::MinTime(3, [&] {
+      ExecContext ctx;
+      ScanOptions opts;
+      opts.columns = {0, 1};
+      ScanOp scan(table->View(), table->SnapshotPdt(), db.buffers(), opts);
+      auto res = CollectRows(&scan, &ctx);
+      if (!res.ok()) std::abort();
+    });
+  };
+  const double clean = scan_time();
+  std::printf("\nmerge-scan overhead (%lld rows):\n",
+              static_cast<long long>(kRows));
+  std::printf("  %-14s %12s %10s\n", "delta fraction", "scan(ms)",
+              "overhead");
+  std::printf("  %-14s %12.2f %10s\n", "0%", clean * 1e3, "1.00x");
+  Rng rng(2);
+  double frac_done = 0;
+  for (double frac : {0.001, 0.01, 0.1}) {
+    auto txn = tm.Begin(table);
+    const int64_t target = static_cast<int64_t>(kRows * (frac - frac_done));
+    for (int64_t i = 0; i < target; i++) {
+      (void)txn->Update(rng.Uniform(0, kRows - 1), 1, Value::F64(-1.0));
+    }
+    (void)tm.Commit(txn.get());
+    frac_done = frac;
+    const double t = scan_time();
+    std::printf("  %-14.1f%% %11.2f %9.2fx\n", frac * 100, t * 1e3,
+                t / clean);
+  }
+
+  // --- value-based delta baseline: probe a key-hash per scanned row -------
+  {
+    std::unordered_map<int64_t, double> deltas;
+    Rng r2(3);
+    for (int64_t i = 0; i < kRows / 10; i++) {
+      deltas[r2.Uniform(0, kRows - 1)] = -1.0;
+    }
+    std::vector<int64_t> ids(kRows);
+    std::vector<double> vals(kRows);
+    for (int64_t i = 0; i < kRows; i++) {
+      ids[i] = i;
+      vals[i] = i * 0.5;
+    }
+    const double t = bench::MinTime(3, [&] {
+      double sum = 0;
+      for (int64_t i = 0; i < kRows; i++) {
+        auto it = deltas.find(ids[i]);  // per-row key probe
+        sum += it == deltas.end() ? vals[i] : it->second;
+      }
+      if (sum == 12345.6789) std::abort();
+    });
+    std::printf("\nvalue-based delta baseline (10%% deltas, key probe per"
+                " row): %.2f ms\n", t * 1e3);
+    std::printf("PDT positional merge at 10%% deltas avoids per-row probes"
+                " — see table above.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E7 — §"Error handling": per-tuple overflow checks ("naive") vs the
+// kernel's branch-free flag-accumulation ("special algorithm"), vs no
+// checking at all, for add/mul/div.
+#include "bench_util.h"
+#include "common/rng.h"
+#include "primitives/checked_kernels.h"
+
+using namespace x100;
+
+int main() {
+  bench::Header("E7", "overflow detection: naive vs kernel special algorithm");
+  const int kN = 1024;
+  const int kVectors = 8192;
+  Rng rng(5);
+  std::vector<int64_t> a(kN), b(kN), out(kN);
+  for (int i = 0; i < kN; i++) {
+    a[i] = rng.Uniform(-(1ll << 40), 1ll << 40);
+    b[i] = rng.Uniform(-(1ll << 20), 1ll << 20);
+    if (b[i] == 0) b[i] = 1;
+  }
+
+  auto run = [&](const std::function<void()>& fn) {
+    return bench::MinTime(5, [&] {
+      for (int v = 0; v < kVectors; v++) fn();
+    });
+  };
+
+  using checked::CheckedAdd;
+  using checked::CheckedMul;
+  const double tuples = static_cast<double>(kN) * kVectors;
+
+  struct Row {
+    const char* op;
+    double unchecked, naive, kernel;
+  };
+  Row rows[3];
+  rows[0] = {"add",
+             run([&] {
+               checked::BinaryUnchecked<int64_t, CheckedAdd>(
+                   kN, a.data(), b.data(), out.data());
+             }),
+             run([&] {
+               (void)checked::BinaryCheckedNaive<int64_t, CheckedAdd>(
+                   kN, a.data(), b.data(), out.data());
+             }),
+             run([&] {
+               (void)checked::BinaryCheckedKernel<int64_t, CheckedAdd>(
+                   kN, a.data(), b.data(), out.data());
+             })};
+  rows[1] = {"mul",
+             run([&] {
+               checked::BinaryUnchecked<int64_t, CheckedMul>(
+                   kN, a.data(), b.data(), out.data());
+             }),
+             run([&] {
+               (void)checked::BinaryCheckedNaive<int64_t, CheckedMul>(
+                   kN, a.data(), b.data(), out.data());
+             }),
+             run([&] {
+               (void)checked::BinaryCheckedKernel<int64_t, CheckedMul>(
+                   kN, a.data(), b.data(), out.data());
+             })};
+  rows[2] = {"div",
+             run([&] {
+               for (int i = 0; i < kN; i++) out[i] = a[i] / b[i];
+             }),
+             run([&] {
+               (void)checked::DivCheckedNaive<int64_t>(kN, a.data(), b.data(),
+                                                       out.data());
+             }),
+             run([&] {
+               (void)checked::DivCheckedKernel<int64_t>(kN, a.data(),
+                                                        b.data(), out.data());
+             })};
+
+  std::printf("%-6s %14s %14s %14s %18s %18s\n", "op", "unchecked",
+              "naive-check", "kernel-check", "naive overhead", "kernel overhead");
+  for (const Row& r : rows) {
+    std::printf("%-6s %11.2f ns %11.2f ns %11.2f ns %17.1f%% %17.1f%%\n",
+                r.op, r.unchecked * 1e9 * kN / tuples,
+                r.naive * 1e9 * kN / tuples, r.kernel * 1e9 * kN / tuples,
+                (r.naive / r.unchecked - 1) * 100,
+                (r.kernel / r.unchecked - 1) * 100);
+  }
+  std::printf("\n(ns per 1024-tuple vector element; overheads relative to"
+              " unchecked)\n");
+  return 0;
+}

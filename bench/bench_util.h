@@ -1,0 +1,48 @@
+// Shared helpers for the experiment benches (E1..E12). Each bench binary
+// prints paper-style result tables; EXPERIMENTS.md records the outcomes.
+#ifndef X100_BENCH_BENCH_UTIL_H_
+#define X100_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace x100 {
+namespace bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs fn `reps` times, returns the minimum wall time in seconds.
+inline double MinTime(int reps, const std::function<void()>& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; r++) {
+    Timer t;
+    fn();
+    best = std::min(best, t.Seconds());
+  }
+  return best;
+}
+
+inline void Header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace x100
+
+#endif  // X100_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// Operations: system monitoring (event log, query listing, counters) and
+// query cancellation — the paper's "mundane" production features.
+//
+//   $ ./ops_monitoring
+#include <cstdio>
+#include <thread>
+
+#include "engine/session.h"
+#include "tpch/tpch.h"
+
+using namespace x100;
+
+int main() {
+  EngineConfig cfg;
+  cfg.disk_bandwidth = 300ll << 20;  // throttled disk: queries take a while
+  cfg.buffer_pool_blocks = 8;
+  Database db(cfg);
+  if (!tpch::Generate(&db, 0.005).ok()) return 1;
+  Session session(&db);
+
+  // Run a few queries, one failing, one cancelled.
+  (void)session.ExecuteSql(
+      "SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
+      "l_returnflag");
+  (void)session.ExecuteSql("SELECT no_such_column FROM lineitem");
+
+  CancellationToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    token.Cancel();
+  });
+  (void)session.Execute(tpch::Q1Plan(), &token);
+  canceller.join();
+
+  // Query listing — the production replacement for "kill -9 and hope".
+  std::printf("%-4s %-10s %10s %10s  %s\n", "id", "state", "time(s)",
+              "tuples", "query");
+  for (const auto& q : db.queries()->List()) {
+    std::string text = q.text.substr(0, 48);
+    std::printf("%-4lld %-10s %10.3f %10lld  %s%s\n",
+                static_cast<long long>(q.id), QueryStateName(q.state),
+                q.elapsed_sec, static_cast<long long>(q.tuples_scanned),
+                text.c_str(), q.text.size() > 48 ? "…" : "");
+    if (!q.error.empty()) std::printf("       error: %s\n", q.error.c_str());
+  }
+
+  std::printf("\nrecent events:\n");
+  for (const auto& ev : db.events()->Recent(6)) {
+    std::printf("  [%d] %s\n", static_cast<int>(ev.level),
+                ev.message.c_str());
+  }
+
+  std::printf("\ncounters:\n");
+  for (const auto& [name, value] : db.counters()->Snapshot()) {
+    std::printf("  %-20s %lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+  std::printf("\nbuffer pool: %lld hits / %lld misses; disk: %.1f MB read\n",
+              static_cast<long long>(db.buffers()->hits()),
+              static_cast<long long>(db.buffers()->misses()),
+              db.disk()->bytes_read() / 1e6);
+  return 0;
+}

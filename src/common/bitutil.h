@@ -1,0 +1,37 @@
+// Bit-twiddling helpers used by the compression codecs and hash tables.
+#ifndef X100_COMMON_BITUTIL_H_
+#define X100_COMMON_BITUTIL_H_
+
+#include <cstdint>
+
+namespace x100 {
+
+/// Number of bits needed to represent `v` (0 -> 0 bits).
+inline int BitsNeeded(uint64_t v) {
+  return v == 0 ? 0 : 64 - __builtin_clzll(v);
+}
+
+/// Smallest power of two >= v (v > 0).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return 1ull << BitsNeeded(v - 1);
+}
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// ZigZag encoding maps signed to unsigned preserving magnitude order of
+/// small absolute values; used by PFOR-DELTA for possibly-negative deltas.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Rounds `n` up to a multiple of `m` (m > 0).
+inline int64_t RoundUp(int64_t n, int64_t m) { return (n + m - 1) / m * m; }
+
+}  // namespace x100
+
+#endif  // X100_COMMON_BITUTIL_H_

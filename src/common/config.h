@@ -1,0 +1,38 @@
+// Engine-wide tunables.
+#ifndef X100_COMMON_CONFIG_H_
+#define X100_COMMON_CONFIG_H_
+
+#include <cstdint>
+
+namespace x100 {
+
+/// Default number of values per vector. X100's sweet spot: large enough to
+/// amortize interpretation overhead, small enough that the working set of a
+/// pipeline stays in the CPU cache (experiment E2 sweeps this).
+inline constexpr int kDefaultVectorSize = 1024;
+
+/// Rows per storage block group (PAX/DSM unit).
+inline constexpr int64_t kBlockGroupRows = 64 * 1024;
+
+/// Size of one on-"disk" block.
+inline constexpr int64_t kDiskBlockBytes = 256 * 1024;
+
+/// Engine configuration carried by Database / QueryExecutor.
+struct EngineConfig {
+  int vector_size = kDefaultVectorSize;
+  /// Number of threads the Parallelizer rewrite rule may use (0 = hardware
+  /// concurrency).
+  int max_parallelism = 0;
+  /// Memory accounting limit in bytes (0 = unlimited).
+  int64_t memory_limit = 0;
+  /// Buffer pool capacity in blocks.
+  int buffer_pool_blocks = 256;
+  /// Use cooperative scans (ABM relevance policy) instead of attach-LRU.
+  bool cooperative_scans = true;
+  /// Simulated disk bandwidth in bytes/sec (0 = infinite, i.e. memcpy).
+  int64_t disk_bandwidth = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_CONFIG_H_

@@ -1,0 +1,60 @@
+// Hash functions for join/aggregation hash tables.
+//
+// X100 hash-based operators hash whole vectors at a time; these scalar
+// mixers are the per-value kernels invoked from the vectorized hash
+// primitives (see primitives/hash_primitives.h).
+#ifndef X100_COMMON_HASH_H_
+#define X100_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace x100 {
+
+/// 64-bit finalizer (from MurmurHash3 / splitmix64 family). Good avalanche,
+/// cheap enough to inline into per-vector loops.
+inline uint64_t HashMix(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline uint64_t HashInt(int64_t v) {
+  return HashMix(static_cast<uint64_t>(v));
+}
+
+inline uint64_t HashDouble(double v) {
+  // Normalize -0.0 to 0.0 so they hash (and therefore group) together.
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashMix(bits);
+}
+
+/// FNV-1a over bytes, then mixed. Used for StrRef keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return HashMix(h);
+}
+
+inline uint64_t HashStr(const StrRef& s) { return HashBytes(s.data, s.len); }
+
+/// Combines an accumulated hash with the hash of the next key column
+/// (multi-column join / group-by keys).
+inline uint64_t HashCombine(uint64_t acc, uint64_t h) {
+  return HashMix(acc ^ (h + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2)));
+}
+
+}  // namespace x100
+
+#endif  // X100_COMMON_HASH_H_

@@ -1,0 +1,58 @@
+// Result<T>: a value or a Status. The X100 analogue of arrow::Result.
+#ifndef X100_COMMON_RESULT_H_
+#define X100_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace x100 {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — enables `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a failing Status — enables
+  /// `return Status::Overflow(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_RESULT_H_

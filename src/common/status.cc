@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace x100 {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDivisionByZero: return "DIVISION_BY_ZERO";
+    case StatusCode::kOverflow: return "OVERFLOW";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kTxnConflict: return "TXN_CONFLICT";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotImplemented: return "NOT_IMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace x100

@@ -1,0 +1,123 @@
+// Status: exception-free error propagation for the X100 kernel.
+//
+// The paper (§"Error handling and reporting") notes that the research
+// prototype "assumed a simplified view of the world, where a user never
+// issues a query that can fail". The production system had to detect
+// division by zero, incorrect function parameters, arithmetic overflows,
+// cancellation, etc. Status carries those outcomes through every layer
+// (primitives, operators, storage, sessions) without exceptions.
+#ifndef X100_COMMON_STATUS_H_
+#define X100_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace x100 {
+
+/// Error taxonomy of the engine. Codes mirror the failure classes the paper
+/// lists as production requirements.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // incorrect function parameters
+  kDivisionByZero,    // SQL: ERROR 22012
+  kOverflow,          // arithmetic overflow (SQL: 22003)
+  kOutOfRange,        // e.g. substring bounds, date out of range
+  kCancelled,         // query cancellation (§"Query cancellation")
+  kIoError,           // simulated disk / block device failures
+  kNotFound,          // missing table / column / function
+  kAlreadyExists,     // DDL conflicts
+  kTxnConflict,       // write-write conflict between transactions (PDT)
+  kResourceExhausted, // memory accounting limit hit
+  kNotImplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode (stable, used in error messages and
+/// the event log).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status DivisionByZero(std::string msg) {
+    return Status(StatusCode::kDivisionByZero, std::move(msg));
+  }
+  static Status Overflow(std::string msg) {
+    return Status(StatusCode::kOverflow, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TxnConflict(std::string msg) {
+    return Status(StatusCode::kTxnConflict, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsOverflow() const { return code_ == StatusCode::kOverflow; }
+  bool IsDivisionByZero() const {
+    return code_ == StatusCode::kDivisionByZero;
+  }
+
+  /// "<CODE>: <message>" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define X100_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::x100::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates an expression returning Result<T>, assigning the value on
+/// success and propagating the Status on failure.
+#define X100_ASSIGN_OR_RETURN(lhs, expr)        \
+  do {                                          \
+    auto _res = (expr);                         \
+    if (!_res.ok()) return _res.status();       \
+    lhs = std::move(_res).value();              \
+  } while (0)
+
+}  // namespace x100
+
+#endif  // X100_COMMON_STATUS_H_

@@ -1,0 +1,120 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace x100 {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kBool: return "bool";
+    case TypeId::kI8: return "i8";
+    case TypeId::kI16: return "i16";
+    case TypeId::kI32: return "i32";
+    case TypeId::kI64: return "i64";
+    case TypeId::kF64: return "f64";
+    case TypeId::kStr: return "str";
+    case TypeId::kDate: return "date";
+  }
+  return "?";
+}
+
+int TypeWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kBool: return 1;
+    case TypeId::kI8: return 1;
+    case TypeId::kI16: return 2;
+    case TypeId::kI32: return 4;
+    case TypeId::kI64: return 8;
+    case TypeId::kF64: return 8;
+    case TypeId::kStr: return static_cast<int>(sizeof(StrRef));
+    case TypeId::kDate: return 4;
+  }
+  return 0;
+}
+
+namespace {
+// Civil-date <-> day-count conversion (Howard Hinnant's algorithms).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (*m <= 2);
+}
+}  // namespace
+
+int32_t MakeDate(int year, int month, int day) {
+  return static_cast<int32_t>(DaysFromCivil(year, month, day));
+}
+
+void DateToYmd(int32_t days, int* year, int* month, int* day) {
+  int64_t y;
+  unsigned m, d;
+  CivilFromDays(days, &y, &m, &d);
+  *year = static_cast<int>(y);
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+int32_t DateYear(int32_t days) {
+  int y, m, d;
+  DateToYmd(days, &y, &m, &d);
+  return y;
+}
+
+int32_t DateMonth(int32_t days) {
+  int y, m, d;
+  DateToYmd(days, &y, &m, &d);
+  return m;
+}
+
+int32_t DateDay(int32_t days) {
+  int y, m, d;
+  DateToYmd(days, &y, &m, &d);
+  return d;
+}
+
+std::string DateToString(int32_t days) {
+  int y, m, d;
+  DateToYmd(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+bool ParseDate(std::string_view s, int32_t* out) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  auto digits = [](std::string_view v) {
+    for (char c : v) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  if (!digits(s.substr(0, 4)) || !digits(s.substr(5, 2)) ||
+      !digits(s.substr(8, 2))) {
+    return false;
+  }
+  int y = (s[0] - '0') * 1000 + (s[1] - '0') * 100 + (s[2] - '0') * 10 +
+          (s[3] - '0');
+  int m = (s[5] - '0') * 10 + (s[6] - '0');
+  int d = (s[8] - '0') * 10 + (s[9] - '0');
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *out = MakeDate(y, m, d);
+  return true;
+}
+
+}  // namespace x100

@@ -1,0 +1,125 @@
+// Type system of the X100 kernel.
+//
+// X100 processes data in typed vertical vectors. The type set below covers
+// what the paper's workloads require: TPC-H (integers, decimals-as-doubles,
+// dates, strings) plus booleans for selection logic.
+#ifndef X100_COMMON_TYPES_H_
+#define X100_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace x100 {
+
+/// Physical/logical type of a vector. kDate is physically int32 (days since
+/// 1970-01-01) but is a distinct type so date functions dispatch correctly —
+/// the paper's "plethora of functions … around strings and dates".
+enum class TypeId : uint8_t {
+  kBool = 0,  // uint8_t, 0 or 1
+  kI8,
+  kI16,
+  kI32,
+  kI64,
+  kF64,
+  kStr,   // StrRef into a StringHeap
+  kDate,  // int32 days since epoch
+};
+
+/// Number of distinct TypeIds (for dispatch tables).
+inline constexpr int kNumTypes = 8;
+
+/// Stable lowercase name ("i32", "str", …) used in primitive signatures,
+/// e.g. "map_add_i32_vec_i32_vec" — the X100 primitive naming convention.
+const char* TypeName(TypeId t);
+
+/// Byte width of one value of type `t` as stored in a Vector.
+int TypeWidth(TypeId t);
+
+/// True for i8/i16/i32/i64/date (types with integer arithmetic).
+inline bool IsIntegerType(TypeId t) {
+  return t == TypeId::kI8 || t == TypeId::kI16 || t == TypeId::kI32 ||
+         t == TypeId::kI64 || t == TypeId::kDate;
+}
+
+/// True for any type supporting +,-,*,/ in expressions.
+inline bool IsNumericType(TypeId t) {
+  return IsIntegerType(t) || t == TypeId::kF64;
+}
+
+/// A string value: pointer + length into a StringHeap (or constant storage).
+/// Not owning; lifetime is managed by the heap that produced it.
+struct StrRef {
+  const char* data = nullptr;
+  uint32_t len = 0;
+
+  StrRef() = default;
+  StrRef(const char* d, uint32_t l) : data(d), len(l) {}
+  explicit StrRef(std::string_view sv)
+      : data(sv.data()), len(static_cast<uint32_t>(sv.size())) {}
+
+  std::string_view view() const { return std::string_view(data, len); }
+  std::string ToString() const { return std::string(data, len); }
+
+  bool operator==(const StrRef& o) const {
+    return len == o.len && (len == 0 || std::memcmp(data, o.data, len) == 0);
+  }
+  bool operator!=(const StrRef& o) const { return !(*this == o); }
+  bool operator<(const StrRef& o) const { return view() < o.view(); }
+  bool operator<=(const StrRef& o) const { return view() <= o.view(); }
+  bool operator>(const StrRef& o) const { return view() > o.view(); }
+  bool operator>=(const StrRef& o) const { return view() >= o.view(); }
+};
+
+/// Maps a C++ type to its TypeId (primary template intentionally undefined).
+template <typename T>
+struct TypeTraits;
+
+template <> struct TypeTraits<uint8_t> {
+  static constexpr TypeId kId = TypeId::kBool;
+};
+template <> struct TypeTraits<int8_t> {
+  static constexpr TypeId kId = TypeId::kI8;
+};
+template <> struct TypeTraits<int16_t> {
+  static constexpr TypeId kId = TypeId::kI16;
+};
+template <> struct TypeTraits<int32_t> {
+  static constexpr TypeId kId = TypeId::kI32;
+};
+template <> struct TypeTraits<int64_t> {
+  static constexpr TypeId kId = TypeId::kI64;
+};
+template <> struct TypeTraits<double> {
+  static constexpr TypeId kId = TypeId::kF64;
+};
+template <> struct TypeTraits<StrRef> {
+  static constexpr TypeId kId = TypeId::kStr;
+};
+
+// ---------------------------------------------------------------------------
+// Date arithmetic (proleptic Gregorian, days since 1970-01-01).
+// Used by the date function kernels and the TPC-H generator.
+// ---------------------------------------------------------------------------
+
+/// Days since epoch for a calendar date. Valid for years 1..9999.
+int32_t MakeDate(int year, int month, int day);
+
+/// Inverse of MakeDate.
+void DateToYmd(int32_t days, int* year, int* month, int* day);
+
+/// Extracts the year / month / day component.
+int32_t DateYear(int32_t days);
+int32_t DateMonth(int32_t days);
+int32_t DateDay(int32_t days);
+
+/// Formats as "YYYY-MM-DD".
+std::string DateToString(int32_t days);
+
+/// Parses "YYYY-MM-DD"; returns false on malformed input.
+bool ParseDate(std::string_view s, int32_t* out);
+
+}  // namespace x100
+
+#endif  // X100_COMMON_TYPES_H_

@@ -1,0 +1,94 @@
+// Value: a single typed (possibly NULL) scalar. Used for expression
+// constants, Volcano tuples, aggregate results and test fixtures.
+#ifndef X100_COMMON_VALUE_H_
+#define X100_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/types.h"
+
+namespace x100 {
+
+class Value {
+ public:
+  Value() : type_(TypeId::kI64), null_(true) {}
+
+  static Value Null(TypeId t) {
+    Value v;
+    v.type_ = t;
+    v.null_ = true;
+    return v;
+  }
+  static Value Bool(bool b) { return Value(TypeId::kBool, int64_t{b}); }
+  static Value I8(int8_t v) { return Value(TypeId::kI8, int64_t{v}); }
+  static Value I16(int16_t v) { return Value(TypeId::kI16, int64_t{v}); }
+  static Value I32(int32_t v) { return Value(TypeId::kI32, int64_t{v}); }
+  static Value I64(int64_t v) { return Value(TypeId::kI64, v); }
+  static Value F64(double v) {
+    Value x;
+    x.type_ = TypeId::kF64;
+    x.null_ = false;
+    x.data_ = v;
+    return x;
+  }
+  static Value Str(std::string s) {
+    Value x;
+    x.type_ = TypeId::kStr;
+    x.null_ = false;
+    x.data_ = std::move(s);
+    return x;
+  }
+  static Value Date(int32_t days) { return Value(TypeId::kDate, int64_t{days}); }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  int64_t AsI64() const { return std::get<int64_t>(data_); }
+  double AsF64() const {
+    return type_ == TypeId::kF64 ? std::get<double>(data_)
+                                 : static_cast<double>(AsI64());
+  }
+  const std::string& AsStr() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return AsI64() != 0; }
+
+  /// SQL-style equality: NULL != anything (including NULL). For test use;
+  /// engine comparisons happen in kernels.
+  bool SqlEquals(const Value& o) const {
+    if (null_ || o.null_) return false;
+    if (type_ == TypeId::kStr || o.type_ == TypeId::kStr) {
+      return type_ == o.type_ && AsStr() == o.AsStr();
+    }
+    if (type_ == TypeId::kF64 || o.type_ == TypeId::kF64) {
+      return AsF64() == o.AsF64();
+    }
+    return AsI64() == o.AsI64();
+  }
+
+  std::string ToString() const {
+    if (null_) return "NULL";
+    switch (type_) {
+      case TypeId::kBool: return AsI64() ? "true" : "false";
+      case TypeId::kStr: return AsStr();
+      case TypeId::kF64: {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%.4f", std::get<double>(data_));
+        return buf;
+      }
+      case TypeId::kDate: return DateToString(static_cast<int32_t>(AsI64()));
+      default: return std::to_string(AsI64());
+    }
+  }
+
+ private:
+  Value(TypeId t, int64_t v) : type_(t), null_(false), data_(v) {}
+
+  TypeId type_;
+  bool null_;
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_VALUE_H_

@@ -1,0 +1,511 @@
+#include "compression/codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+
+#include "common/bitutil.h"
+#include "compression/bitpack.h"
+
+namespace x100 {
+
+const char* CodecName(CodecId c) {
+  switch (c) {
+    case CodecId::kPlain: return "plain";
+    case CodecId::kPfor: return "pfor";
+    case CodecId::kPforDelta: return "pfor-delta";
+    case CodecId::kPdict: return "pdict";
+    case CodecId::kRle: return "rle";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendBytes(std::vector<uint8_t>* out, const void* p, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(p);
+  out->insert(out->end(), b, b + n);
+}
+
+template <typename T>
+void AppendValue(std::vector<uint8_t>* out, T v) {
+  AppendBytes(out, &v, sizeof(v));
+}
+
+template <typename T>
+T ReadValue(const uint8_t*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(v));
+  p += sizeof(v);
+  return v;
+}
+
+void WriteHeader(std::vector<uint8_t>* out, CodecId codec, uint8_t width,
+                 uint32_t n) {
+  CodecHeader h{codec, width, 0, n};
+  AppendBytes(out, &h, sizeof(h));
+}
+
+// ---------------------------------------------------------------------------
+// Shared PFOR core over u64 residuals.
+//
+// Chooses the bit width minimizing  n*width/8 + exceptions*(4+8)  bytes,
+// packs in-range residuals, and patches out-of-range ones ("exceptions")
+// from a (position, value) side list — the PFOR design of [8].
+// ---------------------------------------------------------------------------
+
+struct PforPlan {
+  int width;
+  uint32_t n_exceptions;
+};
+
+PforPlan PlanPfor(const uint64_t* vals, int n) {
+  // Histogram of required bit counts, then suffix sums give the exception
+  // count for every candidate width in one pass.
+  int64_t hist[65] = {0};
+  for (int i = 0; i < n; i++) hist[BitsNeeded(vals[i])]++;
+  int64_t exceptions_above[66];
+  exceptions_above[65] = 0;
+  for (int w = 64; w >= 0; w--) {
+    exceptions_above[w] = exceptions_above[w + 1] + hist[w];
+  }
+  // exceptions for width w = count of values needing > w bits.
+  int best_w = 64;
+  int64_t best_cost = -1;
+  for (int w = 0; w <= 64; w++) {
+    const int64_t exc = exceptions_above[w + 1];
+    const int64_t cost =
+        (static_cast<int64_t>(n) * w + 7) / 8 + exc * (4 + 8);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best_w = w;
+    }
+  }
+  return PforPlan{best_w, static_cast<uint32_t>(exceptions_above[best_w + 1])};
+}
+
+// Payload: [u64 base][u32 n_exc][slots][exc_pos u32…][exc_val u64…]
+void EncodePforU64(const uint64_t* vals, int n, uint64_t base,
+                   CodecId codec, std::vector<uint8_t>* out) {
+  const PforPlan plan = PlanPfor(vals, n);
+  WriteHeader(out, codec, static_cast<uint8_t>(plan.width),
+              static_cast<uint32_t>(n));
+  AppendValue<uint64_t>(out, base);
+  AppendValue<uint32_t>(out, plan.n_exceptions);
+
+  const uint64_t mask =
+      plan.width == 64 ? ~0ull
+                       : (plan.width == 0 ? 0 : (1ull << plan.width) - 1);
+  std::vector<uint64_t> slots(n);
+  std::vector<uint32_t> exc_pos;
+  std::vector<uint64_t> exc_val;
+  exc_pos.reserve(plan.n_exceptions);
+  exc_val.reserve(plan.n_exceptions);
+  for (int i = 0; i < n; i++) {
+    if (BitsNeeded(vals[i]) > plan.width) {
+      slots[i] = 0;
+      exc_pos.push_back(static_cast<uint32_t>(i));
+      exc_val.push_back(vals[i]);
+    } else {
+      slots[i] = vals[i] & mask;
+    }
+  }
+  const size_t packed = PackedBytes(n, plan.width);
+  const size_t slot_off = out->size();
+  out->resize(slot_off + packed);
+  BitPack(slots.data(), n, plan.width, out->data() + slot_off);
+  AppendBytes(out, exc_pos.data(), exc_pos.size() * sizeof(uint32_t));
+  AppendBytes(out, exc_val.data(), exc_val.size() * sizeof(uint64_t));
+}
+
+Status DecodePforU64(const CodecHeader& h, const uint8_t* p, size_t len,
+                     uint64_t* base_out, std::vector<uint64_t>* vals) {
+  const uint8_t* end = p + len;
+  if (len < 12) return Status::IoError("pfor chunk truncated");
+  *base_out = ReadValue<uint64_t>(p);
+  const uint32_t n_exc = ReadValue<uint32_t>(p);
+  const size_t packed = PackedBytes(static_cast<int>(h.n), h.width);
+  if (p + packed + n_exc * 12ull > end + 8) {
+    return Status::IoError("pfor payload truncated");
+  }
+  vals->resize(h.n);
+  BitUnpack(p, static_cast<int>(h.n), h.width, vals->data());
+  p += packed;
+  const uint8_t* pos_p = p;
+  const uint8_t* val_p = p + n_exc * sizeof(uint32_t);
+  for (uint32_t e = 0; e < n_exc; e++) {
+    uint32_t pos;
+    uint64_t v;
+    std::memcpy(&pos, pos_p + e * sizeof(uint32_t), sizeof(pos));
+    std::memcpy(&v, val_p + e * sizeof(uint64_t), sizeof(v));
+    if (pos >= h.n) return Status::IoError("pfor exception out of range");
+    (*vals)[pos] = v;
+  }
+  return Status::OK();
+}
+
+template <typename T>
+uint64_t AsU64(T v) {
+  if constexpr (std::is_same_v<T, double>) {
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  } else {
+    return static_cast<uint64_t>(static_cast<int64_t>(v));
+  }
+}
+
+template <typename T>
+T FromU64(uint64_t v) {
+  if constexpr (std::is_same_v<T, double>) {
+    double d;
+    std::memcpy(&d, &v, sizeof(d));
+    return d;
+  } else {
+    return static_cast<T>(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RLE: [u32 nruns][(T value, u32 count)…]
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void EncodeRle(const T* in, int n, std::vector<uint8_t>* out) {
+  std::vector<std::pair<T, uint32_t>> runs;
+  for (int i = 0; i < n;) {
+    int j = i + 1;
+    while (j < n && in[j] == in[i]) j++;
+    runs.emplace_back(in[i], static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  WriteHeader(out, CodecId::kRle, 0, static_cast<uint32_t>(n));
+  AppendValue<uint32_t>(out, static_cast<uint32_t>(runs.size()));
+  for (const auto& [v, c] : runs) {
+    AppendValue<T>(out, v);
+    AppendValue<uint32_t>(out, c);
+  }
+}
+
+template <typename T>
+Status DecodeRle(const CodecHeader& h, const uint8_t* p, size_t len, T* out) {
+  if (len < 4) return Status::IoError("rle chunk truncated");
+  const uint32_t nruns = ReadValue<uint32_t>(p);
+  if (len < 4 + static_cast<size_t>(nruns) * (sizeof(T) + 4)) {
+    return Status::IoError("rle payload truncated");
+  }
+  uint64_t k = 0;
+  for (uint32_t r = 0; r < nruns; r++) {
+    const T v = ReadValue<T>(p);
+    const uint32_t c = ReadValue<uint32_t>(p);
+    if (k + c > h.n) return Status::IoError("rle run overflow");
+    for (uint32_t i = 0; i < c; i++) out[k++] = v;
+  }
+  if (k != h.n) return Status::IoError("rle short output");
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public typed entry points
+// ---------------------------------------------------------------------------
+
+template <typename T>
+Status CompressColumn(CodecId codec, const T* in, int n,
+                      std::vector<uint8_t>* out) {
+  switch (codec) {
+    case CodecId::kPlain:
+      WriteHeader(out, CodecId::kPlain, 0, static_cast<uint32_t>(n));
+      AppendBytes(out, in, static_cast<size_t>(n) * sizeof(T));
+      return Status::OK();
+    case CodecId::kRle:
+      EncodeRle(in, n, out);
+      return Status::OK();
+    case CodecId::kPfor: {
+      if constexpr (std::is_same_v<T, double>) {
+        return Status::InvalidArgument("pfor requires integer data");
+      } else {
+        if (n == 0) {
+          WriteHeader(out, CodecId::kPlain, 0, 0);
+          return Status::OK();
+        }
+        T base = in[0];
+        for (int i = 1; i < n; i++) base = std::min(base, in[i]);
+        std::vector<uint64_t> resid(n);
+        for (int i = 0; i < n; i++) {
+          resid[i] = AsU64(in[i]) - AsU64(base);  // mod-2^64 FOR residual
+        }
+        EncodePforU64(resid.data(), n, AsU64(base), CodecId::kPfor, out);
+        return Status::OK();
+      }
+    }
+    case CodecId::kPforDelta: {
+      if constexpr (std::is_same_v<T, double>) {
+        return Status::InvalidArgument("pfor-delta requires integer data");
+      } else {
+        if (n == 0) {
+          WriteHeader(out, CodecId::kPlain, 0, 0);
+          return Status::OK();
+        }
+        // Residual 0 is the first value's placeholder; residual i>0 is the
+        // zigzag of the consecutive delta.
+        std::vector<uint64_t> resid(n);
+        resid[0] = 0;
+        for (int i = 1; i < n; i++) {
+          const int64_t d = static_cast<int64_t>(AsU64(in[i]) -
+                                                 AsU64(in[i - 1]));
+          resid[i] = ZigZagEncode(d);
+        }
+        EncodePforU64(resid.data(), n, AsU64(in[0]), CodecId::kPforDelta,
+                      out);
+        return Status::OK();
+      }
+    }
+    case CodecId::kPdict:
+      return Status::InvalidArgument("pdict is a string codec");
+  }
+  return Status::InvalidArgument("unknown codec");
+}
+
+Result<CodecHeader> PeekHeader(const uint8_t* data, size_t len) {
+  if (len < sizeof(CodecHeader)) {
+    return Status::IoError("chunk smaller than codec header");
+  }
+  CodecHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  return h;
+}
+
+template <typename T>
+Status DecompressColumn(const uint8_t* data, size_t len, T* out) {
+  CodecHeader h;
+  X100_ASSIGN_OR_RETURN(h, PeekHeader(data, len));
+  const uint8_t* p = data + sizeof(h);
+  const size_t plen = len - sizeof(h);
+  switch (h.codec) {
+    case CodecId::kPlain: {
+      if (plen < static_cast<size_t>(h.n) * sizeof(T)) {
+        return Status::IoError("plain payload truncated");
+      }
+      std::memcpy(out, p, static_cast<size_t>(h.n) * sizeof(T));
+      return Status::OK();
+    }
+    case CodecId::kRle:
+      return DecodeRle<T>(h, p, plen, out);
+    case CodecId::kPfor: {
+      if constexpr (std::is_same_v<T, double>) {
+        return Status::IoError("pfor chunk for float column");
+      } else {
+        uint64_t base;
+        std::vector<uint64_t> resid;
+        X100_RETURN_IF_ERROR(DecodePforU64(h, p, plen, &base, &resid));
+        for (uint32_t i = 0; i < h.n; i++) {
+          out[i] = FromU64<T>(base + resid[i]);
+        }
+        return Status::OK();
+      }
+    }
+    case CodecId::kPforDelta: {
+      if constexpr (std::is_same_v<T, double>) {
+        return Status::IoError("pfor-delta chunk for float column");
+      } else {
+        uint64_t first;
+        std::vector<uint64_t> resid;
+        X100_RETURN_IF_ERROR(DecodePforU64(h, p, plen, &first, &resid));
+        if (h.n == 0) return Status::OK();
+        uint64_t acc = first;
+        out[0] = FromU64<T>(acc);
+        for (uint32_t i = 1; i < h.n; i++) {
+          acc += static_cast<uint64_t>(ZigZagDecode(resid[i]));
+          out[i] = FromU64<T>(acc);
+        }
+        return Status::OK();
+      }
+    }
+    case CodecId::kPdict:
+      return Status::IoError("pdict chunk for numeric column");
+  }
+  return Status::IoError("unknown codec id");
+}
+
+template <typename T>
+CodecId ChooseCodec(const T* in, int n) {
+  if (n == 0) return CodecId::kPlain;
+  // Run statistics (one pass): run count and sortedness.
+  int64_t nruns = 1;
+  bool sorted = true;
+  for (int i = 1; i < n; i++) {
+    nruns += in[i] != in[i - 1];
+    sorted &= !(in[i] < in[i - 1]);
+  }
+  const int64_t plain_bytes = static_cast<int64_t>(n) * sizeof(T);
+  const int64_t rle_bytes = nruns * (sizeof(T) + 4) + 4;
+  if (rle_bytes * 2 < plain_bytes) return CodecId::kRle;
+  if constexpr (std::is_same_v<T, double>) {
+    return CodecId::kPlain;
+  } else {
+    // Cost both PFOR variants via their width plans.
+    std::vector<uint64_t> resid(n);
+    T base = in[0];
+    for (int i = 1; i < n; i++) base = std::min(base, in[i]);
+    for (int i = 0; i < n; i++) resid[i] = AsU64(in[i]) - AsU64(base);
+    const PforPlan p1 = PlanPfor(resid.data(), n);
+    const int64_t pfor_bytes =
+        (static_cast<int64_t>(n) * p1.width + 7) / 8 +
+        static_cast<int64_t>(p1.n_exceptions) * 12 + 12;
+
+    resid[0] = 0;
+    for (int i = n - 1; i > 0; i--) {
+      resid[i] = ZigZagEncode(
+          static_cast<int64_t>(AsU64(in[i]) - AsU64(in[i - 1])));
+    }
+    const PforPlan p2 = PlanPfor(resid.data(), n);
+    const int64_t pford_bytes =
+        (static_cast<int64_t>(n) * p2.width + 7) / 8 +
+        static_cast<int64_t>(p2.n_exceptions) * 12 + 12;
+
+    const int64_t best = std::min(pfor_bytes, pford_bytes);
+    if (best < plain_bytes * 9 / 10) {
+      // Prefer PFOR-DELTA on sorted data (same bytes, better locality).
+      if (sorted && pford_bytes <= pfor_bytes) return CodecId::kPforDelta;
+      return pford_bytes < pfor_bytes ? CodecId::kPforDelta : CodecId::kPfor;
+    }
+    return CodecId::kPlain;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// String codecs
+// ---------------------------------------------------------------------------
+
+Status CompressStrColumn(CodecId codec, const StrRef* in, int n,
+                         std::vector<uint8_t>* out) {
+  if (codec == CodecId::kPlain) {
+    // [u32 len…][bytes…]
+    WriteHeader(out, CodecId::kPlain, 0, static_cast<uint32_t>(n));
+    for (int i = 0; i < n; i++) AppendValue<uint32_t>(out, in[i].len);
+    for (int i = 0; i < n; i++) AppendBytes(out, in[i].data, in[i].len);
+    return Status::OK();
+  }
+  if (codec != CodecId::kPdict) {
+    return Status::InvalidArgument("string codec must be plain or pdict");
+  }
+  // Build dictionary in first-occurrence order.
+  std::unordered_map<std::string_view, uint32_t> dict;
+  std::vector<StrRef> entries;
+  std::vector<uint64_t> codes(n);
+  for (int i = 0; i < n; i++) {
+    auto [it, inserted] =
+        dict.try_emplace(in[i].view(), static_cast<uint32_t>(entries.size()));
+    if (inserted) entries.push_back(in[i]);
+    codes[i] = it->second;
+  }
+  const int width = BitsNeeded(entries.empty() ? 0 : entries.size() - 1);
+  WriteHeader(out, CodecId::kPdict, static_cast<uint8_t>(width),
+              static_cast<uint32_t>(n));
+  AppendValue<uint32_t>(out, static_cast<uint32_t>(entries.size()));
+  for (const StrRef& e : entries) {
+    AppendValue<uint32_t>(out, e.len);
+    AppendBytes(out, e.data, e.len);
+  }
+  const size_t packed = PackedBytes(n, width);
+  const size_t off = out->size();
+  out->resize(off + packed);
+  BitPack(codes.data(), n, width, out->data() + off);
+  return Status::OK();
+}
+
+Status DecompressStrColumn(const uint8_t* data, size_t len, StringHeap* heap,
+                           StrRef* out) {
+  CodecHeader h;
+  X100_ASSIGN_OR_RETURN(h, PeekHeader(data, len));
+  const uint8_t* p = data + sizeof(h);
+  const uint8_t* end = data + len;
+  if (h.codec == CodecId::kPlain) {
+    if (static_cast<size_t>(end - p) < h.n * sizeof(uint32_t)) {
+      return Status::IoError("plain str lengths truncated");
+    }
+    const uint8_t* bytes = p + h.n * sizeof(uint32_t);
+    for (uint32_t i = 0; i < h.n; i++) {
+      uint32_t l;
+      std::memcpy(&l, p + i * sizeof(uint32_t), sizeof(l));
+      if (bytes + l > end) return Status::IoError("plain str bytes truncated");
+      char* dst = heap->Allocate(l);
+      std::memcpy(dst, bytes, l);
+      out[i] = StrRef(dst, l);
+      bytes += l;
+    }
+    return Status::OK();
+  }
+  if (h.codec != CodecId::kPdict) {
+    return Status::IoError("unexpected codec for string column");
+  }
+  if (end - p < 4) return Status::IoError("pdict header truncated");
+  const uint32_t dict_size = ReadValue<uint32_t>(p);
+  std::vector<StrRef> entries(dict_size);
+  for (uint32_t e = 0; e < dict_size; e++) {
+    if (end - p < 4) return Status::IoError("pdict entry truncated");
+    const uint32_t l = ReadValue<uint32_t>(p);
+    if (p + l > end) return Status::IoError("pdict bytes truncated");
+    char* dst = heap->Allocate(l);
+    std::memcpy(dst, p, l);
+    entries[e] = StrRef(dst, l);
+    p += l;
+  }
+  std::vector<uint64_t> codes(h.n);
+  BitUnpack(p, static_cast<int>(h.n), h.width, codes.data());
+  for (uint32_t i = 0; i < h.n; i++) {
+    if (codes[i] >= dict_size) return Status::IoError("pdict code range");
+    out[i] = entries[codes[i]];
+  }
+  return Status::OK();
+}
+
+CodecId ChooseStrCodec(const StrRef* in, int n) {
+  if (n == 0) return CodecId::kPlain;
+  // Sample distinct count; PDICT pays when ndv << n.
+  std::unordered_map<std::string_view, int> seen;
+  size_t total_bytes = 0;
+  for (int i = 0; i < n; i++) {
+    seen.try_emplace(in[i].view(), 0);
+    total_bytes += in[i].len;
+  }
+  const size_t ndv = seen.size();
+  size_t dict_bytes = 0;
+  for (const auto& [sv, _] : seen) dict_bytes += sv.size() + 4;
+  const int width = BitsNeeded(ndv ? ndv - 1 : 0);
+  const size_t pdict_bytes = dict_bytes + (static_cast<size_t>(n) * width) / 8;
+  const size_t plain_bytes = total_bytes + 4ull * n;
+  return pdict_bytes * 10 < plain_bytes * 9 ? CodecId::kPdict
+                                            : CodecId::kPlain;
+}
+
+// Explicit instantiations for the storage-supported numeric types.
+template Status CompressColumn<int8_t>(CodecId, const int8_t*, int,
+                                       std::vector<uint8_t>*);
+template Status CompressColumn<int16_t>(CodecId, const int16_t*, int,
+                                        std::vector<uint8_t>*);
+template Status CompressColumn<int32_t>(CodecId, const int32_t*, int,
+                                        std::vector<uint8_t>*);
+template Status CompressColumn<int64_t>(CodecId, const int64_t*, int,
+                                        std::vector<uint8_t>*);
+template Status CompressColumn<uint8_t>(CodecId, const uint8_t*, int,
+                                        std::vector<uint8_t>*);
+template Status CompressColumn<double>(CodecId, const double*, int,
+                                       std::vector<uint8_t>*);
+template Status DecompressColumn<int8_t>(const uint8_t*, size_t, int8_t*);
+template Status DecompressColumn<int16_t>(const uint8_t*, size_t, int16_t*);
+template Status DecompressColumn<int32_t>(const uint8_t*, size_t, int32_t*);
+template Status DecompressColumn<int64_t>(const uint8_t*, size_t, int64_t*);
+template Status DecompressColumn<uint8_t>(const uint8_t*, size_t, uint8_t*);
+template Status DecompressColumn<double>(const uint8_t*, size_t, double*);
+template CodecId ChooseCodec<int8_t>(const int8_t*, int);
+template CodecId ChooseCodec<int16_t>(const int16_t*, int);
+template CodecId ChooseCodec<int32_t>(const int32_t*, int);
+template CodecId ChooseCodec<int64_t>(const int64_t*, int);
+template CodecId ChooseCodec<uint8_t>(const uint8_t*, int);
+template CodecId ChooseCodec<double>(const double*, int);
+
+}  // namespace x100

@@ -1,0 +1,94 @@
+// Column compression codecs — the paper's storage-side contribution
+// ("novel compression schemes (e.g. PFOR [8])", Super-Scalar RAM-CPU Cache
+// Compression, ICDE 2006).
+//
+// Design points carried over from the paper:
+//  * Codecs trade compression ratio for *decompression speed*: the goal is
+//    to keep a scan CPU-bound ahead of the (simulated) disk, not to
+//    minimize bytes.
+//  * PFOR handles outliers by *patching*: values that do not fit the chosen
+//    bit width become exceptions stored verbatim, so one skewed value does
+//    not blow up the width of the whole block.
+//  * PFOR-DELTA applies PFOR to zigzag deltas (sorted / clustered data).
+//  * PDICT dictionary-encodes strings with bit-packed codes.
+//  * RLE covers long runs (e.g. sorted low-cardinality keys).
+//
+// Block wire format (self-describing, consumed by storage/):
+//   [u8 codec][u8 width][u16 reserved][u32 n][payload…]
+#ifndef X100_COMPRESSION_CODEC_H_
+#define X100_COMPRESSION_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "vector/string_heap.h"
+
+namespace x100 {
+
+enum class CodecId : uint8_t {
+  kPlain = 0,
+  kPfor = 1,
+  kPforDelta = 2,
+  kPdict = 3,
+  kRle = 4,
+};
+
+const char* CodecName(CodecId c);
+
+/// Header prepended to every compressed column chunk.
+struct CodecHeader {
+  CodecId codec;
+  uint8_t width;     // bit width (PFOR/PDICT); 0 otherwise
+  uint16_t reserved;
+  uint32_t n;        // value count
+};
+static_assert(sizeof(CodecHeader) == 8);
+
+// ---------------------------------------------------------------------------
+// Typed codec entry points. T in {int8_t,int16_t,int32_t,int64_t,double}.
+// Strings go through the StrCodec functions below.
+// ---------------------------------------------------------------------------
+
+/// Compresses `in[0..n)` with the given codec, appending to `out`.
+/// Fails with kInvalidArgument if the codec cannot represent the data
+/// (callers normally use ChooseCodec first).
+template <typename T>
+Status CompressColumn(CodecId codec, const T* in, int n,
+                      std::vector<uint8_t>* out);
+
+/// Decompresses a chunk produced by CompressColumn. `out` must hold the
+/// chunk's value count (readable via PeekHeader).
+template <typename T>
+Status DecompressColumn(const uint8_t* data, size_t len, T* out);
+
+/// Reads the header of a compressed chunk.
+Result<CodecHeader> PeekHeader(const uint8_t* data, size_t len);
+
+/// Picks a codec for numeric data: RLE for long runs, PFOR-DELTA for
+/// sorted/clustered, PFOR when outlier patching wins, else Plain.
+template <typename T>
+CodecId ChooseCodec(const T* in, int n);
+
+// ---------------------------------------------------------------------------
+// String codec (Plain or PDICT).
+// ---------------------------------------------------------------------------
+
+/// Compresses n strings. `codec` must be kPlain or kPdict.
+Status CompressStrColumn(CodecId codec, const StrRef* in, int n,
+                         std::vector<uint8_t>* out);
+
+/// Decompresses strings; the bytes are copied into `heap` and `out[i]`
+/// points at them.
+Status DecompressStrColumn(const uint8_t* data, size_t len, StringHeap* heap,
+                           StrRef* out);
+
+/// PDICT when the dictionary pays for itself, else Plain.
+CodecId ChooseStrCodec(const StrRef* in, int n);
+
+}  // namespace x100
+
+#endif  // X100_COMPRESSION_CODEC_H_

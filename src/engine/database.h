@@ -1,0 +1,75 @@
+// Database: catalog + shared resources (disk, buffer pool, scan scheduler,
+// transaction manager, monitoring) — the embedding point of the engine.
+#ifndef X100_ENGINE_DATABASE_H_
+#define X100_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "monitor/monitor.h"
+#include "pdt/transaction.h"
+#include "storage/buffer_manager.h"
+#include "storage/coop_scan.h"
+#include "storage/simulated_disk.h"
+
+namespace x100 {
+
+class Database {
+ public:
+  explicit Database(EngineConfig config = EngineConfig())
+      : config_(config),
+        disk_(config.disk_bandwidth),
+        buffers_(&disk_, config.buffer_pool_blocks) {}
+
+  /// Starts a table definition; finish with RegisterTable(builder.Finish()).
+  std::unique_ptr<TableBuilder> CreateTable(const std::string& name,
+                                            Schema schema, Layout layout,
+                                            int64_t group_rows = 0) {
+    return std::make_unique<TableBuilder>(name, std::move(schema), layout,
+                                          &disk_, group_rows);
+  }
+
+  Result<UpdatableTable*> RegisterTable(std::unique_ptr<Table> table) {
+    const std::string name = table->name();
+    if (tables_.count(name)) {
+      return Status::AlreadyExists("table " + name + " already exists");
+    }
+    auto updatable = std::make_unique<UpdatableTable>(std::move(table));
+    UpdatableTable* ptr = updatable.get();
+    tables_[name] = std::move(updatable);
+    events_.Info("created table " + name);
+    return ptr;
+  }
+
+  Result<UpdatableTable*> GetTable(const std::string& name) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table not found: " + name);
+    }
+    return it->second.get();
+  }
+
+  EngineConfig& config() { return config_; }
+  SimulatedDisk* disk() { return &disk_; }
+  BufferManager* buffers() { return &buffers_; }
+  TransactionManager* txn_manager() { return &txn_manager_; }
+  EventLog* events() { return &events_; }
+  QueryRegistry* queries() { return &queries_; }
+  Counters* counters() { return &counters_; }
+
+ private:
+  EngineConfig config_;
+  SimulatedDisk disk_;
+  BufferManager buffers_;
+  TransactionManager txn_manager_;
+  std::map<std::string, std::unique_ptr<UpdatableTable>> tables_;
+  EventLog events_;
+  QueryRegistry queries_;
+  Counters counters_;
+};
+
+}  // namespace x100
+
+#endif  // X100_ENGINE_DATABASE_H_

@@ -1,0 +1,42 @@
+// QueryExecutor: X100 algebra -> vectorized operator tree -> result, with
+// rewriting, MinMax pushdown extraction, monitoring and cancellation.
+#ifndef X100_ENGINE_QUERY_EXECUTOR_H_
+#define X100_ENGINE_QUERY_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "algebra/algebra.h"
+#include "engine/database.h"
+#include "exec/scan.h"
+#include "rewriter/rewriter.h"
+
+namespace x100 {
+
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(Database* db) : db_(db) {}
+
+  /// Builds an operator tree for a (rewritten) plan. `ctx` must outlive the
+  /// returned operators.
+  Result<OperatorPtr> Build(const AlgebraPtr& plan, ExecContext* ctx);
+
+  /// Full path: rewrite (honoring config parallelism) -> build -> execute
+  /// -> collect, registered in the query listing. `text` is the monitoring
+  /// label. A non-null `cancel` enables external cancellation.
+  Result<QueryResult> Execute(AlgebraPtr plan, const std::string& text = "",
+                              CancellationToken* cancel = nullptr);
+
+  const RewriteStats& last_rewrite_stats() const { return last_stats_; }
+
+ private:
+  Result<OperatorPtr> BuildScan(const AlgebraNode& node, ExecContext* ctx,
+                                ExprPtr pushdown_pred);
+
+  Database* db_;
+  RewriteStats last_stats_;
+};
+
+}  // namespace x100
+
+#endif  // X100_ENGINE_QUERY_EXECUTOR_H_

@@ -1,0 +1,56 @@
+// Session: the user-facing entry point — SQL text in, rows out, via the
+// full Figure-1 path (parser -> Ingres-like plan -> cross compiler -> X100
+// rewriter -> vectorized execution).
+#ifndef X100_ENGINE_SESSION_H_
+#define X100_ENGINE_SESSION_H_
+
+#include <string>
+
+#include "engine/database.h"
+#include "engine/query_executor.h"
+#include "frontend/frontend.h"
+
+namespace x100 {
+
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db), executor_(db) {}
+
+  /// Parses and cross-compiles SQL into X100 algebra without executing.
+  Result<AlgebraPtr> CompileSql(const std::string& sql) {
+    RelPtr rel;
+    X100_ASSIGN_OR_RETURN(rel, ParseSql(sql));
+    CrossCompiler compiler([this](const std::string& name) -> Result<Schema> {
+      UpdatableTable* t;
+      X100_ASSIGN_OR_RETURN(t, db_->GetTable(name));
+      return t->base()->schema();
+    });
+    return compiler.Compile(rel);
+  }
+
+  /// Full query path. `cancel` (optional) supports query cancellation.
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 CancellationToken* cancel = nullptr) {
+    AlgebraPtr plan;
+    X100_ASSIGN_OR_RETURN(plan, CompileSql(sql));
+    return executor_.Execute(std::move(plan), sql, cancel);
+  }
+
+  /// Direct algebra execution (tests, benches, plans the SQL subset cannot
+  /// express such as joins).
+  Result<QueryResult> Execute(AlgebraPtr plan,
+                              CancellationToken* cancel = nullptr) {
+    return executor_.Execute(std::move(plan), "<algebra>", cancel);
+  }
+
+  Database* db() { return db_; }
+  QueryExecutor* executor() { return &executor_; }
+
+ private:
+  Database* db_;
+  QueryExecutor executor_;
+};
+
+}  // namespace x100
+
+#endif  // X100_ENGINE_SESSION_H_

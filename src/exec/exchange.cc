@@ -1,0 +1,96 @@
+#include "exec/exchange.h"
+
+namespace x100 {
+
+XchgOp::XchgOp(std::vector<OperatorPtr> producers, int queue_capacity)
+    : producers_(std::move(producers)), queue_capacity_(queue_capacity) {}
+
+Status XchgOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (producers_.empty()) {
+    return Status::InvalidArgument("exchange needs at least one producer");
+  }
+  active_producers_ = static_cast<int>(producers_.size());
+  shutdown_ = false;
+  for (int p = 0; p < static_cast<int>(producers_.size()); p++) {
+    threads_.emplace_back([this, p] { ProducerLoop(p); });
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+void XchgOp::ProducerLoop(int p) {
+  Operator* op = producers_[p].get();
+  Status status = op->Open(ctx_);
+  while (status.ok()) {
+    if (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled()) {
+      status = Status::Cancelled("query cancelled");
+      break;
+    }
+    auto batch = op->Next();
+    if (!batch.ok()) {
+      status = batch.status();
+      break;
+    }
+    if (*batch == nullptr) break;  // producer EOS
+    // Deep-copy: the producer's batch is reused on its next Next().
+    auto owned = (*batch)->Compact(op->output_schema());
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return shutdown_ ||
+             static_cast<int>(queue_.size()) < queue_capacity_ ||
+             (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled());
+    });
+    if (shutdown_ ||
+        (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled())) {
+      status = Status::Cancelled("exchange shut down");
+      break;
+    }
+    queue_.push_back(std::move(owned));
+    not_empty_.notify_one();
+  }
+  op->Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok() && !status.IsCancelled() && producer_error_.ok()) {
+    producer_error_ = status;
+  }
+  active_producers_--;
+  not_empty_.notify_all();
+}
+
+Result<Batch*> XchgOp::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!producer_error_.ok()) return producer_error_;
+    if (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled()) {
+      not_full_.notify_all();
+      return Status::Cancelled("query cancelled");
+    }
+    if (!queue_.empty()) {
+      current_ = std::move(queue_.front());
+      queue_.pop_front();
+      not_full_.notify_one();
+      return current_.get();
+    }
+    if (active_producers_ == 0) return nullptr;
+    // Wait with a timeout so cancellation is observed promptly even if no
+    // producer ever posts again.
+    not_empty_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void XchgOp::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    queue_.clear();  // unblock producers waiting on a full queue
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace x100

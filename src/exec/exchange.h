@@ -1,0 +1,63 @@
+// XchgOp: Volcano-style exchange — the operator the rewriter's
+// Parallelizer rule inserts (paper §"Multi-core": "The Vectorwise rewriter
+// was used to implement a Volcano-style query parallelizer").
+//
+// N producer threads each drive an independent partial plan (typically a
+// partitioned scan + partial aggregate); batches flow through a bounded
+// queue to the single consumer. Cancellation wakes every queue wait and
+// joins all threads before Close returns — the "parallelism" hazard of
+// §"Query cancellation".
+#ifndef X100_EXEC_EXCHANGE_H_
+#define X100_EXEC_EXCHANGE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace x100 {
+
+class XchgOp : public Operator {
+ public:
+  /// All producers must share one output schema.
+  explicit XchgOp(std::vector<OperatorPtr> producers,
+                  int queue_capacity = 8);
+  ~XchgOp() override { Close(); }
+
+  Status Open(ExecContext* ctx) override;
+  Result<Batch*> Next() override;
+  void Close() override;
+  const Schema& output_schema() const override {
+    return producers_.front()->output_schema();
+  }
+  std::string name() const override {
+    return "XchgUnion(" + std::to_string(producers_.size()) + ")";
+  }
+
+ private:
+  void ProducerLoop(int p);
+
+  std::vector<OperatorPtr> producers_;
+  int queue_capacity_;
+  ExecContext* ctx_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::unique_ptr<Batch>> queue_;
+  Status producer_error_;
+  int active_producers_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+  std::unique_ptr<Batch> current_;
+  bool opened_ = false;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_EXCHANGE_H_

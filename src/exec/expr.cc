@@ -1,0 +1,270 @@
+#include "exec/expr.h"
+
+#include <algorithm>
+
+namespace x100 {
+
+ExprPtr Col(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kColRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Lit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kCall;
+  e->fn = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr CloneExpr(const ExprPtr& e) {
+  auto c = std::make_shared<Expr>(*e);
+  for (auto& a : c->args) a = CloneExpr(a);
+  return c;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColRef:
+      return bound ? name + "#" + std::to_string(col) : name;
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kCall: {
+      std::string s = fn + "(";
+      for (size_t i = 0; i < args.size(); i++) {
+        if (i) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+// Numeric promotion lattice used by the binder.
+int NumericRank(TypeId t) {
+  switch (t) {
+    case TypeId::kI8: return 1;
+    case TypeId::kI16: return 2;
+    case TypeId::kI32: return 3;
+    case TypeId::kDate: return 3;  // int32 domain
+    case TypeId::kI64: return 4;
+    case TypeId::kF64: return 5;
+    default: return 0;
+  }
+}
+
+TypeId Promote(TypeId a, TypeId b) {
+  // Date dominates same-width ints so date arithmetic stays in kernels
+  // registered for (date, date).
+  if (a == TypeId::kDate || b == TypeId::kDate) {
+    if (NumericRank(a) <= 3 && NumericRank(b) <= 3) return TypeId::kDate;
+  }
+  return NumericRank(a) >= NumericRank(b) ? a : b;
+}
+
+Result<Value> CoerceValue(const Value& v, TypeId to) {
+  if (v.is_null()) return Value::Null(to);
+  if (v.type() == to) return v;
+  switch (to) {
+    case TypeId::kI8: return Value::I8(static_cast<int8_t>(v.AsI64()));
+    case TypeId::kI16: return Value::I16(static_cast<int16_t>(v.AsI64()));
+    case TypeId::kI32: return Value::I32(static_cast<int32_t>(v.AsI64()));
+    case TypeId::kI64:
+      if (v.type() == TypeId::kF64) {
+        return Value::I64(static_cast<int64_t>(v.AsF64()));
+      }
+      return Value::I64(v.AsI64());
+    case TypeId::kF64: return Value::F64(v.AsF64());
+    case TypeId::kDate: return Value::Date(static_cast<int32_t>(v.AsI64()));
+    case TypeId::kBool: return Value::Bool(v.AsBool());
+    default:
+      return Status::InvalidArgument("cannot coerce " + v.ToString() +
+                                     " to " + TypeName(to));
+  }
+}
+
+/// Wraps `e` in a cast call to `to` (constants are re-typed in place).
+Result<ExprPtr> CastTo(ExprPtr e, TypeId to) {
+  if (e->type == to) return e;
+  if (e->kind == Expr::Kind::kConst) {
+    Value coerced;
+    X100_ASSIGN_OR_RETURN(coerced, CoerceValue(e->constant, to));
+    ExprPtr c = Lit(std::move(coerced));
+    c->type = to;
+    c->nullable = e->nullable;
+    c->bound = true;
+    return c;
+  }
+  if ((e->type == TypeId::kDate && to == TypeId::kI32) ||
+      (e->type == TypeId::kI32 && to == TypeId::kDate)) {
+    // Same physical representation: re-type without a kernel.
+    ExprPtr c = CloneExpr(e);
+    c->type = to;
+    return c;
+  }
+  ExprPtr cast = Call(std::string("cast_") + TypeName(to), {e});
+  cast->type = to;
+  cast->nullable = e->nullable;
+  cast->bound = true;
+  return cast;
+}
+
+bool IsComparison(const std::string& fn) {
+  return fn == "eq" || fn == "ne" || fn == "lt" || fn == "le" || fn == "gt" ||
+         fn == "ge";
+}
+
+bool IsArith(const std::string& fn) {
+  return fn == "add" || fn == "sub" || fn == "mul" || fn == "div" ||
+         fn == "mod" || fn == "add_unchecked" || fn == "sub_unchecked" ||
+         fn == "mul_unchecked" || fn == "div_unchecked";
+}
+
+}  // namespace
+
+Result<ExprPtr> BindExpr(const ExprPtr& in, const Schema& schema) {
+  ExprPtr e = std::make_shared<Expr>(*in);
+  switch (e->kind) {
+    case Expr::Kind::kColRef: {
+      const int idx = schema.FindField(e->name);
+      if (idx < 0) {
+        return Status::NotFound("column not found: " + e->name);
+      }
+      e->col = idx;
+      e->type = schema.field(idx).type;
+      e->nullable = schema.field(idx).nullable;
+      e->bound = true;
+      return e;
+    }
+    case Expr::Kind::kConst:
+      e->type = e->constant.type();
+      e->nullable = e->constant.is_null();
+      e->bound = true;
+      return e;
+    case Expr::Kind::kCall:
+      break;
+  }
+
+  e->args.clear();
+  for (const ExprPtr& a : in->args) {
+    ExprPtr bound;
+    X100_ASSIGN_OR_RETURN(bound, BindExpr(a, schema));
+    e->args.push_back(std::move(bound));
+  }
+  e->nullable = false;
+  for (const ExprPtr& a : e->args) e->nullable |= a->nullable;
+
+  const std::string& fn = e->fn;
+  auto arg_t = [&](int i) { return e->args[i]->type; };
+
+  if (IsArith(fn) || IsComparison(fn)) {
+    if (e->args.size() != 2) {
+      return Status::InvalidArgument(fn + " expects 2 arguments");
+    }
+    TypeId common;
+    if (arg_t(0) == TypeId::kStr || arg_t(1) == TypeId::kStr) {
+      if (arg_t(0) != TypeId::kStr || arg_t(1) != TypeId::kStr ||
+          !IsComparison(fn)) {
+        return Status::InvalidArgument("type mismatch in " + fn);
+      }
+      common = TypeId::kStr;
+    } else if (arg_t(0) == TypeId::kBool || arg_t(1) == TypeId::kBool) {
+      if (arg_t(0) != arg_t(1) || !IsComparison(fn)) {
+        return Status::InvalidArgument("type mismatch in " + fn);
+      }
+      common = TypeId::kBool;
+    } else {
+      common = Promote(arg_t(0), arg_t(1));
+      // Division promotes small ints to at least i32 kernels.
+      if (common == TypeId::kI8 || common == TypeId::kI16) {
+        common = TypeId::kI32;
+      }
+    }
+    X100_ASSIGN_OR_RETURN(e->args[0], CastTo(e->args[0], common));
+    X100_ASSIGN_OR_RETURN(e->args[1], CastTo(e->args[1], common));
+    e->type = IsComparison(fn) ? TypeId::kBool : common;
+  } else if (fn == "and" || fn == "or" || fn == "xor") {
+    if (e->args.size() != 2 || arg_t(0) != TypeId::kBool ||
+        arg_t(1) != TypeId::kBool) {
+      return Status::InvalidArgument(fn + " expects boolean arguments");
+    }
+    e->type = TypeId::kBool;
+  } else if (fn == "not") {
+    if (e->args.size() != 1 || arg_t(0) != TypeId::kBool) {
+      return Status::InvalidArgument("not expects one boolean argument");
+    }
+    e->type = TypeId::kBool;
+  } else if (fn == "neg" || fn == "abs") {
+    e->type = arg_t(0);
+  } else if (fn == "ifthenelse") {
+    if (e->args.size() != 3 || arg_t(0) != TypeId::kBool) {
+      return Status::InvalidArgument("ifthenelse(cond, a, b) expects bool cond");
+    }
+    const TypeId common = Promote(arg_t(1), arg_t(2));
+    if (arg_t(1) == TypeId::kStr || arg_t(2) == TypeId::kStr) {
+      if (arg_t(1) != arg_t(2)) {
+        return Status::InvalidArgument("ifthenelse branch type mismatch");
+      }
+      e->type = TypeId::kStr;
+    } else {
+      X100_ASSIGN_OR_RETURN(e->args[1], CastTo(e->args[1], common));
+      X100_ASSIGN_OR_RETURN(e->args[2], CastTo(e->args[2], common));
+      e->type = common;
+    }
+  } else if (fn.rfind("cast_", 0) == 0) {
+    const std::string target = fn.substr(5);
+    TypeId to = TypeId::kI64;
+    for (int t = 0; t < kNumTypes; t++) {
+      if (target == TypeName(static_cast<TypeId>(t))) {
+        to = static_cast<TypeId>(t);
+        break;
+      }
+    }
+    e->type = to;
+  } else if (fn == "length" || fn == "strpos" || fn == "year" ||
+             fn == "month" || fn == "day" || fn == "quarter" ||
+             fn == "dayofweek" || fn == "dayofyear") {
+    e->type = TypeId::kI32;
+  } else if (fn == "like" || fn == "notlike" || fn == "starts_with" ||
+             fn == "ends_with" || fn == "contains" || fn == "isnull" ||
+             fn == "isnotnull") {
+    e->type = TypeId::kBool;
+    if (fn == "isnull" || fn == "isnotnull") e->nullable = false;
+  } else if (fn == "upper" || fn == "lower" || fn == "concat" ||
+             fn == "substring" || fn == "trim" || fn == "ltrim" ||
+             fn == "rtrim" || fn == "reverse" || fn == "repeat") {
+    e->type = TypeId::kStr;
+    // substring/repeat integer args must be i32 for the kernels.
+    for (size_t i = 1; i < e->args.size(); i++) {
+      if (IsIntegerType(arg_t(static_cast<int>(i))) &&
+          arg_t(static_cast<int>(i)) != TypeId::kI32) {
+        X100_ASSIGN_OR_RETURN(e->args[i], CastTo(e->args[i], TypeId::kI32));
+      }
+    }
+  } else if (fn == "make_date") {
+    e->type = TypeId::kDate;
+  } else if (fn == "trunc_month" || fn == "trunc_year") {
+    e->type = TypeId::kDate;
+  } else {
+    // Functions the rewriter should have expanded (between, coalesce, …)
+    // reach here only when it did not run.
+    return Status::NotFound("unknown function in binder: " + fn +
+                            " (rewriter expansion missing?)");
+  }
+  e->bound = true;
+  return e;
+}
+
+}  // namespace x100

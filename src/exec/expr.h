@@ -1,0 +1,74 @@
+// Expression trees, shared by the algebra, the rewriter and the executor.
+//
+// The rewriter operates on unbound trees (column references by name); the
+// Binder resolves references and types against an input schema; the
+// ExprProgram (expression.h) compiles a bound tree into a sequence of
+// primitive calls executed per vector.
+#ifndef X100_EXEC_EXPR_H_
+#define X100_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "vector/schema.h"
+
+namespace x100 {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// An expression node. Kind-specific fields:
+///  * kColRef: `name` (unbound) / `col` (bound input column index)
+///  * kConst:  `constant`
+///  * kCall:   `fn` (primitive op name: "add", "like", "year", …) + `args`
+struct Expr {
+  enum class Kind : uint8_t { kColRef, kConst, kCall };
+
+  Kind kind;
+  std::string name;   // column name (kColRef) — kept for diagnostics
+  int col = -1;       // bound column index (kColRef)
+  Value constant;     // kConst
+  std::string fn;     // kCall
+  std::vector<ExprPtr> args;
+
+  // Binder results:
+  TypeId type = TypeId::kI64;
+  bool nullable = false;
+  bool bound = false;
+
+  std::string ToString() const;
+};
+
+ExprPtr Col(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
+
+/// Convenience builders used by tests, query builders and the frontend.
+inline ExprPtr Add(ExprPtr a, ExprPtr b) { return Call("add", {a, b}); }
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) { return Call("sub", {a, b}); }
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) { return Call("mul", {a, b}); }
+inline ExprPtr Div(ExprPtr a, ExprPtr b) { return Call("div", {a, b}); }
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) { return Call("eq", {a, b}); }
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) { return Call("ne", {a, b}); }
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) { return Call("lt", {a, b}); }
+inline ExprPtr Le(ExprPtr a, ExprPtr b) { return Call("le", {a, b}); }
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) { return Call("gt", {a, b}); }
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) { return Call("ge", {a, b}); }
+inline ExprPtr And(ExprPtr a, ExprPtr b) { return Call("and", {a, b}); }
+inline ExprPtr Or(ExprPtr a, ExprPtr b) { return Call("or", {a, b}); }
+inline ExprPtr Not(ExprPtr a) { return Call("not", {a}); }
+
+/// Deep copy (the rewriter transforms copies, never shared nodes).
+ExprPtr CloneExpr(const ExprPtr& e);
+
+/// Resolves column references and types against `schema`, inserting
+/// implicit casts where the kernel type matrix requires them. Returns the
+/// bound copy; the input is not modified.
+Result<ExprPtr> BindExpr(const ExprPtr& e, const Schema& schema);
+
+}  // namespace x100
+
+#endif  // X100_EXEC_EXPR_H_

@@ -1,0 +1,81 @@
+// ExprProgram: compiles a bound expression tree into a flat sequence of
+// primitive invocations — the X100 execution model where interpretation
+// overhead is paid per vector, not per tuple.
+//
+// NULL handling implements the paper's two-column scheme: primitives run
+// NULL-obliviously over safe values; a separate indicator pass ORs the
+// input indicators into the output indicator ("operations on NULLable
+// inputs are rewritten into equivalent operations on two standard
+// relational inputs").
+#ifndef X100_EXEC_EXPRESSION_H_
+#define X100_EXEC_EXPRESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/expr.h"
+#include "primitives/primitive_registry.h"
+#include "vector/batch.h"
+
+namespace x100 {
+
+class ExprProgram {
+ public:
+  /// Compiles `bound` (a tree produced by BindExpr against the schema of
+  /// the batches that will be evaluated). vector_size bounds batch size.
+  static Result<std::unique_ptr<ExprProgram>> Compile(const ExprPtr& bound,
+                                                      int vector_size);
+
+  /// Evaluates over the batch's live rows. The result vector is owned by
+  /// the program and valid until the next Eval call. Its null indicator
+  /// (has_nulls) reflects the strict NULL propagation of the inputs.
+  Result<const Vector*> Eval(Batch& batch);
+
+  TypeId out_type() const { return out_type_; }
+  bool nullable() const { return nullable_; }
+
+ private:
+  struct ArgRef {
+    enum class Src : uint8_t { kInputCol, kReg, kConst };
+    Src src;
+    int index = 0;  // column index / register index / const index
+  };
+  struct Step {
+    MapFn fn = nullptr;
+    std::vector<ArgRef> args;
+    int out_reg = 0;
+    TypeId out_type;
+    std::vector<ArgRef> null_sources;  // nullable args to OR into out nulls
+    bool is_isnull = false;            // special: materialize an indicator
+    bool negate_isnull = false;
+  };
+  struct ConstSlot {
+    Value value;
+    // Typed storage the kernels point at.
+    int64_t i64 = 0;
+    double f64 = 0;
+    StrRef str;
+    std::string str_storage;
+    const void* ptr = nullptr;
+  };
+
+  Result<ArgRef> CompileNode(const ExprPtr& e);
+  const void* ResolveData(const ArgRef& a, Batch& batch) const;
+  const uint8_t* ResolveNulls(const ArgRef& a, Batch& batch) const;
+
+  int vector_size_ = 0;
+  TypeId out_type_ = TypeId::kI64;
+  bool nullable_ = false;
+  std::vector<Step> steps_;
+  std::vector<std::unique_ptr<Vector>> regs_;
+  std::vector<std::unique_ptr<ConstSlot>> consts_;
+  ArgRef result_;
+  bool result_nullable_ = false;
+  // Scratch indicator for inputs' ORed nulls on the final result when the
+  // result is a plain column reference.
+  std::unique_ptr<Vector> passthrough_;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_EXPRESSION_H_

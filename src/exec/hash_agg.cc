@@ -1,0 +1,362 @@
+#include "exec/hash_agg.h"
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "primitives/hash_kernels.h"
+
+namespace x100 {
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<ProjectItem> group_by,
+                     std::vector<AggItem> aggs)
+    : child_(std::move(child)),
+      group_items_(std::move(group_by)),
+      agg_items_(std::move(aggs)) {
+  // Bind at construction so output_schema() precedes Open.
+  const Schema& in = child_->output_schema();
+  for (const ProjectItem& g : group_items_) {
+    auto bound = BindExpr(g.expr, in);
+    if (!bound.ok()) {
+      init_status_ = bound.status();
+      return;
+    }
+    key_schema_.AddField(Field(g.name, (*bound)->type, (*bound)->nullable));
+    out_schema_.AddField(Field(g.name, (*bound)->type, (*bound)->nullable));
+    bound_keys_.push_back(std::move(bound).value());
+  }
+  for (const AggItem& a : agg_items_) {
+    TypeId in_type = TypeId::kI64;
+    if (a.input != nullptr) {
+      auto bound = BindExpr(a.input, in);
+      if (!bound.ok()) {
+        init_status_ = bound.status();
+        return;
+      }
+      if (a.kind != AggKind::kCount && (*bound)->type == TypeId::kStr) {
+        init_status_ =
+            Status::NotImplemented("string aggregates not supported");
+        return;
+      }
+      in_type = (*bound)->type;
+      bound_aggs_.push_back(std::move(bound).value());
+    } else {
+      if (a.kind != AggKind::kCount) {
+        init_status_ =
+            Status::InvalidArgument("only COUNT(*) may omit its input");
+        return;
+      }
+      bound_aggs_.push_back(nullptr);
+    }
+    TypeId out_type;
+    switch (a.kind) {
+      case AggKind::kCount: out_type = TypeId::kI64; break;
+      case AggKind::kAvg: out_type = TypeId::kF64; break;
+      case AggKind::kSum:
+        out_type = in_type == TypeId::kF64 ? TypeId::kF64 : TypeId::kI64;
+        break;
+      default: out_type = in_type; break;
+    }
+    // Aggregates over empty groups / all-NULL inputs yield NULL (except
+    // COUNT), hence nullable.
+    out_schema_.AddField(
+        Field(a.name, out_type, a.kind != AggKind::kCount));
+    Accum acc;
+    acc.in_type = in_type;
+    accums_.push_back(std::move(acc));
+  }
+}
+
+Status HashAggOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(init_status_);
+  X100_RETURN_IF_ERROR(child_->Open(ctx));
+  key_progs_.clear();
+  agg_progs_.clear();
+  for (const ExprPtr& bound : bound_keys_) {
+    auto prog = ExprProgram::Compile(bound, ctx->vector_size);
+    X100_RETURN_IF_ERROR(prog.status());
+    key_progs_.push_back(std::move(prog).value());
+  }
+  for (const ExprPtr& bound : bound_aggs_) {
+    if (bound == nullptr) {
+      agg_progs_.push_back(nullptr);
+      continue;
+    }
+    auto prog = ExprProgram::Compile(bound, ctx->vector_size);
+    X100_RETURN_IF_ERROR(prog.status());
+    agg_progs_.push_back(std::move(prog).value());
+  }
+  keys_ = std::make_unique<RowBuffer>(key_schema_);
+  buckets_.assign(1024, -1);
+  bucket_mask_ = buckets_.size() - 1;
+  gids_.resize(ctx->vector_size);
+  hashes_.resize(ctx->vector_size);
+  out_ = std::make_unique<Batch>(out_schema_, ctx->vector_size);
+  return Status::OK();
+}
+
+void HashAggOp::Close() {
+  if (child_) child_->Close();
+}
+
+Result<uint32_t> HashAggOp::GroupIdFor(
+    Batch& /*in*/, int row, const std::vector<const Vector*>& key_vecs,
+    uint64_t hash) {
+  int64_t node = buckets_[hash & bucket_mask_];
+  while (node >= 0) {
+    if (key_hashes_[node] == hash) {
+      bool eq = true;
+      for (size_t k = 0; k < key_vecs.size() && eq; k++) {
+        const Vector* v = key_vecs[k];
+        const bool in_null = v->IsNull(row);
+        const bool g_null = keys_->IsNull(static_cast<int>(k), node);
+        if (in_null != g_null) {
+          eq = false;
+        } else if (!in_null) {
+          // Typed equality against the stored key.
+          switch (v->type()) {
+            case TypeId::kBool:
+              eq = v->Data<uint8_t>()[row] ==
+                   keys_->Col<uint8_t>(static_cast<int>(k))[node];
+              break;
+            case TypeId::kI8:
+              eq = v->Data<int8_t>()[row] ==
+                   keys_->Col<int8_t>(static_cast<int>(k))[node];
+              break;
+            case TypeId::kI16:
+              eq = v->Data<int16_t>()[row] ==
+                   keys_->Col<int16_t>(static_cast<int>(k))[node];
+              break;
+            case TypeId::kI32:
+            case TypeId::kDate:
+              eq = v->Data<int32_t>()[row] ==
+                   keys_->Col<int32_t>(static_cast<int>(k))[node];
+              break;
+            case TypeId::kI64:
+              eq = v->Data<int64_t>()[row] ==
+                   keys_->Col<int64_t>(static_cast<int>(k))[node];
+              break;
+            case TypeId::kF64:
+              eq = v->Data<double>()[row] ==
+                   keys_->Col<double>(static_cast<int>(k))[node];
+              break;
+            case TypeId::kStr:
+              eq = v->Data<StrRef>()[row] ==
+                   keys_->Col<StrRef>(static_cast<int>(k))[node];
+              break;
+          }
+        }
+      }
+      if (eq) return static_cast<uint32_t>(node);
+    }
+    node = chain_[node];
+  }
+  // New group: append key row + grow accumulators.
+  const int64_t gid = keys_->rows();
+  if (gid >= static_cast<int64_t>(UINT32_MAX)) {
+    return Status::ResourceExhausted("too many groups");
+  }
+  keys_->AppendRowFromVectors(key_vecs, row);
+  key_hashes_.push_back(hash);
+  chain_.push_back(buckets_[hash & bucket_mask_]);
+  buckets_[hash & bucket_mask_] = gid;
+  for (Accum& a : accums_) {
+    a.i64.push_back(0);
+    a.f64.push_back(0);
+    a.count.push_back(0);
+  }
+  // Rehash when load factor exceeds ~0.7.
+  if (keys_->rows() * 10 > static_cast<int64_t>(buckets_.size()) * 7) {
+    buckets_.assign(buckets_.size() * 2, -1);
+    bucket_mask_ = buckets_.size() - 1;
+    for (int64_t r = 0; r < keys_->rows(); r++) {
+      const uint64_t slot = key_hashes_[r] & bucket_mask_;
+      chain_[r] = buckets_[slot];
+      buckets_[slot] = r;
+    }
+  }
+  return static_cast<uint32_t>(gid);
+}
+
+Status HashAggOp::Consume() {
+  // Global aggregation: materialize the single group up front so an empty
+  // input still yields one output row.
+  std::vector<const Vector*> no_keys;
+  if (group_items_.empty() && keys_->rows() == 0) {
+    keys_->AppendRowFromVectors(no_keys, 0);
+    key_hashes_.push_back(0);
+    chain_.push_back(-1);
+    for (Accum& a : accums_) {
+      a.i64.push_back(0);
+      a.f64.push_back(0);
+      a.count.push_back(0);
+    }
+  }
+  while (true) {
+    X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+    Batch* in;
+    X100_ASSIGN_OR_RETURN(in, child_->Next());
+    if (in == nullptr) break;
+    const int n = in->ActiveRows();
+    const sel_t* sel = in->sel();
+
+    // 1) Evaluate key expressions, hash them, resolve group ids.
+    std::vector<const Vector*> key_vecs;
+    for (auto& prog : key_progs_) {
+      const Vector* v;
+      X100_ASSIGN_OR_RETURN(v, prog->Eval(*in));
+      key_vecs.push_back(v);
+    }
+    if (key_vecs.empty()) {
+      std::fill(gids_.begin(), gids_.begin() + n, 0u);
+    } else {
+      bool first = true;
+      for (const Vector* v : key_vecs) {
+        hashk::HashColumn(*v, n, sel, hashes_.data(), !first);
+        first = false;
+      }
+      for (int j = 0; j < n; j++) {
+        const int i = sel ? sel[j] : j;
+        uint32_t gid;
+        X100_ASSIGN_OR_RETURN(gid,
+                              GroupIdFor(*in, i, key_vecs, hashes_[j]));
+        gids_[j] = gid;
+      }
+    }
+
+    // 2) Fold each aggregate's input vector into the accumulators.
+    for (size_t a = 0; a < agg_items_.size(); a++) {
+      Accum& acc = accums_[a];
+      const AggItem& item = agg_items_[a];
+      if (item.input == nullptr) {  // COUNT(*)
+        for (int j = 0; j < n; j++) acc.count[gids_[j]]++;
+        continue;
+      }
+      const Vector* v;
+      X100_ASSIGN_OR_RETURN(v, agg_progs_[a]->Eval(*in));
+      const uint8_t* nulls = v->has_nulls() ? v->nulls() : nullptr;
+      for (int j = 0; j < n; j++) {
+        const int i = sel ? sel[j] : j;
+        if (nulls != nullptr && nulls[i]) continue;
+        const uint32_t g = gids_[j];
+        double dv = 0;
+        int64_t iv = 0;
+        if (acc.in_type == TypeId::kF64) {
+          dv = v->Data<double>()[i];
+        } else if (acc.in_type == TypeId::kI64) {
+          iv = v->Data<int64_t>()[i];
+        } else if (acc.in_type == TypeId::kI16) {
+          iv = v->Data<int16_t>()[i];
+        } else if (acc.in_type == TypeId::kI8 ||
+                   acc.in_type == TypeId::kBool) {
+          iv = v->Data<int8_t>()[i];
+        } else {
+          iv = v->Data<int32_t>()[i];
+        }
+        switch (item.kind) {
+          case AggKind::kCount:
+            break;
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            if (acc.in_type == TypeId::kF64) {
+              acc.f64[g] += dv;
+            } else {
+              acc.i64[g] += iv;
+              acc.f64[g] += static_cast<double>(iv);
+            }
+            break;
+          case AggKind::kMin:
+            if (acc.count[g] == 0 ||
+                (acc.in_type == TypeId::kF64 ? dv < acc.f64[g]
+                                             : iv < acc.i64[g])) {
+              acc.f64[g] = dv;
+              acc.i64[g] = iv;
+            }
+            break;
+          case AggKind::kMax:
+            if (acc.count[g] == 0 ||
+                (acc.in_type == TypeId::kF64 ? dv > acc.f64[g]
+                                             : iv > acc.i64[g])) {
+              acc.f64[g] = dv;
+              acc.i64[g] = iv;
+            }
+            break;
+        }
+        acc.count[g]++;
+      }
+    }
+  }
+  consumed_ = true;
+  return Status::OK();
+}
+
+Status HashAggOp::EmitGroups() { return Status::OK(); }
+
+Result<Batch*> HashAggOp::Next() {
+  if (!consumed_) X100_RETURN_IF_ERROR(Consume());
+  X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+  if (emit_pos_ >= keys_->rows()) return nullptr;
+  out_->Reset();
+  const int n = static_cast<int>(std::min<int64_t>(
+      ctx_->vector_size, keys_->rows() - emit_pos_));
+  const int nkeys = key_schema_.num_fields();
+  for (int j = 0; j < n; j++) {
+    const int64_t g = emit_pos_ + j;
+    for (int k = 0; k < nkeys; k++) {
+      keys_->GatherCell(k, g, out_->column(k), j);
+    }
+    for (size_t a = 0; a < agg_items_.size(); a++) {
+      Vector* dst = out_->column(nkeys + static_cast<int>(a));
+      const Accum& acc = accums_[a];
+      const AggItem& item = agg_items_[a];
+      if (item.kind == AggKind::kCount) {
+        dst->Data<int64_t>()[j] = acc.count[g];
+        continue;
+      }
+      if (acc.count[g] == 0) {
+        dst->SetNull(j);  // SQL: aggregate over no (non-NULL) inputs
+        continue;
+      }
+      switch (item.kind) {
+        case AggKind::kSum:
+          if (dst->type() == TypeId::kF64) {
+            dst->Data<double>()[j] = acc.f64[g];
+          } else {
+            dst->Data<int64_t>()[j] = acc.i64[g];
+          }
+          break;
+        case AggKind::kAvg:
+          dst->Data<double>()[j] =
+              acc.f64[g] / static_cast<double>(acc.count[g]);
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          switch (dst->type()) {
+            case TypeId::kF64: dst->Data<double>()[j] = acc.f64[g]; break;
+            case TypeId::kI64: dst->Data<int64_t>()[j] = acc.i64[g]; break;
+            case TypeId::kI32:
+            case TypeId::kDate:
+              dst->Data<int32_t>()[j] = static_cast<int32_t>(acc.i64[g]);
+              break;
+            case TypeId::kI16:
+              dst->Data<int16_t>()[j] = static_cast<int16_t>(acc.i64[g]);
+              break;
+            case TypeId::kI8:
+            case TypeId::kBool:
+              dst->Data<int8_t>()[j] = static_cast<int8_t>(acc.i64[g]);
+              break;
+            default:
+              return Status::Internal("unexpected min/max type");
+          }
+          break;
+        case AggKind::kCount:
+          break;
+      }
+      if (dst->has_nulls()) dst->MutableNulls()[j] = 0;
+    }
+  }
+  emit_pos_ += n;
+  out_->set_rows(n);
+  return out_.get();
+}
+
+}  // namespace x100

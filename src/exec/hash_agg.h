@@ -1,0 +1,87 @@
+// HashAggOp: vectorized hash group-by. Group ids are resolved for a whole
+// vector, then aggregate update kernels fold the vector into accumulator
+// arrays (the X100 aggr_* primitive pattern).
+#ifndef X100_EXEC_HASH_AGG_H_
+#define X100_EXEC_HASH_AGG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+#include "exec/row_buffer.h"
+#include "exec/select_project.h"
+#include "primitives/agg_kernels.h"
+
+namespace x100 {
+
+struct AggItem {
+  AggKind kind;
+  /// Input expression (ignored for COUNT(*): nullptr).
+  ExprPtr input;
+  std::string name;
+};
+
+class HashAggOp : public Operator {
+ public:
+  /// `group_by`: expressions evaluated as grouping keys (usually column
+  /// refs); their names become output columns, followed by the aggregates.
+  HashAggOp(OperatorPtr child, std::vector<ProjectItem> group_by,
+            std::vector<AggItem> aggs);
+  ~HashAggOp() override { Close(); }
+
+  Status Open(ExecContext* ctx) override;
+  Result<Batch*> Next() override;
+  void Close() override;
+  const Schema& output_schema() const override { return out_schema_; }
+  std::string name() const override { return "HashAgg"; }
+
+  int64_t num_groups() const { return keys_ ? keys_->rows() : 0; }
+
+ private:
+  Status Consume();
+  Result<uint32_t> GroupIdFor(Batch& in, int row,
+                              const std::vector<const Vector*>& key_vecs,
+                              uint64_t hash);
+  Status EmitGroups();
+
+  OperatorPtr child_;
+  std::vector<ProjectItem> group_items_;
+  std::vector<AggItem> agg_items_;
+  std::vector<ExprPtr> bound_keys_;
+  std::vector<ExprPtr> bound_aggs_;  // nullptr for COUNT(*)
+  Status init_status_;
+  Schema out_schema_;
+  Schema key_schema_;
+  ExecContext* ctx_ = nullptr;
+
+  std::vector<std::unique_ptr<ExprProgram>> key_progs_;
+  std::vector<std::unique_ptr<ExprProgram>> agg_progs_;
+
+  // Group store: key rows + open-addressed index.
+  std::unique_ptr<RowBuffer> keys_;
+  std::vector<int64_t> buckets_;
+  std::vector<int64_t> chain_;
+  std::vector<uint64_t> key_hashes_;
+  uint64_t bucket_mask_ = 0;
+
+  // Accumulators (per aggregate): i64/f64 arrays + per-group seen counts.
+  struct Accum {
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<int64_t> count;   // non-null inputs folded
+    TypeId in_type = TypeId::kI64;
+  };
+  std::vector<Accum> accums_;
+  std::vector<uint32_t> gids_;
+  std::vector<uint64_t> hashes_;
+
+  bool consumed_ = false;
+  std::unique_ptr<Batch> out_;
+  int64_t emit_pos_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_HASH_AGG_H_

@@ -1,0 +1,303 @@
+#include "exec/hash_join.h"
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "primitives/hash_kernels.h"
+
+namespace x100 {
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "inner";
+    case JoinType::kLeftOuter: return "leftouter";
+    case JoinType::kSemi: return "semi";
+    case JoinType::kAnti: return "anti";
+    case JoinType::kAntiNullAware: return "anti-nullaware";
+  }
+  return "?";
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
+                       std::vector<int> build_keys,
+                       std::vector<int> probe_keys, JoinType type)
+    : build_child_(std::move(build)),
+      probe_child_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      type_(type) {
+  // Output schema known at construction (parents need it before Open).
+  for (const Field& f : probe_child_->output_schema().fields()) {
+    out_schema_.AddField(f);
+  }
+  if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
+    for (const Field& f : build_child_->output_schema().fields()) {
+      Field nf = f;
+      if (type_ == JoinType::kLeftOuter) nf.nullable = true;
+      out_schema_.AddField(nf);
+    }
+  }
+}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(build_child_->Open(ctx));
+  X100_RETURN_IF_ERROR(probe_child_->Open(ctx));
+  out_ = std::make_unique<Batch>(out_schema_, ctx->vector_size);
+  probe_hashes_.resize(ctx->vector_size);
+  return Status::OK();
+}
+
+void HashJoinOp::Close() {
+  if (build_child_) build_child_->Close();
+  if (probe_child_) probe_child_->Close();
+  build_rows_.reset();
+  buckets_.clear();
+  next_.clear();
+}
+
+uint64_t HashJoinOp::HashBuildRow(int64_t row) const {
+  uint64_t h = 0;
+  bool first = true;
+  for (int c : build_keys_) {
+    const Value v = build_rows_->GetValue(c, row);
+    uint64_t hv;
+    switch (v.type()) {
+      case TypeId::kF64: hv = HashDouble(v.AsF64()); break;
+      case TypeId::kStr: hv = HashBytes(v.AsStr().data(), v.AsStr().size());
+        break;
+      default: hv = HashInt(v.AsI64()); break;
+    }
+    h = first ? hv : HashCombine(h, hv);
+    first = false;
+  }
+  return h;
+}
+
+Status HashJoinOp::BuildSide() {
+  build_rows_ = std::make_unique<RowBuffer>(build_child_->output_schema());
+  while (true) {
+    X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+    Batch* b;
+    X100_ASSIGN_OR_RETURN(b, build_child_->Next());
+    if (b == nullptr) break;
+    build_rows_->AppendBatch(*b);
+  }
+  const int64_t n = build_rows_->rows();
+  buckets_.assign(std::max<uint64_t>(16, NextPow2(n * 2)), -1);
+  bucket_mask_ = buckets_.size() - 1;
+  next_.assign(n, -1);
+  build_hashes_.resize(n);
+  for (int64_t r = 0; r < n; r++) {
+    bool has_null = false;
+    for (int c : build_keys_) has_null |= build_rows_->IsNull(c, r);
+    if (has_null) {
+      build_has_null_key_ = true;  // poison for NOT IN semantics
+      continue;                    // NULL keys never match
+    }
+    const uint64_t h = HashBuildRow(r);
+    build_hashes_[r] = h;
+    const uint64_t slot = h & bucket_mask_;
+    next_[r] = buckets_[slot];
+    buckets_[slot] = r;
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+bool HashJoinOp::ProbeKeyHasNull(const Batch& probe, int i) const {
+  for (int c : probe_keys_) {
+    if (probe.column(c)->IsNull(i)) return true;
+  }
+  return false;
+}
+
+bool HashJoinOp::KeysEqual(const Batch& probe, int probe_i,
+                           int64_t build_row) const {
+  for (size_t k = 0; k < probe_keys_.size(); k++) {
+    const Vector* pv = probe.column(probe_keys_[k]);
+    const int bc = build_keys_[k];
+    switch (pv->type()) {
+      case TypeId::kBool:
+        if (pv->Data<uint8_t>()[probe_i] !=
+            build_rows_->Col<uint8_t>(bc)[build_row]) return false;
+        break;
+      case TypeId::kI8:
+        if (pv->Data<int8_t>()[probe_i] !=
+            build_rows_->Col<int8_t>(bc)[build_row]) return false;
+        break;
+      case TypeId::kI16:
+        if (pv->Data<int16_t>()[probe_i] !=
+            build_rows_->Col<int16_t>(bc)[build_row]) return false;
+        break;
+      case TypeId::kI32:
+      case TypeId::kDate:
+        if (pv->Data<int32_t>()[probe_i] !=
+            build_rows_->Col<int32_t>(bc)[build_row]) return false;
+        break;
+      case TypeId::kI64:
+        if (pv->Data<int64_t>()[probe_i] !=
+            build_rows_->Col<int64_t>(bc)[build_row]) return false;
+        break;
+      case TypeId::kF64:
+        if (pv->Data<double>()[probe_i] !=
+            build_rows_->Col<double>(bc)[build_row]) return false;
+        break;
+      case TypeId::kStr:
+        if (pv->Data<StrRef>()[probe_i] !=
+            build_rows_->Col<StrRef>(bc)[build_row]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void HashJoinOp::EmitPair(const Batch& probe, int probe_i, int64_t build_row,
+                          int out_i) {
+  const int pcols = probe.num_columns();
+  for (int c = 0; c < pcols; c++) {
+    const Vector& src = *probe.column(c);
+    Vector* dst = out_->column(c);
+    dst->CopyFrom(src, probe_i, 1, out_i);
+  }
+  for (int c = 0; c < build_rows_->schema().num_fields(); c++) {
+    build_rows_->GatherCell(c, build_row, out_->column(pcols + c), out_i);
+  }
+}
+
+void HashJoinOp::EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
+                               bool null_build_side) {
+  const int pcols = probe.num_columns();
+  for (int c = 0; c < pcols; c++) {
+    out_->column(c)->CopyFrom(*probe.column(c), probe_i, 1, out_i);
+  }
+  if (null_build_side) {
+    for (int c = pcols; c < out_->num_columns(); c++) {
+      out_->column(c)->SetNull(out_i);
+    }
+  }
+}
+
+Result<Batch*> HashJoinOp::Next() {
+  if (!built_) X100_RETURN_IF_ERROR(BuildSide());
+  if (eos_) return nullptr;
+  out_->Reset();
+  int filled = 0;
+
+  while (filled < ctx_->vector_size) {
+    if (probe_batch_ == nullptr) {
+      X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+      X100_ASSIGN_OR_RETURN(probe_batch_, probe_child_->Next());
+      if (probe_batch_ == nullptr) {
+        eos_ = true;
+        break;
+      }
+      probe_pos_ = 0;
+      chain_pos_ = -1;
+      row_matched_ = false;
+      // Hash all live probe keys for this batch.
+      const int n = probe_batch_->ActiveRows();
+      const sel_t* sel = probe_batch_->sel();
+      bool first = true;
+      for (int c : probe_keys_) {
+        hashk::HashColumn(*probe_batch_->column(c), n, sel,
+                          probe_hashes_.data(), !first);
+        first = false;
+      }
+    }
+
+    const int n = probe_batch_->ActiveRows();
+    const sel_t* sel = probe_batch_->sel();
+    bool batch_done = true;
+    while (probe_pos_ < n) {
+      const int i = sel ? sel[probe_pos_] : probe_pos_;
+      const bool key_null = ProbeKeyHasNull(*probe_batch_, i);
+
+      if (type_ == JoinType::kSemi || type_ == JoinType::kAnti ||
+          type_ == JoinType::kAntiNullAware) {
+        bool matched = false;
+        if (!key_null) {
+          int64_t node = buckets_[probe_hashes_[probe_pos_] & bucket_mask_];
+          while (node >= 0) {
+            if (build_hashes_[node] == probe_hashes_[probe_pos_] &&
+                KeysEqual(*probe_batch_, i, node)) {
+              matched = true;
+              break;
+            }
+            node = next_[node];
+          }
+        }
+        bool emit;
+        switch (type_) {
+          case JoinType::kSemi:
+            emit = matched;
+            break;
+          case JoinType::kAnti:
+            // NOT EXISTS: NULL keys never match, so the row survives.
+            emit = !matched;
+            break;
+          case JoinType::kAntiNullAware:
+          default:
+            // NOT IN: any NULL in the build side or the probe key makes
+            // the predicate non-TRUE -> drop.
+            emit = !matched && !key_null && !build_has_null_key_;
+            break;
+        }
+        if (emit) {
+          EmitProbeOnly(*probe_batch_, i, filled, false);
+          filled++;
+        }
+        probe_pos_++;
+        if (filled >= ctx_->vector_size) {
+          batch_done = probe_pos_ >= n;
+          break;
+        }
+        continue;
+      }
+
+      // Inner / left outer: walk (or resume) the chain.
+      if (chain_pos_ < 0 && !row_matched_) {
+        chain_pos_ = key_null
+                         ? -1
+                         : buckets_[probe_hashes_[probe_pos_] & bucket_mask_];
+      }
+      bool overflowed = false;
+      while (chain_pos_ >= 0) {
+        const int64_t node = chain_pos_;
+        chain_pos_ = next_[node];
+        if (build_hashes_[node] == probe_hashes_[probe_pos_] &&
+            KeysEqual(*probe_batch_, i, node)) {
+          EmitPair(*probe_batch_, i, node, filled);
+          filled++;
+          row_matched_ = true;
+          if (filled >= ctx_->vector_size) {
+            overflowed = true;
+            break;
+          }
+        }
+      }
+      if (overflowed) {
+        batch_done = false;
+        break;
+      }
+      if (type_ == JoinType::kLeftOuter && !row_matched_) {
+        EmitProbeOnly(*probe_batch_, i, filled, true);
+        filled++;
+      }
+      probe_pos_++;
+      chain_pos_ = -1;
+      row_matched_ = false;
+      if (filled >= ctx_->vector_size) {
+        batch_done = probe_pos_ >= n;
+        break;
+      }
+    }
+    if (probe_pos_ >= n && batch_done) probe_batch_ = nullptr;
+    if (filled >= ctx_->vector_size) break;
+  }
+
+  if (filled == 0) return eos_ ? Result<Batch*>(nullptr) : Next();
+  out_->set_rows(filled);
+  return out_.get();
+}
+
+}  // namespace x100

@@ -1,0 +1,68 @@
+// Vectorized operator interface (pull-based, batch-at-a-time).
+//
+// Operators return pointers to internally-owned batches; a batch stays
+// valid until the operator's next Next()/Close(). Every operator polls the
+// cancellation token once per vector, which is what makes "proper query
+// cancellation" (paper §Query cancellation) cheap and prompt.
+#ifndef X100_EXEC_OPERATOR_H_
+#define X100_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/config.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "vector/batch.h"
+
+namespace x100 {
+
+class EventLog;  // monitor/event_log.h
+
+/// Per-query execution context shared by all operators of a plan.
+struct ExecContext {
+  int vector_size = kDefaultVectorSize;
+  CancellationToken* cancel = nullptr;
+  EventLog* events = nullptr;
+  /// Running total of tuples produced by scans (load monitoring).
+  std::atomic<int64_t> tuples_scanned{0};
+
+  Status CheckCancel() const {
+    return cancel ? cancel->Check() : Status::OK();
+  }
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares for execution (allocates batches, opens children).
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Produces the next batch; nullptr at end-of-stream. The batch is owned
+  /// by the operator and valid until the next call.
+  virtual Result<Batch*> Next() = 0;
+
+  /// Releases resources; idempotent, called on success, error and
+  /// cancellation paths alike (RAII backstop in destructors).
+  virtual void Close() = 0;
+
+  virtual const Schema& output_schema() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains `op` into a materialized result (rows of Values). Used by tests,
+/// examples and the session layer.
+struct QueryResult {
+  Schema schema;
+  std::vector<std::vector<Value>> rows;
+  int64_t batches = 0;
+};
+Result<QueryResult> CollectRows(Operator* op, ExecContext* ctx);
+
+}  // namespace x100
+
+#endif  // X100_EXEC_OPERATOR_H_

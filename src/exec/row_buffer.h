@@ -1,0 +1,153 @@
+// RowBuffer: columnar materialization used by pipeline breakers (hash join
+// build side, aggregation key store, sort).
+#ifndef X100_EXEC_ROW_BUFFER_H_
+#define X100_EXEC_ROW_BUFFER_H_
+
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "vector/batch.h"
+#include "vector/schema.h"
+#include "vector/string_heap.h"
+
+namespace x100 {
+
+class RowBuffer {
+ public:
+  explicit RowBuffer(Schema schema) : schema_(std::move(schema)) {
+    cols_.resize(schema_.num_fields());
+  }
+
+  const Schema& schema() const { return schema_; }
+  int64_t rows() const { return rows_; }
+
+  /// Appends all live rows of `b` (columns must match the schema).
+  void AppendBatch(const Batch& b) {
+    const int n = b.ActiveRows();
+    const sel_t* sel = b.sel();
+    for (int c = 0; c < schema_.num_fields(); c++) {
+      AppendColumn(c, *b.column(c), n, sel);
+    }
+    rows_ += n;
+  }
+
+  /// Appends a single row given per-column source vectors and an index.
+  void AppendRowFrom(const Batch& b, int i) {
+    for (int c = 0; c < schema_.num_fields(); c++) {
+      AppendCell(c, *b.column(c), i);
+    }
+    rows_++;
+  }
+
+  /// Appends row `i` gathered from loose column vectors (one per field).
+  void AppendRowFromVectors(const std::vector<const Vector*>& cols, int i) {
+    for (int c = 0; c < schema_.num_fields(); c++) {
+      AppendCell(c, *cols[c], i);
+    }
+    rows_++;
+  }
+
+  template <typename T>
+  const T* Col(int c) const {
+    return reinterpret_cast<const T*>(cols_[c].fixed.data());
+  }
+  const uint8_t* Nulls(int c) const {
+    return cols_[c].nulls.empty() ? nullptr : cols_[c].nulls.data();
+  }
+  bool IsNull(int c, int64_t row) const {
+    return !cols_[c].nulls.empty() && cols_[c].nulls[row] != 0;
+  }
+
+  /// Copies row `row`, column `c` into position `out_i` of `out`.
+  void GatherCell(int c, int64_t row, Vector* out, int out_i) const {
+    const Column& col = cols_[c];
+    const int w = TypeWidth(schema_.field(c).type);
+    if (IsNull(c, row)) {
+      out->SetNull(out_i);
+      return;
+    }
+    if (schema_.field(c).type == TypeId::kStr) {
+      const StrRef* refs = reinterpret_cast<const StrRef*>(col.fixed.data());
+      out->Data<StrRef>()[out_i] = out->heap()->Add(refs[row].view());
+    } else {
+      std::memcpy(static_cast<uint8_t*>(out->RawData()) +
+                      static_cast<size_t>(out_i) * w,
+                  col.fixed.data() + static_cast<size_t>(row) * w, w);
+    }
+    if (out->has_nulls()) out->MutableNulls()[out_i] = 0;
+  }
+
+  /// Value view of one cell (sort comparators, result collection).
+  Value GetValue(int c, int64_t row) const {
+    if (IsNull(c, row)) return Value::Null(schema_.field(c).type);
+    switch (schema_.field(c).type) {
+      case TypeId::kBool: return Value::Bool(Col<uint8_t>(c)[row]);
+      case TypeId::kI8: return Value::I8(Col<int8_t>(c)[row]);
+      case TypeId::kI16: return Value::I16(Col<int16_t>(c)[row]);
+      case TypeId::kI32: return Value::I32(Col<int32_t>(c)[row]);
+      case TypeId::kDate: return Value::Date(Col<int32_t>(c)[row]);
+      case TypeId::kI64: return Value::I64(Col<int64_t>(c)[row]);
+      case TypeId::kF64: return Value::F64(Col<double>(c)[row]);
+      case TypeId::kStr: return Value::Str(Col<StrRef>(c)[row].ToString());
+    }
+    return Value::Null(schema_.field(c).type);
+  }
+
+  size_t MemoryBytes() const {
+    size_t b = 0;
+    for (const Column& c : cols_) {
+      b += c.fixed.capacity() + c.nulls.capacity() + c.heap.bytes_allocated();
+    }
+    return b;
+  }
+
+ private:
+  struct Column {
+    std::vector<uint8_t> fixed;  // typed cells (StrRef for strings)
+    std::vector<uint8_t> nulls;  // empty until first null
+    StringHeap heap;
+  };
+
+  void EnsureNulls(int c) {
+    // Size from the cells already present in *this column* — during a
+    // batch append rows_ lags behind the per-column cell count.
+    const size_t cells =
+        cols_[c].fixed.size() / TypeWidth(schema_.field(c).type);
+    if (cols_[c].nulls.empty()) cols_[c].nulls.resize(cells, 0);
+  }
+
+  void AppendCell(int c, const Vector& v, int i) {
+    Column& col = cols_[c];
+    const int w = TypeWidth(v.type());
+    if (v.IsNull(i)) {
+      EnsureNulls(c);
+      col.nulls.push_back(1);
+      col.fixed.insert(col.fixed.end(), w, 0);
+      return;
+    }
+    if (!col.nulls.empty()) col.nulls.push_back(0);
+    if (v.type() == TypeId::kStr) {
+      const StrRef copied = col.heap.Add(v.Data<StrRef>()[i].view());
+      const auto* p = reinterpret_cast<const uint8_t*>(&copied);
+      col.fixed.insert(col.fixed.end(), p, p + sizeof(StrRef));
+    } else {
+      const uint8_t* p = static_cast<const uint8_t*>(v.RawData()) +
+                         static_cast<size_t>(i) * w;
+      col.fixed.insert(col.fixed.end(), p, p + w);
+    }
+  }
+
+  void AppendColumn(int c, const Vector& v, int n, const sel_t* sel) {
+    for (int j = 0; j < n; j++) AppendCell(c, v, sel ? sel[j] : j);
+  }
+
+  Schema schema_;
+  std::vector<Column> cols_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_ROW_BUFFER_H_

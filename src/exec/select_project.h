@@ -1,0 +1,69 @@
+// SelectOp (filter via selection vectors) and ProjectOp (expression
+// evaluation) — the thin vectorized pipeline operators.
+#ifndef X100_EXEC_SELECT_PROJECT_H_
+#define X100_EXEC_SELECT_PROJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "exec/operator.h"
+
+namespace x100 {
+
+/// Filters by a boolean predicate. Qualifying rows are *selected*, not
+/// copied: the operator refines the child batch's selection vector in
+/// place (the X100 idiom measured by E1/E2). Rows whose predicate is NULL
+/// do not qualify (SQL WHERE semantics).
+class SelectOp : public Operator {
+ public:
+  SelectOp(OperatorPtr child, ExprPtr predicate);
+  ~SelectOp() override { Close(); }
+
+  Status Open(ExecContext* ctx) override;
+  Result<Batch*> Next() override;
+  void Close() override { if (child_) child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override { return "Select"; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;  // unbound
+  std::unique_ptr<ExprProgram> program_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// One output column of a projection.
+struct ProjectItem {
+  std::string name;
+  ExprPtr expr;  // unbound against the child's schema
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ProjectItem> items);
+  ~ProjectOp() override { Close(); }
+
+  Status Open(ExecContext* ctx) override;
+  Result<Batch*> Next() override;
+  void Close() override { if (child_) child_->Close(); }
+  const Schema& output_schema() const override { return out_schema_; }
+  std::string name() const override { return "Project"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ProjectItem> items_;
+  std::vector<ExprPtr> bound_;
+  Status init_status_;
+  Schema out_schema_;
+  std::vector<std::unique_ptr<ExprProgram>> programs_;
+  std::unique_ptr<Batch> out_;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_SELECT_PROJECT_H_

@@ -1,0 +1,109 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+namespace x100 {
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys, int64_t limit)
+    : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(child_->Open(ctx));
+  out_ = std::make_unique<Batch>(child_->output_schema(), ctx->vector_size);
+  return Status::OK();
+}
+
+namespace {
+
+/// -1 / 0 / +1 three-way compare of two cells; NULLs compare greater
+/// (NULLS LAST ascending).
+int CompareCell(const RowBuffer& rows, int col, int64_t a, int64_t b) {
+  const bool an = rows.IsNull(col, a), bn = rows.IsNull(col, b);
+  if (an || bn) return an == bn ? 0 : (an ? 1 : -1);
+  switch (rows.schema().field(col).type) {
+    case TypeId::kBool: {
+      const auto x = rows.Col<uint8_t>(col)[a], y = rows.Col<uint8_t>(col)[b];
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case TypeId::kI8: {
+      const auto x = rows.Col<int8_t>(col)[a], y = rows.Col<int8_t>(col)[b];
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case TypeId::kI16: {
+      const auto x = rows.Col<int16_t>(col)[a], y = rows.Col<int16_t>(col)[b];
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case TypeId::kI32:
+    case TypeId::kDate: {
+      const auto x = rows.Col<int32_t>(col)[a], y = rows.Col<int32_t>(col)[b];
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case TypeId::kI64: {
+      const auto x = rows.Col<int64_t>(col)[a], y = rows.Col<int64_t>(col)[b];
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case TypeId::kF64: {
+      const auto x = rows.Col<double>(col)[a], y = rows.Col<double>(col)[b];
+      return x < y ? -1 : x > y ? 1 : 0;
+    }
+    case TypeId::kStr: {
+      const StrRef& x = rows.Col<StrRef>(col)[a];
+      const StrRef& y = rows.Col<StrRef>(col)[b];
+      return x < y ? -1 : y < x ? 1 : 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Status SortOp::Materialize() {
+  rows_ = std::make_unique<RowBuffer>(child_->output_schema());
+  while (true) {
+    X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+    Batch* b;
+    X100_ASSIGN_OR_RETURN(b, child_->Next());
+    if (b == nullptr) break;
+    rows_->AppendBatch(*b);
+  }
+  order_.resize(rows_->rows());
+  for (int64_t i = 0; i < rows_->rows(); i++) order_[i] = i;
+  auto cmp = [&](int64_t a, int64_t b) {
+    for (const SortKey& k : keys_) {
+      int c = CompareCell(*rows_, k.col, a, b);
+      if (!k.ascending) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return a < b;  // stable tie-break
+  };
+  if (limit_ >= 0 && limit_ < static_cast<int64_t>(order_.size())) {
+    std::partial_sort(order_.begin(), order_.begin() + limit_, order_.end(),
+                      cmp);
+    order_.resize(limit_);
+  } else {
+    std::sort(order_.begin(), order_.end(), cmp);
+  }
+  materialized_ = true;
+  return Status::OK();
+}
+
+Result<Batch*> SortOp::Next() {
+  if (!materialized_) X100_RETURN_IF_ERROR(Materialize());
+  X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+  if (emit_pos_ >= static_cast<int64_t>(order_.size())) return nullptr;
+  out_->Reset();
+  const int n = static_cast<int>(std::min<int64_t>(
+      ctx_->vector_size, static_cast<int64_t>(order_.size()) - emit_pos_));
+  for (int j = 0; j < n; j++) {
+    const int64_t r = order_[emit_pos_ + j];
+    for (int c = 0; c < out_->num_columns(); c++) {
+      rows_->GatherCell(c, r, out_->column(c), j);
+    }
+  }
+  emit_pos_ += n;
+  out_->set_rows(n);
+  return out_.get();
+}
+
+}  // namespace x100

@@ -1,0 +1,51 @@
+// SortOp / TopNOp: full materializing sort and bounded top-N.
+// NULLs order last ascending, first descending (documented engine rule).
+#ifndef X100_EXEC_SORT_H_
+#define X100_EXEC_SORT_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/row_buffer.h"
+
+namespace x100 {
+
+struct SortKey {
+  int col;
+  bool ascending = true;
+};
+
+class SortOp : public Operator {
+ public:
+  /// limit < 0: full sort; otherwise top-`limit` rows.
+  SortOp(OperatorPtr child, std::vector<SortKey> keys, int64_t limit = -1);
+  ~SortOp() override { Close(); }
+
+  Status Open(ExecContext* ctx) override;
+  Result<Batch*> Next() override;
+  void Close() override { if (child_) child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string name() const override {
+    return limit_ < 0 ? "Sort" : "TopN";
+  }
+
+ private:
+  Status Materialize();
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  ExecContext* ctx_ = nullptr;
+  std::unique_ptr<RowBuffer> rows_;
+  std::vector<int64_t> order_;
+  int64_t emit_pos_ = 0;
+  bool materialized_ = false;
+  std::unique_ptr<Batch> out_;
+};
+
+}  // namespace x100
+
+#endif  // X100_EXEC_SORT_H_

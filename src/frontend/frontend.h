@@ -1,0 +1,90 @@
+// The SQL frontend and the cross compiler (Figure 1).
+//
+// The paper's architecture keeps the Ingres SQL parser / rewriter /
+// optimizer, and adds "a fully new component … the cross compiler that
+// translates optimized relational plans into algebraic X100 plans".
+//
+// This module substitutes a compact SQL parser producing an "Ingres-like"
+// relational plan (RelNode — RELATION / RESTRICT / PROJECT / AGGREGATE /
+// SORT, Ingres vocabulary), and implements the cross compiler from that
+// plan into the X100 algebra. The boundary — foreign relational plan in,
+// X100 algebra out — is the architectural property being reproduced
+// (experiment E11).
+//
+// Supported SQL subset:
+//   SELECT item [, item…]
+//   FROM table
+//   [WHERE predicate]
+//   [GROUP BY column [, column…]]
+//   [ORDER BY column [ASC|DESC] [, …]]
+//   [LIMIT n]
+// with arithmetic, comparisons, AND/OR/NOT, BETWEEN, LIKE, IN (value
+// list), function calls, DATE 'yyyy-mm-dd' literals, and the aggregates
+// COUNT(*) / COUNT / SUM / AVG / MIN / MAX.
+#ifndef X100_FRONTEND_FRONTEND_H_
+#define X100_FRONTEND_FRONTEND_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/algebra.h"
+
+namespace x100 {
+
+/// One node of the Ingres-like relational plan.
+struct RelNode;
+using RelPtr = std::shared_ptr<RelNode>;
+
+struct RelNode {
+  enum class Kind : uint8_t {
+    kRelation,   // base table access
+    kRestrict,   // qualification (Ingres term for filter)
+    kProject,    // target list
+    kAggregate,  // by-list + aggregate functions
+    kSort,       // sort keys + optional limit ("first n")
+  };
+  Kind kind;
+  std::vector<RelPtr> children;
+
+  std::string relation;             // kRelation
+  ExprPtr qualification;            // kRestrict
+  std::vector<ProjectItem> targets; // kProject
+  std::vector<ProjectItem> by_list; // kAggregate
+  std::vector<AggItem> agg_funcs;   // kAggregate
+  struct SortKey {
+    std::string column;
+    bool ascending = true;
+  };
+  std::vector<SortKey> sort_keys;   // kSort
+  int64_t limit = -1;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// Parses the SQL subset into a relational plan.
+Result<RelPtr> ParseSql(const std::string& sql);
+
+/// The cross compiler: Ingres-like relational plan -> X100 algebra,
+/// including scan column pruning (only referenced columns are scanned).
+class CrossCompiler {
+ public:
+  /// `schema_of` resolves a table's schema for column pruning; pass the
+  /// Database-backed resolver from engine/session.h.
+  using SchemaResolver = std::function<Result<Schema>(const std::string&)>;
+
+  explicit CrossCompiler(SchemaResolver resolver)
+      : resolver_(std::move(resolver)) {}
+
+  Result<AlgebraPtr> Compile(const RelPtr& plan);
+
+ private:
+  Result<AlgebraPtr> CompileNode(const RelPtr& node);
+
+  SchemaResolver resolver_;
+};
+
+}  // namespace x100
+
+#endif  // X100_FRONTEND_FRONTEND_H_

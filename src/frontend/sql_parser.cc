@@ -1,0 +1,542 @@
+// Recursive-descent parser for the SQL subset (see frontend.h).
+#include <algorithm>
+#include <cctype>
+
+#include "frontend/frontend.h"
+
+namespace x100 {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind;
+  std::string text;  // idents lowercased; symbols verbatim
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : s_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < s_.size()) {
+      const char c = s_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        i++;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[j])) ||
+                s_[j] == '_')) {
+          j++;
+        }
+        std::string word = s_.substr(i, j - i);
+        std::transform(word.begin(), word.end(), word.begin(), ::tolower);
+        out.push_back({Token::Kind::kIdent, std::move(word)});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[i + 1])))) {
+        size_t j = i;
+        bool dot = false;
+        while (j < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[j])) ||
+                (s_[j] == '.' && !dot))) {
+          dot |= s_[j] == '.';
+          j++;
+        }
+        out.push_back({Token::Kind::kNumber, s_.substr(i, j - i)});
+        i = j;
+        continue;
+      }
+      if (c == '\'') {
+        size_t j = i + 1;
+        std::string lit;
+        while (j < s_.size() && s_[j] != '\'') lit += s_[j++];
+        if (j >= s_.size()) return Status::InvalidArgument("unclosed string");
+        out.push_back({Token::Kind::kString, std::move(lit)});
+        i = j + 1;
+        continue;
+      }
+      // Multi-char operators.
+      if (i + 1 < s_.size()) {
+        const std::string two = s_.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+          out.push_back({Token::Kind::kSymbol, two == "!=" ? "<>" : two});
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "+-*/%(),=<>.";
+      if (kSingles.find(c) != std::string::npos) {
+        out.push_back({Token::Kind::kSymbol, std::string(1, c)});
+        i++;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' in SQL");
+    }
+    out.push_back({Token::Kind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  const std::string& s_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<RelPtr> ParseSelect();
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  Token Take() { return toks_[pos_++]; }
+  bool AtIdent(const char* kw) const {
+    return Peek().kind == Token::Kind::kIdent && Peek().text == kw;
+  }
+  bool TakeIdent(const char* kw) {
+    if (!AtIdent(kw)) return false;
+    pos_++;
+    return true;
+  }
+  bool AtSymbol(const char* sym) const {
+    return Peek().kind == Token::Kind::kSymbol && Peek().text == sym;
+  }
+  bool TakeSymbol(const char* sym) {
+    if (!AtSymbol(sym)) return false;
+    pos_++;
+    return true;
+  }
+  Status Expect(const char* sym) {
+    if (!TakeSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+Result<ExprPtr> Parser::ParseOr() {
+  ExprPtr left;
+  X100_ASSIGN_OR_RETURN(left, ParseAnd());
+  while (TakeIdent("or")) {
+    ExprPtr right;
+    X100_ASSIGN_OR_RETURN(right, ParseAnd());
+    left = Or(left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  ExprPtr left;
+  X100_ASSIGN_OR_RETURN(left, ParseNot());
+  while (TakeIdent("and")) {
+    ExprPtr right;
+    X100_ASSIGN_OR_RETURN(right, ParseNot());
+    left = And(left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (TakeIdent("not")) {
+    ExprPtr inner;
+    X100_ASSIGN_OR_RETURN(inner, ParseNot());
+    return Not(inner);
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  ExprPtr left;
+  X100_ASSIGN_OR_RETURN(left, ParseAdditive());
+  // BETWEEN / LIKE / IN / IS NULL
+  bool negate = false;
+  size_t save = pos_;
+  if (TakeIdent("not")) {
+    if (AtIdent("between") || AtIdent("like") || AtIdent("in")) {
+      negate = true;
+    } else {
+      pos_ = save;
+      return left;
+    }
+  }
+  if (TakeIdent("between")) {
+    ExprPtr lo, hi;
+    X100_ASSIGN_OR_RETURN(lo, ParseAdditive());
+    if (!TakeIdent("and")) {
+      return Status::InvalidArgument("BETWEEN requires AND");
+    }
+    X100_ASSIGN_OR_RETURN(hi, ParseAdditive());
+    ExprPtr b = Call("between", {left, lo, hi});
+    return negate ? Not(b) : b;
+  }
+  if (TakeIdent("like")) {
+    ExprPtr pat;
+    X100_ASSIGN_OR_RETURN(pat, ParsePrimary());
+    ExprPtr l = Call("like", {left, pat});
+    return negate ? Not(l) : l;
+  }
+  if (TakeIdent("in")) {
+    X100_RETURN_IF_ERROR(Expect("("));
+    // Value list -> OR chain of equalities (a conventional frontend
+    // expansion; NOT IN against subqueries is the anti-join path built via
+    // the algebra API).
+    ExprPtr chain;
+    while (true) {
+      ExprPtr v;
+      X100_ASSIGN_OR_RETURN(v, ParseAdditive());
+      ExprPtr eq = Eq(CloneExpr(left), v);
+      chain = chain == nullptr ? eq : Or(chain, eq);
+      if (!TakeSymbol(",")) break;
+    }
+    X100_RETURN_IF_ERROR(Expect(")"));
+    return negate ? Not(chain) : chain;
+  }
+  if (TakeIdent("is")) {
+    const bool is_not = TakeIdent("not");
+    if (!TakeIdent("null")) {
+      return Status::InvalidArgument("expected NULL after IS");
+    }
+    return Call(is_not ? "isnotnull" : "isnull", {left});
+  }
+  static const struct {
+    const char* sym;
+    const char* fn;
+  } kCmps[] = {{"<=", "le"}, {">=", "ge"}, {"<>", "ne"},
+               {"=", "eq"},  {"<", "lt"},  {">", "gt"}};
+  for (const auto& c : kCmps) {
+    if (TakeSymbol(c.sym)) {
+      ExprPtr right;
+      X100_ASSIGN_OR_RETURN(right, ParseAdditive());
+      return Call(c.fn, {left, right});
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  ExprPtr left;
+  X100_ASSIGN_OR_RETURN(left, ParseMultiplicative());
+  while (AtSymbol("+") || AtSymbol("-")) {
+    const bool add = Take().text == "+";
+    ExprPtr right;
+    X100_ASSIGN_OR_RETURN(right, ParseMultiplicative());
+    left = add ? Add(left, right) : Sub(left, right);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  ExprPtr left;
+  X100_ASSIGN_OR_RETURN(left, ParseUnary());
+  while (AtSymbol("*") || AtSymbol("/") || AtSymbol("%")) {
+    const std::string op = Take().text;
+    ExprPtr right;
+    X100_ASSIGN_OR_RETURN(right, ParseUnary());
+    left = Call(op == "*" ? "mul" : op == "/" ? "div" : "mod",
+                {left, right});
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (TakeSymbol("-")) {
+    ExprPtr inner;
+    X100_ASSIGN_OR_RETURN(inner, ParseUnary());
+    if (inner->kind == Expr::Kind::kConst) {
+      const Value& v = inner->constant;
+      return Lit(v.type() == TypeId::kF64 ? Value::F64(-v.AsF64())
+                                          : Value::I64(-v.AsI64()));
+    }
+    return Call("neg", {inner});
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (TakeSymbol("(")) {
+    ExprPtr e;
+    X100_ASSIGN_OR_RETURN(e, ParseExpr());
+    X100_RETURN_IF_ERROR(Expect(")"));
+    return e;
+  }
+  const Token t = Take();
+  if (t.kind == Token::Kind::kNumber) {
+    if (t.text.find('.') != std::string::npos) {
+      return Lit(Value::F64(std::stod(t.text)));
+    }
+    return Lit(Value::I64(std::stoll(t.text)));
+  }
+  if (t.kind == Token::Kind::kString) return Lit(Value::Str(t.text));
+  if (t.kind == Token::Kind::kIdent) {
+    if (t.text == "date" && Peek().kind == Token::Kind::kString) {
+      int32_t d;
+      if (!ParseDate(Take().text, &d)) {
+        return Status::InvalidArgument("bad DATE literal");
+      }
+      return Lit(Value::Date(d));
+    }
+    if (t.text == "true") return Lit(Value::Bool(true));
+    if (t.text == "false") return Lit(Value::Bool(false));
+    if (TakeSymbol("(")) {  // function call
+      std::vector<ExprPtr> args;
+      if (!AtSymbol(")")) {
+        while (true) {
+          ExprPtr a;
+          if (AtSymbol("*")) {  // COUNT(*)
+            Take();
+            a = Col("*");
+          } else {
+            X100_ASSIGN_OR_RETURN(a, ParseExpr());
+          }
+          args.push_back(a);
+          if (!TakeSymbol(",")) break;
+        }
+      }
+      X100_RETURN_IF_ERROR(Expect(")"));
+      return Call(t.text, std::move(args));
+    }
+    return Col(t.text);
+  }
+  return Status::InvalidArgument("unexpected token '" + t.text + "'");
+}
+
+bool IsAggName(const std::string& fn) {
+  return fn == "sum" || fn == "count" || fn == "avg" || fn == "min" ||
+         fn == "max";
+}
+
+AggKind AggKindOf(const std::string& fn) {
+  if (fn == "sum") return AggKind::kSum;
+  if (fn == "count") return AggKind::kCount;
+  if (fn == "avg") return AggKind::kAvg;
+  if (fn == "min") return AggKind::kMin;
+  return AggKind::kMax;
+}
+
+Result<RelPtr> Parser::ParseSelect() {
+  if (!TakeIdent("select")) {
+    return Status::InvalidArgument("expected SELECT");
+  }
+  struct Item {
+    ExprPtr expr;
+    std::string name;
+  };
+  std::vector<Item> items;
+  int auto_name = 0;
+  while (true) {
+    ExprPtr e;
+    if (AtSymbol("*")) {
+      Take();
+      e = Col("*");
+    } else {
+      X100_ASSIGN_OR_RETURN(e, ParseExpr());
+    }
+    std::string name;
+    if (TakeIdent("as")) {
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("expected alias after AS");
+      }
+      name = Take().text;
+    } else if (e->kind == Expr::Kind::kColRef) {
+      name = e->name;
+    } else {
+      name = "col" + std::to_string(auto_name++);
+    }
+    items.push_back({e, name});
+    if (!TakeSymbol(",")) break;
+  }
+  if (!TakeIdent("from")) {
+    return Status::InvalidArgument("expected FROM");
+  }
+  if (Peek().kind != Token::Kind::kIdent) {
+    return Status::InvalidArgument("expected table name");
+  }
+  const std::string table = Take().text;
+
+  auto relation = std::make_shared<RelNode>();
+  relation->kind = RelNode::Kind::kRelation;
+  relation->relation = table;
+  RelPtr plan = relation;
+
+  if (TakeIdent("where")) {
+    ExprPtr pred;
+    X100_ASSIGN_OR_RETURN(pred, ParseExpr());
+    auto restrict = std::make_shared<RelNode>();
+    restrict->kind = RelNode::Kind::kRestrict;
+    restrict->qualification = pred;
+    restrict->children = {plan};
+    plan = restrict;
+  }
+
+  std::vector<std::string> group_cols;
+  if (TakeIdent("group")) {
+    if (!TakeIdent("by")) return Status::InvalidArgument("expected BY");
+    while (true) {
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("expected GROUP BY column");
+      }
+      group_cols.push_back(Take().text);
+      if (!TakeSymbol(",")) break;
+    }
+  }
+
+  // Split the target list into aggregates and plain items.
+  std::vector<AggItem> aggs;
+  std::vector<ProjectItem> targets;
+  bool has_agg = false;
+  for (const Item& item : items) {
+    if (item.expr->kind == Expr::Kind::kCall && IsAggName(item.expr->fn)) {
+      has_agg = true;
+      AggItem a;
+      a.kind = AggKindOf(item.expr->fn);
+      a.name = item.name;
+      if (item.expr->args.empty() ||
+          (item.expr->args.size() == 1 &&
+           item.expr->args[0]->kind == Expr::Kind::kColRef &&
+           item.expr->args[0]->name == "*")) {
+        a.input = nullptr;  // COUNT(*)
+      } else {
+        a.input = item.expr->args[0];
+      }
+      aggs.push_back(std::move(a));
+    } else {
+      targets.push_back({item.name, item.expr});
+    }
+  }
+
+  if (has_agg || !group_cols.empty()) {
+    auto aggregate = std::make_shared<RelNode>();
+    aggregate->kind = RelNode::Kind::kAggregate;
+    aggregate->children = {plan};
+    for (const std::string& g : group_cols) {
+      aggregate->by_list.push_back({g, Col(g)});
+    }
+    aggregate->agg_funcs = std::move(aggs);
+    plan = aggregate;
+    // Non-aggregate targets must be grouping columns; keep the final
+    // projection only if it reorders/renames or computes on top.
+    bool trivial = targets.size() == group_cols.size();
+    for (size_t i = 0; trivial && i < targets.size(); i++) {
+      trivial = targets[i].expr->kind == Expr::Kind::kColRef &&
+                targets[i].expr->name == group_cols[i] &&
+                targets[i].name == group_cols[i];
+    }
+    (void)trivial;  // The aggregate already emits keys + aggregates.
+  } else if (!(targets.size() == 1 &&
+               targets[0].expr->kind == Expr::Kind::kColRef &&
+               targets[0].expr->name == "*")) {
+    auto project = std::make_shared<RelNode>();
+    project->kind = RelNode::Kind::kProject;
+    project->children = {plan};
+    project->targets = std::move(targets);
+    plan = project;
+  }
+
+  if (TakeIdent("order")) {
+    if (!TakeIdent("by")) return Status::InvalidArgument("expected BY");
+    auto sort = std::make_shared<RelNode>();
+    sort->kind = RelNode::Kind::kSort;
+    sort->children = {plan};
+    while (true) {
+      if (Peek().kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("expected ORDER BY column");
+      }
+      RelNode::SortKey key;
+      key.column = Take().text;
+      if (TakeIdent("desc")) {
+        key.ascending = false;
+      } else {
+        TakeIdent("asc");
+      }
+      sort->sort_keys.push_back(std::move(key));
+      if (!TakeSymbol(",")) break;
+    }
+    plan = sort;
+  }
+  if (TakeIdent("limit")) {
+    if (Peek().kind != Token::Kind::kNumber) {
+      return Status::InvalidArgument("expected LIMIT count");
+    }
+    const int64_t n = std::stoll(Take().text);
+    if (plan->kind == RelNode::Kind::kSort) {
+      plan->limit = n;
+    } else {
+      auto sort = std::make_shared<RelNode>();
+      sort->kind = RelNode::Kind::kSort;
+      sort->children = {plan};
+      sort->limit = n;
+      plan = sort;
+    }
+  }
+  if (Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing tokens near '" + Peek().text +
+                                   "'");
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<RelPtr> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  std::vector<Token> tokens;
+  X100_ASSIGN_OR_RETURN(tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+std::string RelNode::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string s = pad;
+  switch (kind) {
+    case Kind::kRelation: s += "RELATION " + relation; break;
+    case Kind::kRestrict:
+      s += "RESTRICT " + qualification->ToString();
+      break;
+    case Kind::kProject: {
+      s += "PROJECT ";
+      for (size_t i = 0; i < targets.size(); i++) {
+        if (i) s += ", ";
+        s += targets[i].name;
+      }
+      break;
+    }
+    case Kind::kAggregate: {
+      s += "AGGREGATE by=[";
+      for (size_t i = 0; i < by_list.size(); i++) {
+        if (i) s += ", ";
+        s += by_list[i].name;
+      }
+      s += "]";
+      break;
+    }
+    case Kind::kSort: s += limit >= 0 ? "SORT/FIRST" : "SORT"; break;
+  }
+  for (const RelPtr& c : children) s += "\n" + c->ToString(indent + 1);
+  return s;
+}
+
+}  // namespace x100

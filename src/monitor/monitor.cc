@@ -1,0 +1,15 @@
+#include "monitor/monitor.h"
+
+namespace x100 {
+
+const char* QueryStateName(QueryState s) {
+  switch (s) {
+    case QueryState::kRunning: return "RUNNING";
+    case QueryState::kFinished: return "FINISHED";
+    case QueryState::kFailed: return "FAILED";
+    case QueryState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+}  // namespace x100

@@ -1,0 +1,162 @@
+// System monitoring — paper §"System monitoring": "we had to extend it
+// significantly in areas like event logging, load and resource monitoring,
+// query listing etc."
+//
+//  * EventLog: bounded ring of timestamped events.
+//  * QueryRegistry: live query listing (id, text, state, tuples, runtime)
+//    — the production replacement for "attach a debugger to see what the
+//    server is doing".
+//  * Counters: named monotonic counters (primitive calls, IO, commits…).
+#ifndef X100_MONITOR_MONITOR_H_
+#define X100_MONITOR_MONITOR_H_
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace x100 {
+
+enum class EventLevel : uint8_t { kDebug, kInfo, kWarn, kError };
+
+struct Event {
+  std::chrono::system_clock::time_point ts;
+  EventLevel level;
+  std::string message;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Log(EventLevel level, std::string msg) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(
+        Event{std::chrono::system_clock::now(), level, std::move(msg)});
+    if (events_.size() > capacity_) events_.pop_front();
+    total_++;
+  }
+  void Info(std::string msg) { Log(EventLevel::kInfo, std::move(msg)); }
+  void Warn(std::string msg) { Log(EventLevel::kWarn, std::move(msg)); }
+  void Error(std::string msg) { Log(EventLevel::kError, std::move(msg)); }
+
+  std::vector<Event> Recent(size_t n) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t start = events_.size() > n ? events_.size() - n : 0;
+    return std::vector<Event>(events_.begin() + start, events_.end());
+  }
+  int64_t total_logged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Event> events_;
+  int64_t total_ = 0;
+};
+
+enum class QueryState : uint8_t {
+  kRunning,
+  kFinished,
+  kFailed,
+  kCancelled,
+};
+
+const char* QueryStateName(QueryState s);
+
+struct QueryInfo {
+  int64_t id = 0;
+  std::string text;
+  QueryState state = QueryState::kRunning;
+  std::chrono::steady_clock::time_point started;
+  double elapsed_sec = 0;
+  int64_t tuples_scanned = 0;
+  std::string error;
+};
+
+/// Live + recently finished query listing.
+class QueryRegistry {
+ public:
+  int64_t Begin(std::string text) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t id = next_id_++;
+    QueryInfo q;
+    q.id = id;
+    q.text = std::move(text);
+    q.started = std::chrono::steady_clock::now();
+    queries_[id] = std::move(q);
+    return id;
+  }
+
+  void Finish(int64_t id, const Status& status, int64_t tuples) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) return;
+    QueryInfo& q = it->second;
+    q.elapsed_sec = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - q.started)
+                        .count();
+    q.tuples_scanned = tuples;
+    if (status.ok()) {
+      q.state = QueryState::kFinished;
+    } else if (status.IsCancelled()) {
+      q.state = QueryState::kCancelled;
+    } else {
+      q.state = QueryState::kFailed;
+      q.error = status.ToString();
+    }
+  }
+
+  /// Snapshot of all known queries (running first, then history).
+  std::vector<QueryInfo> List() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<QueryInfo> out;
+    for (const auto& [id, q] : queries_) out.push_back(q);
+    return out;
+  }
+
+  std::vector<QueryInfo> Running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<QueryInfo> out;
+    for (const auto& [id, q] : queries_) {
+      if (q.state == QueryState::kRunning) out.push_back(q);
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int64_t, QueryInfo> queries_;
+  int64_t next_id_ = 1;
+};
+
+class Counters {
+ public:
+  void Add(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+  int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace x100
+
+#endif  // X100_MONITOR_MONITOR_H_

@@ -1,0 +1,40 @@
+// Fenwick (binary indexed) tree over the stable-SID space: O(log n) prefix
+// counts of inserts/deletes, which give the SID<->RID arithmetic of the
+// Positional Delta Tree.
+#ifndef X100_PDT_FENWICK_H_
+#define X100_PDT_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace x100 {
+
+class Fenwick {
+ public:
+  explicit Fenwick(int64_t n) : n_(n), tree_(n + 1, 0) {}
+
+  /// Adds `delta` at position i (0-based, i < n).
+  void Add(int64_t i, int64_t delta) {
+    for (int64_t x = i + 1; x <= n_; x += x & -x) tree_[x] += delta;
+  }
+
+  /// Sum of positions [0, i] (i may be -1 -> 0).
+  int64_t Prefix(int64_t i) const {
+    if (i < 0) return 0;
+    if (i >= n_) i = n_ - 1;
+    int64_t s = 0;
+    for (int64_t x = i + 1; x > 0; x -= x & -x) s += tree_[x];
+    return s;
+  }
+
+  int64_t Total() const { return Prefix(n_ - 1); }
+  int64_t size() const { return n_; }
+
+ private:
+  int64_t n_;
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace x100
+
+#endif  // X100_PDT_FENWICK_H_

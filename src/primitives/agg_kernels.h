@@ -1,0 +1,77 @@
+// Aggregation update kernels: given per-row group slots, fold a vector of
+// inputs into accumulator arrays. HashAggOp drives these after computing
+// group ids for a whole vector (the X100 "aggr_*" primitive family).
+#ifndef X100_PRIMITIVES_AGG_KERNELS_H_
+#define X100_PRIMITIVES_AGG_KERNELS_H_
+
+#include <cstdint>
+
+#include "vector/vector.h"
+
+namespace x100 {
+
+/// Identifies an aggregate function in plans and operators.
+enum class AggKind : uint8_t {
+  kCount,     // COUNT(*) or COUNT(x)
+  kSum,
+  kMin,
+  kMax,
+  kAvg,       // computed as sum + count, finalized to f64
+};
+
+const char* AggKindName(AggKind k);
+
+namespace agg {
+
+template <typename T, typename ACC>
+inline void SumUpdate(int n, const sel_t* sel, const uint32_t* gid,
+                      const T* in, ACC* acc) {
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    acc[gid[j]] += static_cast<ACC>(in[i]);
+  }
+}
+
+inline void CountUpdate(int n, const uint32_t* gid, int64_t* acc) {
+  for (int j = 0; j < n; j++) acc[gid[j]]++;
+}
+
+/// COUNT(x): skip NULLs via the indicator column.
+inline void CountNonNullUpdate(int n, const sel_t* sel, const uint32_t* gid,
+                               const uint8_t* nulls, int64_t* acc) {
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    acc[gid[j]] += nulls && nulls[i] ? 0 : 1;
+  }
+}
+
+template <typename T>
+inline void MinUpdate(int n, const sel_t* sel, const uint32_t* gid,
+                      const T* in, T* acc, uint8_t* seen) {
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const uint32_t g = gid[j];
+    if (!seen[g] || in[i] < acc[g]) {
+      acc[g] = in[i];
+      seen[g] = 1;
+    }
+  }
+}
+
+template <typename T>
+inline void MaxUpdate(int n, const sel_t* sel, const uint32_t* gid,
+                      const T* in, T* acc, uint8_t* seen) {
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const uint32_t g = gid[j];
+    if (!seen[g] || in[i] > acc[g]) {
+      acc[g] = in[i];
+      seen[g] = 1;
+    }
+  }
+}
+
+}  // namespace agg
+}  // namespace x100
+
+#endif  // X100_PRIMITIVES_AGG_KERNELS_H_

@@ -1,0 +1,200 @@
+#include "primitives/checked_kernels.h"
+
+#include "primitives/kernel_templates.h"
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+
+namespace {
+
+using checked::CheckedAdd;
+using checked::CheckedMul;
+using checked::CheckedSub;
+
+// Registry adapter around BinaryCheckedKernel supporting vec/val shapes.
+template <typename T, typename OP, bool AC, bool BC>
+Status MapCheckedBinary(int n, const sel_t* sel, const void* const* args,
+                        void* out, PrimCtx*) {
+  T* o = static_cast<T*>(out);
+  unsigned flag = 0;
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      T r;
+      flag |= static_cast<unsigned>(
+          OP::Apply(Arg<T, AC>(args[0], i), Arg<T, BC>(args[1], i), &r));
+      o[i] = r;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      T r;
+      flag |= static_cast<unsigned>(
+          OP::Apply(Arg<T, AC>(args[0], i), Arg<T, BC>(args[1], i), &r));
+      o[i] = r;
+    }
+  }
+  if (__builtin_expect(flag == 0, 1)) return Status::OK();
+  // Slow path: locate the offending row for a precise error message.
+  const int limit = n;
+  for (int j = 0; j < limit; j++) {
+    const int i = sel ? sel[j] : j;
+    T r;
+    if (OP::Apply(Arg<T, AC>(args[0], i), Arg<T, BC>(args[1], i), &r)) {
+      return Status::Overflow(std::string("integer overflow in ") +
+                              OP::kName + " at row " + std::to_string(i));
+    }
+  }
+  return Status::Internal("overflow flag raised but no row found");
+}
+
+template <typename T, bool AC, bool BC>
+Status MapCheckedDiv(int n, const sel_t* sel, const void* const* args,
+                     void* out, PrimCtx*) {
+  T* o = static_cast<T*>(out);
+  unsigned bad = 0;
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      const T b = Arg<T, BC>(args[1], i);
+      const T a = Arg<T, AC>(args[0], i);
+      bad |= static_cast<unsigned>(b == 0);
+      bad |= static_cast<unsigned>(a == std::numeric_limits<T>::min() &&
+                                   b == static_cast<T>(-1));
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      const T b = Arg<T, BC>(args[1], i);
+      const T a = Arg<T, AC>(args[0], i);
+      bad |= static_cast<unsigned>(b == 0);
+      bad |= static_cast<unsigned>(a == std::numeric_limits<T>::min() &&
+                                   b == static_cast<T>(-1));
+    }
+  }
+  if (__builtin_expect(bad != 0, 0)) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel ? sel[j] : j;
+      if (Arg<T, BC>(args[1], i) == 0) {
+        return Status::DivisionByZero("division by zero at row " +
+                                      std::to_string(i));
+      }
+      if (Arg<T, AC>(args[0], i) == std::numeric_limits<T>::min() &&
+          Arg<T, BC>(args[1], i) == static_cast<T>(-1)) {
+        return Status::Overflow("integer overflow in div at row " +
+                                std::to_string(i));
+      }
+    }
+  }
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = Arg<T, AC>(args[0], i) / Arg<T, BC>(args[1], i);
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      o[i] = Arg<T, AC>(args[0], i) / Arg<T, BC>(args[1], i);
+    }
+  }
+  return Status::OK();
+}
+
+template <typename T, bool AC, bool BC>
+Status MapCheckedMod(int n, const sel_t* sel, const void* const* args,
+                     void* out, PrimCtx*) {
+  T* o = static_cast<T*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const T b = Arg<T, BC>(args[1], i);
+    if (b == 0) {
+      return Status::DivisionByZero("modulo by zero at row " +
+                                    std::to_string(i));
+    }
+    const T a = Arg<T, AC>(args[0], i);
+    if (a == std::numeric_limits<T>::min() && b == static_cast<T>(-1)) {
+      o[i] = 0;
+    } else {
+      o[i] = a % b;
+    }
+  }
+  return Status::OK();
+}
+
+// Float division with SQL division-by-zero detection.
+template <bool AC, bool BC>
+Status MapCheckedDivF64(int n, const sel_t* sel, const void* const* args,
+                        void* out, PrimCtx*) {
+  double* o = static_cast<double*>(out);
+  unsigned bad = 0;
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    bad |= static_cast<unsigned>(Arg<double, BC>(args[1], i) == 0.0);
+  }
+  if (__builtin_expect(bad != 0, 0)) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel ? sel[j] : j;
+      if (Arg<double, BC>(args[1], i) == 0.0) {
+        return Status::DivisionByZero("division by zero at row " +
+                                      std::to_string(i));
+      }
+    }
+  }
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    o[i] = Arg<double, AC>(args[0], i) / Arg<double, BC>(args[1], i);
+  }
+  return Status::OK();
+}
+
+template <typename T, typename OP>
+void RegChecked(const char* op, TypeId t) {
+  auto* reg = PrimitiveRegistry::Get();
+  reg->RegisterMap(BuildSignature("map", op, {{t, false}, {t, false}}),
+                   &MapCheckedBinary<T, OP, false, false>, t);
+  reg->RegisterMap(BuildSignature("map", op, {{t, false}, {t, true}}),
+                   &MapCheckedBinary<T, OP, false, true>, t);
+  reg->RegisterMap(BuildSignature("map", op, {{t, true}, {t, false}}),
+                   &MapCheckedBinary<T, OP, true, false>, t);
+}
+
+template <typename T>
+void RegCheckedDivMod(TypeId t) {
+  auto* reg = PrimitiveRegistry::Get();
+  reg->RegisterMap(BuildSignature("map", "div", {{t, false}, {t, false}}),
+                   &MapCheckedDiv<T, false, false>, t);
+  reg->RegisterMap(BuildSignature("map", "div", {{t, false}, {t, true}}),
+                   &MapCheckedDiv<T, false, true>, t);
+  reg->RegisterMap(BuildSignature("map", "div", {{t, true}, {t, false}}),
+                   &MapCheckedDiv<T, true, false>, t);
+  reg->RegisterMap(BuildSignature("map", "mod", {{t, false}, {t, false}}),
+                   &MapCheckedMod<T, false, false>, t);
+  reg->RegisterMap(BuildSignature("map", "mod", {{t, false}, {t, true}}),
+                   &MapCheckedMod<T, false, true>, t);
+}
+
+}  // namespace
+
+void RegisterCheckedKernels() {
+  auto* reg = PrimitiveRegistry::Get();
+
+  // Default integer arithmetic is overflow-checked (production behaviour).
+  RegChecked<int32_t, CheckedAdd>("add", TypeId::kI32);
+  RegChecked<int64_t, CheckedAdd>("add", TypeId::kI64);
+  RegChecked<int32_t, CheckedSub>("sub", TypeId::kI32);
+  RegChecked<int64_t, CheckedSub>("sub", TypeId::kI64);
+  RegChecked<int32_t, CheckedMul>("mul", TypeId::kI32);
+  RegChecked<int64_t, CheckedMul>("mul", TypeId::kI64);
+
+  RegCheckedDivMod<int32_t>(TypeId::kI32);
+  RegCheckedDivMod<int64_t>(TypeId::kI64);
+
+  reg->RegisterMap(BuildSignature("map", "div",
+                                  {{TypeId::kF64, false}, {TypeId::kF64, false}}),
+                   &MapCheckedDivF64<false, false>, TypeId::kF64);
+  reg->RegisterMap(BuildSignature("map", "div",
+                                  {{TypeId::kF64, false}, {TypeId::kF64, true}}),
+                   &MapCheckedDivF64<false, true>, TypeId::kF64);
+  reg->RegisterMap(BuildSignature("map", "div",
+                                  {{TypeId::kF64, true}, {TypeId::kF64, false}}),
+                   &MapCheckedDivF64<true, false>, TypeId::kF64);
+}
+
+}  // namespace x100

@@ -1,0 +1,91 @@
+// Date function kernels (the other half of "Many Functions").
+#include "primitives/kernel_templates.h"
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+
+namespace {
+
+struct YearOp {
+  static int32_t Apply(int32_t d) { return DateYear(d); }
+};
+struct MonthOp {
+  static int32_t Apply(int32_t d) { return DateMonth(d); }
+};
+struct DayOp {
+  static int32_t Apply(int32_t d) { return DateDay(d); }
+};
+struct QuarterOp {
+  static int32_t Apply(int32_t d) { return (DateMonth(d) - 1) / 3 + 1; }
+};
+// ISO day-of-week, 1 = Monday .. 7 = Sunday. 1970-01-01 was a Thursday (4).
+struct DayOfWeekOp {
+  static int32_t Apply(int32_t d) {
+    const int32_t dow = (((d % 7) + 7) % 7 + 3) % 7 + 1;
+    return dow;
+  }
+};
+struct DayOfYearOp {
+  static int32_t Apply(int32_t d) {
+    return d - MakeDate(DateYear(d), 1, 1) + 1;
+  }
+};
+// First day of the date's month (used to expand date_trunc('month', x)).
+struct TruncMonthOp {
+  static int32_t Apply(int32_t d) {
+    return MakeDate(DateYear(d), DateMonth(d), 1);
+  }
+};
+struct TruncYearOp {
+  static int32_t Apply(int32_t d) { return MakeDate(DateYear(d), 1, 1); }
+};
+
+template <typename OP>
+void RegDateUnary(const char* op, TypeId out) {
+  PrimitiveRegistry::Get()->RegisterMap(
+      BuildSignature("map", op, {{TypeId::kDate, false}}),
+      &MapUnary<int32_t, int32_t, OP, false>, out);
+}
+
+// make_date(y, m, d) with validation — "incorrect function parameters" are
+// a detected error class in the paper.
+Status MapMakeDate(int n, const sel_t* sel, const void* const* args,
+                   void* out, PrimCtx*) {
+  const int32_t* y = static_cast<const int32_t*>(args[0]);
+  const int32_t* m = static_cast<const int32_t*>(args[1]);
+  const int32_t* d = static_cast<const int32_t*>(args[2]);
+  int32_t* o = static_cast<int32_t*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    if (m[i] < 1 || m[i] > 12 || d[i] < 1 || d[i] > 31 || y[i] < 1 ||
+        y[i] > 9999) {
+      return Status::InvalidArgument(
+          "make_date: invalid date " + std::to_string(y[i]) + "-" +
+          std::to_string(m[i]) + "-" + std::to_string(d[i]));
+    }
+    o[i] = MakeDate(y[i], m[i], d[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterDateKernels() {
+  RegDateUnary<YearOp>("year", TypeId::kI32);
+  RegDateUnary<MonthOp>("month", TypeId::kI32);
+  RegDateUnary<DayOp>("day", TypeId::kI32);
+  RegDateUnary<QuarterOp>("quarter", TypeId::kI32);
+  RegDateUnary<DayOfWeekOp>("dayofweek", TypeId::kI32);
+  RegDateUnary<DayOfYearOp>("dayofyear", TypeId::kI32);
+  RegDateUnary<TruncMonthOp>("trunc_month", TypeId::kDate);
+  RegDateUnary<TruncYearOp>("trunc_year", TypeId::kDate);
+
+  PrimitiveRegistry::Get()->RegisterMap(
+      BuildSignature("map", "make_date",
+                     {{TypeId::kI32, false},
+                      {TypeId::kI32, false},
+                      {TypeId::kI32, false}}),
+      &MapMakeDate, TypeId::kDate);
+}
+
+}  // namespace x100

@@ -1,0 +1,49 @@
+#include "primitives/hash_kernels.h"
+
+#include "primitives/agg_kernels.h"
+
+namespace x100 {
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kCount: return "count";
+    case AggKind::kSum: return "sum";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kAvg: return "avg";
+  }
+  return "?";
+}
+
+namespace hashk {
+
+void HashColumn(const Vector& v, int n, const sel_t* sel, uint64_t* hashes,
+                bool combine) {
+  switch (v.type()) {
+    case TypeId::kBool:
+      HashColumnT<uint8_t>(n, sel, v.Data<uint8_t>(), hashes, combine);
+      break;
+    case TypeId::kI8:
+      HashColumnT<int8_t>(n, sel, v.Data<int8_t>(), hashes, combine);
+      break;
+    case TypeId::kI16:
+      HashColumnT<int16_t>(n, sel, v.Data<int16_t>(), hashes, combine);
+      break;
+    case TypeId::kI32:
+    case TypeId::kDate:
+      HashColumnT<int32_t>(n, sel, v.Data<int32_t>(), hashes, combine);
+      break;
+    case TypeId::kI64:
+      HashColumnT<int64_t>(n, sel, v.Data<int64_t>(), hashes, combine);
+      break;
+    case TypeId::kF64:
+      HashColumnT<double>(n, sel, v.Data<double>(), hashes, combine);
+      break;
+    case TypeId::kStr:
+      HashColumnT<StrRef>(n, sel, v.Data<StrRef>(), hashes, combine);
+      break;
+  }
+}
+
+}  // namespace hashk
+}  // namespace x100

@@ -1,0 +1,50 @@
+// Vectorized hashing of key columns for join / group-by hash tables.
+#ifndef X100_PRIMITIVES_HASH_KERNELS_H_
+#define X100_PRIMITIVES_HASH_KERNELS_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "vector/vector.h"
+
+namespace x100 {
+
+namespace hashk {
+
+template <typename T>
+inline uint64_t HashValue(const T& v) {
+  if constexpr (std::is_same_v<T, StrRef>) {
+    return HashStr(v);
+  } else if constexpr (std::is_same_v<T, double>) {
+    return HashDouble(v);
+  } else {
+    return HashInt(static_cast<int64_t>(v));
+  }
+}
+
+/// hashes[j] = hash(col[row_j]) for live rows; when `combine` is set the
+/// new hash is folded into the existing one (multi-column keys).
+template <typename T>
+void HashColumnT(int n, const sel_t* sel, const T* col, uint64_t* hashes,
+                 bool combine) {
+  if (combine) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel ? sel[j] : j;
+      hashes[j] = HashCombine(hashes[j], HashValue(col[i]));
+    }
+  } else {
+    for (int j = 0; j < n; j++) {
+      const int i = sel ? sel[j] : j;
+      hashes[j] = HashValue(col[i]);
+    }
+  }
+}
+
+/// Type-dispatched entry point.
+void HashColumn(const Vector& v, int n, const sel_t* sel, uint64_t* hashes,
+                bool combine);
+
+}  // namespace hashk
+}  // namespace x100
+
+#endif  // X100_PRIMITIVES_HASH_KERNELS_H_

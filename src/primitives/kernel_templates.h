@@ -1,0 +1,156 @@
+// Shared kernel loop templates. Each instantiation is one X100 primitive:
+// a tight, branch-light loop over a vector, with the vec/val argument shape
+// resolved at compile time.
+#ifndef X100_PRIMITIVES_KERNEL_TEMPLATES_H_
+#define X100_PRIMITIVES_KERNEL_TEMPLATES_H_
+
+#include <type_traits>
+
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+
+/// Reads argument k as column (i-th element) or constant (element 0).
+template <typename T, bool Const>
+inline const T& Arg(const void* p, int i) {
+  const T* t = static_cast<const T*>(p);
+  if constexpr (Const) {
+    (void)i;
+    return t[0];
+  } else {
+    return t[i];
+  }
+}
+
+/// Binary map: out[i] = OP(a[i], b[i]). Writes are positional (sparse under
+/// selection) so the selection vector stays valid downstream.
+template <typename TA, typename TB, typename TO, typename OP, bool AC,
+          bool BC>
+Status MapBinary(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx*) {
+  TO* o = static_cast<TO*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = OP::Apply(Arg<TA, AC>(args[0], i), Arg<TB, BC>(args[1], i));
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      o[i] = OP::Apply(Arg<TA, AC>(args[0], i), Arg<TB, BC>(args[1], i));
+    }
+  }
+  return Status::OK();
+}
+
+/// Unary map: out[i] = OP(a[i]).
+template <typename TA, typename TO, typename OP, bool AC>
+Status MapUnary(int n, const sel_t* sel, const void* const* args, void* out,
+                PrimCtx*) {
+  TO* o = static_cast<TO*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = OP::Apply(Arg<TA, AC>(args[0], i));
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      o[i] = OP::Apply(Arg<TA, AC>(args[0], i));
+    }
+  }
+  return Status::OK();
+}
+
+/// Select: appends indexes of rows where OP holds; returns match count.
+template <typename TA, typename TB, typename OP, bool AC, bool BC>
+int SelectBinary(int n, const sel_t* sel_in, const void* const* args,
+                 sel_t* sel_out) {
+  int k = 0;
+  if (sel_in) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel_in[j];
+      // Branch-free append: data-dependent branches on selectivity ~50%
+      // are mispredict-heavy; X100 select primitives write then advance.
+      sel_out[k] = i;
+      k += OP::Apply(Arg<TA, AC>(args[0], i), Arg<TB, BC>(args[1], i)) ? 1 : 0;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      sel_out[k] = i;
+      k += OP::Apply(Arg<TA, AC>(args[0], i), Arg<TB, BC>(args[1], i)) ? 1 : 0;
+    }
+  }
+  return k;
+}
+
+// Wrapping integer arithmetic (defined behaviour via unsigned) and plain
+// float arithmetic. These are the *unchecked* kernels; the production
+// checked variants live in checked_kernels.cc.
+template <typename T>
+inline T WrapAdd(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+  } else {
+    return a + b;
+  }
+}
+template <typename T>
+inline T WrapSub(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) - static_cast<U>(b));
+  } else {
+    return a - b;
+  }
+}
+template <typename T>
+inline T WrapMul(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(a) * static_cast<U>(b));
+  } else {
+    return a * b;
+  }
+}
+
+struct AddOp {
+  template <typename T>
+  static T Apply(T a, T b) { return WrapAdd(a, b); }
+};
+struct SubOp {
+  template <typename T>
+  static T Apply(T a, T b) { return WrapSub(a, b); }
+};
+struct MulOp {
+  template <typename T>
+  static T Apply(T a, T b) { return WrapMul(a, b); }
+};
+
+struct EqOp {
+  template <typename T>
+  static bool Apply(const T& a, const T& b) { return a == b; }
+};
+struct NeOp {
+  template <typename T>
+  static bool Apply(const T& a, const T& b) { return a != b; }
+};
+struct LtOp {
+  template <typename T>
+  static bool Apply(const T& a, const T& b) { return a < b; }
+};
+struct LeOp {
+  template <typename T>
+  static bool Apply(const T& a, const T& b) { return a <= b; }
+};
+struct GtOp {
+  template <typename T>
+  static bool Apply(const T& a, const T& b) { return a > b; }
+};
+struct GeOp {
+  template <typename T>
+  static bool Apply(const T& a, const T& b) { return a >= b; }
+};
+
+}  // namespace x100
+
+#endif  // X100_PRIMITIVES_KERNEL_TEMPLATES_H_

@@ -1,0 +1,208 @@
+// Registration of arithmetic, comparison, logical, cast and conditional map
+// primitives.
+#include "primitives/kernel_templates.h"
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+
+namespace {
+
+PrimitiveRegistry* Reg() { return PrimitiveRegistry::Get(); }
+
+// Registers the three argument shapes of a same-type binary op.
+template <typename T, typename OP>
+void RegBinary(const char* op, TypeId t, TypeId out) {
+  Reg()->RegisterMap(
+      BuildSignature("map", op, {{t, false}, {t, false}}),
+      &MapBinary<T, T, T, OP, false, false>, out);
+  Reg()->RegisterMap(
+      BuildSignature("map", op, {{t, false}, {t, true}}),
+      &MapBinary<T, T, T, OP, false, true>, out);
+  Reg()->RegisterMap(
+      BuildSignature("map", op, {{t, true}, {t, false}}),
+      &MapBinary<T, T, T, OP, true, false>, out);
+}
+
+// Comparisons: output is bool regardless of input type.
+template <typename T, typename OP>
+void RegCompare(const char* op, TypeId t) {
+  Reg()->RegisterMap(
+      BuildSignature("map", op, {{t, false}, {t, false}}),
+      &MapBinary<T, T, uint8_t, OP, false, false>, TypeId::kBool);
+  Reg()->RegisterMap(
+      BuildSignature("map", op, {{t, false}, {t, true}}),
+      &MapBinary<T, T, uint8_t, OP, false, true>, TypeId::kBool);
+  Reg()->RegisterMap(
+      BuildSignature("map", op, {{t, true}, {t, false}}),
+      &MapBinary<T, T, uint8_t, OP, true, false>, TypeId::kBool);
+}
+
+template <typename T>
+void RegAllCompares(TypeId t) {
+  RegCompare<T, EqOp>("eq", t);
+  RegCompare<T, NeOp>("ne", t);
+  RegCompare<T, LtOp>("lt", t);
+  RegCompare<T, LeOp>("le", t);
+  RegCompare<T, GtOp>("gt", t);
+  RegCompare<T, GeOp>("ge", t);
+}
+
+struct AndOp {
+  static uint8_t Apply(uint8_t a, uint8_t b) { return a & b; }
+};
+struct OrOp {
+  static uint8_t Apply(uint8_t a, uint8_t b) { return a | b; }
+};
+struct XorOp {
+  static uint8_t Apply(uint8_t a, uint8_t b) {
+    return static_cast<uint8_t>((a ^ b) & 1);
+  }
+};
+struct NotOp {
+  static uint8_t Apply(uint8_t a) { return static_cast<uint8_t>(a ^ 1); }
+};
+struct NegI64Op {
+  static int64_t Apply(int64_t a) { return WrapSub<int64_t>(0, a); }
+};
+struct NegI32Op {
+  static int32_t Apply(int32_t a) { return WrapSub<int32_t>(0, a); }
+};
+struct NegF64Op {
+  static double Apply(double a) { return -a; }
+};
+struct AbsF64Op {
+  static double Apply(double a) { return a < 0 ? -a : a; }
+};
+
+// Cast kernel: out[i] = static_cast<TO>(a[i]).
+template <typename TA, typename TO>
+struct CastOp {
+  static TO Apply(TA a) { return static_cast<TO>(a); }
+};
+
+template <typename TA, typename TO>
+void RegCast(TypeId from, TypeId to) {
+  std::string op = std::string("cast_") + TypeName(to);
+  Reg()->RegisterMap(BuildSignature("map", op, {{from, false}}),
+                     &MapUnary<TA, TO, CastOp<TA, TO>, false>, to);
+}
+
+// if-then-else: out[i] = cond[i] ? a[i] : b[i].
+template <typename T, bool AC, bool BC>
+Status MapIfThenElse(int n, const sel_t* sel, const void* const* args,
+                     void* out, PrimCtx*) {
+  const uint8_t* cond = static_cast<const uint8_t*>(args[0]);
+  T* o = static_cast<T*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = cond[i] ? Arg<T, AC>(args[1], i) : Arg<T, BC>(args[2], i);
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      o[i] = cond[i] ? Arg<T, AC>(args[1], i) : Arg<T, BC>(args[2], i);
+    }
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void RegIfThenElse(TypeId t) {
+  const ArgSig c{TypeId::kBool, false};
+  Reg()->RegisterMap(
+      BuildSignature("map", "ifthenelse", {c, {t, false}, {t, false}}),
+      &MapIfThenElse<T, false, false>, t);
+  Reg()->RegisterMap(
+      BuildSignature("map", "ifthenelse", {c, {t, false}, {t, true}}),
+      &MapIfThenElse<T, false, true>, t);
+  Reg()->RegisterMap(
+      BuildSignature("map", "ifthenelse", {c, {t, true}, {t, false}}),
+      &MapIfThenElse<T, true, false>, t);
+  Reg()->RegisterMap(
+      BuildSignature("map", "ifthenelse", {c, {t, true}, {t, true}}),
+      &MapIfThenElse<T, true, true>, t);
+}
+
+struct F64DivOp {
+  static double Apply(double a, double b) { return a / b; }
+};
+
+}  // namespace
+
+void RegisterMapKernels() {
+  // Unchecked wrapping arithmetic ("_unchecked" suffix; the default add /
+  // sub / mul for integers are the overflow-checked kernels registered in
+  // checked_kernels.cc, because a production system must detect overflow —
+  // paper §"Error handling and reporting").
+  RegBinary<int32_t, AddOp>("add_unchecked", TypeId::kI32, TypeId::kI32);
+  RegBinary<int64_t, AddOp>("add_unchecked", TypeId::kI64, TypeId::kI64);
+  RegBinary<int32_t, SubOp>("sub_unchecked", TypeId::kI32, TypeId::kI32);
+  RegBinary<int64_t, SubOp>("sub_unchecked", TypeId::kI64, TypeId::kI64);
+  RegBinary<int32_t, MulOp>("mul_unchecked", TypeId::kI32, TypeId::kI32);
+  RegBinary<int64_t, MulOp>("mul_unchecked", TypeId::kI64, TypeId::kI64);
+
+  // Float arithmetic never traps; register as the plain ops.
+  RegBinary<double, AddOp>("add", TypeId::kF64, TypeId::kF64);
+  RegBinary<double, SubOp>("sub", TypeId::kF64, TypeId::kF64);
+  RegBinary<double, MulOp>("mul", TypeId::kF64, TypeId::kF64);
+
+  // Comparisons for every orderable type.
+  RegAllCompares<int8_t>(TypeId::kI8);
+  RegAllCompares<int16_t>(TypeId::kI16);
+  RegAllCompares<int32_t>(TypeId::kI32);
+  RegAllCompares<int64_t>(TypeId::kI64);
+  RegAllCompares<double>(TypeId::kF64);
+  RegAllCompares<StrRef>(TypeId::kStr);
+  RegAllCompares<int32_t>(TypeId::kDate);
+
+  // Boolean logic (used directly and for NULL-indicator propagation).
+  RegBinary<uint8_t, AndOp>("and", TypeId::kBool, TypeId::kBool);
+  RegBinary<uint8_t, OrOp>("or", TypeId::kBool, TypeId::kBool);
+  RegBinary<uint8_t, XorOp>("xor", TypeId::kBool, TypeId::kBool);
+  Reg()->RegisterMap(BuildSignature("map", "not", {{TypeId::kBool, false}}),
+                     &MapUnary<uint8_t, uint8_t, NotOp, false>,
+                     TypeId::kBool);
+
+  // Negation / abs.
+  Reg()->RegisterMap(BuildSignature("map", "neg", {{TypeId::kI32, false}}),
+                     &MapUnary<int32_t, int32_t, NegI32Op, false>,
+                     TypeId::kI32);
+  Reg()->RegisterMap(BuildSignature("map", "neg", {{TypeId::kI64, false}}),
+                     &MapUnary<int64_t, int64_t, NegI64Op, false>,
+                     TypeId::kI64);
+  Reg()->RegisterMap(BuildSignature("map", "neg", {{TypeId::kF64, false}}),
+                     &MapUnary<double, double, NegF64Op, false>,
+                     TypeId::kF64);
+  Reg()->RegisterMap(BuildSignature("map", "abs", {{TypeId::kF64, false}}),
+                     &MapUnary<double, double, AbsF64Op, false>,
+                     TypeId::kF64);
+
+  // Casts used by the cross compiler's implicit coercions.
+  RegCast<int8_t, int32_t>(TypeId::kI8, TypeId::kI32);
+  RegCast<int16_t, int32_t>(TypeId::kI16, TypeId::kI32);
+  RegCast<int8_t, int64_t>(TypeId::kI8, TypeId::kI64);
+  RegCast<int16_t, int64_t>(TypeId::kI16, TypeId::kI64);
+  RegCast<int32_t, int64_t>(TypeId::kI32, TypeId::kI64);
+  RegCast<int32_t, double>(TypeId::kI32, TypeId::kF64);
+  RegCast<int64_t, double>(TypeId::kI64, TypeId::kF64);
+  RegCast<int8_t, double>(TypeId::kI8, TypeId::kF64);
+  RegCast<int16_t, double>(TypeId::kI16, TypeId::kF64);
+
+  // Conditionals (rewriter expands COALESCE / NULLIF / CASE into these).
+  RegIfThenElse<int32_t>(TypeId::kI32);
+  RegIfThenElse<int64_t>(TypeId::kI64);
+  RegIfThenElse<double>(TypeId::kF64);
+  RegIfThenElse<uint8_t>(TypeId::kBool);
+  RegIfThenElse<StrRef>(TypeId::kStr);
+  RegIfThenElse<int32_t>(TypeId::kDate);
+
+  // Float division: SQL still errors on x/0, handled by checked kernel in
+  // checked_kernels.cc; this unchecked variant backs internal math.
+  RegBinary<double, F64DivOp>("div_unchecked", TypeId::kF64, TypeId::kF64);
+
+  // Date arithmetic: date +/- days, date difference in days.
+  RegBinary<int32_t, AddOp>("add", TypeId::kDate, TypeId::kDate);
+  RegBinary<int32_t, SubOp>("sub", TypeId::kDate, TypeId::kDate);
+}
+
+}  // namespace x100

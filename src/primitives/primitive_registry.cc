@@ -1,0 +1,98 @@
+#include "primitives/primitive_registry.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace x100 {
+
+std::string BuildSignature(const std::string& kind, const std::string& op,
+                           const std::vector<ArgSig>& args) {
+  std::string sig = kind;
+  sig += '_';
+  sig += op;
+  for (const ArgSig& a : args) {
+    sig += '_';
+    sig += TypeName(a.type);
+    sig += a.is_const ? "_val" : "_vec";
+  }
+  return sig;
+}
+
+struct PrimitiveRegistry::Impl {
+  std::unordered_map<std::string, MapEntry> maps;
+  std::unordered_map<std::string, SelectFn> selects;
+};
+
+PrimitiveRegistry* PrimitiveRegistry::Get() {
+  static PrimitiveRegistry reg;
+  return &reg;
+}
+
+PrimitiveRegistry::Impl* PrimitiveRegistry::impl() {
+  static Impl impl;
+  return &impl;
+}
+
+const PrimitiveRegistry::Impl* PrimitiveRegistry::impl() const {
+  return const_cast<PrimitiveRegistry*>(this)->impl();
+}
+
+void PrimitiveRegistry::RegisterMap(const std::string& sig, MapFn fn,
+                                    TypeId out_type) {
+  impl()->maps[sig] = MapEntry{fn, out_type};
+}
+
+void PrimitiveRegistry::RegisterSelect(const std::string& sig, SelectFn fn) {
+  impl()->selects[sig] = fn;
+}
+
+MapEntry PrimitiveRegistry::FindMap(const std::string& kind,
+                                    const std::string& op,
+                                    const std::vector<ArgSig>& args) const {
+  const auto& m = impl()->maps;
+  auto it = m.find(BuildSignature(kind, op, args));
+  return it == m.end() ? MapEntry{} : it->second;
+}
+
+SelectFn PrimitiveRegistry::FindSelect(
+    const std::string& op, const std::vector<ArgSig>& args) const {
+  const auto& m = impl()->selects;
+  auto it = m.find(BuildSignature("select", op, args));
+  return it == m.end() ? nullptr : it->second;
+}
+
+int PrimitiveRegistry::num_map_primitives() const {
+  return static_cast<int>(impl()->maps.size());
+}
+
+int PrimitiveRegistry::num_select_primitives() const {
+  return static_cast<int>(impl()->selects.size());
+}
+
+std::vector<std::string> PrimitiveRegistry::ListSignatures() const {
+  std::vector<std::string> out;
+  out.reserve(impl()->maps.size() + impl()->selects.size());
+  for (const auto& [sig, _] : impl()->maps) out.push_back(sig);
+  for (const auto& [sig, _] : impl()->selects) out.push_back(sig);
+  return out;
+}
+
+// Defined in the kernel translation units.
+void RegisterMapKernels();
+void RegisterSelectKernels();
+void RegisterStringKernels();
+void RegisterDateKernels();
+void RegisterCheckedKernels();
+
+void EnsureKernelsRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterMapKernels();
+    RegisterSelectKernels();
+    RegisterStringKernels();
+    RegisterDateKernels();
+    RegisterCheckedKernels();
+  });
+}
+
+}  // namespace x100

@@ -1,0 +1,98 @@
+// The X100 primitive registry.
+//
+// X100 executes expressions by interpreting a plan whose leaves are
+// *primitives*: flat, type-specialized loops with signatures like
+//
+//   map_add_i32_vec_i32_val      out[i] = a[i] + c
+//   select_lt_f64_vec_f64_val    emit i where a[i] < c
+//
+// The interpretation cost is paid once per *vector*, not once per tuple —
+// that is the source of the paper's ">10x over conventional engines" claim
+// (experiment E1) and of the vector-size tradeoff (experiment E2).
+//
+// Primitives are NULL-oblivious (paper §"NULLs"): they process every
+// position including NULL slots, which hold safe values. NULL indicator
+// columns are combined by the boolean primitives (map_or / map_and).
+#ifndef X100_PRIMITIVES_PRIMITIVE_REGISTRY_H_
+#define X100_PRIMITIVES_PRIMITIVE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "vector/string_heap.h"
+#include "vector/vector.h"
+
+namespace x100 {
+
+/// Execution context handed to map primitives (string output allocation).
+struct PrimCtx {
+  StringHeap* heap = nullptr;
+};
+
+/// A map primitive: computes out[i] (or out[sel[j]]) for each live row.
+/// `args` point either at full columns ("vec") or at one scalar ("val");
+/// which one is baked into the registered kernel, X100-style.
+using MapFn = Status (*)(int n, const sel_t* sel, const void* const* args,
+                         void* out, PrimCtx* ctx);
+
+/// A select primitive: appends qualifying row indexes to sel_out and
+/// returns the match count.
+using SelectFn = int (*)(int n, const sel_t* sel_in,
+                         const void* const* args, sel_t* sel_out);
+
+/// One argument slot in a primitive signature.
+struct ArgSig {
+  TypeId type;
+  bool is_const;  // "val" (scalar constant) vs "vec" (column)
+};
+
+/// Builds the canonical signature string, e.g.
+/// BuildSignature("map", "add", {{kI32,false},{kI32,true}})
+///   == "map_add_i32_vec_i32_val".
+std::string BuildSignature(const std::string& kind, const std::string& op,
+                           const std::vector<ArgSig>& args);
+
+struct MapEntry {
+  MapFn fn = nullptr;
+  TypeId out_type = TypeId::kI64;
+};
+
+/// Process-wide registry. Registration happens once at startup from the
+/// kernel translation units (map/string/date/select kernels).
+class PrimitiveRegistry {
+ public:
+  static PrimitiveRegistry* Get();
+
+  void RegisterMap(const std::string& sig, MapFn fn, TypeId out_type);
+  void RegisterSelect(const std::string& sig, SelectFn fn);
+
+  /// Looks up a map primitive; nullptr fn if absent.
+  MapEntry FindMap(const std::string& kind, const std::string& op,
+                   const std::vector<ArgSig>& args) const;
+  SelectFn FindSelect(const std::string& op,
+                      const std::vector<ArgSig>& args) const;
+
+  /// Number of registered primitives (the paper's "dozens of functions";
+  /// reported by bench_e12 and the monitoring example).
+  int num_map_primitives() const;
+  int num_select_primitives() const;
+
+  /// All registered signatures (diagnostics / docs).
+  std::vector<std::string> ListSignatures() const;
+
+ private:
+  PrimitiveRegistry() = default;
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+/// Ensures all built-in kernels are registered (idempotent, thread-safe via
+/// static init). Called by ExprCompiler and tests.
+void EnsureKernelsRegistered();
+
+}  // namespace x100
+
+#endif  // X100_PRIMITIVES_PRIMITIVE_REGISTRY_H_

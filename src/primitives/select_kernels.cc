@@ -1,0 +1,92 @@
+// Selection primitives: filters that emit selection vectors instead of
+// copying surviving tuples (the X100 select_* primitive family).
+#include "primitives/kernel_templates.h"
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+
+namespace {
+
+template <typename T, typename OP>
+void RegSelect(const char* op, TypeId t) {
+  auto* reg = PrimitiveRegistry::Get();
+  reg->RegisterSelect(BuildSignature("select", op, {{t, false}, {t, false}}),
+                      &SelectBinary<T, T, OP, false, false>);
+  reg->RegisterSelect(BuildSignature("select", op, {{t, false}, {t, true}}),
+                      &SelectBinary<T, T, OP, false, true>);
+  reg->RegisterSelect(BuildSignature("select", op, {{t, true}, {t, false}}),
+                      &SelectBinary<T, T, OP, true, false>);
+}
+
+template <typename T>
+void RegAllSelects(TypeId t) {
+  RegSelect<T, EqOp>("eq", t);
+  RegSelect<T, NeOp>("ne", t);
+  RegSelect<T, LtOp>("lt", t);
+  RegSelect<T, LeOp>("le", t);
+  RegSelect<T, GtOp>("gt", t);
+  RegSelect<T, GeOp>("ge", t);
+}
+
+// Filter on an existing boolean column (e.g. the output of map_and).
+int SelectTrue(int n, const sel_t* sel_in, const void* const* args,
+               sel_t* sel_out) {
+  const uint8_t* b = static_cast<const uint8_t*>(args[0]);
+  int k = 0;
+  if (sel_in) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel_in[j];
+      sel_out[k] = i;
+      k += b[i] ? 1 : 0;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      sel_out[k] = i;
+      k += b[i] ? 1 : 0;
+    }
+  }
+  return k;
+}
+
+// Filter keeping rows whose NULL indicator is clear (strict WHERE
+// semantics: NULL predicate results do not qualify).
+int SelectNotNull(int n, const sel_t* sel_in, const void* const* args,
+                  sel_t* sel_out) {
+  const uint8_t* nulls = static_cast<const uint8_t*>(args[0]);
+  int k = 0;
+  if (sel_in) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel_in[j];
+      sel_out[k] = i;
+      k += nulls[i] ? 0 : 1;
+    }
+  } else {
+    for (int i = 0; i < n; i++) {
+      sel_out[k] = i;
+      k += nulls[i] ? 0 : 1;
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+void RegisterSelectKernels() {
+  RegAllSelects<int8_t>(TypeId::kI8);
+  RegAllSelects<int16_t>(TypeId::kI16);
+  RegAllSelects<int32_t>(TypeId::kI32);
+  RegAllSelects<int64_t>(TypeId::kI64);
+  RegAllSelects<double>(TypeId::kF64);
+  RegAllSelects<StrRef>(TypeId::kStr);
+  RegAllSelects<int32_t>(TypeId::kDate);
+
+  auto* reg = PrimitiveRegistry::Get();
+  reg->RegisterSelect(
+      BuildSignature("select", "true", {{TypeId::kBool, false}}),
+      &SelectTrue);
+  reg->RegisterSelect(
+      BuildSignature("select", "notnull", {{TypeId::kBool, false}}),
+      &SelectNotNull);
+}
+
+}  // namespace x100

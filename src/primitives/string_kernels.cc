@@ -1,0 +1,322 @@
+// String function kernels — part of the paper's "Many Functions" work item:
+// "SQL standard contains a plethora of functions, in particular around
+// strings and dates … This resulted in dozens of new functions added to the
+// system."
+//
+// Functions that are pure combinations of others (LEFT, RIGHT, BETWEEN,
+// COALESCE, …) are expanded by the rewriter (rewriter/rules.cc); the
+// kernels below are the hand-implemented ones.
+#include <algorithm>
+#include <cctype>
+
+#include "primitives/kernel_templates.h"
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+
+namespace {
+
+PrimitiveRegistry* Reg() { return PrimitiveRegistry::Get(); }
+
+const ArgSig kStrVec{TypeId::kStr, false};
+const ArgSig kStrVal{TypeId::kStr, true};
+const ArgSig kI32Val{TypeId::kI32, true};
+const ArgSig kI32Vec{TypeId::kI32, false};
+
+// ---- case conversion -------------------------------------------------------
+
+template <bool Upper>
+Status MapCase(int n, const sel_t* sel, const void* const* args, void* out,
+               PrimCtx* ctx) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  StrRef* o = static_cast<StrRef*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    char* dst = ctx->heap->Allocate(a[i].len);
+    for (uint32_t k = 0; k < a[i].len; k++) {
+      const char c = a[i].data[k];
+      dst[k] = Upper ? static_cast<char>(std::toupper(
+                           static_cast<unsigned char>(c)))
+                     : static_cast<char>(std::tolower(
+                           static_cast<unsigned char>(c)));
+    }
+    o[i] = StrRef(dst, a[i].len);
+  }
+  return Status::OK();
+}
+
+// ---- length ---------------------------------------------------------------
+
+Status MapLength(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx*) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  int32_t* o = static_cast<int32_t*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) o[sel[j]] = static_cast<int32_t>(a[sel[j]].len);
+  } else {
+    for (int i = 0; i < n; i++) o[i] = static_cast<int32_t>(a[i].len);
+  }
+  return Status::OK();
+}
+
+// ---- substring (1-based SQL semantics) --------------------------------------
+
+// Incorrect function parameters (negative length) are a detected error —
+// paper §"Error handling".
+template <bool StartConst, bool LenConst>
+Status MapSubstr(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx*) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  StrRef* o = static_cast<StrRef*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const int32_t start = Arg<int32_t, StartConst>(args[1], i);
+    const int32_t len = Arg<int32_t, LenConst>(args[2], i);
+    if (len < 0) {
+      return Status::InvalidArgument("substring: negative length " +
+                                     std::to_string(len));
+    }
+    // SQL: positions before 1 consume length; clamp to the string.
+    int64_t begin = static_cast<int64_t>(start) - 1;
+    int64_t count = len;
+    if (begin < 0) {
+      count += begin;
+      begin = 0;
+    }
+    if (begin >= a[i].len || count <= 0) {
+      o[i] = StrRef("", 0);
+    } else {
+      count = std::min<int64_t>(count, a[i].len - begin);
+      o[i] = StrRef(a[i].data + begin, static_cast<uint32_t>(count));
+    }
+  }
+  return Status::OK();
+}
+
+// ---- concat -----------------------------------------------------------------
+
+template <bool AC, bool BC>
+Status MapConcat(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx* ctx) {
+  StrRef* o = static_cast<StrRef*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const StrRef& a = Arg<StrRef, AC>(args[0], i);
+    const StrRef& b = Arg<StrRef, BC>(args[1], i);
+    char* dst = ctx->heap->Allocate(a.len + b.len);
+    std::memcpy(dst, a.data, a.len);
+    std::memcpy(dst + a.len, b.data, b.len);
+    o[i] = StrRef(dst, a.len + b.len);
+  }
+  return Status::OK();
+}
+
+// ---- trim -------------------------------------------------------------------
+
+enum class TrimMode { kBoth, kLeft, kRight };
+
+template <TrimMode Mode>
+Status MapTrim(int n, const sel_t* sel, const void* const* args, void* out,
+               PrimCtx*) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  StrRef* o = static_cast<StrRef*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    uint32_t b = 0, e = a[i].len;
+    if (Mode != TrimMode::kRight) {
+      while (b < e && a[i].data[b] == ' ') b++;
+    }
+    if (Mode != TrimMode::kLeft) {
+      while (e > b && a[i].data[e - 1] == ' ') e--;
+    }
+    o[i] = StrRef(a[i].data + b, e - b);
+  }
+  return Status::OK();
+}
+
+// ---- LIKE -------------------------------------------------------------------
+
+// Iterative matcher with %-backtracking; '_' matches one char.
+bool LikeMatch(const char* s, uint32_t slen, const char* p, uint32_t plen) {
+  uint32_t si = 0, pi = 0;
+  int64_t star_pi = -1, star_si = 0;
+  while (si < slen) {
+    if (pi < plen && (p[pi] == '_' || p[pi] == s[si])) {
+      si++;
+      pi++;
+    } else if (pi < plen && p[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi >= 0) {
+      pi = static_cast<uint32_t>(star_pi) + 1;
+      si = static_cast<uint32_t>(++star_si);
+    } else {
+      return false;
+    }
+  }
+  while (pi < plen && p[pi] == '%') pi++;
+  return pi == plen;
+}
+
+template <bool Negate>
+Status MapLike(int n, const sel_t* sel, const void* const* args, void* out,
+               PrimCtx*) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  const StrRef pat = static_cast<const StrRef*>(args[1])[0];
+  uint8_t* o = static_cast<uint8_t*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const bool m = LikeMatch(a[i].data, a[i].len, pat.data, pat.len);
+    o[i] = static_cast<uint8_t>(Negate ? !m : m);
+  }
+  return Status::OK();
+}
+
+int SelectLike(int n, const sel_t* sel_in, const void* const* args,
+               sel_t* sel_out) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  const StrRef pat = static_cast<const StrRef*>(args[1])[0];
+  int k = 0;
+  for (int j = 0; j < n; j++) {
+    const int i = sel_in ? sel_in[j] : j;
+    if (LikeMatch(a[i].data, a[i].len, pat.data, pat.len)) sel_out[k++] = i;
+  }
+  return k;
+}
+
+// ---- predicates / search ----------------------------------------------------
+
+struct StartsWithOp {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return a.len >= b.len && std::memcmp(a.data, b.data, b.len) == 0;
+  }
+};
+struct EndsWithOp {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    return a.len >= b.len &&
+           std::memcmp(a.data + a.len - b.len, b.data, b.len) == 0;
+  }
+};
+struct ContainsOp {
+  static bool Apply(const StrRef& a, const StrRef& b) {
+    if (b.len == 0) return true;
+    if (a.len < b.len) return false;
+    return a.view().find(b.view()) != std::string_view::npos;
+  }
+};
+
+// strpos: 1-based position of b in a, 0 when absent (PostgreSQL semantics —
+// a "non-standard function users migrating … need" per the paper).
+template <bool BC>
+Status MapStrpos(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx*) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  int32_t* o = static_cast<int32_t*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    const StrRef& b = Arg<StrRef, BC>(args[1], i);
+    const size_t pos = a[i].view().find(b.view());
+    o[i] = pos == std::string_view::npos ? 0 : static_cast<int32_t>(pos) + 1;
+  }
+  return Status::OK();
+}
+
+// repeat(s, k): detected error on negative k.
+Status MapRepeat(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx* ctx) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  const int32_t k = static_cast<const int32_t*>(args[1])[0];
+  if (k < 0) {
+    return Status::InvalidArgument("repeat: negative count " +
+                                   std::to_string(k));
+  }
+  StrRef* o = static_cast<StrRef*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    char* dst = ctx->heap->Allocate(static_cast<size_t>(a[i].len) * k);
+    for (int r = 0; r < k; r++) {
+      std::memcpy(dst + static_cast<size_t>(r) * a[i].len, a[i].data,
+                  a[i].len);
+    }
+    o[i] = StrRef(dst, a[i].len * static_cast<uint32_t>(k));
+  }
+  return Status::OK();
+}
+
+// reverse(s).
+Status MapReverse(int n, const sel_t* sel, const void* const* args, void* out,
+                  PrimCtx* ctx) {
+  const StrRef* a = static_cast<const StrRef*>(args[0]);
+  StrRef* o = static_cast<StrRef*>(out);
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    char* dst = ctx->heap->Allocate(a[i].len);
+    for (uint32_t k = 0; k < a[i].len; k++) {
+      dst[k] = a[i].data[a[i].len - 1 - k];
+    }
+    o[i] = StrRef(dst, a[i].len);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterStringKernels() {
+  Reg()->RegisterMap("map_upper_str_vec", &MapCase<true>, TypeId::kStr);
+  Reg()->RegisterMap("map_lower_str_vec", &MapCase<false>, TypeId::kStr);
+  Reg()->RegisterMap("map_length_str_vec", &MapLength, TypeId::kI32);
+
+  Reg()->RegisterMap(
+      BuildSignature("map", "substring", {kStrVec, kI32Val, kI32Val}),
+      &MapSubstr<true, true>, TypeId::kStr);
+  Reg()->RegisterMap(
+      BuildSignature("map", "substring", {kStrVec, kI32Vec, kI32Vec}),
+      &MapSubstr<false, false>, TypeId::kStr);
+  Reg()->RegisterMap(
+      BuildSignature("map", "substring", {kStrVec, kI32Vec, kI32Val}),
+      &MapSubstr<false, true>, TypeId::kStr);
+
+  Reg()->RegisterMap(BuildSignature("map", "concat", {kStrVec, kStrVec}),
+                     &MapConcat<false, false>, TypeId::kStr);
+  Reg()->RegisterMap(BuildSignature("map", "concat", {kStrVec, kStrVal}),
+                     &MapConcat<false, true>, TypeId::kStr);
+  Reg()->RegisterMap(BuildSignature("map", "concat", {kStrVal, kStrVec}),
+                     &MapConcat<true, false>, TypeId::kStr);
+
+  Reg()->RegisterMap("map_trim_str_vec", &MapTrim<TrimMode::kBoth>,
+                     TypeId::kStr);
+  Reg()->RegisterMap("map_ltrim_str_vec", &MapTrim<TrimMode::kLeft>,
+                     TypeId::kStr);
+  Reg()->RegisterMap("map_rtrim_str_vec", &MapTrim<TrimMode::kRight>,
+                     TypeId::kStr);
+
+  Reg()->RegisterMap(BuildSignature("map", "like", {kStrVec, kStrVal}),
+                     &MapLike<false>, TypeId::kBool);
+  Reg()->RegisterMap(BuildSignature("map", "notlike", {kStrVec, kStrVal}),
+                     &MapLike<true>, TypeId::kBool);
+  Reg()->RegisterSelect(BuildSignature("select", "like", {kStrVec, kStrVal}),
+                        &SelectLike);
+
+  Reg()->RegisterMap(
+      BuildSignature("map", "starts_with", {kStrVec, kStrVal}),
+      &MapBinary<StrRef, StrRef, uint8_t, StartsWithOp, false, true>,
+      TypeId::kBool);
+  Reg()->RegisterMap(
+      BuildSignature("map", "ends_with", {kStrVec, kStrVal}),
+      &MapBinary<StrRef, StrRef, uint8_t, EndsWithOp, false, true>,
+      TypeId::kBool);
+  Reg()->RegisterMap(
+      BuildSignature("map", "contains", {kStrVec, kStrVal}),
+      &MapBinary<StrRef, StrRef, uint8_t, ContainsOp, false, true>,
+      TypeId::kBool);
+
+  Reg()->RegisterMap(BuildSignature("map", "strpos", {kStrVec, kStrVal}),
+                     &MapStrpos<true>, TypeId::kI32);
+  Reg()->RegisterMap(BuildSignature("map", "strpos", {kStrVec, kStrVec}),
+                     &MapStrpos<false>, TypeId::kI32);
+  Reg()->RegisterMap(BuildSignature("map", "repeat", {kStrVec, kI32Val}),
+                     &MapRepeat, TypeId::kStr);
+  Reg()->RegisterMap("map_reverse_str_vec", &MapReverse, TypeId::kStr);
+}
+
+}  // namespace x100

@@ -1,0 +1,350 @@
+#include "rewriter/rewriter.h"
+
+namespace x100 {
+
+namespace {
+
+bool IsConst(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kConst && !e->constant.is_null();
+}
+bool IsBoolConst(const ExprPtr& e, bool value) {
+  return IsConst(e) && e->constant.type() == TypeId::kBool &&
+         e->constant.AsBool() == value;
+}
+
+}  // namespace
+
+Result<ExprPtr> Rewriter::ExpandFunctions(ExprPtr e) {
+  if (e->kind != Expr::Kind::kCall) return e;
+  for (auto& a : e->args) {
+    X100_ASSIGN_OR_RETURN(a, ExpandFunctions(a));
+  }
+  const std::string& fn = e->fn;
+  auto bump = [&](const char* rule) { stats_[rule]++; };
+
+  if (fn == "between" || fn == "not_between") {
+    if (e->args.size() != 3) {
+      return Status::InvalidArgument("between expects 3 arguments");
+    }
+    bump("expand.between");
+    ExprPtr in = And(Ge(CloneExpr(e->args[0]), e->args[1]),
+                     Le(e->args[0], e->args[2]));
+    return fn == "between" ? in : Not(in);
+  }
+  if (fn == "coalesce") {
+    if (e->args.size() < 2) {
+      return Status::InvalidArgument("coalesce expects >= 2 arguments");
+    }
+    bump("expand.coalesce");
+    // Right-fold: coalesce(a, b, c) = if isnotnull(a) a else coalesce(b, c).
+    ExprPtr acc = e->args.back();
+    for (int i = static_cast<int>(e->args.size()) - 2; i >= 0; i--) {
+      acc = Call("ifthenelse", {Call("isnotnull", {CloneExpr(e->args[i])}),
+                                e->args[i], acc});
+    }
+    return acc;
+  }
+  if (fn == "left") {
+    bump("expand.left");
+    return Call("substring",
+                {e->args[0], Lit(Value::I32(1)), e->args[1]});
+  }
+  if (fn == "right") {
+    bump("expand.right");
+    // substring(s, length(s) - n + 1, n)
+    ExprPtr start = Add(Sub(Call("length", {CloneExpr(e->args[0])}),
+                            CloneExpr(e->args[1])),
+                        Lit(Value::I32(1)));
+    return Call("substring", {e->args[0], start, e->args[1]});
+  }
+  if (fn == "sign") {
+    bump("expand.sign");
+    return Call("ifthenelse",
+                {Lt(CloneExpr(e->args[0]), Lit(Value::I64(0))),
+                 Lit(Value::I64(-1)),
+                 Call("ifthenelse", {Gt(e->args[0], Lit(Value::I64(0))),
+                                     Lit(Value::I64(1)),
+                                     Lit(Value::I64(0))})});
+  }
+  if (fn == "abs") {
+    bump("expand.abs");
+    return Call("ifthenelse",
+                {Lt(CloneExpr(e->args[0]), Lit(Value::I64(0))),
+                 Call("neg", {CloneExpr(e->args[0])}), e->args[0]});
+  }
+  if (fn == "date_trunc_month") {
+    bump("expand.date_trunc");
+    return Call("trunc_month", {e->args[0]});
+  }
+  return e;
+}
+
+ExprPtr Rewriter::FoldConstants(ExprPtr e) {
+  if (e->kind != Expr::Kind::kCall) return e;
+  for (auto& a : e->args) a = FoldConstants(a);
+  bool all_const = !e->args.empty();
+  for (const auto& a : e->args) all_const &= IsConst(a);
+  if (!all_const) return e;
+
+  const std::string& fn = e->fn;
+  auto lit = [&](Value v) {
+    stats_["fold.constant"]++;
+    return Lit(std::move(v));
+  };
+  const Value& a = e->args[0]->constant;
+  const bool numeric2 =
+      e->args.size() == 2 && IsNumericType(a.type()) &&
+      IsNumericType(e->args[1]->constant.type());
+  if (numeric2) {
+    const Value& b = e->args[1]->constant;
+    const bool flt = a.type() == TypeId::kF64 || b.type() == TypeId::kF64;
+    if (fn == "add") {
+      return flt ? lit(Value::F64(a.AsF64() + b.AsF64()))
+                 : lit(Value::I64(a.AsI64() + b.AsI64()));
+    }
+    if (fn == "sub") {
+      return flt ? lit(Value::F64(a.AsF64() - b.AsF64()))
+                 : lit(Value::I64(a.AsI64() - b.AsI64()));
+    }
+    if (fn == "mul") {
+      return flt ? lit(Value::F64(a.AsF64() * b.AsF64()))
+                 : lit(Value::I64(a.AsI64() * b.AsI64()));
+    }
+    if (fn == "div" && ((flt && b.AsF64() != 0) || (!flt && b.AsI64() != 0))) {
+      return flt ? lit(Value::F64(a.AsF64() / b.AsF64()))
+                 : lit(Value::I64(a.AsI64() / b.AsI64()));
+    }
+    if (fn == "eq") return lit(Value::Bool(a.AsF64() == b.AsF64()));
+    if (fn == "ne") return lit(Value::Bool(a.AsF64() != b.AsF64()));
+    if (fn == "lt") return lit(Value::Bool(a.AsF64() < b.AsF64()));
+    if (fn == "le") return lit(Value::Bool(a.AsF64() <= b.AsF64()));
+    if (fn == "gt") return lit(Value::Bool(a.AsF64() > b.AsF64()));
+    if (fn == "ge") return lit(Value::Bool(a.AsF64() >= b.AsF64()));
+  }
+  if (e->args.size() == 2 && a.type() == TypeId::kStr &&
+      e->args[1]->constant.type() == TypeId::kStr) {
+    const Value& b = e->args[1]->constant;
+    if (fn == "concat") return lit(Value::Str(a.AsStr() + b.AsStr()));
+    if (fn == "eq") return lit(Value::Bool(a.AsStr() == b.AsStr()));
+    if (fn == "ne") return lit(Value::Bool(a.AsStr() != b.AsStr()));
+  }
+  if (e->args.size() == 1 && a.type() == TypeId::kStr) {
+    if (fn == "length") {
+      return lit(Value::I32(static_cast<int32_t>(a.AsStr().size())));
+    }
+    if (fn == "upper" || fn == "lower") {
+      std::string s = a.AsStr();
+      for (char& c : s) {
+        c = fn == "upper" ? static_cast<char>(toupper(c))
+                          : static_cast<char>(tolower(c));
+      }
+      return lit(Value::Str(std::move(s)));
+    }
+  }
+  if (e->args.size() == 2 && a.type() == TypeId::kBool &&
+      e->args[1]->constant.type() == TypeId::kBool) {
+    if (fn == "and") return lit(Value::Bool(a.AsBool() && e->args[1]->constant.AsBool()));
+    if (fn == "or") return lit(Value::Bool(a.AsBool() || e->args[1]->constant.AsBool()));
+  }
+  if (e->args.size() == 1 && a.type() == TypeId::kBool && fn == "not") {
+    return lit(Value::Bool(!a.AsBool()));
+  }
+  return e;
+}
+
+ExprPtr Rewriter::SimplifyPredicate(ExprPtr e) {
+  if (e->kind != Expr::Kind::kCall) return e;
+  for (auto& a : e->args) a = SimplifyPredicate(a);
+  auto bump = [&] { stats_["simplify.predicate"]++; };
+  if (e->fn == "and") {
+    if (IsBoolConst(e->args[0], true)) { bump(); return e->args[1]; }
+    if (IsBoolConst(e->args[1], true)) { bump(); return e->args[0]; }
+    if (IsBoolConst(e->args[0], false) || IsBoolConst(e->args[1], false)) {
+      bump();
+      return Lit(Value::Bool(false));
+    }
+  }
+  if (e->fn == "or") {
+    if (IsBoolConst(e->args[0], false)) { bump(); return e->args[1]; }
+    if (IsBoolConst(e->args[1], false)) { bump(); return e->args[0]; }
+    if (IsBoolConst(e->args[0], true) || IsBoolConst(e->args[1], true)) {
+      bump();
+      return Lit(Value::Bool(true));
+    }
+  }
+  if (e->fn == "not" && e->args[0]->kind == Expr::Kind::kCall &&
+      e->args[0]->fn == "not") {
+    bump();
+    return e->args[0]->args[0];
+  }
+  return e;
+}
+
+Result<ExprPtr> Rewriter::RewriteExpr(ExprPtr e) {
+  if (e == nullptr) return e;
+  if (opts_.expand_functions) {
+    X100_ASSIGN_OR_RETURN(e, ExpandFunctions(std::move(e)));
+  }
+  if (opts_.fold_constants) e = FoldConstants(std::move(e));
+  if (opts_.simplify_predicates) e = SimplifyPredicate(std::move(e));
+  return e;
+}
+
+namespace {
+
+/// True if the subtree is a Select/Project chain over a single Scan —
+/// the shape the parallelizer partitions.
+bool IsPartitionablePipeline(const AlgebraPtr& node) {
+  if (node->kind == AlgebraNode::Kind::kScan) return node->scan_parts == 1;
+  if (node->kind == AlgebraNode::Kind::kSelect ||
+      node->kind == AlgebraNode::Kind::kProject) {
+    return IsPartitionablePipeline(node->children[0]);
+  }
+  return false;
+}
+
+void SetScanPartition(const AlgebraPtr& node, int part, int parts) {
+  if (node->kind == AlgebraNode::Kind::kScan) {
+    node->scan_part = part;
+    node->scan_parts = parts;
+    return;
+  }
+  SetScanPartition(node->children[0], part, parts);
+}
+
+}  // namespace
+
+Result<AlgebraPtr> Rewriter::Parallelize(AlgebraPtr plan, int workers) {
+  if (workers <= 1) return plan;
+  if (plan->kind != AlgebraNode::Kind::kAggr ||
+      !IsPartitionablePipeline(plan->children[0])) {
+    // Recurse: parallelizable aggregations may sit under Order/Project.
+    for (auto& c : plan->children) {
+      X100_ASSIGN_OR_RETURN(c, Parallelize(c, workers));
+    }
+    return plan;
+  }
+  stats_["parallelize.aggr"]++;
+
+  // Decompose AVG into SUM + COUNT so partials are mergeable.
+  std::vector<AggItem> partial_aggs;
+  struct FinalSpec {
+    AggKind merge_kind;     // how the final Aggr merges the partial
+    std::string partial;    // partial column name
+    std::string partial2;   // count column for avg
+    std::string name;       // output name
+    bool is_avg;
+  };
+  std::vector<FinalSpec> finals;
+  for (const AggItem& a : plan->aggs) {
+    if (a.kind == AggKind::kAvg) {
+      partial_aggs.push_back(
+          {AggKind::kSum, CloneExpr(a.input), a.name + "$sum"});
+      partial_aggs.push_back(
+          {AggKind::kCount, CloneExpr(a.input), a.name + "$cnt"});
+      finals.push_back(
+          {AggKind::kSum, a.name + "$sum", a.name + "$cnt", a.name, true});
+    } else {
+      partial_aggs.push_back(
+          {a.kind, a.input ? CloneExpr(a.input) : nullptr, a.name});
+      // COUNT partials merge by summing.
+      finals.push_back({a.kind == AggKind::kCount ? AggKind::kSum : a.kind,
+                        a.name, "", a.name, false});
+    }
+  }
+
+  // One partial pipeline per worker, each over a disjoint group partition.
+  auto xchg = std::make_shared<AlgebraNode>();
+  xchg->kind = AlgebraNode::Kind::kXchg;
+  xchg->parallelism = workers;
+  for (int w = 0; w < workers; w++) {
+    AlgebraPtr partial = CloneAlgebra(plan->children[0]);
+    SetScanPartition(partial, w, workers);
+    std::vector<ProjectItem> keys;
+    for (const ProjectItem& k : plan->group_by) {
+      keys.push_back({k.name, CloneExpr(k.expr)});
+    }
+    std::vector<AggItem> aggs;
+    for (const AggItem& a : partial_aggs) {
+      aggs.push_back({a.kind, a.input ? CloneExpr(a.input) : nullptr,
+                      a.name});
+    }
+    xchg->children.push_back(
+        AggrNode(std::move(partial), std::move(keys), std::move(aggs)));
+  }
+
+  // Final merge aggregation over the exchange.
+  std::vector<ProjectItem> final_keys;
+  bool any_avg = false;
+  for (const ProjectItem& k : plan->group_by) {
+    final_keys.push_back({k.name, Col(k.name)});
+  }
+  std::vector<AggItem> final_aggs;
+  for (const FinalSpec& f : finals) {
+    any_avg |= f.is_avg;
+    if (f.is_avg) {
+      final_aggs.push_back({AggKind::kSum, Col(f.partial), f.partial});
+      final_aggs.push_back({AggKind::kSum, Col(f.partial2), f.partial2});
+    } else {
+      final_aggs.push_back({f.merge_kind, Col(f.partial), f.name});
+    }
+  }
+  AlgebraPtr final_aggr =
+      AggrNode(xchg, std::move(final_keys), std::move(final_aggs));
+  if (!any_avg) return final_aggr;
+
+  // Post-project to materialize avg = sum / count and restore column order.
+  std::vector<ProjectItem> post;
+  for (const ProjectItem& k : plan->group_by) {
+    post.push_back({k.name, Col(k.name)});
+  }
+  for (const FinalSpec& f : finals) {
+    if (f.is_avg) {
+      post.push_back({f.name, Div(Col(f.partial), Col(f.partial2))});
+    } else {
+      post.push_back({f.name, Col(f.name)});
+    }
+  }
+  return ProjectNode(final_aggr, std::move(post));
+}
+
+Result<AlgebraPtr> Rewriter::RewriteNode(AlgebraPtr node) {
+  for (auto& c : node->children) {
+    X100_ASSIGN_OR_RETURN(c, RewriteNode(c));
+  }
+  if (node->predicate) {
+    X100_ASSIGN_OR_RETURN(node->predicate, RewriteExpr(node->predicate));
+  }
+  for (auto& item : node->items) {
+    X100_ASSIGN_OR_RETURN(item.expr, RewriteExpr(item.expr));
+  }
+  for (auto& item : node->group_by) {
+    X100_ASSIGN_OR_RETURN(item.expr, RewriteExpr(item.expr));
+  }
+  for (auto& agg : node->aggs) {
+    if (agg.input) {
+      X100_ASSIGN_OR_RETURN(agg.input, RewriteExpr(agg.input));
+    }
+  }
+  // §"NULL intricacies": pick the anti-join flavor. The cross compiler
+  // marks NOT IN joins as null-aware candidates; when the key cannot be
+  // NULL the cheaper plain anti join is safe.
+  if (opts_.rewrite_anti_joins && node->kind == AlgebraNode::Kind::kJoin &&
+      node->join_type == JoinType::kAntiNullAware &&
+      !node->null_aware_candidate) {
+    node->join_type = JoinType::kAnti;
+    stats_["antijoin.downgrade"]++;
+  }
+  return node;
+}
+
+Result<AlgebraPtr> Rewriter::Rewrite(AlgebraPtr plan) {
+  X100_ASSIGN_OR_RETURN(plan, RewriteNode(std::move(plan)));
+  if (opts_.parallelism > 1) {
+    X100_ASSIGN_OR_RETURN(plan, Parallelize(std::move(plan),
+                                            opts_.parallelism));
+  }
+  return plan;
+}
+
+}  // namespace x100

@@ -1,0 +1,71 @@
+// The Vectorwise rewriter — a rule-based rewriting system over the X100
+// algebra (paper §"X100 rewriter": "a column-oriented rewriter module
+// inside the X100 system … a rule-based rewriting system").
+//
+// Rules implemented (each maps to a paper work item):
+//  * FunctionExpansion   — §"Many Functions": "Some functions were
+//    implemented in the rewriter phase, by simplifying them or expressing
+//    as combinations of other functions." (BETWEEN, COALESCE, LEFT, RIGHT,
+//    SIGN, integer ABS, NOT LIKE, date_trunc…)
+//  * ConstantFolding     — evaluate constant subtrees at rewrite time.
+//  * PredicateSimplify   — boolean identities (AND true, OR false, NOT NOT).
+//  * Parallelizer        — §"Multi-core": rewrites Aggr over a scan
+//    pipeline into FinalAggr(Xchg(N × PartialAggr(partitioned scan))),
+//    the Volcano-style parallelizer. AVG is decomposed into SUM+COUNT.
+//  * AntiJoinNullRule    — §"NULL intricacies": NOT-IN joins with nullable
+//    keys become null-aware anti joins; non-nullable keys downgrade to the
+//    cheaper plain anti join.
+//
+// The NULL two-column decomposition of §"NULLs" lives structurally in the
+// executor (ExprProgram evaluates values NULL-obliviously and ORs
+// indicator columns) — see DESIGN.md §5.
+#ifndef X100_REWRITER_REWRITER_H_
+#define X100_REWRITER_REWRITER_H_
+
+#include <map>
+#include <string>
+
+#include "algebra/algebra.h"
+
+namespace x100 {
+
+/// Rewrite statistics: rule name -> number of applications (reported by
+/// bench_e11 and the monitoring example).
+using RewriteStats = std::map<std::string, int64_t>;
+
+class Rewriter {
+ public:
+  struct Options {
+    bool expand_functions = true;
+    bool fold_constants = true;
+    bool simplify_predicates = true;
+    /// > 1 enables the parallelizer with this worker count.
+    int parallelism = 1;
+    bool rewrite_anti_joins = true;
+  };
+
+  Rewriter() = default;
+  explicit Rewriter(Options opts) : opts_(opts) {}
+
+  /// Applies all enabled rules; returns the rewritten plan.
+  Result<AlgebraPtr> Rewrite(AlgebraPtr plan);
+
+  const RewriteStats& stats() const { return stats_; }
+
+  // Individual passes (exposed for tests and E12).
+  Result<ExprPtr> ExpandFunctions(ExprPtr e);
+  ExprPtr FoldConstants(ExprPtr e);
+  ExprPtr SimplifyPredicate(ExprPtr e);
+  Result<AlgebraPtr> Parallelize(AlgebraPtr plan, int workers);
+
+ private:
+  Result<AlgebraPtr> RewriteNode(AlgebraPtr node);
+  Result<ExprPtr> RewriteExpr(ExprPtr e);
+
+  Options opts_;
+  RewriteStats stats_;
+};
+
+}  // namespace x100
+
+#endif  // X100_REWRITER_REWRITER_H_

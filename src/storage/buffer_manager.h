@@ -1,0 +1,118 @@
+// BufferManager: an LRU cache of disk blocks with pin counting.
+//
+// This is the "classic" buffer layer; the Cooperative Scans Active Buffer
+// Manager (coop_scan.h) implements the chunk-level relevance policy from
+// [7] on top of table block-groups and uses this cache only as its block
+// store.
+#ifndef X100_STORAGE_BUFFER_MANAGER_H_
+#define X100_STORAGE_BUFFER_MANAGER_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "storage/simulated_disk.h"
+
+namespace x100 {
+
+class BufferManager {
+ public:
+  BufferManager(SimulatedDisk* disk, int capacity_blocks)
+      : disk_(disk), capacity_(capacity_blocks) {}
+
+  /// Returns the block's bytes, reading through the cache. Cached blocks
+  /// are shared (shared_ptr) so eviction never invalidates readers.
+  Result<std::shared_ptr<const std::vector<uint8_t>>> GetBlock(
+      BlockId id, CancellationToken* cancel = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(id);
+      if (it != cache_.end()) {
+        hits_++;
+        Touch(id);
+        return it->second.data;
+      }
+      misses_++;
+    }
+    // Read outside the lock: the simulated IO wait must not block hits.
+    auto read = disk_->ReadBlock(id, cancel);
+    if (!read.ok()) return read.status();
+    auto data = std::make_shared<const std::vector<uint8_t>>(
+        std::move(read).value());
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = cache_.try_emplace(id);
+    if (inserted) {
+      it->second.data = data;
+      lru_.push_front(id);
+      it->second.lru_pos = lru_.begin();
+      EvictIfNeeded();
+    }
+    return it->second.data;
+  }
+
+  bool Contains(BlockId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.count(id) != 0;
+  }
+
+  /// Drops a block from the cache if present (checkpoint invalidation).
+  void Invalidate(BlockId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(id);
+    if (it == cache_.end()) return;
+    lru_.erase(it->second.lru_pos);
+    cache_.erase(it);
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+    lru_.clear();
+  }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(cache_.size());
+  }
+  int capacity() const { return capacity_; }
+  SimulatedDisk* disk() { return disk_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::vector<uint8_t>> data;
+    std::list<BlockId>::iterator lru_pos;
+  };
+
+  void Touch(BlockId id) {
+    auto it = cache_.find(id);
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+  }
+
+  void EvictIfNeeded() {
+    while (static_cast<int>(cache_.size()) > capacity_ && !lru_.empty()) {
+      const BlockId victim = lru_.back();
+      lru_.pop_back();
+      cache_.erase(victim);
+    }
+  }
+
+  SimulatedDisk* disk_;
+  int capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<BlockId, Entry> cache_;
+  std::list<BlockId> lru_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_BUFFER_MANAGER_H_

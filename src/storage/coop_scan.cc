@@ -1,0 +1,141 @@
+#include "storage/coop_scan.h"
+
+#include <algorithm>
+
+namespace x100 {
+
+// ---------------------------------------------------------------------------
+// SequentialScheduler
+// ---------------------------------------------------------------------------
+
+int SequentialScheduler::Register(int num_groups) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int qid = next_qid_++;
+  queries_[qid] = QueryState{0, num_groups};
+  return qid;
+}
+
+int SequentialScheduler::NextGroup(int qid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(qid);
+  if (it == queries_.end()) return -1;
+  QueryState& q = it->second;
+  if (q.next >= q.num_groups) return -1;
+  const int g = q.next++;
+  // Load estimate mirroring an LRU pool of `cache_capacity_` groups: a
+  // group is a miss unless a recent scan left it resident.
+  if (!cached_.count(g)) {
+    loads_++;
+    cached_.insert(g);
+    while (static_cast<int>(cached_.size()) > cache_capacity_ &&
+           !cached_.empty()) {
+      // Sequential scans evict the *oldest* group, which is the smallest id
+      // other than the one just inserted.
+      auto victim = cached_.begin();
+      if (*victim == g && std::next(victim) != cached_.end()) ++victim;
+      cached_.erase(victim);
+    }
+  }
+  return g;
+}
+
+void SequentialScheduler::Unregister(int qid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.erase(qid);
+}
+
+int64_t SequentialScheduler::chunk_loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loads_;
+}
+
+// ---------------------------------------------------------------------------
+// RelevanceScheduler (ABM)
+// ---------------------------------------------------------------------------
+
+int RelevanceScheduler::Register(int num_groups) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int qid = next_qid_++;
+  std::set<int>& rem = remaining_[qid];
+  for (int g = 0; g < num_groups; g++) rem.insert(g);
+  return qid;
+}
+
+int RelevanceScheduler::Interest(int g) const {
+  int n = 0;
+  for (const auto& [qid, rem] : remaining_) n += rem.count(g);
+  return n;
+}
+
+void RelevanceScheduler::Evict() {
+  while (static_cast<int>(cached_.size()) > capacity_) {
+    // Victim: cached chunk wanted by the fewest remaining queries.
+    int victim = -1, victim_interest = INT32_MAX;
+    for (int g : cached_) {
+      const int i = Interest(g);
+      if (i < victim_interest) {
+        victim_interest = i;
+        victim = g;
+      }
+    }
+    if (victim < 0) break;
+    cached_.erase(victim);
+  }
+}
+
+int RelevanceScheduler::NextGroup(int qid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = remaining_.find(qid);
+  if (it == remaining_.end() || it->second.empty()) return -1;
+  std::set<int>& rem = it->second;
+
+  // 1) Serve a cached chunk this query still needs — pick the one with the
+  //    highest overall interest so hot chunks are consumed while resident.
+  int best = -1, best_interest = -1;
+  for (int g : rem) {
+    if (cached_.count(g)) {
+      const int i = Interest(g);
+      if (i > best_interest) {
+        best_interest = i;
+        best = g;
+      }
+    }
+  }
+  if (best >= 0) {
+    rem.erase(best);
+    return best;
+  }
+
+  // 2) Nothing useful cached: load the chunk relevant to the most queries
+  //    (ties broken towards lower ids to preserve locality).
+  best_interest = -1;
+  for (int g : rem) {
+    const int i = Interest(g);
+    if (i > best_interest) {
+      best_interest = i;
+      best = g;
+    }
+  }
+  loads_++;
+  cached_.insert(best);
+  rem.erase(best);
+  Evict();
+  return best;
+}
+
+void RelevanceScheduler::Unregister(int qid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  remaining_.erase(qid);
+}
+
+int64_t RelevanceScheduler::chunk_loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loads_;
+}
+
+std::vector<int> RelevanceScheduler::CachedGroups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<int>(cached_.begin(), cached_.end());
+}
+
+}  // namespace x100

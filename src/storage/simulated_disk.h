@@ -1,0 +1,115 @@
+// SimulatedDisk: a block device with a configurable bandwidth model.
+//
+// Substitution note (see DESIGN.md §2): the paper's storage results
+// (Cooperative Scans, compression keeping scans IO-balanced) depend on a
+// bandwidth-limited device. This simulated device stores blocks in memory
+// and charges `bytes / bandwidth` wall-clock time per read, serialized as
+// on a single channel, with cancellation-interruptible waits. IO statistics
+// feed the monitoring subsystem and experiments E3/E4/E9.
+#ifndef X100_STORAGE_SIMULATED_DISK_H_
+#define X100_STORAGE_SIMULATED_DISK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/config.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace x100 {
+
+using BlockId = uint64_t;
+
+class SimulatedDisk {
+ public:
+  /// bandwidth_bytes_per_sec == 0 means infinite (pure memcpy).
+  explicit SimulatedDisk(int64_t bandwidth_bytes_per_sec = 0)
+      : bandwidth_(bandwidth_bytes_per_sec) {}
+
+  /// Appends a block (any size up to kDiskBlockBytes); returns its id.
+  BlockId WriteBlock(std::vector<uint8_t> data) {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.push_back(std::move(data));
+    bytes_written_ += blocks_.back().size();
+    return blocks_.size() - 1;
+  }
+
+  /// Reads a block. Charges simulated IO time; the wait is interruptible
+  /// via `cancel` (may be nullptr). Returns a *copy* of the block bytes.
+  Result<std::vector<uint8_t>> ReadBlock(BlockId id,
+                                         CancellationToken* cancel = nullptr) {
+    std::vector<uint8_t> data;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (id >= blocks_.size()) {
+        return Status::IoError("block " + std::to_string(id) +
+                               " out of range");
+      }
+      data = blocks_[id];
+    }
+    X100_RETURN_IF_ERROR(ChargeIo(data.size(), cancel));
+    blocks_read_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(data.size(), std::memory_order_relaxed);
+    return data;
+  }
+
+  int64_t blocks_read() const { return blocks_read_.load(); }
+  int64_t bytes_read() const { return bytes_read_.load(); }
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t num_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(blocks_.size());
+  }
+
+  void ResetStats() {
+    blocks_read_.store(0);
+    bytes_read_.store(0);
+  }
+
+  void set_bandwidth(int64_t bytes_per_sec) { bandwidth_ = bytes_per_sec; }
+  int64_t bandwidth() const { return bandwidth_; }
+
+ private:
+  /// Single-channel bandwidth model: each read occupies the channel for
+  /// size/bandwidth; concurrent readers queue behind `busy_until_`.
+  Status ChargeIo(size_t bytes, CancellationToken* cancel) {
+    const int64_t bw = bandwidth_;
+    if (bw <= 0) return Status::OK();
+    using Clock = std::chrono::steady_clock;
+    const auto cost = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 * static_cast<double>(bytes) / bw));
+    Clock::time_point wait_until;
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      const auto now = Clock::now();
+      if (busy_until_ < now) busy_until_ = now;
+      busy_until_ += cost;
+      wait_until = busy_until_;
+    }
+    const auto now = Clock::now();
+    if (wait_until <= now) return Status::OK();
+    const auto wait = wait_until - now;
+    if (cancel != nullptr) return cancel->WaitFor(wait);
+    std::this_thread::sleep_for(wait);
+    return Status::OK();
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> blocks_;
+  int64_t bytes_written_ = 0;
+
+  std::mutex io_mu_;
+  std::chrono::steady_clock::time_point busy_until_{};
+  std::atomic<int64_t> blocks_read_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  int64_t bandwidth_;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_SIMULATED_DISK_H_

@@ -1,0 +1,417 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace x100 {
+
+namespace {
+
+/// Splits `bytes` into disk blocks of at most kDiskBlockBytes.
+std::vector<BlockId> PlaceBytes(SimulatedDisk* disk,
+                                const std::vector<uint8_t>& bytes) {
+  std::vector<BlockId> blocks;
+  size_t off = 0;
+  do {
+    const size_t len =
+        std::min<size_t>(bytes.size() - off, kDiskBlockBytes);
+    blocks.push_back(disk->WriteBlock(
+        std::vector<uint8_t>(bytes.begin() + off, bytes.begin() + off + len)));
+    off += len;
+  } while (off < bytes.size());
+  return blocks;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MinMax pushdown
+// ---------------------------------------------------------------------------
+
+bool Table::GroupMayMatch(int g, int col, RangeOp op, const Value& v) const {
+  const ColumnChunkMeta& m = groups_[g].cols[col];
+  if (!m.has_min_max || v.is_null()) return true;
+  const TypeId t = schema_.field(col).type;
+  double lo, hi, x;
+  if (t == TypeId::kF64) {
+    lo = m.dmin;
+    hi = m.dmax;
+    x = v.AsF64();
+  } else if (IsIntegerType(t)) {
+    lo = static_cast<double>(m.imin);
+    hi = static_cast<double>(m.imax);
+    x = static_cast<double>(v.AsI64());
+  } else {
+    return true;
+  }
+  switch (op) {
+    case RangeOp::kEq: return x >= lo && x <= hi;
+    case RangeOp::kLt: return lo < x;
+    case RangeOp::kLe: return lo <= x;
+    case RangeOp::kGt: return hi > x;
+    case RangeOp::kGe: return hi >= x;
+  }
+  return true;
+}
+
+int64_t Table::compressed_bytes() const {
+  int64_t total = 0;
+  for (const GroupMeta& g : groups_) {
+    if (!g.pax_blocks.empty()) {
+      for (const ColumnChunkMeta& c : g.cols) {
+        total += static_cast<int64_t>(c.loc.length) +
+                 static_cast<int64_t>(c.null_loc.length);
+      }
+    } else {
+      for (const ColumnChunkMeta& c : g.cols) {
+        total += static_cast<int64_t>(c.loc.length) +
+                 static_cast<int64_t>(c.null_loc.length);
+      }
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// TableBuilder
+// ---------------------------------------------------------------------------
+
+struct TableBuilder::Staging {
+  struct Col {
+    std::vector<uint8_t> fixed;     // raw bytes for fixed-width types
+    std::vector<std::string> strs;  // owned strings for kStr
+    std::vector<uint8_t> nulls;
+    bool any_null = false;
+  };
+  std::vector<Col> cols;
+  int64_t rows = 0;
+};
+
+TableBuilder::TableBuilder(std::string name, Schema schema, Layout layout,
+                           SimulatedDisk* disk, int64_t group_rows)
+    : table_(std::make_unique<Table>(std::move(name), std::move(schema),
+                                     layout, disk)),
+      group_rows_(group_rows > 0 ? group_rows : kBlockGroupRows),
+      staging_(std::make_unique<Staging>()) {
+  staging_->cols.resize(table_->schema().num_fields());
+}
+
+TableBuilder::~TableBuilder() = default;
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  const Schema& schema = table_->schema();
+  if (static_cast<int>(row.size()) != schema.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (int c = 0; c < schema.num_fields(); c++) {
+    const Field& f = schema.field(c);
+    Staging::Col& st = staging_->cols[c];
+    const bool null = row[c].is_null();
+    if (null && !f.nullable) {
+      return Status::InvalidArgument("NULL in non-nullable column " + f.name);
+    }
+    st.nulls.push_back(null ? 1 : 0);
+    st.any_null |= null;
+    auto push_fixed = [&](auto v) {
+      const auto* p = reinterpret_cast<const uint8_t*>(&v);
+      st.fixed.insert(st.fixed.end(), p, p + sizeof(v));
+    };
+    switch (f.type) {
+      case TypeId::kBool:
+        push_fixed(static_cast<uint8_t>(null ? 0 : row[c].AsBool()));
+        break;
+      case TypeId::kI8:
+        push_fixed(static_cast<int8_t>(null ? 0 : row[c].AsI64()));
+        break;
+      case TypeId::kI16:
+        push_fixed(static_cast<int16_t>(null ? 0 : row[c].AsI64()));
+        break;
+      case TypeId::kI32:
+      case TypeId::kDate:
+        push_fixed(static_cast<int32_t>(null ? 0 : row[c].AsI64()));
+        break;
+      case TypeId::kI64:
+        push_fixed(static_cast<int64_t>(null ? 0 : row[c].AsI64()));
+        break;
+      case TypeId::kF64:
+        push_fixed(null ? 0.0 : row[c].AsF64());
+        break;
+      case TypeId::kStr:
+        st.strs.push_back(null ? std::string() : row[c].AsStr());
+        break;
+    }
+  }
+  staging_->rows++;
+  if (staging_->rows >= group_rows_) return FlushGroup();
+  return Status::OK();
+}
+
+Status TableBuilder::AppendBatch(const Batch& batch) {
+  const Schema& schema = table_->schema();
+  if (batch.num_columns() != schema.num_fields()) {
+    return Status::InvalidArgument("batch arity mismatch");
+  }
+  const int n = batch.ActiveRows();
+  const sel_t* sel = batch.sel();
+  for (int j = 0; j < n; j++) {
+    const int i = sel ? sel[j] : j;
+    for (int c = 0; c < schema.num_fields(); c++) {
+      const Vector& v = *batch.column(c);
+      Staging::Col& st = staging_->cols[c];
+      const bool null = v.IsNull(i);
+      if (null && !schema.field(c).nullable) {
+        return Status::InvalidArgument("NULL in non-nullable column " +
+                                       schema.field(c).name);
+      }
+      st.nulls.push_back(null ? 1 : 0);
+      st.any_null |= null;
+      if (schema.field(c).type == TypeId::kStr) {
+        st.strs.push_back(std::string(v.Data<StrRef>()[i].view()));
+      } else {
+        const int w = TypeWidth(v.type());
+        const uint8_t* p =
+            static_cast<const uint8_t*>(v.RawData()) +
+            static_cast<size_t>(i) * w;
+        st.fixed.insert(st.fixed.end(), p, p + w);
+      }
+    }
+    staging_->rows++;
+    if (staging_->rows >= group_rows_) X100_RETURN_IF_ERROR(FlushGroup());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+Status CompressTyped(const std::vector<uint8_t>& fixed, int n,
+                     std::vector<uint8_t>* out, int64_t* imin, int64_t* imax,
+                     double* dmin, double* dmax, bool* has_mm,
+                     const std::vector<uint8_t>& nulls, bool any_null) {
+  const T* data = reinterpret_cast<const T*>(fixed.data());
+  const CodecId codec = ChooseCodec<T>(data, n);
+  X100_RETURN_IF_ERROR(CompressColumn<T>(codec, data, n, out));
+  // MinMax over non-NULL values.
+  bool first = true;
+  for (int i = 0; i < n; i++) {
+    if (any_null && nulls[i]) continue;
+    const T v = data[i];
+    if constexpr (std::is_same_v<T, double>) {
+      if (first || v < *dmin) *dmin = v;
+      if (first || v > *dmax) *dmax = v;
+    } else {
+      if (first || static_cast<int64_t>(v) < *imin) *imin = v;
+      if (first || static_cast<int64_t>(v) > *imax) *imax = v;
+    }
+    first = false;
+  }
+  *has_mm = !first;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TableBuilder::FlushGroup() {
+  if (staging_->rows == 0) return Status::OK();
+  const Schema& schema = table_->schema();
+  const int n = static_cast<int>(staging_->rows);
+  GroupMeta gm;
+  gm.first_sid = table_->num_rows_;
+  gm.rows = static_cast<uint32_t>(n);
+  gm.cols.resize(schema.num_fields());
+
+  // Compress every column chunk (+ null chunks) into byte buffers.
+  std::vector<std::vector<uint8_t>> payloads(schema.num_fields());
+  std::vector<std::vector<uint8_t>> null_payloads(schema.num_fields());
+  for (int c = 0; c < schema.num_fields(); c++) {
+    const Field& f = schema.field(c);
+    Staging::Col& st = staging_->cols[c];
+    ColumnChunkMeta& meta = gm.cols[c];
+    std::vector<uint8_t>* out = &payloads[c];
+    switch (f.type) {
+      case TypeId::kBool:
+        X100_RETURN_IF_ERROR(CompressTyped<uint8_t>(
+            st.fixed, n, out, &meta.imin, &meta.imax, &meta.dmin, &meta.dmax,
+            &meta.has_min_max, st.nulls, st.any_null));
+        meta.has_min_max = false;  // no range pruning on bool
+        break;
+      case TypeId::kI8:
+        X100_RETURN_IF_ERROR(CompressTyped<int8_t>(
+            st.fixed, n, out, &meta.imin, &meta.imax, &meta.dmin, &meta.dmax,
+            &meta.has_min_max, st.nulls, st.any_null));
+        break;
+      case TypeId::kI16:
+        X100_RETURN_IF_ERROR(CompressTyped<int16_t>(
+            st.fixed, n, out, &meta.imin, &meta.imax, &meta.dmin, &meta.dmax,
+            &meta.has_min_max, st.nulls, st.any_null));
+        break;
+      case TypeId::kI32:
+      case TypeId::kDate:
+        X100_RETURN_IF_ERROR(CompressTyped<int32_t>(
+            st.fixed, n, out, &meta.imin, &meta.imax, &meta.dmin, &meta.dmax,
+            &meta.has_min_max, st.nulls, st.any_null));
+        break;
+      case TypeId::kI64:
+        X100_RETURN_IF_ERROR(CompressTyped<int64_t>(
+            st.fixed, n, out, &meta.imin, &meta.imax, &meta.dmin, &meta.dmax,
+            &meta.has_min_max, st.nulls, st.any_null));
+        break;
+      case TypeId::kF64:
+        X100_RETURN_IF_ERROR(CompressTyped<double>(
+            st.fixed, n, out, &meta.imin, &meta.imax, &meta.dmin, &meta.dmax,
+            &meta.has_min_max, st.nulls, st.any_null));
+        break;
+      case TypeId::kStr: {
+        std::vector<StrRef> refs(n);
+        for (int i = 0; i < n; i++) refs[i] = StrRef(st.strs[i]);
+        const CodecId codec = ChooseStrCodec(refs.data(), n);
+        X100_RETURN_IF_ERROR(
+            CompressStrColumn(codec, refs.data(), n, out));
+        break;
+      }
+    }
+    meta.loc.length = out->size();
+    if (st.any_null) {
+      meta.has_nulls = true;
+      const CodecId codec = ChooseCodec<uint8_t>(st.nulls.data(), n);
+      X100_RETURN_IF_ERROR(CompressColumn<uint8_t>(codec, st.nulls.data(), n,
+                                                   &null_payloads[c]));
+      meta.null_loc.length = null_payloads[c].size();
+    }
+  }
+
+  // Place on disk.
+  SimulatedDisk* disk = table_->disk();
+  if (table_->layout() == Layout::kDsm) {
+    for (int c = 0; c < schema.num_fields(); c++) {
+      gm.cols[c].loc.blocks = PlaceBytes(disk, payloads[c]);
+      if (gm.cols[c].has_nulls) {
+        gm.cols[c].null_loc.blocks = PlaceBytes(disk, null_payloads[c]);
+      }
+    }
+  } else {
+    // PAX: one shared region; chunks addressed by (offset, length).
+    std::vector<uint8_t> region;
+    for (int c = 0; c < schema.num_fields(); c++) {
+      gm.cols[c].loc.offset = region.size();
+      region.insert(region.end(), payloads[c].begin(), payloads[c].end());
+      if (gm.cols[c].has_nulls) {
+        gm.cols[c].null_loc.offset = region.size();
+        region.insert(region.end(), null_payloads[c].begin(),
+                      null_payloads[c].end());
+      }
+    }
+    gm.pax_blocks = PlaceBytes(disk, region);
+  }
+
+  table_->groups_.push_back(std::move(gm));
+  table_->num_rows_ += n;
+  staging_ = std::make_unique<Staging>();
+  staging_->cols.resize(schema.num_fields());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Table>> TableBuilder::Finish() {
+  X100_RETURN_IF_ERROR(FlushGroup());
+  return std::move(table_);
+}
+
+// ---------------------------------------------------------------------------
+// TableReader
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint8_t>> TableReader::ReadChunkBytes(
+    const GroupMeta& gm, const ChunkLoc& loc, CancellationToken* cancel) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(loc.length);
+  if (!gm.pax_blocks.empty()) {
+    // PAX: the group region is one IO unit — fetch all region blocks (the
+    // buffer manager makes later columns of the same group cache hits),
+    // then slice this chunk's byte range.
+    std::vector<std::shared_ptr<const std::vector<uint8_t>>> region;
+    region.reserve(gm.pax_blocks.size());
+    for (BlockId b : gm.pax_blocks) {
+      auto blk = buffers_->GetBlock(b, cancel);
+      if (!blk.ok()) return blk.status();
+      region.push_back(std::move(blk).value());
+    }
+    uint64_t remaining = loc.length;
+    uint64_t pos = loc.offset;
+    while (remaining > 0) {
+      const size_t bi = pos / kDiskBlockBytes;
+      const size_t off = pos % kDiskBlockBytes;
+      if (bi >= region.size()) return Status::IoError("pax region overrun");
+      const auto& blk = *region[bi];
+      const size_t take = std::min<uint64_t>(remaining, blk.size() - off);
+      bytes.insert(bytes.end(), blk.begin() + off, blk.begin() + off + take);
+      pos += take;
+      remaining -= take;
+    }
+  } else {
+    for (BlockId b : loc.blocks) {
+      auto blk = buffers_->GetBlock(b, cancel);
+      if (!blk.ok()) return blk.status();
+      bytes.insert(bytes.end(), (*blk)->begin(), (*blk)->end());
+    }
+    bytes.resize(loc.length);
+  }
+  // Note: compressed chunks already carry the 8-byte bitpack slack inside
+  // their payload (PackedBytes), so no extra padding is needed here.
+  return bytes;
+}
+
+Status TableReader::ReadColumn(int g, int col, void* out, uint8_t* nulls,
+                               StringHeap* heap, CancellationToken* cancel) {
+  const GroupMeta& gm = table_->group(g);
+  const ColumnChunkMeta& meta = gm.cols[col];
+  std::vector<uint8_t> bytes;
+  X100_ASSIGN_OR_RETURN(bytes, ReadChunkBytes(gm, meta.loc, cancel));
+  const TypeId t = table_->schema().field(col).type;
+  switch (t) {
+    case TypeId::kBool:
+      X100_RETURN_IF_ERROR(DecompressColumn<uint8_t>(
+          bytes.data(), bytes.size(), static_cast<uint8_t*>(out)));
+      break;
+    case TypeId::kI8:
+      X100_RETURN_IF_ERROR(DecompressColumn<int8_t>(
+          bytes.data(), bytes.size(), static_cast<int8_t*>(out)));
+      break;
+    case TypeId::kI16:
+      X100_RETURN_IF_ERROR(DecompressColumn<int16_t>(
+          bytes.data(), bytes.size(), static_cast<int16_t*>(out)));
+      break;
+    case TypeId::kI32:
+    case TypeId::kDate:
+      X100_RETURN_IF_ERROR(DecompressColumn<int32_t>(
+          bytes.data(), bytes.size(), static_cast<int32_t*>(out)));
+      break;
+    case TypeId::kI64:
+      X100_RETURN_IF_ERROR(DecompressColumn<int64_t>(
+          bytes.data(), bytes.size(), static_cast<int64_t*>(out)));
+      break;
+    case TypeId::kF64:
+      X100_RETURN_IF_ERROR(DecompressColumn<double>(
+          bytes.data(), bytes.size(), static_cast<double*>(out)));
+      break;
+    case TypeId::kStr:
+      if (heap == nullptr) {
+        return Status::InvalidArgument("string column requires a heap");
+      }
+      X100_RETURN_IF_ERROR(DecompressStrColumn(
+          bytes.data(), bytes.size(), heap, static_cast<StrRef*>(out)));
+      break;
+  }
+  if (nulls != nullptr) {
+    if (meta.has_nulls) {
+      std::vector<uint8_t> nbytes;
+      X100_ASSIGN_OR_RETURN(nbytes, ReadChunkBytes(gm, meta.null_loc, cancel));
+      X100_RETURN_IF_ERROR(
+          DecompressColumn<uint8_t>(nbytes.data(), nbytes.size(), nulls));
+    } else {
+      std::memset(nulls, 0, gm.rows);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace x100

@@ -1,0 +1,158 @@
+// Columnar table storage with hybrid PAX/DSM layout — paper §1:
+// "research focus shifted to storage, leading to novel compression schemes
+// (e.g. PFOR), hybrid PAX/DSM storage, and bandwidth sharing by concurrent
+// queries".
+//
+// A table is a sequence of *block groups* of kBlockGroupRows rows. Each
+// column of a group is compressed into a self-describing chunk
+// (compression/codec.h) and placed on the simulated disk:
+//
+//  * DSM layout: every column chunk gets its own block run — scanning a
+//    column subset reads only those columns' bytes.
+//  * PAX layout: all chunks of a group share one block run (columns
+//    interleaved within the same blocks) — one IO serves every column of
+//    the group, but a narrow scan still pays for the full group region.
+//
+// Every numeric/date chunk carries a sparse MinMax index used for scan
+// range pushdown; nullable columns store the paper's two-column NULL
+// representation on disk as well (value chunk + RLE-friendly indicator
+// chunk).
+//
+// Rows are addressed by SID (stable id, position in the immutable stored
+// image); PDTs (pdt/) map SIDs to current RIDs under updates.
+#ifndef X100_STORAGE_TABLE_H_
+#define X100_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "compression/codec.h"
+#include "storage/buffer_manager.h"
+#include "storage/simulated_disk.h"
+#include "vector/batch.h"
+#include "vector/schema.h"
+
+namespace x100 {
+
+enum class Layout : uint8_t { kDsm, kPax };
+
+/// Location of a column chunk's compressed bytes.
+struct ChunkLoc {
+  std::vector<BlockId> blocks;  // DSM: dedicated run. PAX: empty.
+  uint64_t offset = 0;          // PAX: byte offset in the group region
+  uint64_t length = 0;          // compressed length in bytes
+};
+
+/// Per-chunk metadata: location, optional MinMax, optional null chunk.
+struct ColumnChunkMeta {
+  ChunkLoc loc;
+  // Sparse MinMax index (numeric + date columns, over non-NULL values).
+  bool has_min_max = false;
+  int64_t imin = 0, imax = 0;  // integer/date domain
+  double dmin = 0, dmax = 0;   // f64 domain
+  // NULL indicator chunk (two-column representation on disk).
+  bool has_nulls = false;
+  ChunkLoc null_loc;
+};
+
+struct GroupMeta {
+  int64_t first_sid = 0;
+  uint32_t rows = 0;
+  std::vector<BlockId> pax_blocks;  // PAX: the shared group region
+  std::vector<ColumnChunkMeta> cols;
+};
+
+/// Comparison shapes supported by MinMax pushdown.
+enum class RangeOp { kEq, kLt, kLe, kGt, kGe };
+
+/// An immutable stored table image. Updates are layered on top by PDTs.
+class Table {
+ public:
+  Table(std::string name, Schema schema, Layout layout, SimulatedDisk* disk)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        layout_(layout),
+        disk_(disk) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  Layout layout() const { return layout_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  const GroupMeta& group(int g) const { return groups_[g]; }
+  SimulatedDisk* disk() const { return disk_; }
+
+  /// MinMax pushdown: can group `g` contain rows with `col OP value`?
+  /// Conservative (true when unknown / non-numeric / NULL-bearing check).
+  bool GroupMayMatch(int g, int col, RangeOp op, const Value& v) const;
+
+  /// Total compressed bytes of the table on disk.
+  int64_t compressed_bytes() const;
+
+ private:
+  friend class TableBuilder;
+  std::string name_;
+  Schema schema_;
+  Layout layout_;
+  SimulatedDisk* disk_;
+  std::vector<GroupMeta> groups_;
+  int64_t num_rows_ = 0;
+};
+
+/// Builds a table group-by-group: stage rows, compress, place on disk.
+class TableBuilder {
+ public:
+  /// group_rows lets tests use small groups; 0 = kBlockGroupRows.
+  TableBuilder(std::string name, Schema schema, Layout layout,
+               SimulatedDisk* disk, int64_t group_rows = 0);
+  ~TableBuilder();
+
+  /// Appends one row; `row` must match the schema (Value::Null for NULLs in
+  /// nullable columns).
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends all live rows of a batch.
+  Status AppendBatch(const Batch& batch);
+
+  /// Flushes the final partial group and returns the table.
+  Result<std::unique_ptr<Table>> Finish();
+
+ private:
+  struct Staging;
+  Status FlushGroup();
+
+  std::unique_ptr<Table> table_;
+  int64_t group_rows_;
+  std::unique_ptr<Staging> staging_;
+};
+
+/// Reads one group's columns, decompressing through the buffer manager.
+class TableReader {
+ public:
+  TableReader(const Table* table, BufferManager* buffers)
+      : table_(table), buffers_(buffers) {}
+
+  /// Decompresses column `col` of group `g` into `out` (and null flags into
+  /// `nulls`, which may be nullptr for non-nullable columns). `out` must
+  /// hold group(g).rows values; strings are materialized into `heap`.
+  Status ReadColumn(int g, int col, void* out, uint8_t* nulls,
+                    StringHeap* heap, CancellationToken* cancel = nullptr);
+
+  const Table* table() const { return table_; }
+
+ private:
+  Result<std::vector<uint8_t>> ReadChunkBytes(const GroupMeta& gm,
+                                              const ChunkLoc& loc,
+                                              CancellationToken* cancel);
+
+  const Table* table_;
+  BufferManager* buffers_;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_TABLE_H_

@@ -1,0 +1,62 @@
+// TPC-H substrate: a dbgen-style deterministic generator and plan builders
+// for Q1 / Q3 / Q6 in both engines (vectorized algebra and the Volcano
+// baseline) — the workload of experiment E1.
+//
+// Substitution note (DESIGN.md §2): same schemas and value distributions
+// as dbgen at reduced text fidelity; scale factor SF sizes lineitem at
+// 6,000,000 × SF rows.
+#ifndef X100_TPCH_TPCH_H_
+#define X100_TPCH_TPCH_H_
+
+#include <memory>
+#include <string>
+
+#include "algebra/algebra.h"
+#include "engine/database.h"
+#include "volcano/volcano.h"
+
+namespace x100 {
+namespace tpch {
+
+/// Generates and registers the 7 TPC-H tables (lineitem, orders, customer,
+/// part, supplier, nation, region) into `db` at scale factor `sf`.
+Status Generate(Database* db, double sf, Layout layout = Layout::kDsm);
+
+/// Schemas (exposed for tests).
+Schema LineitemSchema();
+Schema OrdersSchema();
+Schema CustomerSchema();
+Schema PartSchema();
+Schema SupplierSchema();
+Schema NationSchema();
+Schema RegionSchema();
+
+// --- Vectorized (X100 algebra) query plans --------------------------------
+
+/// Q1: pricing summary report. Filter on l_shipdate, 4-wide group-by keys,
+/// 8 aggregates.
+AlgebraPtr Q1Plan(int delta_days = 90);
+
+/// Q3: shipping priority — customer ⋈ orders ⋈ lineitem, aggregation,
+/// top-10 by revenue.
+AlgebraPtr Q3Plan(const std::string& segment = "BUILDING");
+
+/// Q6: forecasting revenue change — tight scan-filter-aggregate.
+AlgebraPtr Q6Plan(int year = 1994);
+
+// --- Volcano (tuple-at-a-time) plans over materialized rows ----------------
+
+/// Materializes a table's committed image as Volcano rows.
+Result<std::vector<volcano::Row>> MaterializeRows(Database* db,
+                                                  const std::string& table);
+
+/// The same Q1 / Q6 logic as tuple-at-a-time plans over `rows`.
+Result<volcano::VOperatorPtr> Q1Volcano(const std::vector<volcano::Row>* rows,
+                                        int delta_days = 90);
+Result<volcano::VOperatorPtr> Q6Volcano(const std::vector<volcano::Row>* rows,
+                                        int year = 1994);
+
+}  // namespace tpch
+}  // namespace x100
+
+#endif  // X100_TPCH_TPCH_H_

@@ -1,0 +1,61 @@
+// Relational schema descriptors shared by storage, execution and frontends.
+#ifndef X100_VECTOR_SCHEMA_H_
+#define X100_VECTOR_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace x100 {
+
+/// One column: name, type, nullability.
+struct Field {
+  std::string name;
+  TypeId type;
+  bool nullable = false;
+
+  Field(std::string n, TypeId t, bool null = false)
+      : name(std::move(n)), type(t), nullable(null) {}
+};
+
+/// Ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the column named `name`, or -1.
+  int FindField(const std::string& name) const {
+    for (size_t i = 0; i < fields_.size(); i++) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::string ToString() const {
+    std::string s = "(";
+    for (size_t i = 0; i < fields_.size(); i++) {
+      if (i) s += ", ";
+      s += fields_[i].name;
+      s += ' ';
+      s += TypeName(fields_[i].type);
+      if (fields_[i].nullable) s += " null";
+    }
+    s += ')';
+    return s;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace x100
+
+#endif  // X100_VECTOR_SCHEMA_H_

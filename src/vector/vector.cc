@@ -1,0 +1,26 @@
+#include "vector/vector.h"
+
+namespace x100 {
+
+void Vector::CopyFrom(const Vector& src, int src_offset, int n,
+                      int dst_offset) {
+  assert(src.type_ == type_);
+  assert(dst_offset + n <= capacity_);
+  if (type_ == TypeId::kStr) {
+    const StrRef* in = src.Data<StrRef>() + src_offset;
+    StrRef* out = Data<StrRef>() + dst_offset;
+    for (int i = 0; i < n; i++) out[i] = heap_->Add(in[i].view());
+  } else {
+    std::memcpy(data_.get() + static_cast<size_t>(dst_offset) * width_,
+                src.data_.get() + static_cast<size_t>(src_offset) * width_,
+                static_cast<size_t>(n) * width_);
+  }
+  if (src.has_nulls_) {
+    uint8_t* nd = MutableNulls();
+    std::memcpy(nd + dst_offset, src.nulls_.get() + src_offset, n);
+  } else if (has_nulls_) {
+    std::memset(nulls_.get() + dst_offset, 0, n);
+  }
+}
+
+}  // namespace x100

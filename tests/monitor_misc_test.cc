@@ -1,0 +1,152 @@
+// Coverage for the monitoring subsystem, algebra plan printing, SQL
+// expression precedence, and TPC-H over the PAX layout.
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "engine/session.h"
+#include "monitor/monitor.h"
+#include "tpch/tpch.h"
+
+namespace x100 {
+namespace {
+
+TEST(EventLogTest, RingBufferBounds) {
+  EventLog log(4);
+  for (int i = 0; i < 10; i++) log.Info("event " + std::to_string(i));
+  EXPECT_EQ(log.total_logged(), 10);
+  auto recent = log.Recent(100);
+  ASSERT_EQ(recent.size(), 4u);  // capacity-bounded
+  EXPECT_EQ(recent.back().message, "event 9");
+  EXPECT_EQ(recent.front().message, "event 6");
+}
+
+TEST(EventLogTest, LevelsPreserved) {
+  EventLog log;
+  log.Warn("w");
+  log.Error("e");
+  auto recent = log.Recent(2);
+  EXPECT_EQ(recent[0].level, EventLevel::kWarn);
+  EXPECT_EQ(recent[1].level, EventLevel::kError);
+}
+
+TEST(QueryRegistryTest, LifecycleStates) {
+  QueryRegistry reg;
+  const int64_t q1 = reg.Begin("SELECT 1");
+  const int64_t q2 = reg.Begin("SELECT 2");
+  EXPECT_EQ(reg.Running().size(), 2u);
+  reg.Finish(q1, Status::OK(), 42);
+  reg.Finish(q2, Status::Cancelled("stop"), 7);
+  EXPECT_EQ(reg.Running().size(), 0u);
+  auto all = reg.List();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].state, QueryState::kFinished);
+  EXPECT_EQ(all[0].tuples_scanned, 42);
+  EXPECT_EQ(all[1].state, QueryState::kCancelled);
+  EXPECT_STREQ(QueryStateName(all[1].state), "CANCELLED");
+}
+
+TEST(QueryRegistryTest, FailureRecordsError) {
+  QueryRegistry reg;
+  const int64_t q = reg.Begin("bad query");
+  reg.Finish(q, Status::NotFound("no such table"), 0);
+  auto all = reg.List();
+  EXPECT_EQ(all[0].state, QueryState::kFailed);
+  EXPECT_NE(all[0].error.find("no such table"), std::string::npos);
+}
+
+TEST(CountersTest, AccumulateAndSnapshot) {
+  Counters c;
+  c.Add("io.reads", 3);
+  c.Add("io.reads", 4);
+  c.Add("commits", 1);
+  EXPECT_EQ(c.Get("io.reads"), 7);
+  EXPECT_EQ(c.Get("missing"), 0);
+  auto snap = c.Snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+}
+
+TEST(AlgebraPrintTest, PlanTreeRendering) {
+  AlgebraPtr plan = OrderNode(
+      AggrNode(SelectNode(ScanNode("t"), Gt(Col("x"), Lit(Value::I64(1)))),
+               {{"g", Col("g")}}, {{AggKind::kSum, Col("x"), "s"}}),
+      {{"s", false}}, 5);
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("TopN(5)"), std::string::npos);
+  EXPECT_NE(s.find("Aggr(keys=[g], aggs=[sum:s])"), std::string::npos);
+  EXPECT_NE(s.find("Select(gt(x, 1))"), std::string::npos);
+  EXPECT_NE(s.find("Scan(t)"), std::string::npos);
+}
+
+TEST(AlgebraPrintTest, ExprRendering) {
+  ExprPtr e = Add(Col("a"), Mul(Lit(Value::I64(2)), Col("b")));
+  EXPECT_EQ(e->ToString(), "add(a, mul(2, b))");
+}
+
+TEST(SqlPrecedenceTest, ArithmeticBeforeComparisonBeforeLogic) {
+  // a + b * 2 > 10 AND NOT c = 1  parses as
+  // and( gt(add(a, mul(b,2)), 10), not(eq(c,1)) )
+  auto rel = ParseSql("SELECT * FROM t WHERE a + b * 2 > 10 AND NOT c = 1");
+  ASSERT_TRUE(rel.ok());
+  const ExprPtr& q = (*rel)->qualification;
+  ASSERT_EQ(q->fn, "and");
+  EXPECT_EQ(q->args[0]->fn, "gt");
+  EXPECT_EQ(q->args[0]->args[0]->fn, "add");
+  EXPECT_EQ(q->args[0]->args[0]->args[1]->fn, "mul");
+  EXPECT_EQ(q->args[1]->fn, "not");
+  EXPECT_EQ(q->args[1]->args[0]->fn, "eq");
+}
+
+TEST(SqlPrecedenceTest, ParenthesesOverride) {
+  auto rel = ParseSql("SELECT * FROM t WHERE (a + b) * 2 = 10");
+  ASSERT_TRUE(rel.ok());
+  const ExprPtr& q = (*rel)->qualification;
+  EXPECT_EQ(q->fn, "eq");
+  EXPECT_EQ(q->args[0]->fn, "mul");
+  EXPECT_EQ(q->args[0]->args[0]->fn, "add");
+}
+
+TEST(SqlPrecedenceTest, UnaryMinusFoldsIntoLiterals) {
+  auto rel = ParseSql("SELECT * FROM t WHERE a > -5 AND b < -2.5");
+  ASSERT_TRUE(rel.ok());
+  const ExprPtr& q = (*rel)->qualification;
+  EXPECT_EQ(q->args[0]->args[1]->constant.AsI64(), -5);
+  EXPECT_DOUBLE_EQ(q->args[1]->args[1]->constant.AsF64(), -2.5);
+}
+
+TEST(TpchPaxTest, PaxLayoutEndToEnd) {
+  // The same TPC-H pipeline over PAX storage must agree with DSM.
+  Database dsm_db, pax_db;
+  ASSERT_TRUE(tpch::Generate(&dsm_db, 0.001, Layout::kDsm).ok());
+  ASSERT_TRUE(tpch::Generate(&pax_db, 0.001, Layout::kPax).ok());
+  Session dsm(&dsm_db), pax(&pax_db);
+  auto a = dsm.Execute(tpch::Q6Plan());
+  auto b = pax.Execute(tpch::Q6Plan());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->rows.size(), 1u);
+  if (a->rows[0][0].is_null()) {
+    EXPECT_TRUE(b->rows[0][0].is_null());
+  } else {
+    EXPECT_NEAR(a->rows[0][0].AsF64(), b->rows[0][0].AsF64(), 1e-6);
+  }
+}
+
+TEST(DatabaseTest, DuplicateTableRejected) {
+  Database db;
+  auto b1 = db.CreateTable("t", Schema({Field("x", TypeId::kI32)}),
+                           Layout::kDsm);
+  ASSERT_TRUE(b1->AppendRow({Value::I32(1)}).ok());
+  {
+    auto t = b1->Finish();
+    ASSERT_TRUE(db.RegisterTable(std::move(t).value()).ok());
+  }
+  auto b2 = db.CreateTable("t", Schema({Field("y", TypeId::kI32)}),
+                           Layout::kDsm);
+  auto t2 = b2->Finish();
+  EXPECT_EQ(db.RegisterTable(std::move(t2).value()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace x100

@@ -1,0 +1,451 @@
+// Tests for the primitive kernels and the registry: signatures, map/select
+// semantics, NULL-oblivious execution, overflow "special algorithms",
+// string and date functions.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "primitives/checked_kernels.h"
+#include "primitives/kernel_templates.h"
+#include "primitives/primitive_registry.h"
+
+namespace x100 {
+namespace {
+
+class PrimitivesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { EnsureKernelsRegistered(); }
+  PrimitiveRegistry* reg() { return PrimitiveRegistry::Get(); }
+};
+
+TEST_F(PrimitivesTest, SignatureFormat) {
+  EXPECT_EQ(BuildSignature("map", "add",
+                           {{TypeId::kI32, false}, {TypeId::kI32, true}}),
+            "map_add_i32_vec_i32_val");
+  EXPECT_EQ(BuildSignature("select", "lt", {{TypeId::kF64, false},
+                                            {TypeId::kF64, true}}),
+            "select_lt_f64_vec_f64_val");
+}
+
+TEST_F(PrimitivesTest, RegistryIsPopulated) {
+  // The paper: "dozens of new functions added to the system".
+  EXPECT_GT(reg()->num_map_primitives(), 150);
+  EXPECT_GT(reg()->num_select_primitives(), 100);
+}
+
+TEST_F(PrimitivesTest, MapAddVecVec) {
+  auto e = reg()->FindMap("map", "add",
+                          {{TypeId::kI64, false}, {TypeId::kI64, false}});
+  ASSERT_NE(e.fn, nullptr);
+  EXPECT_EQ(e.out_type, TypeId::kI64);
+  int64_t a[4] = {1, 2, 3, 4}, b[4] = {10, 20, 30, 40}, out[4];
+  const void* args[2] = {a, b};
+  ASSERT_TRUE(e.fn(4, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 11);
+  EXPECT_EQ(out[3], 44);
+}
+
+TEST_F(PrimitivesTest, MapAddVecVal) {
+  auto e = reg()->FindMap("map", "add",
+                          {{TypeId::kI32, false}, {TypeId::kI32, true}});
+  ASSERT_NE(e.fn, nullptr);
+  int32_t a[3] = {1, 2, 3}, c = 100, out[3];
+  const void* args[2] = {a, &c};
+  ASSERT_TRUE(e.fn(3, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[2], 103);
+}
+
+TEST_F(PrimitivesTest, MapRespectsSelectionSparseWrites) {
+  auto e = reg()->FindMap("map", "mul",
+                          {{TypeId::kI64, false}, {TypeId::kI64, true}});
+  ASSERT_NE(e.fn, nullptr);
+  int64_t a[5] = {1, 2, 3, 4, 5}, c = 2;
+  int64_t out[5] = {-1, -1, -1, -1, -1};
+  sel_t sel[2] = {1, 3};
+  const void* args[2] = {a, &c};
+  ASSERT_TRUE(e.fn(2, sel, args, out, nullptr).ok());
+  EXPECT_EQ(out[1], 4);
+  EXPECT_EQ(out[3], 8);
+  EXPECT_EQ(out[0], -1);  // untouched outside the selection
+  EXPECT_EQ(out[4], -1);
+}
+
+TEST_F(PrimitivesTest, DefaultIntAddIsOverflowChecked) {
+  auto e = reg()->FindMap("map", "add",
+                          {{TypeId::kI32, false}, {TypeId::kI32, false}});
+  ASSERT_NE(e.fn, nullptr);
+  int32_t a[2] = {std::numeric_limits<int32_t>::max(), 1};
+  int32_t b[2] = {1, 1};
+  int32_t out[2];
+  const void* args[2] = {a, b};
+  Status s = e.fn(2, nullptr, args, out, nullptr);
+  EXPECT_TRUE(s.IsOverflow());
+  EXPECT_NE(s.message().find("row 0"), std::string::npos);
+}
+
+TEST_F(PrimitivesTest, CheckedDivDetectsZero) {
+  auto e = reg()->FindMap("map", "div",
+                          {{TypeId::kI64, false}, {TypeId::kI64, false}});
+  ASSERT_NE(e.fn, nullptr);
+  int64_t a[3] = {10, 20, 30}, b[3] = {2, 0, 3}, out[3];
+  const void* args[2] = {a, b};
+  Status s = e.fn(3, nullptr, args, out, nullptr);
+  EXPECT_TRUE(s.IsDivisionByZero());
+  b[1] = 5;
+  ASSERT_TRUE(e.fn(3, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], 4);
+  EXPECT_EQ(out[2], 10);
+}
+
+TEST_F(PrimitivesTest, CheckedDivDetectsIntMinOverflow) {
+  auto e = reg()->FindMap("map", "div",
+                          {{TypeId::kI32, false}, {TypeId::kI32, false}});
+  int32_t a[1] = {std::numeric_limits<int32_t>::min()}, b[1] = {-1}, out[1];
+  const void* args[2] = {a, b};
+  EXPECT_TRUE(e.fn(1, nullptr, args, out, nullptr).IsOverflow());
+}
+
+TEST_F(PrimitivesTest, F64DivByZeroIsError) {
+  auto e = reg()->FindMap("map", "div",
+                          {{TypeId::kF64, false}, {TypeId::kF64, true}});
+  ASSERT_NE(e.fn, nullptr);
+  double a[2] = {1.0, 2.0}, c = 0.0, out[2];
+  const void* args[2] = {a, &c};
+  EXPECT_TRUE(e.fn(2, nullptr, args, out, nullptr).IsDivisionByZero());
+}
+
+TEST_F(PrimitivesTest, ModuloSemantics) {
+  auto e = reg()->FindMap("map", "mod",
+                          {{TypeId::kI64, false}, {TypeId::kI64, true}});
+  ASSERT_NE(e.fn, nullptr);
+  int64_t a[3] = {7, -7, 6}, c = 3, out[3];
+  const void* args[2] = {a, &c};
+  ASSERT_TRUE(e.fn(3, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], -1);
+  EXPECT_EQ(out[2], 0);
+}
+
+TEST_F(PrimitivesTest, CompareProducesBool) {
+  auto e = reg()->FindMap("map", "lt",
+                          {{TypeId::kF64, false}, {TypeId::kF64, true}});
+  ASSERT_NE(e.fn, nullptr);
+  EXPECT_EQ(e.out_type, TypeId::kBool);
+  double a[4] = {1.0, 5.0, 2.0, 9.0}, c = 3.0;
+  uint8_t out[4];
+  const void* args[2] = {a, &c};
+  ASSERT_TRUE(e.fn(4, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 1);
+  EXPECT_EQ(out[3], 0);
+}
+
+TEST_F(PrimitivesTest, StringCompare) {
+  auto e = reg()->FindMap("map", "eq",
+                          {{TypeId::kStr, false}, {TypeId::kStr, true}});
+  ASSERT_NE(e.fn, nullptr);
+  StrRef a[2] = {StrRef("BUILDING", 8), StrRef("MACHINERY", 9)};
+  StrRef c("BUILDING", 8);
+  uint8_t out[2];
+  const void* args[2] = {a, &c};
+  ASSERT_TRUE(e.fn(2, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST_F(PrimitivesTest, SelectLtEmitsSelectionVector) {
+  auto fn = reg()->FindSelect("lt", {{TypeId::kI32, false},
+                                     {TypeId::kI32, true}});
+  ASSERT_NE(fn, nullptr);
+  int32_t a[6] = {5, 1, 7, 2, 9, 0}, c = 4;
+  sel_t out[6];
+  const void* args[2] = {a, &c};
+  int k = fn(6, nullptr, args, out);
+  ASSERT_EQ(k, 3);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(out[2], 5);
+}
+
+TEST_F(PrimitivesTest, SelectChainsThroughExistingSelection) {
+  auto fn = reg()->FindSelect("gt", {{TypeId::kI32, false},
+                                     {TypeId::kI32, true}});
+  int32_t a[6] = {5, 1, 7, 2, 9, 0}, c = 4;
+  sel_t in[3] = {0, 2, 5};  // pre-selected rows
+  sel_t out[3];
+  const void* args[2] = {a, &c};
+  int k = fn(3, in, args, out);
+  ASSERT_EQ(k, 2);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST_F(PrimitivesTest, SelectTrueOnBoolColumn) {
+  auto fn = reg()->FindSelect("true", {{TypeId::kBool, false}});
+  ASSERT_NE(fn, nullptr);
+  uint8_t b[5] = {1, 0, 1, 1, 0};
+  sel_t out[5];
+  const void* args[1] = {b};
+  int k = fn(5, nullptr, args, out);
+  ASSERT_EQ(k, 3);
+  EXPECT_EQ(out[2], 3);
+}
+
+TEST_F(PrimitivesTest, IfThenElse) {
+  auto e = reg()->FindMap(
+      "map", "ifthenelse",
+      {{TypeId::kBool, false}, {TypeId::kI64, false}, {TypeId::kI64, true}});
+  ASSERT_NE(e.fn, nullptr);
+  uint8_t cond[3] = {1, 0, 1};
+  int64_t a[3] = {10, 20, 30}, c = -1, out[3];
+  const void* args[3] = {cond, a, &c};
+  ASSERT_TRUE(e.fn(3, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], -1);
+  EXPECT_EQ(out[2], 30);
+}
+
+TEST_F(PrimitivesTest, CastI32ToF64) {
+  auto e = reg()->FindMap("map", "cast_f64", {{TypeId::kI32, false}});
+  ASSERT_NE(e.fn, nullptr);
+  int32_t a[2] = {3, -7};
+  double out[2];
+  const void* args[1] = {a};
+  ASSERT_TRUE(e.fn(2, nullptr, args, out, nullptr).ok());
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], -7.0);
+}
+
+// ---- string kernels ---------------------------------------------------------
+
+class StringKernelTest : public PrimitivesTest {
+ protected:
+  StringHeap heap_;
+  PrimCtx ctx_{&heap_};
+};
+
+TEST_F(StringKernelTest, UpperLower) {
+  auto up = reg()->FindMap("map", "upper", {{TypeId::kStr, false}});
+  auto lo = reg()->FindMap("map", "lower", {{TypeId::kStr, false}});
+  ASSERT_NE(up.fn, nullptr);
+  ASSERT_NE(lo.fn, nullptr);
+  StrRef a[2] = {StrRef("MiXeD", 5), StrRef("abc", 3)};
+  StrRef out[2];
+  const void* args[1] = {a};
+  ASSERT_TRUE(up.fn(2, nullptr, args, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "MIXED");
+  ASSERT_TRUE(lo.fn(2, nullptr, args, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "mixed");
+  EXPECT_EQ(out[1].ToString(), "abc");
+}
+
+TEST_F(StringKernelTest, LengthAndSubstr) {
+  auto len = reg()->FindMap("map", "length", {{TypeId::kStr, false}});
+  StrRef a[1] = {StrRef("hello world", 11)};
+  int32_t lout[1];
+  const void* args1[1] = {a};
+  ASSERT_TRUE(len.fn(1, nullptr, args1, lout, &ctx_).ok());
+  EXPECT_EQ(lout[0], 11);
+
+  auto sub = reg()->FindMap(
+      "map", "substring",
+      {{TypeId::kStr, false}, {TypeId::kI32, true}, {TypeId::kI32, true}});
+  ASSERT_NE(sub.fn, nullptr);
+  int32_t start = 7, count = 5;
+  StrRef sout[1];
+  const void* args3[3] = {a, &start, &count};
+  ASSERT_TRUE(sub.fn(1, nullptr, args3, sout, &ctx_).ok());
+  EXPECT_EQ(sout[0].ToString(), "world");
+}
+
+TEST_F(StringKernelTest, SubstrEdgeCases) {
+  auto sub = reg()->FindMap(
+      "map", "substring",
+      {{TypeId::kStr, false}, {TypeId::kI32, true}, {TypeId::kI32, true}});
+  StrRef a[1] = {StrRef("abc", 3)};
+  StrRef out[1];
+  // Start before 1 consumes length (SQL semantics).
+  int32_t start = -1, count = 4;
+  const void* args[3] = {a, &start, &count};
+  ASSERT_TRUE(sub.fn(1, nullptr, args, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "ab");
+  // Past the end -> empty.
+  start = 10;
+  count = 2;
+  ASSERT_TRUE(sub.fn(1, nullptr, args, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "");
+  // Negative length is a detected parameter error (paper §Error handling).
+  start = 1;
+  count = -2;
+  EXPECT_EQ(sub.fn(1, nullptr, args, out, &ctx_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StringKernelTest, ConcatTrimReverseRepeat) {
+  auto cat = reg()->FindMap("map", "concat",
+                            {{TypeId::kStr, false}, {TypeId::kStr, true}});
+  StrRef a[1] = {StrRef("foo", 3)};
+  StrRef suffix("bar", 3);
+  StrRef out[1];
+  const void* args[2] = {a, &suffix};
+  ASSERT_TRUE(cat.fn(1, nullptr, args, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "foobar");
+
+  auto trim = reg()->FindMap("map", "trim", {{TypeId::kStr, false}});
+  StrRef t[1] = {StrRef("  pad  ", 7)};
+  const void* targs[1] = {t};
+  ASSERT_TRUE(trim.fn(1, nullptr, targs, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "pad");
+
+  auto rev = reg()->FindMap("map", "reverse", {{TypeId::kStr, false}});
+  ASSERT_TRUE(rev.fn(1, nullptr, args, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "oof");
+
+  auto rep = reg()->FindMap("map", "repeat",
+                            {{TypeId::kStr, false}, {TypeId::kI32, true}});
+  int32_t k = 3;
+  const void* rargs[2] = {a, &k};
+  ASSERT_TRUE(rep.fn(1, nullptr, rargs, out, &ctx_).ok());
+  EXPECT_EQ(out[0].ToString(), "foofoofoo");
+  k = -1;
+  EXPECT_EQ(rep.fn(1, nullptr, rargs, out, &ctx_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+struct LikeCase {
+  const char* input;
+  const char* pattern;
+  bool expect;
+};
+
+class LikeTest : public PrimitivesTest,
+                 public ::testing::WithParamInterface<LikeCase> {};
+
+TEST_P(LikeTest, Matches) {
+  const LikeCase& c = GetParam();
+  auto e = reg()->FindMap("map", "like",
+                          {{TypeId::kStr, false}, {TypeId::kStr, true}});
+  ASSERT_NE(e.fn, nullptr);
+  StrRef a[1] = {StrRef(c.input, static_cast<uint32_t>(strlen(c.input)))};
+  StrRef pat(c.pattern, static_cast<uint32_t>(strlen(c.pattern)));
+  uint8_t out[1];
+  const void* args[2] = {a, &pat};
+  ASSERT_TRUE(e.fn(1, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], c.expect ? 1 : 0) << c.input << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LikePatterns, LikeTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true}, LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true}, LikeCase{"hello", "h__lo", true},
+        LikeCase{"hello", "", false}, LikeCase{"", "%", true},
+        LikeCase{"", "", true}, LikeCase{"abc", "a%b%c", true},
+        LikeCase{"abc", "%%%", true}, LikeCase{"abc", "_", false},
+        LikeCase{"abc", "___", true}, LikeCase{"abc", "____", false},
+        LikeCase{"special%rate", "%\x25rate", true},
+        LikeCase{"PROMO BRUSHED", "PROMO%", true},
+        LikeCase{"STANDARD BRUSHED", "PROMO%", false},
+        LikeCase{"aXaXb", "a%b", true}, LikeCase{"aXaXc", "a%b", false}));
+
+// ---- date kernels -----------------------------------------------------------
+
+TEST_F(PrimitivesTest, DateExtraction) {
+  auto yr = reg()->FindMap("map", "year", {{TypeId::kDate, false}});
+  auto mo = reg()->FindMap("map", "month", {{TypeId::kDate, false}});
+  auto qu = reg()->FindMap("map", "quarter", {{TypeId::kDate, false}});
+  ASSERT_NE(yr.fn, nullptr);
+  int32_t d[2] = {MakeDate(1997, 11, 3), MakeDate(2001, 2, 14)};
+  int32_t out[2];
+  const void* args[1] = {d};
+  ASSERT_TRUE(yr.fn(2, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 1997);
+  EXPECT_EQ(out[1], 2001);
+  ASSERT_TRUE(mo.fn(2, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 11);
+  EXPECT_EQ(out[1], 2);
+  ASSERT_TRUE(qu.fn(2, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST_F(PrimitivesTest, DayOfWeekKnownAnchors) {
+  auto dw = reg()->FindMap("map", "dayofweek", {{TypeId::kDate, false}});
+  int32_t d[3] = {MakeDate(1970, 1, 1),   // Thursday
+                  MakeDate(2000, 1, 1),   // Saturday
+                  MakeDate(2026, 6, 8)};  // Monday
+  int32_t out[3];
+  const void* args[1] = {d};
+  ASSERT_TRUE(dw.fn(3, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], 4);
+  EXPECT_EQ(out[1], 6);
+  EXPECT_EQ(out[2], 1);
+}
+
+TEST_F(PrimitivesTest, MakeDateValidation) {
+  auto md = reg()->FindMap(
+      "map", "make_date",
+      {{TypeId::kI32, false}, {TypeId::kI32, false}, {TypeId::kI32, false}});
+  ASSERT_NE(md.fn, nullptr);
+  int32_t y[1] = {1999}, m[1] = {13}, d[1] = {1}, out[1];
+  const void* args[3] = {y, m, d};
+  EXPECT_EQ(md.fn(1, nullptr, args, out, nullptr).code(),
+            StatusCode::kInvalidArgument);
+  m[0] = 12;
+  ASSERT_TRUE(md.fn(1, nullptr, args, out, nullptr).ok());
+  EXPECT_EQ(out[0], MakeDate(1999, 12, 1));
+}
+
+// ---- the E7 "special algorithm" contract ------------------------------------
+
+TEST(CheckedKernelsTest, KernelMatchesNaiveOnCleanData) {
+  constexpr int n = 1000;
+  std::vector<int32_t> a(n), b(n), o1(n), o2(n);
+  for (int i = 0; i < n; i++) {
+    a[i] = i * 3 - 100;
+    b[i] = 7 - i;
+  }
+  ASSERT_TRUE((checked::BinaryCheckedNaive<int32_t, checked::CheckedAdd>(
+                   n, a.data(), b.data(), o1.data()))
+                  .ok());
+  ASSERT_TRUE((checked::BinaryCheckedKernel<int32_t, checked::CheckedAdd>(
+                   n, a.data(), b.data(), o2.data()))
+                  .ok());
+  EXPECT_EQ(o1, o2);
+}
+
+TEST(CheckedKernelsTest, KernelReportsSameRowAsNaive) {
+  constexpr int n = 64;
+  std::vector<int64_t> a(n, 1), b(n, 1), out(n);
+  a[37] = std::numeric_limits<int64_t>::max();
+  Status s1 = checked::BinaryCheckedNaive<int64_t, checked::CheckedAdd>(
+      n, a.data(), b.data(), out.data());
+  Status s2 = checked::BinaryCheckedKernel<int64_t, checked::CheckedAdd>(
+      n, a.data(), b.data(), out.data());
+  EXPECT_TRUE(s1.IsOverflow());
+  EXPECT_TRUE(s2.IsOverflow());
+  EXPECT_EQ(s1.message(), s2.message());
+}
+
+TEST(CheckedKernelsTest, MulOverflowDetected) {
+  std::vector<int32_t> a = {1 << 20, 2}, b = {1 << 20, 3}, out(2);
+  Status s = checked::BinaryCheckedKernel<int32_t, checked::CheckedMul>(
+      2, a.data(), b.data(), out.data());
+  EXPECT_TRUE(s.IsOverflow());
+}
+
+TEST(CheckedKernelsTest, DivKernelCleanPath) {
+  std::vector<int64_t> a = {100, 200, -300}, b = {10, -20, 30}, out(3);
+  ASSERT_TRUE(checked::DivCheckedKernel<int64_t>(3, a.data(), b.data(),
+                                                 out.data())
+                  .ok());
+  EXPECT_EQ(out[0], 10);
+  EXPECT_EQ(out[1], -10);
+  EXPECT_EQ(out[2], -10);
+}
+
+}  // namespace
+}  // namespace x100

@@ -1,0 +1,376 @@
+// Storage tests: simulated disk, buffer manager, PAX/DSM table round-trips,
+// MinMax pushdown, NULL chunks, and cooperative-scan scheduling policies.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "storage/buffer_manager.h"
+#include "storage/coop_scan.h"
+#include "storage/simulated_disk.h"
+#include "storage/table.h"
+
+namespace x100 {
+namespace {
+
+TEST(SimulatedDiskTest, WriteReadRoundTrip) {
+  SimulatedDisk disk;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  BlockId id = disk.WriteBlock(data);
+  auto r = disk.ReadBlock(id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data);
+  EXPECT_EQ(disk.blocks_read(), 1);
+  EXPECT_EQ(disk.bytes_read(), 5);
+}
+
+TEST(SimulatedDiskTest, OutOfRangeIsIoError) {
+  SimulatedDisk disk;
+  EXPECT_EQ(disk.ReadBlock(99).status().code(), StatusCode::kIoError);
+}
+
+TEST(SimulatedDiskTest, BandwidthThrottles) {
+  SimulatedDisk disk(1 << 20);  // 1 MiB/s
+  std::vector<uint8_t> data(64 * 1024);
+  BlockId id = disk.WriteBlock(data);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(disk.ReadBlock(id).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // 64 KiB at 1 MiB/s = 62.5 ms.
+  EXPECT_GE(std::chrono::duration<double>(elapsed).count(), 0.05);
+}
+
+TEST(SimulatedDiskTest, CancellationInterruptsIoWait) {
+  SimulatedDisk disk(1 << 16);  // 64 KiB/s: the read below takes ~1 s
+  std::vector<uint8_t> data(64 * 1024);
+  BlockId id = disk.WriteBlock(data);
+  CancellationToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.Cancel();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = disk.ReadBlock(id, &token);
+  const auto elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  canceller.join();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_LT(elapsed, 0.5);  // far less than the 1 s IO cost
+}
+
+TEST(BufferManagerTest, CachesAndCountsHits) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 4);
+  BlockId id = disk.WriteBlock({7, 7, 7});
+  ASSERT_TRUE(bm.GetBlock(id).ok());
+  ASSERT_TRUE(bm.GetBlock(id).ok());
+  EXPECT_EQ(bm.misses(), 1);
+  EXPECT_EQ(bm.hits(), 1);
+  EXPECT_EQ(disk.blocks_read(), 1);
+}
+
+TEST(BufferManagerTest, EvictsLruBeyondCapacity) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 2);
+  BlockId a = disk.WriteBlock({1});
+  BlockId b = disk.WriteBlock({2});
+  BlockId c = disk.WriteBlock({3});
+  ASSERT_TRUE(bm.GetBlock(a).ok());
+  ASSERT_TRUE(bm.GetBlock(b).ok());
+  ASSERT_TRUE(bm.GetBlock(c).ok());  // evicts a
+  EXPECT_EQ(bm.size(), 2);
+  EXPECT_FALSE(bm.Contains(a));
+  EXPECT_TRUE(bm.Contains(b));
+  EXPECT_TRUE(bm.Contains(c));
+}
+
+TEST(BufferManagerTest, SharedPtrSurvivesEviction) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 1);
+  BlockId a = disk.WriteBlock({42});
+  auto blk = bm.GetBlock(a);
+  ASSERT_TRUE(blk.ok());
+  BlockId b = disk.WriteBlock({43});
+  ASSERT_TRUE(bm.GetBlock(b).ok());  // evicts a
+  EXPECT_EQ((**blk)[0], 42);         // still readable
+}
+
+TEST(BufferManagerTest, InvalidateDropsBlock) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 4);
+  BlockId a = disk.WriteBlock({1});
+  ASSERT_TRUE(bm.GetBlock(a).ok());
+  bm.Invalidate(a);
+  EXPECT_FALSE(bm.Contains(a));
+  ASSERT_TRUE(bm.GetBlock(a).ok());
+  EXPECT_EQ(bm.misses(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Table round-trips
+// ---------------------------------------------------------------------------
+
+Schema MixedSchema() {
+  return Schema({Field("id", TypeId::kI64),
+                 Field("qty", TypeId::kI32),
+                 Field("price", TypeId::kF64),
+                 Field("flag", TypeId::kStr),
+                 Field("ship", TypeId::kDate),
+                 Field("note", TypeId::kStr, /*nullable=*/true)});
+}
+
+std::unique_ptr<Table> BuildMixedTable(SimulatedDisk* disk, Layout layout,
+                                       int rows, int group_rows) {
+  TableBuilder b("t", MixedSchema(), layout, disk, group_rows);
+  Rng rng(99);
+  for (int i = 0; i < rows; i++) {
+    std::vector<Value> row;
+    row.push_back(Value::I64(i));
+    row.push_back(Value::I32(static_cast<int32_t>(rng.Uniform(1, 50))));
+    row.push_back(Value::F64(static_cast<double>(i % 1000) / 10.0));
+    row.push_back(Value::Str(i % 3 == 0 ? "A" : (i % 3 == 1 ? "N" : "R")));
+    row.push_back(Value::Date(MakeDate(1994, 1, 1) + i % 2000));
+    row.push_back(i % 5 == 0 ? Value::Null(TypeId::kStr)
+                             : Value::Str("note-" + std::to_string(i % 7)));
+    EXPECT_TRUE(b.AppendRow(row).ok());
+  }
+  auto t = b.Finish();
+  EXPECT_TRUE(t.ok());
+  return std::move(t).value();
+}
+
+class TableLayoutTest : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(TableLayoutTest, RoundTripAllColumns) {
+  SimulatedDisk disk;
+  auto table = BuildMixedTable(&disk, GetParam(), 2500, 1000);
+  EXPECT_EQ(table->num_rows(), 2500);
+  EXPECT_EQ(table->num_groups(), 3);  // 1000 + 1000 + 500
+  EXPECT_EQ(table->group(2).rows, 500u);
+  EXPECT_EQ(table->group(1).first_sid, 1000);
+
+  BufferManager bm(&disk, 256);
+  TableReader reader(table.get(), &bm);
+  int64_t row = 0;
+  for (int g = 0; g < table->num_groups(); g++) {
+    const int n = static_cast<int>(table->group(g).rows);
+    std::vector<int64_t> ids(n);
+    std::vector<int32_t> qty(n);
+    std::vector<double> price(n);
+    std::vector<StrRef> flag(n), note(n);
+    std::vector<int32_t> ship(n);
+    std::vector<uint8_t> note_nulls(n);
+    StringHeap heap;
+    ASSERT_TRUE(reader.ReadColumn(g, 0, ids.data(), nullptr, nullptr).ok());
+    ASSERT_TRUE(reader.ReadColumn(g, 1, qty.data(), nullptr, nullptr).ok());
+    ASSERT_TRUE(reader.ReadColumn(g, 2, price.data(), nullptr, nullptr).ok());
+    ASSERT_TRUE(reader.ReadColumn(g, 3, flag.data(), nullptr, &heap).ok());
+    ASSERT_TRUE(reader.ReadColumn(g, 4, ship.data(), nullptr, nullptr).ok());
+    ASSERT_TRUE(
+        reader.ReadColumn(g, 5, note.data(), note_nulls.data(), &heap).ok());
+    for (int i = 0; i < n; i++, row++) {
+      ASSERT_EQ(ids[i], row);
+      EXPECT_EQ(price[i], static_cast<double>(row % 1000) / 10.0);
+      const char* expect_flag =
+          row % 3 == 0 ? "A" : (row % 3 == 1 ? "N" : "R");
+      EXPECT_EQ(flag[i].view(), expect_flag);
+      EXPECT_EQ(ship[i], MakeDate(1994, 1, 1) + row % 2000);
+      if (row % 5 == 0) {
+        EXPECT_EQ(note_nulls[i], 1);
+      } else {
+        EXPECT_EQ(note_nulls[i], 0);
+        EXPECT_EQ(note[i].view(), "note-" + std::to_string(row % 7));
+      }
+    }
+  }
+}
+
+TEST_P(TableLayoutTest, CompressionShrinksData) {
+  SimulatedDisk disk;
+  auto table = BuildMixedTable(&disk, GetParam(), 10000, 4096);
+  // Raw width: 8+4+8+16+4+16 (+null byte) ≈ 57 B/row; expect real savings
+  // from PFOR ids (delta), PDICT flags, RLE nulls.
+  EXPECT_LT(table->compressed_bytes(), 10000 * 40);
+  EXPECT_GT(table->compressed_bytes(), 0);
+}
+
+TEST_P(TableLayoutTest, MinMaxPruning) {
+  SimulatedDisk disk;
+  auto table = BuildMixedTable(&disk, GetParam(), 2000, 1000);
+  // ids column: group 0 covers [0,999], group 1 [1000,1999].
+  EXPECT_TRUE(table->GroupMayMatch(0, 0, RangeOp::kEq, Value::I64(500)));
+  EXPECT_FALSE(table->GroupMayMatch(0, 0, RangeOp::kEq, Value::I64(1500)));
+  EXPECT_TRUE(table->GroupMayMatch(1, 0, RangeOp::kEq, Value::I64(1500)));
+  EXPECT_FALSE(table->GroupMayMatch(0, 0, RangeOp::kGt, Value::I64(1200)));
+  EXPECT_TRUE(table->GroupMayMatch(1, 0, RangeOp::kGt, Value::I64(1200)));
+  EXPECT_FALSE(table->GroupMayMatch(1, 0, RangeOp::kLt, Value::I64(800)));
+  EXPECT_TRUE(table->GroupMayMatch(0, 0, RangeOp::kLe, Value::I64(0)));
+  // Strings: always conservative.
+  EXPECT_TRUE(table->GroupMayMatch(0, 3, RangeOp::kEq, Value::Str("A")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, TableLayoutTest,
+                         ::testing::Values(Layout::kDsm, Layout::kPax),
+                         [](const ::testing::TestParamInfo<Layout>& info) {
+                           return info.param == Layout::kDsm ? "DSM" : "PAX";
+                         });
+
+TEST(TableLayoutIoTest, NarrowScanReadsLessOnDsm) {
+  // DSM: reading 1 of 6 columns touches only that column's blocks.
+  // PAX: the whole group region is the IO unit.
+  SimulatedDisk dsm_disk, pax_disk;
+  auto dsm = BuildMixedTable(&dsm_disk, Layout::kDsm, 20000, 8192);
+  auto pax = BuildMixedTable(&pax_disk, Layout::kPax, 20000, 8192);
+  BufferManager dsm_bm(&dsm_disk, 1024), pax_bm(&pax_disk, 1024);
+  TableReader dsm_r(dsm.get(), &dsm_bm), pax_r(pax.get(), &pax_bm);
+  dsm_disk.ResetStats();
+  pax_disk.ResetStats();
+  std::vector<int32_t> qty(8192);
+  for (int g = 0; g < dsm->num_groups(); g++) {
+    ASSERT_TRUE(dsm_r.ReadColumn(g, 1, qty.data(), nullptr, nullptr).ok());
+    ASSERT_TRUE(pax_r.ReadColumn(g, 1, qty.data(), nullptr, nullptr).ok());
+  }
+  EXPECT_LT(dsm_disk.bytes_read(), pax_disk.bytes_read());
+}
+
+TEST(TableLayoutIoTest, WideScanAmortizesOnPax) {
+  // Reading *all* columns of a group: PAX pays one region, further columns
+  // are cache hits.
+  SimulatedDisk disk;
+  auto pax = BuildMixedTable(&disk, Layout::kPax, 8192, 8192);
+  BufferManager bm(&disk, 1024);
+  TableReader r(pax.get(), &bm);
+  disk.ResetStats();
+  std::vector<int64_t> ids(8192);
+  std::vector<int32_t> qty(8192);
+  std::vector<double> price(8192);
+  ASSERT_TRUE(r.ReadColumn(0, 0, ids.data(), nullptr, nullptr).ok());
+  const int64_t after_first = disk.blocks_read();
+  ASSERT_TRUE(r.ReadColumn(0, 1, qty.data(), nullptr, nullptr).ok());
+  ASSERT_TRUE(r.ReadColumn(0, 2, price.data(), nullptr, nullptr).ok());
+  EXPECT_EQ(disk.blocks_read(), after_first);  // all hits
+}
+
+TEST(TableBuilderTest, RejectsArityMismatch) {
+  SimulatedDisk disk;
+  TableBuilder b("t", Schema({Field("a", TypeId::kI32)}), Layout::kDsm,
+                 &disk);
+  EXPECT_EQ(b.AppendRow({Value::I32(1), Value::I32(2)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableBuilderTest, RejectsNullInNonNullable) {
+  SimulatedDisk disk;
+  TableBuilder b("t", Schema({Field("a", TypeId::kI32)}), Layout::kDsm,
+                 &disk);
+  EXPECT_EQ(b.AppendRow({Value::Null(TypeId::kI32)}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableBuilderTest, EmptyTable) {
+  SimulatedDisk disk;
+  TableBuilder b("t", Schema({Field("a", TypeId::kI32)}), Layout::kDsm,
+                 &disk);
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 0);
+  EXPECT_EQ((*t)->num_groups(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scan scheduling policies
+// ---------------------------------------------------------------------------
+
+TEST(SequentialSchedulerTest, DeliversInOrder) {
+  SequentialScheduler s(4);
+  int q = s.Register(5);
+  for (int g = 0; g < 5; g++) EXPECT_EQ(s.NextGroup(q), g);
+  EXPECT_EQ(s.NextGroup(q), -1);
+  s.Unregister(q);
+}
+
+TEST(RelevanceSchedulerTest, SingleQueryGetsAllGroupsOnce) {
+  RelevanceScheduler s(4);
+  int q = s.Register(10);
+  std::set<int> got;
+  for (int i = 0; i < 10; i++) {
+    int g = s.NextGroup(q);
+    ASSERT_GE(g, 0);
+    EXPECT_TRUE(got.insert(g).second) << "duplicate group " << g;
+  }
+  EXPECT_EQ(s.NextGroup(q), -1);
+  EXPECT_EQ(got.size(), 10u);
+  EXPECT_EQ(s.chunk_loads(), 10);
+}
+
+TEST(RelevanceSchedulerTest, ConcurrentQueriesShareLoads) {
+  // Two queries over the same 20 groups, interleaved: ABM must load each
+  // group ~once (40 deliveries, ~20 loads).
+  RelevanceScheduler s(8);
+  int q1 = s.Register(20);
+  int q2 = s.Register(20);
+  int done1 = 0, done2 = 0;
+  while (done1 < 20 || done2 < 20) {
+    if (done1 < 20 && s.NextGroup(q1) >= 0) done1++;
+    if (done2 < 20 && s.NextGroup(q2) >= 0) done2++;
+  }
+  EXPECT_LE(s.chunk_loads(), 24);  // near-perfect sharing
+  s.Unregister(q1);
+  s.Unregister(q2);
+}
+
+TEST(RelevanceSchedulerTest, StaggeredQueryJoinsInFlight) {
+  RelevanceScheduler s(6);
+  int q1 = s.Register(12);
+  // q1 consumes half the table first.
+  for (int i = 0; i < 6; i++) ASSERT_GE(s.NextGroup(q1), 0);
+  // q2 arrives late; it should first consume cached chunks.
+  int q2 = s.Register(12);
+  const int64_t loads_before = s.chunk_loads();
+  std::set<int> q2_first;
+  for (int i = 0; i < 4; i++) q2_first.insert(s.NextGroup(q2));
+  EXPECT_EQ(s.chunk_loads(), loads_before);  // all served from cache
+  // Finish both.
+  while (s.NextGroup(q1) >= 0) {
+  }
+  while (s.NextGroup(q2) >= 0) {
+  }
+  EXPECT_LT(s.chunk_loads(), 24);  // << 2 full passes
+}
+
+TEST(RelevanceSchedulerTest, SequentialBaselineReloadsForStaggered) {
+  // Same staggered workload under the sequential-LRU estimate: close to
+  // two full passes when the pool is smaller than the table.
+  SequentialScheduler s(6);
+  int q1 = s.Register(12);
+  for (int i = 0; i < 6; i++) ASSERT_GE(s.NextGroup(q1), 0);
+  int q2 = s.Register(12);
+  while (s.NextGroup(q1) >= 0) {
+  }
+  while (s.NextGroup(q2) >= 0) {
+  }
+  EXPECT_GE(s.chunk_loads(), 18);
+}
+
+TEST(RelevanceSchedulerTest, CacheRespectsCapacity) {
+  RelevanceScheduler s(3);
+  int q = s.Register(10);
+  for (int i = 0; i < 10; i++) s.NextGroup(q);
+  EXPECT_LE(s.CachedGroups().size(), 3u);
+}
+
+TEST(RelevanceSchedulerTest, UnregisterDropsInterest) {
+  RelevanceScheduler s(4);
+  int q1 = s.Register(8);
+  int q2 = s.Register(8);
+  s.Unregister(q2);
+  std::set<int> got;
+  int g;
+  while ((g = s.NextGroup(q1)) >= 0) got.insert(g);
+  EXPECT_EQ(got.size(), 8u);
+}
+
+}  // namespace
+}  // namespace x100

@@ -1,0 +1,217 @@
+// Unit tests for the vectorized data model: Vector, Batch, StringHeap,
+// Schema, selection vectors and the two-column NULL representation.
+#include <gtest/gtest.h>
+
+#include "vector/batch.h"
+#include "vector/schema.h"
+#include "vector/string_heap.h"
+#include "vector/vector.h"
+
+namespace x100 {
+namespace {
+
+TEST(StringHeapTest, AddCopiesData) {
+  StringHeap heap;
+  std::string src = "hello";
+  StrRef r = heap.Add(src);
+  src[0] = 'X';  // mutate the source; heap copy must be unaffected
+  EXPECT_EQ(r.ToString(), "hello");
+}
+
+TEST(StringHeapTest, GrowsAcrossChunks) {
+  StringHeap heap(16);  // tiny chunks to force growth
+  std::vector<StrRef> refs;
+  for (int i = 0; i < 100; i++) {
+    refs.push_back(heap.Add("string-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(refs[i].ToString(), "string-" + std::to_string(i));
+  }
+}
+
+TEST(StringHeapTest, ResetReclaims) {
+  StringHeap heap;
+  heap.Add("abcdef");
+  EXPECT_GT(heap.bytes_allocated(), 0u);
+  heap.Reset();
+  EXPECT_EQ(heap.bytes_allocated(), 0u);
+}
+
+TEST(StringHeapTest, EmptyString) {
+  StringHeap heap;
+  StrRef r = heap.Add("");
+  EXPECT_EQ(r.len, 0u);
+  EXPECT_EQ(r.ToString(), "");
+}
+
+TEST(VectorTest, TypedAccess) {
+  Vector v(TypeId::kI32, 8);
+  int32_t* d = v.Data<int32_t>();
+  for (int i = 0; i < 8; i++) d[i] = i * i;
+  EXPECT_EQ(v.Data<int32_t>()[7], 49);
+  EXPECT_EQ(v.type(), TypeId::kI32);
+  EXPECT_EQ(v.capacity(), 8);
+}
+
+TEST(VectorTest, NullsLazyAndSafeValues) {
+  Vector v(TypeId::kI64, 4);
+  EXPECT_FALSE(v.has_nulls());
+  int64_t* d = v.Data<int64_t>();
+  d[0] = 11;
+  d[1] = 22;
+  v.SetNull(1);
+  EXPECT_TRUE(v.has_nulls());
+  EXPECT_TRUE(v.IsNull(1));
+  EXPECT_FALSE(v.IsNull(0));
+  // The paper's "safe value": NULL slot holds 0 so kernels stay defined.
+  EXPECT_EQ(d[1], 0);
+  EXPECT_EQ(d[0], 11);
+}
+
+TEST(VectorTest, ClearNullsIsCheapToggle) {
+  Vector v(TypeId::kI32, 4);
+  v.SetNull(2);
+  EXPECT_TRUE(v.has_nulls());
+  v.ClearNulls();
+  EXPECT_FALSE(v.has_nulls());
+  EXPECT_FALSE(v.IsNull(2));
+}
+
+TEST(VectorTest, StringVectorHasHeap) {
+  Vector v(TypeId::kStr, 4);
+  ASSERT_NE(v.heap(), nullptr);
+  StrRef* d = v.Data<StrRef>();
+  d[0] = v.heap()->Add("x100");
+  EXPECT_EQ(d[0].ToString(), "x100");
+  Vector iv(TypeId::kI32, 4);
+  EXPECT_EQ(iv.heap(), nullptr);
+}
+
+TEST(VectorTest, SetNullOnStringGivesEmptySafeValue) {
+  Vector v(TypeId::kStr, 4);
+  StrRef* d = v.Data<StrRef>();
+  d[1] = v.heap()->Add("junk");
+  v.SetNull(1);
+  EXPECT_EQ(d[1].len, 0u);
+  EXPECT_TRUE(v.IsNull(1));
+}
+
+TEST(VectorTest, CopyFromFixedWidth) {
+  Vector a(TypeId::kI32, 8), b(TypeId::kI32, 8);
+  for (int i = 0; i < 8; i++) a.Data<int32_t>()[i] = i;
+  a.SetNull(3);
+  b.CopyFrom(a, 2, 4, 0);
+  EXPECT_EQ(b.Data<int32_t>()[0], 2);
+  EXPECT_EQ(b.Data<int32_t>()[1], 0);  // was NULL -> safe value
+  EXPECT_EQ(b.Data<int32_t>()[2], 4);
+  EXPECT_TRUE(b.IsNull(1));            // a[3] null -> b[1]
+  EXPECT_FALSE(b.IsNull(0));
+}
+
+TEST(VectorTest, CopyFromStringsReAddsToOwnHeap) {
+  Vector a(TypeId::kStr, 4), b(TypeId::kStr, 4);
+  a.Data<StrRef>()[0] = a.heap()->Add("alpha");
+  a.Data<StrRef>()[1] = a.heap()->Add("beta");
+  b.CopyFrom(a, 0, 2, 1);
+  a.heap()->Reset();  // invalidate source heap
+  EXPECT_EQ(b.Data<StrRef>()[1].ToString(), "alpha");
+  EXPECT_EQ(b.Data<StrRef>()[2].ToString(), "beta");
+}
+
+TEST(SchemaTest, FindField) {
+  Schema s({Field("a", TypeId::kI32), Field("b", TypeId::kStr, true)});
+  EXPECT_EQ(s.num_fields(), 2);
+  EXPECT_EQ(s.FindField("b"), 1);
+  EXPECT_EQ(s.FindField("z"), -1);
+  EXPECT_TRUE(s.field(1).nullable);
+  EXPECT_EQ(s.ToString(), "(a i32, b str null)");
+}
+
+Schema TwoColSchema() {
+  return Schema({Field("x", TypeId::kI32), Field("s", TypeId::kStr)});
+}
+
+TEST(BatchTest, ConstructionMatchesSchema) {
+  Batch b(TwoColSchema(), 16);
+  EXPECT_EQ(b.num_columns(), 2);
+  EXPECT_EQ(b.capacity(), 16);
+  EXPECT_EQ(b.column(0)->type(), TypeId::kI32);
+  EXPECT_EQ(b.column(1)->type(), TypeId::kStr);
+  EXPECT_EQ(b.ActiveRows(), 0);
+}
+
+TEST(BatchTest, SelectionVectorControlsActiveRows) {
+  Batch b(TwoColSchema(), 16);
+  b.set_rows(10);
+  EXPECT_EQ(b.ActiveRows(), 10);
+  sel_t* sel = b.MutableSel();
+  sel[0] = 1;
+  sel[1] = 4;
+  sel[2] = 9;
+  b.SetSelCount(3);
+  EXPECT_TRUE(b.has_sel());
+  EXPECT_EQ(b.ActiveRows(), 3);
+  b.ClearSel();
+  EXPECT_EQ(b.ActiveRows(), 10);
+}
+
+TEST(BatchTest, CompactGathersSelectedRows) {
+  Schema schema = TwoColSchema();
+  Batch b(schema, 8);
+  for (int i = 0; i < 8; i++) {
+    b.column(0)->Data<int32_t>()[i] = i * 10;
+    b.column(1)->Data<StrRef>()[i] =
+        b.column(1)->heap()->Add("s" + std::to_string(i));
+  }
+  b.column(0)->SetNull(4);
+  b.set_rows(8);
+  sel_t* sel = b.MutableSel();
+  sel[0] = 1;
+  sel[1] = 4;
+  sel[2] = 7;
+  b.SetSelCount(3);
+
+  auto c = b.Compact(schema);
+  EXPECT_EQ(c->rows(), 3);
+  EXPECT_FALSE(c->has_sel());
+  EXPECT_EQ(c->column(0)->Data<int32_t>()[0], 10);
+  EXPECT_TRUE(c->column(0)->IsNull(1));
+  EXPECT_EQ(c->column(0)->Data<int32_t>()[2], 70);
+  EXPECT_EQ(c->column(1)->Data<StrRef>()[0].ToString(), "s1");
+  EXPECT_EQ(c->column(1)->Data<StrRef>()[2].ToString(), "s7");
+}
+
+TEST(BatchTest, CompactWithoutSelectionCopiesAll) {
+  Schema schema({Field("x", TypeId::kI64)});
+  Batch b(schema, 4);
+  for (int i = 0; i < 3; i++) b.column(0)->Data<int64_t>()[i] = i + 100;
+  b.set_rows(3);
+  auto c = b.Compact(schema);
+  EXPECT_EQ(c->rows(), 3);
+  EXPECT_EQ(c->column(0)->Data<int64_t>()[2], 102);
+}
+
+TEST(BatchTest, ResetClearsStateAndHeaps) {
+  Schema schema = TwoColSchema();
+  Batch b(schema, 4);
+  b.column(1)->Data<StrRef>()[0] = b.column(1)->heap()->Add("zzz");
+  b.column(0)->SetNull(0);
+  b.set_rows(4);
+  b.MutableSel()[0] = 0;
+  b.SetSelCount(1);
+  b.Reset();
+  EXPECT_EQ(b.rows(), 0);
+  EXPECT_FALSE(b.has_sel());
+  EXPECT_FALSE(b.column(0)->has_nulls());
+  EXPECT_EQ(b.column(1)->heap()->bytes_allocated(), 0u);
+}
+
+TEST(BatchTest, MemoryAccounting) {
+  Schema schema({Field("x", TypeId::kI64)});
+  Batch b(schema, 1024);
+  // At least the data buffer + the selection buffer.
+  EXPECT_GE(b.MemoryBytes(), 1024 * sizeof(int64_t) + 1024 * sizeof(sel_t));
+}
+
+}  // namespace
+}  // namespace x100
