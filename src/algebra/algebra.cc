@@ -75,7 +75,10 @@ std::string AlgebraNode::ToString(int indent) const {
   std::string s = pad;
   switch (kind) {
     case Kind::kScan:
-      s += "Scan(" + table + ")";
+      s += "Scan(" + table +
+           (morsel_group >= 0 ? ", morsel#" + std::to_string(morsel_group)
+                              : "") +
+           ")";
       break;
     case Kind::kSelect:
       s += "Select(" + predicate->ToString() + ")";

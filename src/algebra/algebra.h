@@ -36,10 +36,10 @@ struct AlgebraNode {
   // kScan
   std::string table;
   std::vector<std::string> scan_columns;  // empty = all columns
-  /// Parallel partitioning (set by the Parallelizer rule): this scan reads
-  /// block groups g with g % scan_parts == scan_part.
-  int scan_part = 0;
-  int scan_parts = 1;
+  /// Morsel-driven parallel scan (set by the Parallelizer rule): all scan
+  /// clones carrying the same non-negative id share one MorselSource at
+  /// plan-build time and pull block groups dynamically. -1 = plain scan.
+  int morsel_group = -1;
 
   // kSelect
   ExprPtr predicate;

@@ -20,9 +20,14 @@ inline constexpr int64_t kDiskBlockBytes = 256 * 1024;
 /// Engine configuration carried by Database / QueryExecutor.
 struct EngineConfig {
   int vector_size = kDefaultVectorSize;
-  /// Number of threads the Parallelizer rewrite rule may use (0 = hardware
-  /// concurrency).
+  /// Number of producer pipelines the Parallelizer rewrite rule creates
+  /// per parallelizable aggregation (<= 1 disables the rule).
   int max_parallelism = 0;
+  /// Worker threads of the task scheduler parallel plans run on:
+  /// 0 = share the process-wide pool (sized to hardware concurrency),
+  /// > 0 = give this Database a private pool with that many workers
+  /// (tests and benches pin worker counts this way).
+  int scheduler_workers = 0;
   /// Memory accounting limit in bytes (0 = unlimited).
   int64_t memory_limit = 0;
   /// Buffer pool capacity in blocks.

@@ -1,0 +1,138 @@
+// TaskScheduler: a process-wide work-stealing thread pool, plus TaskGroup
+// for structured fork/join with error and cancellation propagation.
+//
+// Motivation (paper §"Multi-core", §"When more cores hurts"): the seed's
+// Volcano XchgOp spawned one dedicated std::thread per producer, so every
+// concurrent parallel query multiplied the thread count and oversubscribed
+// the machine. All parallel work now runs on ONE shared pool sized to the
+// hardware (morsel-driven scheduling a la Leis et al.): queries enqueue
+// tasks, workers pull them, and an idle worker steals from a busy one, so
+// skew in one pipeline no longer strands cores.
+//
+// Design:
+//  * One deque per worker. Submissions are distributed round-robin;
+//    a worker prefers its own deque (FIFO) and steals from the longest
+//    other deque when empty.
+//  * TaskGroup tracks a batch of tasks spawned together. The first non-OK
+//    status cancels the remaining tasks of the group (not-yet-started
+//    tasks are skipped, running ones observe IsCancelled()), and Wait()
+//    returns that first error. An external CancellationToken chains in:
+//    cancelling the query cancels every group that references the token.
+//  * Wait() *helps*: while blocked it executes queued tasks on the calling
+//    thread, so a 1-worker (or saturated) pool cannot deadlock a joiner.
+#ifndef X100_COMMON_TASK_SCHEDULER_H_
+#define X100_COMMON_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+
+namespace x100 {
+
+class TaskGroup;
+
+class TaskScheduler {
+ public:
+  /// num_workers == 0 uses std::thread::hardware_concurrency().
+  explicit TaskScheduler(int num_workers = 0);
+  ~TaskScheduler();  // drains queued tasks, then joins workers
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// The shared process-wide pool (sized to the hardware). Constructed on
+  /// first use; queries without an explicit pool run here.
+  static TaskScheduler* Global();
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Fire-and-forget; prefer TaskGroup for joinable work.
+  void Submit(std::function<void()> fn);
+
+  /// Runs one queued task on the calling thread if any is ready.
+  /// Used by TaskGroup::Wait to help drain a saturated pool.
+  bool RunOneTask();
+
+  // Monitoring counters.
+  int64_t tasks_run() const { return tasks_run_.load(); }
+  int64_t tasks_stolen() const { return tasks_stolen_.load(); }
+
+ private:
+  void WorkerLoop(int id);
+  /// Pops a task, preferring deque `home`; steals from the longest other
+  /// deque. Returns false if every deque is empty. `mu_` must be held.
+  bool PopTaskLocked(int home, std::function<void()>* out, bool* stolen);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> next_queue_{0};  // round-robin submission cursor
+  std::atomic<int64_t> tasks_run_{0};
+  std::atomic<int64_t> tasks_stolen_{0};
+};
+
+/// A batch of tasks that complete together. Not reusable after Wait().
+class TaskGroup {
+ public:
+  /// `cancel` (optional) chains external query cancellation into the
+  /// group: once the token fires, pending tasks are skipped.
+  explicit TaskGroup(TaskScheduler* scheduler,
+                     CancellationToken* cancel = nullptr)
+      : scheduler_(scheduler), external_cancel_(cancel) {}
+  ~TaskGroup() {
+    Cancel();
+    Wait();
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `fn` on the pool. A non-OK return cancels the group and
+  /// becomes the Wait() result (first error wins; Cancelled never
+  /// overrides a real error).
+  void Spawn(std::function<Status()> fn);
+
+  /// Blocks until every spawned task finished or was skipped, helping to
+  /// run queued tasks meanwhile. Returns the first error, Cancelled if
+  /// the group was cancelled with no prior error, OK otherwise.
+  Status Wait();
+
+  /// Requests cancellation of the group's remaining tasks.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_acquire) ||
+           (external_cancel_ != nullptr && external_cancel_->IsCancelled());
+  }
+
+  Status CheckCancel() const {
+    return IsCancelled() ? Status::Cancelled("task group cancelled")
+                         : Status::OK();
+  }
+
+ private:
+  void Finish(const Status& s);
+
+  TaskScheduler* scheduler_;
+  CancellationToken* external_cancel_;
+  std::atomic<bool> cancelled_{false};
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  int outstanding_ = 0;
+  Status first_error_;
+  bool any_cancelled_ = false;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_TASK_SCHEDULER_H_

@@ -39,6 +39,7 @@ inline size_t BitPack(const uint64_t* in, int n, int width, uint8_t* out) {
 /// Unpacks n values of `width` bits from `in` into out. `in` must have the
 /// 8-byte slack produced by PackedBytes.
 inline void BitUnpack(const uint8_t* in, int n, int width, uint64_t* out) {
+  if (n <= 0) return;  // out may be null for an empty run (UB otherwise)
   if (width == 0) {
     std::memset(out, 0, sizeof(uint64_t) * n);
     return;

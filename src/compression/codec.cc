@@ -289,7 +289,9 @@ Status DecompressColumn(const uint8_t* data, size_t len, T* out) {
       if (plen < static_cast<size_t>(h.n) * sizeof(T)) {
         return Status::IoError("plain payload truncated");
       }
-      std::memcpy(out, p, static_cast<size_t>(h.n) * sizeof(T));
+      if (h.n > 0) {  // out may be null for an empty column (UB otherwise)
+        std::memcpy(out, p, static_cast<size_t>(h.n) * sizeof(T));
+      }
       return Status::OK();
     }
     case CodecId::kRle:

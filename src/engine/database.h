@@ -5,9 +5,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
+#include "common/task_scheduler.h"
 #include "monitor/monitor.h"
 #include "pdt/transaction.h"
 #include "storage/buffer_manager.h"
@@ -52,6 +55,27 @@ class Database {
   }
 
   EngineConfig& config() { return config_; }
+
+  /// Pool parallel plans run on: the process-wide scheduler by default, or
+  /// a private pool when config.scheduler_workers > 0 (created lazily so
+  /// the common case never spawns extra threads). Creation is mutex-
+  /// guarded, and a pool whose worker count no longer matches the config
+  /// is retired — kept alive until Database destruction — rather than
+  /// destroyed, since in-flight queries may still hold a pointer to it.
+  TaskScheduler* scheduler() {
+    if (config_.scheduler_workers <= 0) return TaskScheduler::Global();
+    std::lock_guard<std::mutex> lock(scheduler_mu_);
+    if (own_scheduler_ == nullptr ||
+        own_scheduler_->num_workers() != config_.scheduler_workers) {
+      if (own_scheduler_ != nullptr) {
+        retired_schedulers_.push_back(std::move(own_scheduler_));
+      }
+      own_scheduler_ =
+          std::make_unique<TaskScheduler>(config_.scheduler_workers);
+    }
+    return own_scheduler_.get();
+  }
+
   SimulatedDisk* disk() { return &disk_; }
   BufferManager* buffers() { return &buffers_; }
   TransactionManager* txn_manager() { return &txn_manager_; }
@@ -61,6 +85,9 @@ class Database {
 
  private:
   EngineConfig config_;
+  std::mutex scheduler_mu_;
+  std::unique_ptr<TaskScheduler> own_scheduler_;
+  std::vector<std::unique_ptr<TaskScheduler>> retired_schedulers_;
   SimulatedDisk disk_;
   BufferManager buffers_;
   TransactionManager txn_manager_;

@@ -1,0 +1,224 @@
+#include "engine/physical_plan.h"
+
+#include "engine/database.h"
+#include "exec/exchange.h"
+#include "exec/sort.h"
+
+namespace x100 {
+
+void ExtractScanPushdown(const ExprPtr& pred, const Schema& schema,
+                         std::vector<ScanPredicate>* out) {
+  if (pred == nullptr || pred->kind != Expr::Kind::kCall) return;
+  if (pred->fn == "and") {
+    ExtractScanPushdown(pred->args[0], schema, out);
+    ExtractScanPushdown(pred->args[1], schema, out);
+    return;
+  }
+  RangeOp op;
+  if (pred->fn == "eq") {
+    op = RangeOp::kEq;
+  } else if (pred->fn == "lt") {
+    op = RangeOp::kLt;
+  } else if (pred->fn == "le") {
+    op = RangeOp::kLe;
+  } else if (pred->fn == "gt") {
+    op = RangeOp::kGt;
+  } else if (pred->fn == "ge") {
+    op = RangeOp::kGe;
+  } else {
+    return;
+  }
+  if (pred->args.size() != 2) return;
+  const ExprPtr& l = pred->args[0];
+  const ExprPtr& r = pred->args[1];
+  if (l->kind == Expr::Kind::kColRef && r->kind == Expr::Kind::kConst &&
+      !r->constant.is_null()) {
+    const int col = schema.FindField(l->name);
+    if (col >= 0) out->push_back({col, op, r->constant});
+    return;
+  }
+  // Flipped comparison (`const OP col`): mirror the operator. The seed
+  // dropped these, silently losing MinMax group skipping.
+  if (l->kind == Expr::Kind::kConst && r->kind == Expr::Kind::kColRef &&
+      !l->constant.is_null()) {
+    RangeOp mirrored;
+    switch (op) {
+      case RangeOp::kEq: mirrored = RangeOp::kEq; break;
+      case RangeOp::kLt: mirrored = RangeOp::kGt; break;  // c < x => x > c
+      case RangeOp::kLe: mirrored = RangeOp::kGe; break;
+      case RangeOp::kGt: mirrored = RangeOp::kLt; break;
+      case RangeOp::kGe: mirrored = RangeOp::kLe; break;
+    }
+    const int col = schema.FindField(r->name);
+    if (col >= 0) out->push_back({col, mirrored, l->constant});
+  }
+}
+
+Result<OperatorPtr> BuildScanOp(const AlgebraNode& node, PlannerContext* pc,
+                                const ExprPtr& pushdown_pred) {
+  UpdatableTable* table;
+  X100_ASSIGN_OR_RETURN(table, pc->db->GetTable(node.table));
+  const Schema& schema = table->base()->schema();
+  ScanOptions opts;
+  if (node.scan_columns.empty()) {
+    for (int c = 0; c < schema.num_fields(); c++) opts.columns.push_back(c);
+  } else {
+    for (const std::string& name : node.scan_columns) {
+      const int c = schema.FindField(name);
+      if (c < 0) {
+        return Status::NotFound("column " + name + " not in " + node.table);
+      }
+      opts.columns.push_back(c);
+    }
+  }
+  if (pushdown_pred != nullptr) {
+    ExtractScanPushdown(pushdown_pred, schema, &opts.predicates);
+  }
+  if (node.morsel_group >= 0) {
+    // Every producer clone with this id pulls from one dynamic source.
+    MorselSourcePtr& src = pc->morsel_sources[node.morsel_group];
+    if (src == nullptr) {
+      src = std::make_shared<MorselSource>(table->base()->num_groups());
+    }
+    opts.morsels = src;
+  }
+  return OperatorPtr(std::make_unique<ScanOp>(
+      table->View(), table->SnapshotPdt(), pc->db->buffers(),
+      std::move(opts)));
+}
+
+namespace {
+
+Result<OperatorPtr> ScanFactory(const AlgebraPtr& node, PlannerContext* pc,
+                                const PhysicalPlanner*) {
+  return BuildScanOp(*node, pc, nullptr);
+}
+
+Result<OperatorPtr> SelectFactory(const AlgebraPtr& node, PlannerContext* pc,
+                                  const PhysicalPlanner* planner) {
+  // Select directly over a scan: hand the predicate down for MinMax group
+  // skipping (the Select still filters exactly).
+  OperatorPtr child;
+  if (node->children[0]->kind == AlgebraNode::Kind::kScan) {
+    X100_ASSIGN_OR_RETURN(
+        child, BuildScanOp(*node->children[0], pc, node->predicate));
+  } else {
+    X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
+  }
+  return OperatorPtr(std::make_unique<SelectOp>(
+      std::move(child), CloneExpr(node->predicate)));
+}
+
+Result<OperatorPtr> ProjectFactory(const AlgebraPtr& node,
+                                   PlannerContext* pc,
+                                   const PhysicalPlanner* planner) {
+  OperatorPtr child;
+  X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
+  std::vector<ProjectItem> items;
+  for (const ProjectItem& item : node->items) {
+    items.push_back({item.name, CloneExpr(item.expr)});
+  }
+  return OperatorPtr(
+      std::make_unique<ProjectOp>(std::move(child), std::move(items)));
+}
+
+Result<OperatorPtr> AggrFactory(const AlgebraPtr& node, PlannerContext* pc,
+                                const PhysicalPlanner* planner) {
+  OperatorPtr child;
+  X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
+  std::vector<ProjectItem> keys;
+  for (const ProjectItem& k : node->group_by) {
+    keys.push_back({k.name, CloneExpr(k.expr)});
+  }
+  std::vector<AggItem> aggs;
+  for (const AggItem& a : node->aggs) {
+    aggs.push_back({a.kind, a.input ? CloneExpr(a.input) : nullptr, a.name});
+  }
+  return OperatorPtr(std::make_unique<HashAggOp>(
+      std::move(child), std::move(keys), std::move(aggs)));
+}
+
+Result<OperatorPtr> JoinFactory(const AlgebraPtr& node, PlannerContext* pc,
+                                const PhysicalPlanner* planner) {
+  OperatorPtr build;
+  X100_ASSIGN_OR_RETURN(build, planner->Build(node->children[0], pc));
+  OperatorPtr probe;
+  X100_ASSIGN_OR_RETURN(probe, planner->Build(node->children[1], pc));
+  std::vector<int> bkeys, pkeys;
+  for (const std::string& k : node->build_keys) {
+    const int c = build->output_schema().FindField(k);
+    if (c < 0) return Status::NotFound("build key not found: " + k);
+    bkeys.push_back(c);
+  }
+  for (const std::string& k : node->probe_keys) {
+    const int c = probe->output_schema().FindField(k);
+    if (c < 0) return Status::NotFound("probe key not found: " + k);
+    pkeys.push_back(c);
+  }
+  return OperatorPtr(std::make_unique<HashJoinOp>(
+      std::move(build), std::move(probe), std::move(bkeys),
+      std::move(pkeys), node->join_type));
+}
+
+Result<OperatorPtr> OrderFactory(const AlgebraPtr& node, PlannerContext* pc,
+                                 const PhysicalPlanner* planner) {
+  OperatorPtr child;
+  X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
+  std::vector<SortKey> keys;
+  for (const AlgebraNode::OrderKey& k : node->order_keys) {
+    const int c = child->output_schema().FindField(k.column);
+    if (c < 0) return Status::NotFound("order key not found: " + k.column);
+    keys.push_back({c, k.ascending});
+  }
+  return OperatorPtr(std::make_unique<SortOp>(std::move(child),
+                                              std::move(keys),
+                                              node->limit));
+}
+
+Result<OperatorPtr> XchgFactory(const AlgebraPtr& node, PlannerContext* pc,
+                                const PhysicalPlanner* planner) {
+  std::vector<OperatorPtr> producers;
+  for (const AlgebraPtr& c : node->children) {
+    OperatorPtr p;
+    X100_ASSIGN_OR_RETURN(p, planner->Build(c, pc));
+    producers.push_back(std::move(p));
+  }
+  return OperatorPtr(std::make_unique<XchgOp>(std::move(producers)));
+}
+
+}  // namespace
+
+void PhysicalPlanner::Register(AlgebraNode::Kind kind, Factory factory) {
+  factories_[kind] = std::move(factory);
+}
+
+bool PhysicalPlanner::Has(AlgebraNode::Kind kind) const {
+  return factories_.count(kind) > 0;
+}
+
+Result<OperatorPtr> PhysicalPlanner::Build(const AlgebraPtr& node,
+                                           PlannerContext* pc) const {
+  auto it = factories_.find(node->kind);
+  if (it == factories_.end()) {
+    return Status::NotImplemented("no physical factory for algebra kind " +
+                                 std::to_string(static_cast<int>(node->kind)));
+  }
+  return it->second(node, pc, this);
+}
+
+const PhysicalPlanner& PhysicalPlanner::Default() {
+  static const PhysicalPlanner* planner = [] {
+    auto* p = new PhysicalPlanner();
+    p->Register(AlgebraNode::Kind::kScan, ScanFactory);
+    p->Register(AlgebraNode::Kind::kSelect, SelectFactory);
+    p->Register(AlgebraNode::Kind::kProject, ProjectFactory);
+    p->Register(AlgebraNode::Kind::kAggr, AggrFactory);
+    p->Register(AlgebraNode::Kind::kJoin, JoinFactory);
+    p->Register(AlgebraNode::Kind::kOrder, OrderFactory);
+    p->Register(AlgebraNode::Kind::kXchg, XchgFactory);
+    return p;
+  }();
+  return *planner;
+}
+
+}  // namespace x100

@@ -1,0 +1,79 @@
+// Physical planner: an extensible registry mapping algebra node kinds to
+// operator factories.
+//
+// The seed built operator trees through a monolithic if/else chain inside
+// QueryExecutor::Build, so every new operator meant editing the engine.
+// Factories are now registered per AlgebraNode::Kind; QueryExecutor only
+// dispatches. Embedders can copy the default planner and override or add
+// factories (e.g. swap SortOp for an external-merge sort) without touching
+// engine code.
+//
+// PlannerContext carries the per-build shared state: the database (table
+// lookup), the ExecContext (threaded into scans so they report into
+// tuples_scanned/groups_skipped and the query profile), and the
+// MorselSource instances shared by producer clones of one parallelized
+// scan (keyed by AlgebraNode::morsel_group).
+#ifndef X100_ENGINE_PHYSICAL_PLAN_H_
+#define X100_ENGINE_PHYSICAL_PLAN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "algebra/algebra.h"
+#include "exec/scan.h"
+#include "storage/morsel.h"
+
+namespace x100 {
+
+class Database;
+
+/// Build-scoped state shared across one plan's factory invocations.
+struct PlannerContext {
+  Database* db = nullptr;
+  ExecContext* exec = nullptr;
+  /// morsel_group id -> source shared by every scan clone with that id.
+  std::map<int, MorselSourcePtr> morsel_sources;
+};
+
+class PhysicalPlanner {
+ public:
+  /// Builds the operator for `node`; recurse into children via
+  /// `planner->Build(child, pc)`.
+  using Factory = std::function<Result<OperatorPtr>(
+      const AlgebraPtr& node, PlannerContext* pc,
+      const PhysicalPlanner* planner)>;
+
+  /// Registers (or replaces) the factory for `kind`.
+  void Register(AlgebraNode::Kind kind, Factory factory);
+  bool Has(AlgebraNode::Kind kind) const;
+
+  /// Dispatches to the registered factory; Unimplemented for unknown
+  /// kinds.
+  Result<OperatorPtr> Build(const AlgebraPtr& node, PlannerContext* pc) const;
+
+  /// The built-in operator set. Copy it to customize:
+  ///   PhysicalPlanner mine = PhysicalPlanner::Default();
+  ///   mine.Register(AlgebraNode::Kind::kOrder, my_sort_factory);
+  static const PhysicalPlanner& Default();
+
+ private:
+  std::map<AlgebraNode::Kind, Factory> factories_;
+};
+
+/// Extracts MinMax-pushable conjuncts from a predicate: `col OP const` and
+/// the flipped `const OP col` (the seed silently dropped the latter).
+/// Exposed for tests.
+void ExtractScanPushdown(const ExprPtr& pred, const Schema& schema,
+                         std::vector<ScanPredicate>* out);
+
+/// Builds a ScanOp for a kScan node, with optional MinMax pushdown
+/// predicate and morsel-source sharing through `pc`. Used by the scan and
+/// select factories.
+Result<OperatorPtr> BuildScanOp(const AlgebraNode& node, PlannerContext* pc,
+                                const ExprPtr& pushdown_pred);
+
+}  // namespace x100
+
+#endif  // X100_ENGINE_PHYSICAL_PLAN_H_

@@ -1,171 +1,15 @@
 #include "engine/query_executor.h"
 
-#include "exec/exchange.h"
-#include "exec/sort.h"
+#include <chrono>
 
 namespace x100 {
 
-namespace {
-
-/// Extracts MinMax-pushable conjuncts (`col OP const`) from a predicate.
-void ExtractPushdown(const ExprPtr& pred, const Schema& schema,
-                     std::vector<ScanPredicate>* out) {
-  if (pred == nullptr || pred->kind != Expr::Kind::kCall) return;
-  if (pred->fn == "and") {
-    ExtractPushdown(pred->args[0], schema, out);
-    ExtractPushdown(pred->args[1], schema, out);
-    return;
-  }
-  RangeOp op;
-  if (pred->fn == "eq") {
-    op = RangeOp::kEq;
-  } else if (pred->fn == "lt") {
-    op = RangeOp::kLt;
-  } else if (pred->fn == "le") {
-    op = RangeOp::kLe;
-  } else if (pred->fn == "gt") {
-    op = RangeOp::kGt;
-  } else if (pred->fn == "ge") {
-    op = RangeOp::kGe;
-  } else {
-    return;
-  }
-  if (pred->args.size() != 2) return;
-  const ExprPtr& l = pred->args[0];
-  const ExprPtr& r = pred->args[1];
-  if (l->kind == Expr::Kind::kColRef && r->kind == Expr::Kind::kConst &&
-      !r->constant.is_null()) {
-    const int col = schema.FindField(l->name);
-    if (col >= 0) out->push_back({col, op, r->constant});
-  }
-}
-
-}  // namespace
-
-Result<OperatorPtr> QueryExecutor::BuildScan(const AlgebraNode& node,
-                                             ExecContext* ctx,
-                                             ExprPtr pushdown_pred) {
-  UpdatableTable* table;
-  X100_ASSIGN_OR_RETURN(table, db_->GetTable(node.table));
-  const Schema& schema = table->base()->schema();
-  ScanOptions opts;
-  if (node.scan_columns.empty()) {
-    for (int c = 0; c < schema.num_fields(); c++) opts.columns.push_back(c);
-  } else {
-    for (const std::string& name : node.scan_columns) {
-      const int c = schema.FindField(name);
-      if (c < 0) {
-        return Status::NotFound("column " + name + " not in " + node.table);
-      }
-      opts.columns.push_back(c);
-    }
-  }
-  if (pushdown_pred != nullptr) {
-    ExtractPushdown(pushdown_pred, schema, &opts.predicates);
-  }
-  if (node.scan_parts > 1) {
-    opts.use_subset = true;
-    for (int g = 0; g < table->base()->num_groups(); g++) {
-      if (g % node.scan_parts == node.scan_part) {
-        opts.group_subset.push_back(g);
-      }
-    }
-    opts.include_tail = node.scan_part == 0;
-  }
-  (void)ctx;
-  return OperatorPtr(std::make_unique<ScanOp>(
-      table->View(), table->SnapshotPdt(), db_->buffers(), std::move(opts)));
-}
-
 Result<OperatorPtr> QueryExecutor::Build(const AlgebraPtr& plan,
                                          ExecContext* ctx) {
-  switch (plan->kind) {
-    case AlgebraNode::Kind::kScan:
-      return BuildScan(*plan, ctx, nullptr);
-    case AlgebraNode::Kind::kSelect: {
-      // Select directly over a scan: hand the predicate down for MinMax
-      // group skipping (the Select still filters exactly).
-      if (plan->children[0]->kind == AlgebraNode::Kind::kScan) {
-        OperatorPtr scan;
-        X100_ASSIGN_OR_RETURN(
-            scan, BuildScan(*plan->children[0], ctx, plan->predicate));
-        return OperatorPtr(std::make_unique<SelectOp>(
-            std::move(scan), CloneExpr(plan->predicate)));
-      }
-      OperatorPtr child;
-      X100_ASSIGN_OR_RETURN(child, Build(plan->children[0], ctx));
-      return OperatorPtr(std::make_unique<SelectOp>(
-          std::move(child), CloneExpr(plan->predicate)));
-    }
-    case AlgebraNode::Kind::kProject: {
-      OperatorPtr child;
-      X100_ASSIGN_OR_RETURN(child, Build(plan->children[0], ctx));
-      std::vector<ProjectItem> items;
-      for (const ProjectItem& item : plan->items) {
-        items.push_back({item.name, CloneExpr(item.expr)});
-      }
-      return OperatorPtr(
-          std::make_unique<ProjectOp>(std::move(child), std::move(items)));
-    }
-    case AlgebraNode::Kind::kAggr: {
-      OperatorPtr child;
-      X100_ASSIGN_OR_RETURN(child, Build(plan->children[0], ctx));
-      std::vector<ProjectItem> keys;
-      for (const ProjectItem& k : plan->group_by) {
-        keys.push_back({k.name, CloneExpr(k.expr)});
-      }
-      std::vector<AggItem> aggs;
-      for (const AggItem& a : plan->aggs) {
-        aggs.push_back(
-            {a.kind, a.input ? CloneExpr(a.input) : nullptr, a.name});
-      }
-      return OperatorPtr(std::make_unique<HashAggOp>(
-          std::move(child), std::move(keys), std::move(aggs)));
-    }
-    case AlgebraNode::Kind::kJoin: {
-      OperatorPtr build;
-      X100_ASSIGN_OR_RETURN(build, Build(plan->children[0], ctx));
-      OperatorPtr probe;
-      X100_ASSIGN_OR_RETURN(probe, Build(plan->children[1], ctx));
-      std::vector<int> bkeys, pkeys;
-      for (const std::string& k : plan->build_keys) {
-        const int c = build->output_schema().FindField(k);
-        if (c < 0) return Status::NotFound("build key not found: " + k);
-        bkeys.push_back(c);
-      }
-      for (const std::string& k : plan->probe_keys) {
-        const int c = probe->output_schema().FindField(k);
-        if (c < 0) return Status::NotFound("probe key not found: " + k);
-        pkeys.push_back(c);
-      }
-      return OperatorPtr(std::make_unique<HashJoinOp>(
-          std::move(build), std::move(probe), std::move(bkeys),
-          std::move(pkeys), plan->join_type));
-    }
-    case AlgebraNode::Kind::kOrder: {
-      OperatorPtr child;
-      X100_ASSIGN_OR_RETURN(child, Build(plan->children[0], ctx));
-      std::vector<SortKey> keys;
-      for (const AlgebraNode::OrderKey& k : plan->order_keys) {
-        const int c = child->output_schema().FindField(k.column);
-        if (c < 0) return Status::NotFound("order key not found: " + k.column);
-        keys.push_back({c, k.ascending});
-      }
-      return OperatorPtr(std::make_unique<SortOp>(std::move(child),
-                                                  std::move(keys),
-                                                  plan->limit));
-    }
-    case AlgebraNode::Kind::kXchg: {
-      std::vector<OperatorPtr> producers;
-      for (const AlgebraPtr& c : plan->children) {
-        OperatorPtr p;
-        X100_ASSIGN_OR_RETURN(p, Build(c, ctx));
-        producers.push_back(std::move(p));
-      }
-      return OperatorPtr(std::make_unique<XchgOp>(std::move(producers)));
-    }
-  }
-  return Status::Internal("unknown algebra node kind");
+  PlannerContext pc;
+  pc.db = db_;
+  pc.exec = ctx;
+  return planner_->Build(plan, &pc);
 }
 
 Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
@@ -182,11 +26,13 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   ctx.vector_size = db_->config().vector_size;
   ctx.cancel = cancel;
   ctx.events = db_->events();
+  ctx.scheduler = db_->scheduler();
 
   const int64_t qid =
       db_->queries()->Begin(text.empty() ? "<algebra query>" : text);
   db_->events()->Info("query " + std::to_string(qid) + " started");
 
+  const auto t0 = std::chrono::steady_clock::now();
   OperatorPtr root;
   {
     auto built = Build(*rewritten, &ctx);
@@ -198,7 +44,17 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   }
   auto result = CollectRows(root.get(), &ctx);
   const Status status = result.ok() ? Status::OK() : result.status();
-  db_->queries()->Finish(qid, status, ctx.tuples_scanned.load());
+
+  // CollectRows closed the whole tree, so every operator has flushed its
+  // metrics; snapshot them for the result and the query listing.
+  QueryProfile profile = ctx.TakeProfile();
+  profile.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (result.ok()) result->profile = profile;
+
+  db_->queries()->Finish(qid, status, ctx.tuples_scanned.load(),
+                         std::move(profile));
   db_->events()->Info("query " + std::to_string(qid) + " " +
                       (status.ok() ? "finished" : status.ToString()));
   db_->counters()->Add("queries.total", 1);

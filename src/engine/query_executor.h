@@ -1,5 +1,8 @@
 // QueryExecutor: X100 algebra -> vectorized operator tree -> result, with
-// rewriting, MinMax pushdown extraction, monitoring and cancellation.
+// rewriting, monitoring, per-operator profiling and cancellation. Operator
+// construction is delegated to a pluggable PhysicalPlanner registry
+// (engine/physical_plan.h) — the executor itself contains no per-node-kind
+// dispatch.
 #ifndef X100_ENGINE_QUERY_EXECUTOR_H_
 #define X100_ENGINE_QUERY_EXECUTOR_H_
 
@@ -8,14 +11,15 @@
 
 #include "algebra/algebra.h"
 #include "engine/database.h"
-#include "exec/scan.h"
+#include "engine/physical_plan.h"
 #include "rewriter/rewriter.h"
 
 namespace x100 {
 
 class QueryExecutor {
  public:
-  explicit QueryExecutor(Database* db) : db_(db) {}
+  explicit QueryExecutor(Database* db)
+      : db_(db), planner_(&PhysicalPlanner::Default()) {}
 
   /// Builds an operator tree for a (rewritten) plan. `ctx` must outlive the
   /// returned operators.
@@ -23,17 +27,20 @@ class QueryExecutor {
 
   /// Full path: rewrite (honoring config parallelism) -> build -> execute
   /// -> collect, registered in the query listing. `text` is the monitoring
-  /// label. A non-null `cancel` enables external cancellation.
+  /// label. A non-null `cancel` enables external cancellation. The result
+  /// carries the per-operator QueryProfile.
   Result<QueryResult> Execute(AlgebraPtr plan, const std::string& text = "",
                               CancellationToken* cancel = nullptr);
 
   const RewriteStats& last_rewrite_stats() const { return last_stats_; }
 
- private:
-  Result<OperatorPtr> BuildScan(const AlgebraNode& node, ExecContext* ctx,
-                                ExprPtr pushdown_pred);
+  /// Swaps in a custom physical planner (must outlive the executor).
+  void set_planner(const PhysicalPlanner* planner) { planner_ = planner; }
+  const PhysicalPlanner* planner() const { return planner_; }
 
+ private:
   Database* db_;
+  const PhysicalPlanner* planner_;
   RewriteStats last_stats_;
 };
 

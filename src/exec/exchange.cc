@@ -5,25 +5,29 @@ namespace x100 {
 XchgOp::XchgOp(std::vector<OperatorPtr> producers, int queue_capacity)
     : producers_(std::move(producers)), queue_capacity_(queue_capacity) {}
 
-Status XchgOp::Open(ExecContext* ctx) {
+Status XchgOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   if (producers_.empty()) {
     return Status::InvalidArgument("exchange needs at least one producer");
   }
+  scheduler_ =
+      ctx->scheduler != nullptr ? ctx->scheduler : TaskScheduler::Global();
   active_producers_ = static_cast<int>(producers_.size());
   shutdown_ = false;
+  producer_error_ = Status::OK();
+  group_ = std::make_unique<TaskGroup>(scheduler_, ctx->cancel);
   for (int p = 0; p < static_cast<int>(producers_.size()); p++) {
-    threads_.emplace_back([this, p] { ProducerLoop(p); });
+    group_->Spawn([this, p] { return ProducerLoop(p); });
   }
   opened_ = true;
   return Status::OK();
 }
 
-void XchgOp::ProducerLoop(int p) {
+Status XchgOp::ProducerLoop(int p) {
   Operator* op = producers_[p].get();
   Status status = op->Open(ctx_);
   while (status.ok()) {
-    if (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled()) {
+    if (group_->IsCancelled()) {
       status = Status::Cancelled("query cancelled");
       break;
     }
@@ -36,13 +40,25 @@ void XchgOp::ProducerLoop(int p) {
     // Deep-copy: the producer's batch is reused on its next Next().
     auto owned = (*batch)->Compact(op->output_schema());
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] {
-      return shutdown_ ||
-             static_cast<int>(queue_.size()) < queue_capacity_ ||
-             (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled());
-    });
-    if (shutdown_ ||
-        (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled())) {
+    // A producer blocked on a full queue must NOT hold its pool worker
+    // hostage: with several exchanges in one plan (or concurrent parallel
+    // queries) on a small pool that starves the other producers and
+    // deadlocks the plan. Instead, help the scheduler run other queued
+    // tasks while waiting; fall back to a short timed wait when nothing
+    // is runnable (group cancellation has no hook into not_full_, so the
+    // wait polls). Helping bounds recursion by the number of live
+    // producer tasks.
+    while (!shutdown_ && !group_->IsCancelled() &&
+           static_cast<int>(queue_.size()) >= queue_capacity_) {
+      lock.unlock();
+      const bool helped = scheduler_->RunOneTask();
+      lock.lock();
+      if (!helped && !shutdown_ && !group_->IsCancelled() &&
+          static_cast<int>(queue_.size()) >= queue_capacity_) {
+        not_full_.wait_for(lock, std::chrono::milliseconds(5));
+      }
+    }
+    if (shutdown_ || group_->IsCancelled()) {
       status = Status::Cancelled("exchange shut down");
       break;
     }
@@ -50,15 +66,18 @@ void XchgOp::ProducerLoop(int p) {
     not_empty_.notify_one();
   }
   op->Close();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!status.ok() && !status.IsCancelled() && producer_error_.ok()) {
-    producer_error_ = status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && !status.IsCancelled() && producer_error_.ok()) {
+      producer_error_ = status;
+    }
+    active_producers_--;
   }
-  active_producers_--;
   not_empty_.notify_all();
+  return status;
 }
 
-Result<Batch*> XchgOp::Next() {
+Result<Batch*> XchgOp::NextImpl() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (!producer_error_.ok()) return producer_error_;
@@ -79,7 +98,7 @@ Result<Batch*> XchgOp::Next() {
   }
 }
 
-void XchgOp::Close() {
+void XchgOp::CloseImpl() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -87,10 +106,11 @@ void XchgOp::Close() {
   }
   not_full_.notify_all();
   not_empty_.notify_all();
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  if (group_ != nullptr) {
+    group_->Cancel();
+    group_->Wait();  // joins every in-flight producer task
+    group_.reset();
   }
-  threads_.clear();
 }
 
 }  // namespace x100

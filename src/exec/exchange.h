@@ -1,12 +1,15 @@
-// XchgOp: Volcano-style exchange — the operator the rewriter's
-// Parallelizer rule inserts (paper §"Multi-core": "The Vectorwise rewriter
-// was used to implement a Volcano-style query parallelizer").
+// XchgOp: exchange union — the operator the rewriter's Parallelizer rule
+// inserts (paper §"Multi-core": "The Vectorwise rewriter was used to
+// implement a Volcano-style query parallelizer").
 //
-// N producer threads each drive an independent partial plan (typically a
-// partitioned scan + partial aggregate); batches flow through a bounded
-// queue to the single consumer. Cancellation wakes every queue wait and
-// joins all threads before Close returns — the "parallelism" hazard of
-// §"Query cancellation".
+// N producer tasks each drive an independent partial plan (typically a
+// morsel-driven scan + partial aggregate); batches flow through a bounded
+// queue to the single consumer. Producers no longer own dedicated
+// std::threads: they are TaskGroup tasks on the shared TaskScheduler, so
+// concurrent parallel queries share one hardware-sized pool instead of
+// oversubscribing the machine (§"When more cores hurts"). Cancellation
+// wakes every queue wait and joins all in-flight tasks before Close
+// returns — the "parallelism" hazard of §"Query cancellation".
 #ifndef X100_EXEC_EXCHANGE_H_
 #define X100_EXEC_EXCHANGE_H_
 
@@ -14,9 +17,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/task_scheduler.h"
 #include "exec/operator.h"
 
 namespace x100 {
@@ -28,9 +31,9 @@ class XchgOp : public Operator {
                   int queue_capacity = 8);
   ~XchgOp() override { Close(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
   const Schema& output_schema() const override {
     return producers_.front()->output_schema();
   }
@@ -39,11 +42,12 @@ class XchgOp : public Operator {
   }
 
  private:
-  void ProducerLoop(int p);
+  Status ProducerLoop(int p);
 
   std::vector<OperatorPtr> producers_;
   int queue_capacity_;
   ExecContext* ctx_ = nullptr;
+  TaskScheduler* scheduler_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable not_empty_;
@@ -53,7 +57,7 @@ class XchgOp : public Operator {
   int active_producers_ = 0;
   bool shutdown_ = false;
 
-  std::vector<std::thread> threads_;
+  std::unique_ptr<TaskGroup> group_;
   std::unique_ptr<Batch> current_;
   bool opened_ = false;
 };

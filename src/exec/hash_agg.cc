@@ -65,7 +65,7 @@ HashAggOp::HashAggOp(OperatorPtr child, std::vector<ProjectItem> group_by,
   }
 }
 
-Status HashAggOp::Open(ExecContext* ctx) {
+Status HashAggOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   X100_RETURN_IF_ERROR(init_status_);
   X100_RETURN_IF_ERROR(child_->Open(ctx));
@@ -94,7 +94,7 @@ Status HashAggOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-void HashAggOp::Close() {
+void HashAggOp::CloseImpl() {
   if (child_) child_->Close();
 }
 
@@ -291,7 +291,7 @@ Status HashAggOp::Consume() {
 
 Status HashAggOp::EmitGroups() { return Status::OK(); }
 
-Result<Batch*> HashAggOp::Next() {
+Result<Batch*> HashAggOp::NextImpl() {
   if (!consumed_) X100_RETURN_IF_ERROR(Consume());
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
   if (emit_pos_ >= keys_->rows()) return nullptr;

@@ -31,9 +31,9 @@ class HashAggOp : public Operator {
             std::vector<AggItem> aggs);
   ~HashAggOp() override { Close(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
   const Schema& output_schema() const override { return out_schema_; }
   std::string name() const override { return "HashAgg"; }
 

@@ -38,7 +38,7 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
   }
 }
 
-Status HashJoinOp::Open(ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   X100_RETURN_IF_ERROR(build_child_->Open(ctx));
   X100_RETURN_IF_ERROR(probe_child_->Open(ctx));
@@ -47,7 +47,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   if (build_child_) build_child_->Close();
   if (probe_child_) probe_child_->Close();
   build_rows_.reset();
@@ -177,7 +177,7 @@ void HashJoinOp::EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
   }
 }
 
-Result<Batch*> HashJoinOp::Next() {
+Result<Batch*> HashJoinOp::NextImpl() {
   if (!built_) X100_RETURN_IF_ERROR(BuildSide());
   if (eos_) return nullptr;
   out_->Reset();

@@ -41,9 +41,9 @@ class HashJoinOp : public Operator {
              JoinType type);
   ~HashJoinOp() override { Close(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
   const Schema& output_schema() const override { return out_schema_; }
   std::string name() const override {
     return std::string("HashJoin[") + JoinTypeName(type_) + "]";

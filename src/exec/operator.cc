@@ -1,0 +1,44 @@
+#include "exec/operator.h"
+
+#include <chrono>
+
+namespace x100 {
+
+namespace {
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Status Operator::Open(ExecContext* ctx) {
+  profile_ctx_ = ctx;
+  prof_flushed_ = false;
+  const int64_t t0 = NowNs();
+  Status s = OpenImpl(ctx);
+  prof_.open_ns += NowNs() - t0;
+  return s;
+}
+
+Result<Batch*> Operator::Next() {
+  const int64_t t0 = NowNs();
+  auto r = NextImpl();
+  prof_.next_ns += NowNs() - t0;
+  if (r.ok() && *r != nullptr) {
+    prof_.batches++;
+    prof_.rows += (*r)->ActiveRows();
+  }
+  return r;
+}
+
+void Operator::Close() {
+  CloseImpl();
+  if (profile_ctx_ != nullptr && !prof_flushed_) {
+    prof_flushed_ = true;
+    prof_.op = name();
+    profile_ctx_->RecordOperator(prof_);
+  }
+}
+
+}  // namespace x100

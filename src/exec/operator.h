@@ -4,33 +4,65 @@
 // valid until the operator's next Next()/Close(). Every operator polls the
 // cancellation token once per vector, which is what makes "proper query
 // cancellation" (paper §Query cancellation) cheap and prompt.
+//
+// The public Open/Next/Close entry points are NON-virtual: they wrap the
+// per-operator OpenImpl/NextImpl/CloseImpl with metric collection
+// (batches, rows, wall time), flushed into the ExecContext's QueryProfile
+// when the operator closes. Parents must call the public methods on their
+// children so the whole tree is profiled.
 #ifndef X100_EXEC_OPERATOR_H_
 #define X100_EXEC_OPERATOR_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/cancellation.h"
 #include "common/config.h"
 #include "common/result.h"
 #include "common/value.h"
+#include "monitor/profile.h"
 #include "vector/batch.h"
 
 namespace x100 {
 
-class EventLog;  // monitor/event_log.h
+class EventLog;        // monitor/monitor.h
+class TaskScheduler;   // common/task_scheduler.h
 
 /// Per-query execution context shared by all operators of a plan.
 struct ExecContext {
   int vector_size = kDefaultVectorSize;
   CancellationToken* cancel = nullptr;
   EventLog* events = nullptr;
+  /// Pool parallel operators (XchgOp) schedule their producers on;
+  /// nullptr means TaskScheduler::Global().
+  TaskScheduler* scheduler = nullptr;
   /// Running total of tuples produced by scans (load monitoring).
   std::atomic<int64_t> tuples_scanned{0};
+  /// Block groups elided by MinMax pushdown across all scans.
+  std::atomic<int64_t> groups_skipped{0};
 
   Status CheckCancel() const {
     return cancel ? cancel->Check() : Status::OK();
   }
+
+  /// Thread-safe sink for closed operators' metrics (exchange producers
+  /// close on pool threads).
+  void RecordOperator(OperatorProfile p) {
+    std::lock_guard<std::mutex> lock(profile_mu);
+    profile.operators.push_back(std::move(p));
+  }
+  /// Snapshot with the scan counters folded in.
+  QueryProfile TakeProfile() {
+    std::lock_guard<std::mutex> lock(profile_mu);
+    profile.tuples_scanned = tuples_scanned.load();
+    profile.groups_skipped = groups_skipped.load();
+    return profile;
+  }
+
+  std::mutex profile_mu;
+  QueryProfile profile;
 };
 
 class Operator {
@@ -38,18 +70,29 @@ class Operator {
   virtual ~Operator() = default;
 
   /// Prepares for execution (allocates batches, opens children).
-  virtual Status Open(ExecContext* ctx) = 0;
+  Status Open(ExecContext* ctx);
 
   /// Produces the next batch; nullptr at end-of-stream. The batch is owned
   /// by the operator and valid until the next call.
-  virtual Result<Batch*> Next() = 0;
+  Result<Batch*> Next();
 
   /// Releases resources; idempotent, called on success, error and
-  /// cancellation paths alike (RAII backstop in destructors).
-  virtual void Close() = 0;
+  /// cancellation paths alike (RAII backstop in destructors). Flushes this
+  /// operator's metrics into the context profile on first invocation.
+  void Close();
 
   virtual const Schema& output_schema() const = 0;
   virtual std::string name() const = 0;
+
+ protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<Batch*> NextImpl() = 0;
+  virtual void CloseImpl() = 0;
+
+ private:
+  ExecContext* profile_ctx_ = nullptr;
+  OperatorProfile prof_;
+  bool prof_flushed_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -60,6 +103,9 @@ struct QueryResult {
   Schema schema;
   std::vector<std::vector<Value>> rows;
   int64_t batches = 0;
+  /// Per-operator execution profile (filled by QueryExecutor::Execute;
+  /// empty for results not produced through it).
+  QueryProfile profile;
 };
 Result<QueryResult> CollectRows(Operator* op, ExecContext* ctx);
 

@@ -14,7 +14,7 @@ ScanOp::ScanOp(TableView view, std::shared_ptr<const Pdt> pdt_owner,
   for (int c : opts_.columns) out_schema_.AddField(s.field(c));
 }
 
-Status ScanOp::Open(ExecContext* ctx) {
+Status ScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   reader_ = std::make_unique<TableReader>(view_.base, buffers_);
   out_ = std::make_unique<Batch>(out_schema_, ctx->vector_size);
@@ -26,7 +26,7 @@ Status ScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-void ScanOp::Close() {
+void ScanOp::CloseImpl() {
   if (opts_.scheduler != nullptr && scheduler_qid_ >= 0) {
     opts_.scheduler->Unregister(scheduler_qid_);
     scheduler_qid_ = -1;
@@ -60,6 +60,12 @@ bool ScanOp::NextGroupId(int* g) {
       return true;
     }
     return false;
+  }
+  if (opts_.morsels != nullptr) {
+    const int got = opts_.morsels->NextGroup();
+    if (got < 0) return false;
+    *g = got;
+    return true;
   }
   if (opts_.scheduler != nullptr) {
     const int got = opts_.scheduler->NextGroup(scheduler_qid_);
@@ -242,7 +248,7 @@ Status ScanOp::FillFromSlot(const Slot& slot, int out_base) {
   return Status::OK();
 }
 
-Result<Batch*> ScanOp::Next() {
+Result<Batch*> ScanOp::NextImpl() {
   if (!opened_) return Status::Internal("scan not opened");
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
   if (eos_) return nullptr;
@@ -256,16 +262,24 @@ Result<Batch*> ScanOp::Next() {
       if (NextGroupId(&g)) {
         if (!GroupCanMatch(g)) {
           groups_skipped_++;
+          ctx_->groups_skipped.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
         X100_RETURN_IF_ERROR(ctx_->CheckCancel());
         X100_RETURN_IF_ERROR(LoadGroup(g));
         continue;
       }
-      if (!tail_done_ && opts_.include_tail) {
+      if (!tail_done_) {
         tail_done_ = true;
-        X100_RETURN_IF_ERROR(LoadTail());
-        continue;
+        // Morsel-driven scans race for the tail; exactly one clone merges
+        // the in-memory inserts. Static plans use include_tail.
+        const bool tail_mine = opts_.morsels != nullptr
+                                   ? opts_.morsels->ClaimTail()
+                                   : opts_.include_tail;
+        if (tail_mine) {
+          X100_RETURN_IF_ERROR(LoadTail());
+          continue;
+        }
       }
       eos_ = true;
       break;

@@ -12,6 +12,7 @@
 #include "pdt/view.h"
 #include "storage/buffer_manager.h"
 #include "storage/coop_scan.h"
+#include "storage/morsel.h"
 #include "storage/table.h"
 
 namespace x100 {
@@ -31,9 +32,14 @@ struct ScanOptions {
   std::vector<ScanPredicate> predicates;
   /// Cooperative scan scheduler; nullptr = sequential group order.
   ScanScheduler* scheduler = nullptr;
-  /// When use_subset is set, scan exactly `group_subset` (parallel scan
-  /// partitions; may be empty for a worker with no groups). The worker
-  /// with include_tail=true also merges tail inserts.
+  /// Morsel-driven parallel scan: all producer clones of one logical scan
+  /// share a MorselSource and pull block groups dynamically. The clone
+  /// that wins ClaimTail() merges the PDT tail inserts. Takes precedence
+  /// over `scheduler`.
+  MorselSourcePtr morsels;
+  /// When use_subset is set, scan exactly `group_subset` (static parallel
+  /// scan partitions; may be empty for a worker with no groups). The
+  /// worker with include_tail=true also merges tail inserts.
   bool use_subset = false;
   std::vector<int> group_subset;
   bool include_tail = true;
@@ -45,11 +51,11 @@ class ScanOp : public Operator {
   /// (pass {} for views over plain tables).
   ScanOp(TableView view, std::shared_ptr<const Pdt> pdt_owner,
          BufferManager* buffers, ScanOptions opts);
-  ~ScanOp() override { Close(); }
+  ~ScanOp() override { CloseImpl(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
   const Schema& output_schema() const override { return out_schema_; }
   std::string name() const override { return "Scan"; }
 

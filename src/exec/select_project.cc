@@ -7,7 +7,7 @@ namespace x100 {
 SelectOp::SelectOp(OperatorPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-Status SelectOp::Open(ExecContext* ctx) {
+Status SelectOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   X100_RETURN_IF_ERROR(child_->Open(ctx));
   ExprPtr bound;
@@ -23,7 +23,7 @@ Status SelectOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<Batch*> SelectOp::Next() {
+Result<Batch*> SelectOp::NextImpl() {
   while (true) {
     X100_RETURN_IF_ERROR(ctx_->CheckCancel());
     Batch* in;
@@ -72,7 +72,7 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ProjectItem> items)
   }
 }
 
-Status ProjectOp::Open(ExecContext* ctx) {
+Status ProjectOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   X100_RETURN_IF_ERROR(init_status_);
   X100_RETURN_IF_ERROR(child_->Open(ctx));
@@ -86,7 +86,7 @@ Status ProjectOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<Batch*> ProjectOp::Next() {
+Result<Batch*> ProjectOp::NextImpl() {
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
   Batch* in;
   X100_ASSIGN_OR_RETURN(in, child_->Next());

@@ -21,9 +21,9 @@ class SelectOp : public Operator {
   SelectOp(OperatorPtr child, ExprPtr predicate);
   ~SelectOp() override { Close(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override { if (child_) child_->Close(); }
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { if (child_) child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
@@ -47,9 +47,9 @@ class ProjectOp : public Operator {
   ProjectOp(OperatorPtr child, std::vector<ProjectItem> items);
   ~ProjectOp() override { Close(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override { if (child_) child_->Close(); }
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { if (child_) child_->Close(); }
   const Schema& output_schema() const override { return out_schema_; }
   std::string name() const override { return "Project"; }
 

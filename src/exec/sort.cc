@@ -7,7 +7,7 @@ namespace x100 {
 SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys, int64_t limit)
     : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {}
 
-Status SortOp::Open(ExecContext* ctx) {
+Status SortOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   X100_RETURN_IF_ERROR(child_->Open(ctx));
   out_ = std::make_unique<Batch>(child_->output_schema(), ctx->vector_size);
@@ -88,7 +88,7 @@ Status SortOp::Materialize() {
   return Status::OK();
 }
 
-Result<Batch*> SortOp::Next() {
+Result<Batch*> SortOp::NextImpl() {
   if (!materialized_) X100_RETURN_IF_ERROR(Materialize());
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
   if (emit_pos_ >= static_cast<int64_t>(order_.size())) return nullptr;

@@ -22,9 +22,9 @@ class SortOp : public Operator {
   SortOp(OperatorPtr child, std::vector<SortKey> keys, int64_t limit = -1);
   ~SortOp() override { Close(); }
 
-  Status Open(ExecContext* ctx) override;
-  Result<Batch*> Next() override;
-  void Close() override { if (child_) child_->Close(); }
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override { if (child_) child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }

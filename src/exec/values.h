@@ -14,16 +14,16 @@ class ValuesOp : public Operator {
  public:
   ValuesOp(Schema schema, std::vector<std::vector<Value>> rows)
       : schema_(std::move(schema)), rows_(std::move(rows)) {}
-  ~ValuesOp() override { Close(); }
+  ~ValuesOp() override {}
 
-  Status Open(ExecContext* ctx) override {
+  Status OpenImpl(ExecContext* ctx) override {
     ctx_ = ctx;
     pos_ = 0;
     out_ = std::make_unique<Batch>(schema_, ctx->vector_size);
     return Status::OK();
   }
 
-  Result<Batch*> Next() override {
+  Result<Batch*> NextImpl() override {
     X100_RETURN_IF_ERROR(ctx_->CheckCancel());
     if (pos_ >= static_cast<int64_t>(rows_.size())) return nullptr;
     out_->Reset();
@@ -64,7 +64,7 @@ class ValuesOp : public Operator {
     return out_.get();
   }
 
-  void Close() override {}
+  void CloseImpl() override {}
   const Schema& output_schema() const override { return schema_; }
   std::string name() const override { return "Values"; }
 

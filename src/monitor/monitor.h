@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "monitor/profile.h"
 
 namespace x100 {
 
@@ -78,6 +79,9 @@ struct QueryInfo {
   double elapsed_sec = 0;
   int64_t tuples_scanned = 0;
   std::string error;
+  /// Per-operator breakdown of the finished execution (empty while the
+  /// query is still running or if it failed before building a plan).
+  QueryProfile profile;
 };
 
 /// Live + recently finished query listing.
@@ -94,7 +98,8 @@ class QueryRegistry {
     return id;
   }
 
-  void Finish(int64_t id, const Status& status, int64_t tuples) {
+  void Finish(int64_t id, const Status& status, int64_t tuples,
+              QueryProfile profile = QueryProfile()) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = queries_.find(id);
     if (it == queries_.end()) return;
@@ -103,6 +108,7 @@ class QueryRegistry {
                         std::chrono::steady_clock::now() - q.started)
                         .count();
     q.tuples_scanned = tuples;
+    q.profile = std::move(profile);
     if (status.ok()) {
       q.state = QueryState::kFinished;
     } else if (status.IsCancelled()) {

@@ -1,0 +1,44 @@
+// Per-operator query profiling — paper §"System monitoring": production
+// debugging needs per-operator visibility, not just a global event log.
+//
+// Every Operator accumulates OperatorProfile counters through the
+// non-virtual Open/Next/Close wrappers (exec/operator.h) and flushes them
+// into the query's QueryProfile on Close. The profile travels with the
+// QueryResult and is retained by the monitor's QueryRegistry, so a
+// finished (or failed) query can be broken down after the fact.
+#ifndef X100_MONITOR_PROFILE_H_
+#define X100_MONITOR_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace x100 {
+
+/// Counters for one operator instance of an executed plan. In a parallel
+/// plan each producer clone reports its own entry.
+struct OperatorProfile {
+  std::string op;        // operator display name, e.g. "HashJoin[inner]"
+  int64_t batches = 0;   // non-empty batches produced
+  int64_t rows = 0;      // active rows produced (selection-aware)
+  int64_t open_ns = 0;   // wall time inside Open (pipeline breakers build)
+  int64_t next_ns = 0;   // wall time inside Next, *inclusive* of children
+};
+
+/// Aggregated per-query profile. Plain data: copied into QueryResult and
+/// QueryInfo snapshots.
+struct QueryProfile {
+  std::vector<OperatorProfile> operators;
+  int64_t tuples_scanned = 0;
+  int64_t groups_skipped = 0;  // MinMax pushdown IO elision
+  int64_t wall_ns = 0;         // end-to-end execute time
+
+  bool empty() const { return operators.empty(); }
+
+  /// Merges duplicate operator names (parallel clones) for display.
+  std::string ToString() const;
+};
+
+}  // namespace x100
+
+#endif  // X100_MONITOR_PROFILE_H_

@@ -193,9 +193,11 @@ Result<ExprPtr> Rewriter::RewriteExpr(ExprPtr e) {
 namespace {
 
 /// True if the subtree is a Select/Project chain over a single Scan —
-/// the shape the parallelizer partitions.
+/// the shape the parallelizer clones per producer.
 bool IsPartitionablePipeline(const AlgebraPtr& node) {
-  if (node->kind == AlgebraNode::Kind::kScan) return node->scan_parts == 1;
+  if (node->kind == AlgebraNode::Kind::kScan) {
+    return node->morsel_group < 0;  // not already parallelized
+  }
   if (node->kind == AlgebraNode::Kind::kSelect ||
       node->kind == AlgebraNode::Kind::kProject) {
     return IsPartitionablePipeline(node->children[0]);
@@ -203,13 +205,15 @@ bool IsPartitionablePipeline(const AlgebraPtr& node) {
   return false;
 }
 
-void SetScanPartition(const AlgebraPtr& node, int part, int parts) {
+/// Marks the pipeline's scan as morsel-driven. Clones sharing `group_id`
+/// draw block groups from one dynamic MorselSource at execution time —
+/// no static partitioning, so a skewed group cannot serialize a producer.
+void MarkMorselDriven(const AlgebraPtr& node, int group_id) {
   if (node->kind == AlgebraNode::Kind::kScan) {
-    node->scan_part = part;
-    node->scan_parts = parts;
+    node->morsel_group = group_id;
     return;
   }
-  SetScanPartition(node->children[0], part, parts);
+  MarkMorselDriven(node->children[0], group_id);
 }
 
 }  // namespace
@@ -253,13 +257,15 @@ Result<AlgebraPtr> Rewriter::Parallelize(AlgebraPtr plan, int workers) {
     }
   }
 
-  // One partial pipeline per worker, each over a disjoint group partition.
+  // One partial pipeline per worker; all clones share one morsel source
+  // and pull block groups dynamically (morsel-driven parallelism).
+  const int morsel_group = next_morsel_group_++;
   auto xchg = std::make_shared<AlgebraNode>();
   xchg->kind = AlgebraNode::Kind::kXchg;
   xchg->parallelism = workers;
   for (int w = 0; w < workers; w++) {
     AlgebraPtr partial = CloneAlgebra(plan->children[0]);
-    SetScanPartition(partial, w, workers);
+    MarkMorselDriven(partial, morsel_group);
     std::vector<ProjectItem> keys;
     for (const ProjectItem& k : plan->group_by) {
       keys.push_back({k.name, CloneExpr(k.expr)});

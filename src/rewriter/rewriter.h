@@ -10,8 +10,9 @@
 //  * ConstantFolding     — evaluate constant subtrees at rewrite time.
 //  * PredicateSimplify   — boolean identities (AND true, OR false, NOT NOT).
 //  * Parallelizer        — §"Multi-core": rewrites Aggr over a scan
-//    pipeline into FinalAggr(Xchg(N × PartialAggr(partitioned scan))),
-//    the Volcano-style parallelizer. AVG is decomposed into SUM+COUNT.
+//    pipeline into FinalAggr(Xchg(N × PartialAggr(morsel-driven scan))).
+//    Producer clones share one MorselSource and pull block groups
+//    dynamically (no static partitioning). AVG decomposes to SUM+COUNT.
 //  * AntiJoinNullRule    — §"NULL intricacies": NOT-IN joins with nullable
 //    keys become null-aware anti joins; non-nullable keys downgrade to the
 //    cheaper plain anti join.
@@ -64,6 +65,9 @@ class Rewriter {
 
   Options opts_;
   RewriteStats stats_;
+  /// Distinct id per parallelized scan: clones sharing an id share one
+  /// MorselSource when the physical plan is built.
+  int next_morsel_group_ = 0;
 };
 
 }  // namespace x100

@@ -1,0 +1,57 @@
+// MorselSource: dynamic work distribution for parallel scans.
+//
+// The seed's Parallelizer assigned block groups to Xchg producers
+// *statically* (g % parts == part, fixed at rewrite time), so one
+// expensive group — heavy PDT deltas, no MinMax skip while siblings skip —
+// serialized the whole pipeline on a single producer. A MorselSource is
+// shared by all producer clones of one logical scan and hands out groups
+// ("morsels", Leis et al.) one at a time on demand: fast producers simply
+// take more groups, and elasticity comes for free (any number of
+// consumers, decided at plan-build time, not data-layout time).
+//
+// The in-memory PDT tail (inserts past the last stable row) is a single
+// indivisible morsel; exactly one consumer wins ClaimTail().
+#ifndef X100_STORAGE_MORSEL_H_
+#define X100_STORAGE_MORSEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace x100 {
+
+class MorselSource {
+ public:
+  /// Distributes groups [0, num_groups), then the tail.
+  explicit MorselSource(int num_groups) : num_groups_(num_groups) {}
+
+  /// Claims the next unscanned group; -1 when exhausted.
+  int NextGroup() {
+    const int g = next_.fetch_add(1, std::memory_order_relaxed);
+    return g < num_groups_ ? g : -1;
+  }
+
+  /// True for exactly one caller: that scan merges the PDT tail inserts.
+  bool ClaimTail() {
+    return !tail_claimed_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  int num_groups() const { return num_groups_; }
+
+  /// Groups handed out so far (monitoring / tests).
+  int64_t handed() const {
+    const int n = next_.load(std::memory_order_relaxed);
+    return n < num_groups_ ? n : num_groups_;
+  }
+
+ private:
+  const int num_groups_;
+  std::atomic<int> next_{0};
+  std::atomic<bool> tail_claimed_{false};
+};
+
+using MorselSourcePtr = std::shared_ptr<MorselSource>;
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_MORSEL_H_

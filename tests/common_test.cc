@@ -10,8 +10,13 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/task_scheduler.h"
 #include "common/types.h"
 #include "common/value.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 namespace x100 {
 namespace {
@@ -213,6 +218,135 @@ TEST(ValueTest, StringAndDateFormatting) {
   EXPECT_EQ(Value::Str("hi").ToString(), "hi");
   EXPECT_EQ(Value::Date(MakeDate(1996, 3, 13)).ToString(), "1996-03-13");
   EXPECT_EQ(Value::Bool(true).ToString(), "true");
+}
+
+// ---------------------------------------------------------------------------
+// TaskScheduler / TaskGroup
+// ---------------------------------------------------------------------------
+
+TEST(TaskSchedulerTest, ConfigurableWorkerCount) {
+  TaskScheduler pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  TaskScheduler defaulted;
+  EXPECT_GE(defaulted.num_workers(), 1);
+}
+
+TEST(TaskSchedulerTest, RunsEveryTask) {
+  TaskScheduler pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 200; i++) {
+    group.Spawn([&] {
+      done.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(TaskSchedulerTest, SingleWorkerCannotDeadlockJoiner) {
+  // Wait() helps drain the pool, so 50 tasks on 1 worker always finish.
+  TaskScheduler pool(1);
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 50; i++) {
+    group.Spawn([&] {
+      done.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(TaskSchedulerTest, StealsFromBusyWorker) {
+  TaskScheduler pool(2);
+  // Block one worker, then enqueue many quick tasks: the other worker
+  // must steal the ones round-robined onto the blocked worker's deque.
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  TaskGroup group(&pool);
+  group.Spawn([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::OK();
+  });
+  for (int i = 0; i < 40; i++) {
+    group.Spawn([&] {
+      done.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  // Wait for the quick tasks while one worker is still blocked. The main
+  // thread does NOT help here, to force cross-worker stealing.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 40 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), 40);
+  EXPECT_GE(pool.tasks_stolen(), 1);
+  release.store(true);
+  EXPECT_TRUE(group.Wait().ok());
+}
+
+TEST(TaskGroupTest, FirstErrorWinsAndCancelsSiblings) {
+  TaskScheduler pool(2);
+  std::atomic<int> started{0};
+  TaskGroup group(&pool);
+  group.Spawn([&] {
+    started.fetch_add(1);
+    return Status::IoError("disk gone");
+  });
+  for (int i = 0; i < 100; i++) {
+    group.Spawn([&] {
+      started.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  const Status s = group.Wait();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_LE(started.load(), 101);
+}
+
+TEST(TaskGroupTest, ExternalTokenSkipsPendingTasks) {
+  TaskScheduler pool(1);
+  CancellationToken token;
+  token.Cancel();  // pre-cancelled: nothing should execute
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool, &token);
+  for (int i = 0; i < 10; i++) {
+    group.Spawn([&] {
+      ran.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  const Status s = group.Wait();
+  EXPECT_TRUE(s.IsCancelled());
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskGroupTest, DestructorJoinsOutstandingTasks) {
+  TaskScheduler pool(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 20; i++) {
+      group.Spawn([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+        return Status::OK();
+      });
+    }
+    // No Wait(): the destructor must cancel-and-join without letting a
+    // task outlive the group.
+  }
+  const int after = done.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(done.load(), after);  // nothing ran after destruction
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "engine/physical_plan.h"
 #include "engine/session.h"
+#include "exec/sort.h"
 #include "rewriter/rewriter.h"
 #include "tpch/tpch.h"
 
@@ -307,6 +309,182 @@ TEST_F(SessionTest, CancellationViaSession) {
     saw_cancelled |= q.state == QueryState::kCancelled;
   }
   EXPECT_TRUE(saw_cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// MinMax pushdown extraction (incl. flipped comparisons)
+// ---------------------------------------------------------------------------
+
+TEST(PushdownTest, ExtractsBothComparisonOrientations) {
+  Schema schema({Field("x", TypeId::kI64), Field("y", TypeId::kI64)});
+  // (x < 7) AND (100 > y): the second conjunct is flipped (`const OP col`)
+  // and must mirror to y < 100.
+  ExprPtr pred = And(Lt(Col("x"), Lit(Value::I64(7))),
+                     Gt(Lit(Value::I64(100)), Col("y")));
+  std::vector<ScanPredicate> out;
+  ExtractScanPushdown(pred, schema, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].table_col, 0);
+  EXPECT_EQ(out[0].op, RangeOp::kLt);
+  EXPECT_EQ(out[0].value.AsI64(), 7);
+  EXPECT_EQ(out[1].table_col, 1);
+  EXPECT_EQ(out[1].op, RangeOp::kLt);  // 100 > y  =>  y < 100
+  EXPECT_EQ(out[1].value.AsI64(), 100);
+}
+
+TEST(PushdownTest, MirrorsEveryFlippedOperator) {
+  Schema schema({Field("x", TypeId::kI64)});
+  const struct {
+    const char* fn;
+    RangeOp expect;
+  } cases[] = {{"eq", RangeOp::kEq},
+               {"lt", RangeOp::kGt},
+               {"le", RangeOp::kGe},
+               {"gt", RangeOp::kLt},
+               {"ge", RangeOp::kLe}};
+  for (const auto& c : cases) {
+    std::vector<ScanPredicate> out;
+    ExtractScanPushdown(Call(c.fn, {Lit(Value::I64(5)), Col("x")}), schema,
+                        &out);
+    ASSERT_EQ(out.size(), 1u) << c.fn;
+    EXPECT_EQ(out[0].op, c.expect) << c.fn;
+  }
+}
+
+TEST_F(SessionTest, FlippedComparisonStillSkipsGroups) {
+  // emp has 1000 rows in groups of 128 with ascending ids; `100 > id`
+  // can only match the first group, so MinMax must skip the rest.
+  AlgebraPtr plan = AggrNode(
+      SelectNode(ScanNode("emp"), Gt(Lit(Value::I64(100)), Col("id"))), {},
+      {{AggKind::kCount, nullptr, "n"}});
+  auto res = session_->Execute(std::move(plan));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->rows[0][0].AsI64(), 100);
+  EXPECT_GT(res->profile.groups_skipped, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallelism + per-operator profiling
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, ParallelPlanHasNoStaticPartitions) {
+  Rewriter rw({/*expand*/ true, /*fold*/ true, /*simplify*/ true,
+               /*parallelism*/ 4, /*anti*/ true});
+  AlgebraPtr plan = AggrNode(ScanNode("emp"), {},
+                            {{AggKind::kSum, Col("salary"), "s"}});
+  auto out = rw.Rewrite(std::move(plan));
+  ASSERT_TRUE(out.ok());
+  const AlgebraPtr& xchg = (*out)->children[0];
+  ASSERT_EQ(xchg->kind, AlgebraNode::Kind::kXchg);
+  ASSERT_EQ(xchg->children.size(), 4u);
+  // Every producer clone shares ONE morsel group — dynamic handout, no
+  // g % parts == part partitioning anywhere in the plan.
+  for (const AlgebraPtr& partial : xchg->children) {
+    const AlgebraNode* scan = partial.get();
+    while (scan->kind != AlgebraNode::Kind::kScan) {
+      scan = scan->children[0].get();
+    }
+    EXPECT_EQ(scan->morsel_group, 0);
+  }
+  EXPECT_NE((*out)->ToString().find("morsel#0"), std::string::npos);
+}
+
+TEST_F(SessionTest, SkewedGroupsDeterministicAcrossWorkerCounts) {
+  // `id < 140` makes group 0 heavy (128 matches), group 1 nearly empty
+  // (12) and lets MinMax skip groups 2..7 — a skewed morsel workload.
+  std::vector<std::vector<Value>> reference;
+  for (int workers : {1, 2, 8}) {
+    db_->config().max_parallelism = workers;
+    db_->config().scheduler_workers = workers;
+    AlgebraPtr plan = AggrNode(
+        SelectNode(ScanNode("emp"), Lt(Col("id"), Lit(Value::I64(140)))),
+        {{"dept", Col("dept")}},
+        {{AggKind::kSum, Col("salary"), "s"},
+         {AggKind::kCount, nullptr, "c"},
+         {AggKind::kAvg, Col("salary"), "a"}});
+    auto res = session_->Execute(
+        OrderNode(std::move(plan), {{"dept", true}}));
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    if (reference.empty()) {
+      reference = res->rows;
+      ASSERT_EQ(reference.size(), 3u);
+    } else {
+      ASSERT_EQ(res->rows.size(), reference.size()) << "workers=" << workers;
+      for (size_t i = 0; i < reference.size(); i++) {
+        for (size_t c = 0; c < reference[i].size(); c++) {
+          EXPECT_TRUE(res->rows[i][c].SqlEquals(reference[i][c]))
+              << "workers=" << workers << " row " << i << " col " << c;
+        }
+      }
+    }
+  }
+  db_->config().max_parallelism = 0;
+  db_->config().scheduler_workers = 0;
+}
+
+TEST_F(SessionTest, QueryResultCarriesOperatorProfile) {
+  db_->config().max_parallelism = 2;
+  auto res = session_->ExecuteSql(
+      "SELECT dept, SUM(salary) AS s FROM emp GROUP BY dept");
+  db_->config().max_parallelism = 1;
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res->profile.empty());
+  int scans = 0;
+  bool saw_xchg = false, saw_agg = false;
+  int64_t scan_rows = 0;
+  for (const OperatorProfile& p : res->profile.operators) {
+    if (p.op == "Scan") {
+      scans++;
+      scan_rows += p.rows;
+    }
+    saw_xchg |= p.op.rfind("XchgUnion", 0) == 0;
+    saw_agg |= p.op == "HashAgg";
+  }
+  EXPECT_EQ(scans, 2);  // one per producer clone
+  EXPECT_TRUE(saw_xchg);
+  EXPECT_TRUE(saw_agg);
+  EXPECT_EQ(scan_rows, 1000);  // morsels cover the table exactly once
+  EXPECT_EQ(res->profile.tuples_scanned, 1000);
+  EXPECT_GT(res->profile.wall_ns, 0);
+  EXPECT_FALSE(res->profile.ToString().empty());
+
+  // The registry retains the profile for post-hoc inspection.
+  bool registry_has_profile = false;
+  for (const auto& q : db_->queries()->List()) {
+    registry_has_profile |=
+        q.state == QueryState::kFinished && !q.profile.empty();
+  }
+  EXPECT_TRUE(registry_has_profile);
+}
+
+TEST_F(SessionTest, PhysicalPlannerIsPluggable) {
+  // Copy the default planner and swap the kOrder factory: proof that new
+  // physical operators need no engine edits.
+  PhysicalPlanner custom = PhysicalPlanner::Default();
+  auto hits = std::make_shared<int>(0);
+  custom.Register(
+      AlgebraNode::Kind::kOrder,
+      [hits](const AlgebraPtr& node, PlannerContext* pc,
+             const PhysicalPlanner* planner) -> Result<OperatorPtr> {
+        (*hits)++;
+        OperatorPtr child;
+        X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
+        std::vector<SortKey> keys;
+        for (const AlgebraNode::OrderKey& k : node->order_keys) {
+          keys.push_back({child->output_schema().FindField(k.column),
+                          k.ascending});
+        }
+        return OperatorPtr(std::make_unique<SortOp>(
+            std::move(child), std::move(keys), node->limit));
+      });
+  session_->executor()->set_planner(&custom);
+  auto res = session_->ExecuteSql(
+      "SELECT id FROM emp WHERE id < 5 ORDER BY id");
+  session_->executor()->set_planner(&PhysicalPlanner::Default());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->rows.size(), 5u);
+  EXPECT_EQ(res->rows[0][0].AsI64(), 0);
+  EXPECT_EQ(*hits, 1);
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,8 @@
 // exchange parallelism and cancellation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "exec/exchange.h"
@@ -13,7 +15,9 @@
 #include "exec/select_project.h"
 #include "exec/sort.h"
 #include "exec/values.h"
+#include "common/task_scheduler.h"
 #include "pdt/transaction.h"
+#include "storage/morsel.h"
 
 namespace x100 {
 namespace {
@@ -769,6 +773,140 @@ TEST(CancellationTest, ExchangeProducersJoinOnCancel) {
   }
   xchg.Close();  // must join producer threads without deadlock
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel scans
+// ---------------------------------------------------------------------------
+
+TEST(MorselSourceTest, HandsOutEachGroupExactlyOnce) {
+  MorselSource src(64);
+  std::mutex mu;
+  std::vector<int> claimed;
+  int tails = 0;
+  std::vector<std::thread> pullers;
+  for (int t = 0; t < 4; t++) {
+    pullers.emplace_back([&] {
+      std::vector<int> mine;
+      while (true) {
+        const int g = src.NextGroup();
+        if (g < 0) break;
+        mine.push_back(g);
+      }
+      const bool tail = src.ClaimTail();
+      std::lock_guard<std::mutex> lock(mu);
+      claimed.insert(claimed.end(), mine.begin(), mine.end());
+      tails += tail ? 1 : 0;
+    });
+  }
+  for (auto& t : pullers) t.join();
+  EXPECT_EQ(tails, 1);  // exactly one consumer merges the PDT tail
+  std::sort(claimed.begin(), claimed.end());
+  ASSERT_EQ(claimed.size(), 64u);
+  for (int g = 0; g < 64; g++) EXPECT_EQ(claimed[g], g);
+  EXPECT_EQ(src.handed(), 64);
+}
+
+TEST_F(ScanTest, MorselExchangeDeterministicAcrossWorkerCounts) {
+  for (int workers : {1, 2, 8}) {
+    TaskScheduler pool(workers);
+    ExecContext ctx;
+    ctx.scheduler = &pool;
+    auto morsels =
+        std::make_shared<MorselSource>(table_->base()->num_groups());
+    std::vector<OperatorPtr> producers;
+    for (int w = 0; w < workers; w++) {
+      ScanOptions opts;
+      opts.columns = {0};
+      opts.morsels = morsels;
+      producers.push_back(std::make_unique<ScanOp>(
+          table_->View(), table_->SnapshotPdt(), buffers_.get(),
+          std::move(opts)));
+    }
+    XchgOp xchg(std::move(producers));
+    auto res = CollectRows(&xchg, &ctx);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res->rows.size(), 1000u) << "workers=" << workers;
+    int64_t sum = 0;
+    for (const auto& row : res->rows) sum += row[0].AsI64();
+    EXPECT_EQ(sum, 999ll * 1000 / 2) << "workers=" << workers;
+    EXPECT_EQ(morsels->handed(), table_->base()->num_groups());
+  }
+}
+
+TEST_F(ScanTest, MorselExchangeCancellationJoinsInFlightTasks) {
+  TaskScheduler pool(2);
+  CancellationToken token;
+  ExecContext ctx;
+  ctx.scheduler = &pool;
+  ctx.cancel = &token;
+  auto morsels =
+      std::make_shared<MorselSource>(table_->base()->num_groups());
+  std::vector<OperatorPtr> producers;
+  for (int w = 0; w < 2; w++) {
+    ScanOptions opts;
+    opts.columns = {0, 1, 2};
+    opts.morsels = morsels;
+    producers.push_back(std::make_unique<ScanOp>(
+        table_->View(), table_->SnapshotPdt(), buffers_.get(),
+        std::move(opts)));
+  }
+  XchgOp xchg(std::move(producers));
+  ASSERT_TRUE(xchg.Open(&ctx).ok());
+  token.Cancel();  // cancel with morsel tasks potentially in flight
+  while (true) {
+    auto b = xchg.Next();
+    if (!b.ok()) {
+      EXPECT_TRUE(b.status().IsCancelled());
+      break;
+    }
+    if (*b == nullptr) break;
+  }
+  xchg.Close();  // must join every producer task without deadlock
+  SUCCEED();
+}
+
+TEST_F(ScanTest, TwoExchangesOnOneWorkerDoNotDeadlock) {
+  // Regression: a producer blocked on a full exchange queue must not hold
+  // the pool's only worker hostage. Open two exchanges, then drain the
+  // SECOND one first — the first exchange's producers saturate their
+  // 1-slot queue and must yield the worker (by helping) so the second
+  // exchange's producers can run at all.
+  TaskScheduler pool(1);
+  ExecContext ctx;
+  ctx.scheduler = &pool;
+  auto make_xchg = [&] {
+    auto morsels =
+        std::make_shared<MorselSource>(table_->base()->num_groups());
+    std::vector<OperatorPtr> producers;
+    for (int w = 0; w < 2; w++) {
+      ScanOptions opts;
+      opts.columns = {0};
+      opts.morsels = morsels;
+      producers.push_back(std::make_unique<ScanOp>(
+          table_->View(), table_->SnapshotPdt(), buffers_.get(),
+          std::move(opts)));
+    }
+    return std::make_unique<XchgOp>(std::move(producers),
+                                    /*queue_capacity=*/1);
+  };
+  auto first = make_xchg();
+  auto second = make_xchg();
+  ASSERT_TRUE(first->Open(&ctx).ok());   // its producers queue first
+  ASSERT_TRUE(second->Open(&ctx).ok());
+  auto drain = [&](Operator* op) {
+    int64_t rows = 0;
+    while (true) {
+      auto b = op->Next();
+      if (!b.ok()) return int64_t{-1};
+      if (*b == nullptr) return rows;
+      rows += (*b)->ActiveRows();
+    }
+  };
+  EXPECT_EQ(drain(second.get()), 1000);  // starved side without the fix
+  EXPECT_EQ(drain(first.get()), 1000);
+  second->Close();
+  first->Close();
 }
 
 }  // namespace
