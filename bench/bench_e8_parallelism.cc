@@ -1,9 +1,17 @@
-// E8 — §"Multi-core": morsel-driven parallelism. The rewriter still
-// inserts a Volcano-style Xchg, but producers are tasks on the shared
-// work-stealing TaskScheduler and scans pull block groups dynamically
-// from one MorselSource (no static g % parts partitioning), so a skewed
-// group cannot serialize a pipeline. Same Q1 aggregation at increasing
-// worker counts; speedup is bounded by the host core count (reported).
+// E8 — §"Multi-core": pipeline-level morsel parallelism. The physical
+// planner decomposes every plan into pipelines (join build, probe+agg,
+// sort) whose worker chains run as tasks on the shared work-stealing
+// TaskScheduler, pulling block groups dynamically from one MorselSource
+// per logical scan. Two sweeps at increasing worker counts:
+//   Q1   — scan -> filter -> 8-aggregate group-by (ParallelHashAgg).
+//   QJ   — group-by-join + sort: orders ⋈ lineitem, aggregate per
+//          o_orderpriority, ORDER BY (JoinBuild / JoinProbe /
+//          ParallelHashAgg / ParallelSort phases).
+// The QJ run doubles as the CI determinism smoke: results at every
+// worker count must SqlEqual the 1-worker reference, and the process
+// exits non-zero on mismatch. Speedup is bounded by the host core count
+// (reported).
+#include <cmath>
 #include <thread>
 
 #include "bench_util.h"
@@ -12,8 +20,43 @@
 
 using namespace x100;
 
+namespace {
+
+AlgebraPtr GroupByJoinPlan() {
+  // orders ⋈ lineitem on orderkey, revenue per order priority, sorted.
+  AlgebraPtr join = JoinNode(
+      ScanNode("orders", {"o_orderkey", "o_orderpriority"}),
+      ScanNode("lineitem", {"l_orderkey", "l_extendedprice"}),
+      JoinType::kInner, {"o_orderkey"}, {"l_orderkey"});
+  AlgebraPtr aggr =
+      AggrNode(std::move(join), {{"prio", Col("o_orderpriority")}},
+               {{AggKind::kSum, Col("l_extendedprice"), "revenue"},
+                {AggKind::kCount, nullptr, "items"}});
+  return OrderNode(std::move(aggr), {{"prio", true}});
+}
+
+bool SameRows(const QueryResult& a, const QueryResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); i++) {
+    for (size_t c = 0; c < a.rows[i].size(); c++) {
+      const Value& x = a.rows[i][c];
+      const Value& y = b.rows[i][c];
+      if (x.type() == TypeId::kF64 || y.type() == TypeId::kF64) {
+        // FP sums depend on morsel merge order; accept relative eps.
+        const double dx = x.AsF64(), dy = y.AsF64();
+        if (std::abs(dx - dy) > 1e-9 * (1 + std::abs(dx))) return false;
+      } else if (!x.SqlEquals(y)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 int main() {
-  bench::Header("E8", "morsel-driven parallelism (scheduler-backed Xchg)");
+  bench::Header("E8", "pipeline-level morsel parallelism");
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("host hardware threads: %u\n\n", cores);
   EngineConfig cfg;
@@ -23,30 +66,63 @@ int main() {
   Session session(&db);
   (void)session.Execute(tpch::Q1Plan());  // warm
 
-  double base = 0;
-  std::printf("%-9s %12s %10s %30s\n", "workers", "Q1(ms)", "speedup",
-              "plan shape");
+  bool deterministic = true;
+  QueryResult reference;
+
+  std::printf("%-9s %12s %10s %12s %10s   %s\n", "workers", "Q1(ms)",
+              "speedup", "join+agg(ms)", "speedup", "determinism");
+  double q1_base = 0, qj_base = 0;
   for (int w : {1, 2, 4, 8}) {
     db.config().max_parallelism = w;
-    const double t = bench::MinTime(3, [&] {
+    db.config().scheduler_workers = w;  // pin the pool to the sweep size
+    const double t_q1 = bench::MinTime(3, [&] {
       auto r = session.Execute(tpch::Q1Plan());
       if (!r.ok()) std::abort();
     });
-    if (w == 1) base = t;
-    std::printf("%-9d %12.2f %9.2fx %30s\n", w, t * 1e3, base / t,
-                w == 1 ? "Aggr(Scan)" : "Aggr(Xchg(morsel-scan x N))");
+    const double t_qj = bench::MinTime(3, [&] {
+      auto r = session.Execute(GroupByJoinPlan());
+      if (!r.ok()) std::abort();
+    });
+    auto qj = session.Execute(GroupByJoinPlan());
+    if (!qj.ok()) return 1;
+    bool same = true;
+    if (w == 1) {
+      q1_base = t_q1;
+      qj_base = t_qj;
+      reference = std::move(qj).value();
+    } else {
+      same = SameRows(reference, *qj);
+      deterministic &= same;
+    }
+    std::printf("%-9d %12.2f %9.2fx %12.2f %9.2fx   %s\n", w, t_q1 * 1e3,
+                q1_base / t_q1, t_qj * 1e3, qj_base / t_qj,
+                same ? "ok" : "MISMATCH");
   }
 
-  // Per-operator profile of the widest run — the §"System monitoring"
-  // answer to "attach a debugger to see what the server is doing".
-  auto profiled = session.Execute(tpch::Q1Plan());
+  // Per-operator profile of the widest run — every pipeline phase (build,
+  // probe, aggregation, sort) must appear as scheduler-task work, the
+  // §"System monitoring" answer to "attach a debugger to see what the
+  // server is doing".
+  auto profiled = session.Execute(GroupByJoinPlan());
+  bool phases_ok = false;
   if (profiled.ok()) {
-    std::printf("\nper-operator profile (workers=8):\n%s",
+    std::printf("\njoin+agg+sort per-operator profile (workers=8):\n%s",
                 profiled->profile.ToString().c_str());
+    bool build = false, probe = false, agg = false, sort = false;
+    for (const OperatorProfile& p : profiled->profile.operators) {
+      build |= p.op.rfind("JoinBuild", 0) == 0;
+      probe |= p.op.rfind("JoinProbe", 0) == 0;
+      agg |= p.op.rfind("ParallelHashAgg", 0) == 0;
+      sort |= p.op.rfind("ParallelSort", 0) == 0;
+    }
+    phases_ok = build && probe && agg && sort;
+    std::printf("\npipeline phases as scheduler tasks: build=%d probe=%d "
+                "agg=%d sort=%d\n", build, probe, agg, sort);
   }
-  std::printf("\nNote: on a %u-thread host the speedup ceiling is %u;"
-              " producers share the process-wide pool, and morsels are"
-              " handed out dynamically, so adding workers never repartitions"
-              " the table.\n", cores, cores);
-  return 0;
+  std::printf("determinism across worker counts: %s\n",
+              deterministic ? "ok" : "MISMATCH");
+  std::printf("\nNote: on a %u-thread host the speedup ceiling is %u; "
+              "worker chains share one morsel source per scan, so adding "
+              "workers never repartitions the table.\n", cores, cores);
+  return deterministic && phases_ok ? 0 : 1;
 }

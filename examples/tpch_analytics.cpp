@@ -1,5 +1,5 @@
 // TPC-H analytics: generate the benchmark schema at a small scale factor
-// and run Q1 / Q3 / Q6 — serial and through the rewriter's parallelizer.
+// and run Q1 / Q3 / Q6 — serial and through the parallel pipeline executor.
 //
 //   $ ./tpch_analytics
 #include <cstdio>
@@ -53,10 +53,10 @@ int main() {
   if (!q6.ok()) return 1;
   Print("Q6 forecast revenue change", *q6);
 
-  // The same Q1 through the multi-core parallelizer rewrite.
+  // The same Q1 decomposed into parallel pipelines by the physical planner.
   db.config().max_parallelism = 2;
   auto q1p = session.Execute(tpch::Q1Plan());
   if (!q1p.ok()) return 1;
-  Print("Q1 via Xchg parallel plan (identical results)", *q1p);
+  Print("Q1 via parallel pipelines (identical results)", *q1p);
   return 0;
 }

@@ -15,6 +15,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 
@@ -26,11 +28,55 @@ class CancellationToken {
  public:
   CancellationToken() : cancelled_(false) {}
 
-  /// Requests cancellation and wakes all interruptible waits.
+  /// Requests cancellation and wakes all interruptible waits. Registered
+  /// callbacks run once, outside the token lock (they may take their own
+  /// locks, e.g. to notify an exchange queue's condition variables).
   void Cancel() {
     cancelled_.store(true, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(mu_);
-    cv_.notify_all();
+    std::map<int, std::function<void()>> run;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+      run.swap(callbacks_);
+      // Counter, not a flag: concurrent Cancel() calls (disconnect and
+      // timeout paths racing) must each hold RemoveCallback open until
+      // their own callbacks finished.
+      callbacks_running_++;
+    }
+    for (auto& [id, fn] : run) fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      callbacks_running_--;
+    }
+    callbacks_done_cv_.notify_all();
+  }
+
+  /// Registers `fn` to run when Cancel() fires; if the token is already
+  /// cancelled, runs it immediately. Returns an id for RemoveCallback.
+  /// Blocking waits (exchange queues) use this instead of timed polling,
+  /// so a cancelled producer never sits on a pool worker waiting for a
+  /// poll interval to elapse.
+  int AddCallback(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!IsCancelled()) {
+        const int id = next_callback_++;
+        callbacks_[id] = std::move(fn);
+        return id;
+      }
+    }
+    fn();  // already cancelled: fire now, nothing to remove later
+    return -1;
+  }
+
+  /// Unregisters a callback (no-op for ids already fired or -1) and, if a
+  /// Cancel() is mid-flight on another thread, waits for its callbacks to
+  /// finish — after this returns, the callback's captures are safe to
+  /// destroy. Must not be called from inside a callback.
+  void RemoveCallback(int id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    callbacks_.erase(id);
+    callbacks_done_cv_.wait(lock, [&] { return callbacks_running_ == 0; });
   }
 
   bool IsCancelled() const {
@@ -58,6 +104,10 @@ class CancellationToken {
   std::atomic<bool> cancelled_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::map<int, std::function<void()>> callbacks_;
+  std::condition_variable callbacks_done_cv_;
+  int callbacks_running_ = 0;  // in-flight Cancel() callback batches
+  int next_callback_ = 0;
 };
 
 }  // namespace x100

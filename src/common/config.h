@@ -20,14 +20,21 @@ inline constexpr int64_t kDiskBlockBytes = 256 * 1024;
 /// Engine configuration carried by Database / QueryExecutor.
 struct EngineConfig {
   int vector_size = kDefaultVectorSize;
-  /// Number of producer pipelines the Parallelizer rewrite rule creates
-  /// per parallelizable aggregation (<= 1 disables the rule).
+  /// Pipeline width: the number of worker chains the physical planner
+  /// clones per parallelizable pipeline (join build side, join probe +
+  /// aggregation, sort input). <= 1 builds fully serial plans.
   int max_parallelism = 0;
   /// Worker threads of the task scheduler parallel plans run on:
   /// 0 = share the process-wide pool (sized to hardware concurrency),
   /// > 0 = give this Database a private pool with that many workers
   /// (tests and benches pin worker counts this way).
   int scheduler_workers = 0;
+  /// Admission control: cap on a single query's concurrently-running
+  /// pipeline tasks on the shared scheduler (0 = unlimited). Under
+  /// concurrent sessions this keeps one wide query from monopolizing the
+  /// pool; a query granted fewer slots than its pipeline width degrades
+  /// gracefully (fewer tasks each covering more worker chains).
+  int query_task_quota = 0;
   /// Memory accounting limit in bytes (0 = unlimited).
   int64_t memory_limit = 0;
   /// Buffer pool capacity in blocks.

@@ -44,12 +44,12 @@ TaskScheduler* TaskScheduler::Global() {
   return global;
 }
 
-void TaskScheduler::Submit(std::function<void()> fn) {
+void TaskScheduler::Submit(std::function<void()> fn, const void* tag) {
   const size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                    queues_.size();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queues_[q].push_back(std::move(fn));
+    queues_[q].push_back(Task{std::move(fn), tag});
   }
   work_cv_.notify_one();
 }
@@ -59,7 +59,7 @@ bool TaskScheduler::PopTaskLocked(int home, std::function<void()>* out,
   *stolen = false;
   if (home >= 0 && home < static_cast<int>(queues_.size()) &&
       !queues_[home].empty()) {
-    *out = std::move(queues_[home].front());
+    *out = std::move(queues_[home].front().fn);
     queues_[home].pop_front();
     return true;
   }
@@ -74,22 +74,75 @@ bool TaskScheduler::PopTaskLocked(int home, std::function<void()>* out,
     }
   }
   if (victim < 0) return false;
-  *out = std::move(queues_[victim].front());
+  *out = std::move(queues_[victim].front().fn);
   queues_[victim].pop_front();
   *stolen = home >= 0;  // external helpers don't count as steals
   return true;
 }
 
-bool TaskScheduler::RunOneTask() {
+bool TaskScheduler::PopTaggedTaskLocked(const void* tag,
+                                        std::function<void()>* out) {
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->tag == tag) {
+        *out = std::move(it->fn);
+        queue.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool TaskScheduler::RunOneTask(const void* tag) {
   std::function<void()> fn;
   bool stolen;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!PopTaskLocked(-1, &fn, &stolen)) return false;
+    const bool found = tag == nullptr ? PopTaskLocked(-1, &fn, &stolen)
+                                      : PopTaggedTaskLocked(tag, &fn);
+    if (!found) return false;
   }
   fn();
   tasks_run_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+void TaskScheduler::HelpUntil(const std::function<bool()>& done) {
+  while (true) {
+    // Snapshot the epoch BEFORE evaluating the predicate: a flip+wake
+    // that races with the check is then seen either by done() (flip
+    // happened before) or by the epoch comparison (flip happened after).
+    const uint64_t epoch = wake_epoch_.load(std::memory_order_acquire);
+    if (done()) return;
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Teardown: don't park on a signal that may never fire again, and
+      // don't spin; the owner is expected to flip done() promptly.
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    work_cv_.wait(lock, [&] {
+      if (stopping_) return true;
+      if (wake_epoch_.load(std::memory_order_acquire) != epoch) return true;
+      for (const auto& q : queues_) {
+        if (!q.empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void TaskScheduler::WakeHelpers() {
+  {
+    // The lock pairs the epoch bump with HelpUntil's predicate check so
+    // the wake cannot fall between a helper's check and its sleep.
+    std::lock_guard<std::mutex> lock(mu_);
+    wake_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  work_cv_.notify_all();
 }
 
 void TaskScheduler::WorkerLoop(int id) {
@@ -115,16 +168,18 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
     std::lock_guard<std::mutex> lock(mu_);
     outstanding_++;
   }
-  scheduler_->Submit([this, fn = std::move(fn)] {
-    if (IsCancelled()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      any_cancelled_ = true;
-      outstanding_--;
-      if (outstanding_ == 0) done_cv_.notify_all();
-      return;
-    }
-    Finish(fn());
-  });
+  scheduler_->Submit(
+      [this, fn = std::move(fn)] {
+        if (IsCancelled()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          any_cancelled_ = true;
+          outstanding_--;
+          if (outstanding_ == 0) done_cv_.notify_all();
+          return;
+        }
+        Finish(fn());
+      },
+      /*tag=*/this);
 }
 
 void TaskGroup::Finish(const Status& s) {
@@ -147,9 +202,11 @@ Status TaskGroup::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   while (outstanding_ > 0) {
     lock.unlock();
-    // Help drain the pool so a saturated (or single-worker) scheduler
-    // cannot deadlock the joining thread.
-    if (!scheduler_->RunOneTask()) {
+    // Help drain THIS group's queued tasks so a saturated (or single-
+    // worker) scheduler cannot deadlock the joining thread. Only own
+    // tasks: an arbitrary stolen task may block on a barrier owned by a
+    // frame suspended beneath this very Wait (see header).
+    if (!scheduler_->RunOneTask(/*tag=*/this)) {
       lock.lock();
       if (outstanding_ > 0) {
         done_cv_.wait_for(lock, std::chrono::milliseconds(2));
@@ -163,6 +220,29 @@ Status TaskGroup::Wait() {
     return Status::Cancelled("task group cancelled");
   }
   return Status::OK();
+}
+
+Status RunPipelineTasks(TaskScheduler* scheduler, TaskQuota* quota,
+                        CancellationToken* cancel, int n,
+                        const std::function<Status(int, TaskGroup&)>& body) {
+  const int grant = quota != nullptr ? quota->Acquire(n) : n;
+  Status status;
+  {
+    TaskGroup group(scheduler, cancel);
+    std::atomic<int> next{0};
+    for (int t = 0; t < grant && t < n; t++) {
+      group.Spawn([&group, &next, &body, n]() -> Status {
+        int i;
+        while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+          X100_RETURN_IF_ERROR(body(i, group));
+        }
+        return Status::OK();
+      });
+    }
+    status = group.Wait();  // pipeline barrier
+  }
+  if (quota != nullptr) quota->Release(grant);
+  return status;
 }
 
 }  // namespace x100

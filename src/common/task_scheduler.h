@@ -18,8 +18,23 @@
 //    tasks are skipped, running ones observe IsCancelled()), and Wait()
 //    returns that first error. An external CancellationToken chains in:
 //    cancelling the query cancels every group that references the token.
-//  * Wait() *helps*: while blocked it executes queued tasks on the calling
-//    thread, so a 1-worker (or saturated) pool cannot deadlock a joiner.
+//  * Wait() *helps*: while blocked it executes queued tasks OF ITS OWN
+//    GROUP on the calling thread, so a 1-worker (or saturated) pool
+//    cannot deadlock a joiner. Helping is deliberately restricted to the
+//    group's tasks: stealing an arbitrary task can inline-execute work
+//    that blocks on a barrier owned by a suspended frame of the same
+//    thread (e.g. a probe-pipeline task waiting on the join build whose
+//    barrier is doing the stealing) — a self-deadlock no timeout can
+//    resolve. Structured concurrency: a group only ever runs down its
+//    own dependency subtree.
+//  * Pipeline dependencies are expressed as barriers: a pipeline spawns
+//    its morsel tasks into one TaskGroup and Wait()s before the dependent
+//    pipeline starts (e.g. a join build pipeline completes before any
+//    probe pipeline task runs). See docs/EXECUTION.md.
+//  * TaskQuota provides per-query admission control: each query's
+//    pipelines acquire task slots from the query's quota before spawning,
+//    so one query cannot flood the shared pool and starve its neighbours
+//    ("when more cores hurts").
 #ifndef X100_COMMON_TASK_SCHEDULER_H_
 #define X100_COMMON_TASK_SCHEDULER_H_
 
@@ -53,31 +68,98 @@ class TaskScheduler {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
-  /// Fire-and-forget; prefer TaskGroup for joinable work.
-  void Submit(std::function<void()> fn);
+  /// Fire-and-forget; prefer TaskGroup for joinable work. `tag` (owned by
+  /// the submitter, usually a TaskGroup) lets RunOneTask filter for a
+  /// group's own tasks; nullptr = untagged.
+  void Submit(std::function<void()> fn, const void* tag = nullptr);
 
-  /// Runs one queued task on the calling thread if any is ready.
-  /// Used by TaskGroup::Wait to help drain a saturated pool.
-  bool RunOneTask();
+  /// Runs one queued task on the calling thread if any is ready. With a
+  /// non-null `tag`, only a task submitted under that tag qualifies —
+  /// TaskGroup::Wait uses this so a barrier never inline-executes
+  /// unrelated work that may depend on the waiting frame. Untagged
+  /// helpers (exchange backpressure) pass nullptr and run anything.
+  bool RunOneTask(const void* tag = nullptr);
+
+  /// Scheduler-aware blocking: runs queued tasks on the calling thread
+  /// until `done()` returns true, parking on the scheduler's work signal
+  /// while idle — so a blocked caller (an exchange producer facing a full
+  /// queue) lends its thread to whatever work exists and wakes the moment
+  /// new tasks are submitted, with no timed polling. Any state change
+  /// that can flip `done()` must be followed by WakeHelpers(). `done` is
+  /// never invoked under the scheduler lock, so it may take its own.
+  void HelpUntil(const std::function<bool()>& done);
+
+  /// Wakes every HelpUntil caller to re-evaluate its predicate.
+  void WakeHelpers();
 
   // Monitoring counters.
   int64_t tasks_run() const { return tasks_run_.load(); }
   int64_t tasks_stolen() const { return tasks_stolen_.load(); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    const void* tag = nullptr;
+  };
+
   void WorkerLoop(int id);
   /// Pops a task, preferring deque `home`; steals from the longest other
   /// deque. Returns false if every deque is empty. `mu_` must be held.
   bool PopTaskLocked(int home, std::function<void()>* out, bool* stolen);
+  /// Pops the oldest task carrying `tag`, if any. `mu_` must be held.
+  bool PopTaggedTaskLocked(const void* tag, std::function<void()>* out);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
+  std::vector<std::deque<Task>> queues_;  // one per worker
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  /// Bumped by WakeHelpers under mu_; HelpUntil snapshots it before
+  /// checking its predicate so a concurrent flip is never missed.
+  std::atomic<uint64_t> wake_epoch_{0};
   std::atomic<uint64_t> next_queue_{0};  // round-robin submission cursor
   std::atomic<int64_t> tasks_run_{0};
   std::atomic<int64_t> tasks_stolen_{0};
+};
+
+/// Per-query admission control: a budget of concurrently-running pipeline
+/// tasks. Pipelines ask for as many slots as they have worker chains and
+/// are granted possibly fewer; a grant is never zero, so a query always
+/// makes progress (it degrades toward serial execution instead of
+/// queueing behind itself). Thread-safe; slots are returned at the
+/// pipeline's barrier.
+class TaskQuota {
+ public:
+  /// limit <= 0 means unlimited.
+  explicit TaskQuota(int limit) : limit_(limit) {}
+
+  /// Grants between 1 and `want` slots (never blocks, never zero).
+  int Acquire(int want) {
+    if (want < 1) want = 1;
+    if (limit_ <= 0) return want;
+    int used = used_.load(std::memory_order_relaxed);
+    while (true) {
+      const int room = limit_ - used;
+      const int grant = room < 1 ? 1 : (room < want ? room : want);
+      if (used_.compare_exchange_weak(used, used + grant,
+                                      std::memory_order_acq_rel)) {
+        return grant;
+      }
+    }
+  }
+
+  void Release(int n) {
+    if (limit_ > 0) used_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+
+  int limit() const { return limit_; }
+  int in_use() const {
+    return limit_ <= 0 ? 0 : used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const int limit_;
+  std::atomic<int> used_{0};
 };
 
 /// A batch of tasks that complete together. Not reusable after Wait().
@@ -132,6 +214,18 @@ class TaskGroup {
   Status first_error_;
   bool any_cancelled_ = false;
 };
+
+/// The pipeline scaffold shared by the parallel operators (aggregation,
+/// sort, join build): acquires task slots from `quota` (nullptr =
+/// unlimited; the grant may be smaller than `n` but never zero), spawns
+/// that many tasks into a TaskGroup chained to `cancel`, and has each
+/// task claim work-item indexes [0, n) from a shared cursor and run
+/// `body(index, group)` — so a reduced grant still covers every item,
+/// just with less concurrency. Waits at the barrier, releases the quota,
+/// and returns the group's status (first error wins).
+Status RunPipelineTasks(TaskScheduler* scheduler, TaskQuota* quota,
+                        CancellationToken* cancel, int n,
+                        const std::function<Status(int, TaskGroup&)>& body);
 
 }  // namespace x100
 

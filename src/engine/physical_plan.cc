@@ -75,8 +75,18 @@ Result<OperatorPtr> BuildScanOp(const AlgebraNode& node, PlannerContext* pc,
     ExtractScanPushdown(pushdown_pred, schema, &opts.predicates);
   }
   if (node.morsel_group >= 0) {
-    // Every producer clone with this id pulls from one dynamic source.
+    // Every producer clone with this id pulls from one dynamic source
+    // (legacy rewriter-parallelized plans).
     MorselSourcePtr& src = pc->morsel_sources[node.morsel_group];
+    if (src == nullptr) {
+      src = std::make_shared<MorselSource>(table->base()->num_groups());
+    }
+    opts.morsels = src;
+  } else if (pc->cloning) {
+    // Pipeline clone: every clone of this scan node pulls block groups
+    // dynamically from one shared source — no static partitioning, so a
+    // skewed group cannot serialize a worker chain.
+    MorselSourcePtr& src = pc->scan_sources[&node];
     if (src == nullptr) {
       src = std::make_shared<MorselSource>(table->base()->num_groups());
     }
@@ -85,6 +95,40 @@ Result<OperatorPtr> BuildScanOp(const AlgebraNode& node, PlannerContext* pc,
   return OperatorPtr(std::make_unique<ScanOp>(
       table->View(), table->SnapshotPdt(), pc->db->buffers(),
       std::move(opts)));
+}
+
+bool IsClonablePipeline(const AlgebraPtr& node) {
+  switch (node->kind) {
+    case AlgebraNode::Kind::kScan:
+      return node->morsel_group < 0;  // not already rewriter-parallelized
+    case AlgebraNode::Kind::kSelect:
+    case AlgebraNode::Kind::kProject:
+      return IsClonablePipeline(node->children[0]);
+    case AlgebraNode::Kind::kJoin:
+      // The probe side streams through the clone; the build side becomes
+      // its own (possibly parallel) pipeline behind a shared build state.
+      return IsClonablePipeline(node->children[1]);
+    default:
+      return false;  // pipeline breakers end a streaming chain
+  }
+}
+
+Result<std::vector<OperatorPtr>> BuildPipelineChains(
+    const AlgebraPtr& node, int n, PlannerContext* pc,
+    const PhysicalPlanner* planner) {
+  std::vector<OperatorPtr> chains;
+  const bool prev = pc->cloning;
+  pc->cloning = true;
+  for (int w = 0; w < n; w++) {
+    auto op = planner->Build(node, pc);
+    if (!op.ok()) {
+      pc->cloning = prev;
+      return op.status();
+    }
+    chains.push_back(std::move(op).value());
+  }
+  pc->cloning = prev;
+  return chains;
 }
 
 namespace {
@@ -122,54 +166,115 @@ Result<OperatorPtr> ProjectFactory(const AlgebraPtr& node,
       std::make_unique<ProjectOp>(std::move(child), std::move(items)));
 }
 
+/// Deep-copies the group-by/aggregate lists (each clone binds its own
+/// expressions).
+void CloneAggItems(const AlgebraNode& node, std::vector<ProjectItem>* keys,
+                   std::vector<AggItem>* aggs) {
+  for (const ProjectItem& k : node.group_by) {
+    keys->push_back({k.name, CloneExpr(k.expr)});
+  }
+  for (const AggItem& a : node.aggs) {
+    aggs->push_back(
+        {a.kind, a.input ? CloneExpr(a.input) : nullptr, a.name});
+  }
+}
+
 Result<OperatorPtr> AggrFactory(const AlgebraPtr& node, PlannerContext* pc,
                                 const PhysicalPlanner* planner) {
+  std::vector<ProjectItem> keys;
+  std::vector<AggItem> aggs;
+  CloneAggItems(*node, &keys, &aggs);
+  // Pipeline decomposition: an aggregation over a streaming chain becomes
+  // the sink of a parallel pipeline — N chain clones drained by scheduler
+  // tasks into per-worker group tables, merged at the barrier.
+  if (pc->parallelism > 1 && !pc->cloning &&
+      IsClonablePipeline(node->children[0])) {
+    std::vector<OperatorPtr> chains;
+    X100_ASSIGN_OR_RETURN(
+        chains, BuildPipelineChains(node->children[0], pc->parallelism, pc,
+                                    planner));
+    return OperatorPtr(std::make_unique<ParallelHashAggOp>(
+        std::move(chains), std::move(keys), std::move(aggs)));
+  }
   OperatorPtr child;
   X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
-  std::vector<ProjectItem> keys;
-  for (const ProjectItem& k : node->group_by) {
-    keys.push_back({k.name, CloneExpr(k.expr)});
-  }
-  std::vector<AggItem> aggs;
-  for (const AggItem& a : node->aggs) {
-    aggs.push_back({a.kind, a.input ? CloneExpr(a.input) : nullptr, a.name});
-  }
   return OperatorPtr(std::make_unique<HashAggOp>(
       std::move(child), std::move(keys), std::move(aggs)));
 }
 
 Result<OperatorPtr> JoinFactory(const AlgebraPtr& node, PlannerContext* pc,
                                 const PhysicalPlanner* planner) {
-  OperatorPtr build;
-  X100_ASSIGN_OR_RETURN(build, planner->Build(node->children[0], pc));
+  // The build side is its own pipeline behind a shared JoinBuildState:
+  // created once per logical join, reused by every probe clone. The
+  // build runs as scheduler tasks either way; a clonable build input gets
+  // `parallelism` chains over one morsel source.
+  JoinBuildStatePtr& state = pc->join_states[node.get()];
+  if (state == nullptr) {
+    const int build_width =
+        pc->parallelism > 1 && IsClonablePipeline(node->children[0])
+            ? pc->parallelism
+            : 1;
+    std::vector<OperatorPtr> build_chains;
+    X100_ASSIGN_OR_RETURN(
+        build_chains, BuildPipelineChains(node->children[0], build_width,
+                                          pc, planner));
+    std::vector<int> bkeys;
+    for (const std::string& k : node->build_keys) {
+      const int c = build_chains[0]->output_schema().FindField(k);
+      if (c < 0) return Status::NotFound("build key not found: " + k);
+      bkeys.push_back(c);
+    }
+    state = std::make_shared<JoinBuildState>(std::move(build_chains),
+                                             std::move(bkeys));
+  }
   OperatorPtr probe;
   X100_ASSIGN_OR_RETURN(probe, planner->Build(node->children[1], pc));
-  std::vector<int> bkeys, pkeys;
-  for (const std::string& k : node->build_keys) {
-    const int c = build->output_schema().FindField(k);
-    if (c < 0) return Status::NotFound("build key not found: " + k);
-    bkeys.push_back(c);
-  }
+  std::vector<int> pkeys;
   for (const std::string& k : node->probe_keys) {
     const int c = probe->output_schema().FindField(k);
     if (c < 0) return Status::NotFound("probe key not found: " + k);
     pkeys.push_back(c);
   }
-  return OperatorPtr(std::make_unique<HashJoinOp>(
-      std::move(build), std::move(probe), std::move(bkeys),
-      std::move(pkeys), node->join_type));
+  return OperatorPtr(std::make_unique<JoinProbeOp>(
+      std::move(probe), state, std::move(pkeys), node->join_type));
 }
 
 Result<OperatorPtr> OrderFactory(const AlgebraPtr& node, PlannerContext* pc,
                                  const PhysicalPlanner* planner) {
+  auto resolve_keys =
+      [&](const Schema& in) -> Result<std::vector<SortKey>> {
+    std::vector<SortKey> keys;
+    for (const AlgebraNode::OrderKey& k : node->order_keys) {
+      const int c = in.FindField(k.column);
+      if (c < 0) return Status::NotFound("order key not found: " + k.column);
+      keys.push_back({c, k.ascending});
+    }
+    return keys;
+  };
+  if (pc->parallelism > 1 && !pc->cloning) {
+    // Parallel sort sink: clone the input chain when it streams; a
+    // non-clonable input (an aggregation, say) is drained by one task and
+    // range-split across `parallelism` sort tasks instead.
+    std::vector<OperatorPtr> chains;
+    if (IsClonablePipeline(node->children[0])) {
+      X100_ASSIGN_OR_RETURN(
+          chains, BuildPipelineChains(node->children[0], pc->parallelism,
+                                      pc, planner));
+    } else {
+      OperatorPtr child;
+      X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
+      chains.push_back(std::move(child));
+    }
+    std::vector<SortKey> keys;
+    X100_ASSIGN_OR_RETURN(keys, resolve_keys(chains[0]->output_schema()));
+    return OperatorPtr(std::make_unique<ParallelSortOp>(
+        std::move(chains), std::move(keys), node->limit,
+        pc->parallelism));
+  }
   OperatorPtr child;
   X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
   std::vector<SortKey> keys;
-  for (const AlgebraNode::OrderKey& k : node->order_keys) {
-    const int c = child->output_schema().FindField(k.column);
-    if (c < 0) return Status::NotFound("order key not found: " + k.column);
-    keys.push_back({c, k.ascending});
-  }
+  X100_ASSIGN_OR_RETURN(keys, resolve_keys(child->output_schema()));
   return OperatorPtr(std::make_unique<SortOp>(std::move(child),
                                               std::move(keys),
                                               node->limit));

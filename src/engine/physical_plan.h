@@ -1,5 +1,6 @@
 // Physical planner: an extensible registry mapping algebra node kinds to
-// operator factories.
+// operator factories, and the pipeline decomposition that makes every
+// query morsel-parallel (docs/ARCHITECTURE.md, docs/EXECUTION.md).
 //
 // The seed built operator trees through a monolithic if/else chain inside
 // QueryExecutor::Build, so every new operator meant editing the engine.
@@ -8,11 +9,21 @@
 // factories (e.g. swap SortOp for an external-merge sort) without touching
 // engine code.
 //
+// Pipeline decomposition (replacing the exchange-centric rewrite): when
+// PlannerContext::parallelism > 1, the factories for pipeline breakers
+// (Aggr, Join build sides, Order) build N *clones* of their streaming
+// input chain instead of one operator. Clones of one logical scan share a
+// MorselSource (dynamic block-group handout) and clones of one logical
+// join share a JoinBuildState (table built once, probed by all), both
+// keyed by algebra-node identity in PlannerContext. The resulting
+// operators — ParallelHashAggOp, ParallelSortOp, JoinProbeOp over a
+// shared build — run their chains as scheduler tasks with per-worker
+// state merged at TaskGroup barriers.
+//
 // PlannerContext carries the per-build shared state: the database (table
 // lookup), the ExecContext (threaded into scans so they report into
 // tuples_scanned/groups_skipped and the query profile), and the
-// MorselSource instances shared by producer clones of one parallelized
-// scan (keyed by AlgebraNode::morsel_group).
+// clone-sharing maps above.
 #ifndef X100_ENGINE_PHYSICAL_PLAN_H_
 #define X100_ENGINE_PHYSICAL_PLAN_H_
 
@@ -20,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "algebra/algebra.h"
 #include "exec/scan.h"
@@ -33,8 +45,19 @@ class Database;
 struct PlannerContext {
   Database* db = nullptr;
   ExecContext* exec = nullptr;
-  /// morsel_group id -> source shared by every scan clone with that id.
+  /// Pipeline width: > 1 makes the breaker factories decompose the plan
+  /// into parallel pipelines of this many worker chains.
+  int parallelism = 1;
+  /// True while building one of the N clones of a pipeline (set by
+  /// BuildPipelineChains): scans then draw from a shared MorselSource.
+  bool cloning = false;
+  /// morsel_group id -> source shared by every scan clone with that id
+  /// (legacy rewriter-parallelized plans; see Rewriter::Parallelize).
   std::map<int, MorselSourcePtr> morsel_sources;
+  /// Clone sharing by algebra-node identity: the same logical scan / join
+  /// built N times resolves to one MorselSource / JoinBuildState.
+  std::map<const AlgebraNode*, MorselSourcePtr> scan_sources;
+  std::map<const AlgebraNode*, JoinBuildStatePtr> join_states;
 };
 
 class PhysicalPlanner {
@@ -73,6 +96,20 @@ void ExtractScanPushdown(const ExprPtr& pred, const Schema& schema,
 /// select factories.
 Result<OperatorPtr> BuildScanOp(const AlgebraNode& node, PlannerContext* pc,
                                 const ExprPtr& pushdown_pred);
+
+/// True if `node` is a streaming chain a pipeline can clone per worker:
+/// Select/Project over a Scan, with any number of Joins probed along the
+/// way (each join's build side becomes its own pipeline). Pipeline
+/// breakers (Aggr, Order, Xchg) and already-rewriter-parallelized scans
+/// are not clonable. Exposed for tests.
+bool IsClonablePipeline(const AlgebraPtr& node);
+
+/// Builds `n` operator clones of the streaming chain `node`, sharing
+/// morsel sources and join build states through `pc`. Exposed for tests
+/// and custom planner factories.
+Result<std::vector<OperatorPtr>> BuildPipelineChains(
+    const AlgebraPtr& node, int n, PlannerContext* pc,
+    const PhysicalPlanner* planner);
 
 }  // namespace x100
 

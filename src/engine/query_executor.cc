@@ -1,5 +1,6 @@
 #include "engine/query_executor.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace x100 {
@@ -9,24 +10,30 @@ Result<OperatorPtr> QueryExecutor::Build(const AlgebraPtr& plan,
   PlannerContext pc;
   pc.db = db_;
   pc.exec = ctx;
+  // Pipeline decomposition happens here, not in the rewriter: breaker
+  // factories clone their input chains `parallelism` ways (see
+  // engine/physical_plan.h).
+  pc.parallelism = std::max(1, db_->config().max_parallelism);
   return planner_->Build(plan, &pc);
 }
 
 Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
                                            const std::string& text,
                                            CancellationToken* cancel) {
-  Rewriter::Options ropts;
-  ropts.parallelism = db_->config().max_parallelism;
-  Rewriter rewriter(ropts);
+  Rewriter rewriter;
   auto rewritten = rewriter.Rewrite(std::move(plan));
   X100_RETURN_IF_ERROR(rewritten.status());
   last_stats_ = rewriter.stats();
 
+  // Admission control: this query's pipelines draw task slots from one
+  // quota, so a single wide query cannot flood the shared pool.
+  TaskQuota quota(db_->config().query_task_quota);
   ExecContext ctx;
   ctx.vector_size = db_->config().vector_size;
   ctx.cancel = cancel;
   ctx.events = db_->events();
   ctx.scheduler = db_->scheduler();
+  ctx.quota = &quota;
 
   const int64_t qid =
       db_->queries()->Begin(text.empty() ? "<algebra query>" : text);

@@ -16,6 +16,19 @@ Status XchgOp::OpenImpl(ExecContext* ctx) {
   shutdown_ = false;
   producer_error_ = Status::OK();
   group_ = std::make_unique<TaskGroup>(scheduler_, ctx->cancel);
+  // Cancellation must wake both the consumer (not_empty_) and any
+  // producer parked in HelpUntil the moment it fires; with callbacks
+  // there is no polling interval during which a cancelled producer still
+  // occupies a pool worker.
+  if (ctx->cancel != nullptr) {
+    cancel_callback_ = ctx->cancel->AddCallback([this] {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        not_empty_.notify_all();
+      }
+      scheduler_->WakeHelpers();
+    });
+  }
   for (int p = 0; p < static_cast<int>(producers_.size()); p++) {
     group_->Spawn([this, p] { return ProducerLoop(p); });
   }
@@ -41,22 +54,21 @@ Status XchgOp::ProducerLoop(int p) {
     auto owned = (*batch)->Compact(op->output_schema());
     std::unique_lock<std::mutex> lock(mu_);
     // A producer blocked on a full queue must NOT hold its pool worker
-    // hostage: with several exchanges in one plan (or concurrent parallel
-    // queries) on a small pool that starves the other producers and
-    // deadlocks the plan. Instead, help the scheduler run other queued
-    // tasks while waiting; fall back to a short timed wait when nothing
-    // is runnable (group cancellation has no hook into not_full_, so the
-    // wait polls). Helping bounds recursion by the number of live
-    // producer tasks.
+    // hostage: with several exchanges in one plan (or concurrent
+    // parallel queries) on a small pool that starves the other producers
+    // and deadlocks the plan. HelpUntil lends this thread to whatever
+    // tasks are queued and parks on the scheduler's work signal
+    // otherwise; consumer pops, Close, sibling failure and cancellation
+    // all WakeHelpers().
     while (!shutdown_ && !group_->IsCancelled() &&
            static_cast<int>(queue_.size()) >= queue_capacity_) {
       lock.unlock();
-      const bool helped = scheduler_->RunOneTask();
+      scheduler_->HelpUntil([this] {
+        std::lock_guard<std::mutex> l(mu_);
+        return shutdown_ || group_->IsCancelled() ||
+               static_cast<int>(queue_.size()) < queue_capacity_;
+      });
       lock.lock();
-      if (!helped && !shutdown_ && !group_->IsCancelled() &&
-          static_cast<int>(queue_.size()) >= queue_capacity_) {
-        not_full_.wait_for(lock, std::chrono::milliseconds(5));
-      }
     }
     if (shutdown_ || group_->IsCancelled()) {
       status = Status::Cancelled("exchange shut down");
@@ -66,6 +78,11 @@ Status XchgOp::ProducerLoop(int p) {
     not_empty_.notify_one();
   }
   op->Close();
+  // A failing producer cancels its siblings BEFORE waking them: the
+  // TaskGroup's own cancellation (via Finish) runs only after this
+  // function returns, which would leave a parked sibling re-checking a
+  // not-yet-cancelled group.
+  if (!status.ok()) group_->Cancel();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!status.ok() && !status.IsCancelled() && producer_error_.ok()) {
@@ -74,6 +91,7 @@ Status XchgOp::ProducerLoop(int p) {
     active_producers_--;
   }
   not_empty_.notify_all();
+  scheduler_->WakeHelpers();
   return status;
 }
 
@@ -82,30 +100,41 @@ Result<Batch*> XchgOp::NextImpl() {
   while (true) {
     if (!producer_error_.ok()) return producer_error_;
     if (ctx_->cancel != nullptr && ctx_->cancel->IsCancelled()) {
-      not_full_.notify_all();
       return Status::Cancelled("query cancelled");
     }
     if (!queue_.empty()) {
+      const bool was_full =
+          static_cast<int>(queue_.size()) >= queue_capacity_;
       current_ = std::move(queue_.front());
       queue_.pop_front();
-      not_full_.notify_one();
+      lock.unlock();
+      // Only a full->non-full transition can unpark a producer; waking
+      // the process-wide helper set per batch would stampede the
+      // scheduler lock for nothing.
+      if (was_full) scheduler_->WakeHelpers();
       return current_.get();
     }
     if (active_producers_ == 0) return nullptr;
-    // Wait with a timeout so cancellation is observed promptly even if no
-    // producer ever posts again.
-    not_empty_.wait_for(lock, std::chrono::milliseconds(50));
+    // Untimed wait: every state change re-checked above has an explicit
+    // notify (producer push/exit, Close, cancellation callback).
+    not_empty_.wait(lock);
   }
 }
 
 void XchgOp::CloseImpl() {
+  if (cancel_callback_ >= 0 && ctx_ != nullptr &&
+      ctx_->cancel != nullptr) {
+    // Unregister before tearing down: the token outlives this operator.
+    ctx_->cancel->RemoveCallback(cancel_callback_);
+    cancel_callback_ = -1;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     queue_.clear();  // unblock producers waiting on a full queue
   }
-  not_full_.notify_all();
   not_empty_.notify_all();
+  if (scheduler_ != nullptr) scheduler_->WakeHelpers();
   if (group_ != nullptr) {
     group_->Cancel();
     group_->Wait();  // joins every in-flight producer task

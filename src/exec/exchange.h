@@ -10,6 +10,15 @@
 // oversubscribing the machine (§"When more cores hurts"). Cancellation
 // wakes every queue wait and joins all in-flight tasks before Close
 // returns — the "parallelism" hazard of §"Query cancellation".
+//
+// Backpressure is scheduler-aware, never time-polled: a producer blocked
+// on a full queue enters TaskScheduler::HelpUntil, lending its thread to
+// whatever tasks are queued (other exchanges' producers, other queries'
+// pipelines) and parking on the scheduler's work signal while idle. Every
+// event that can unblock it — consumer pop, Close, a failing sibling, a
+// CancellationToken callback registered at Open — calls WakeHelpers(), so
+// a cancelled producer releases its pool worker immediately instead of
+// sleeping out a poll interval.
 #ifndef X100_EXEC_EXCHANGE_H_
 #define X100_EXEC_EXCHANGE_H_
 
@@ -50,8 +59,8 @@ class XchgOp : public Operator {
   TaskScheduler* scheduler_ = nullptr;
 
   std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  std::condition_variable not_empty_;  // consumer wake (producers use
+                                       // the scheduler's HelpUntil)
   std::deque<std::unique_ptr<Batch>> queue_;
   Status producer_error_;
   int active_producers_ = 0;
@@ -60,6 +69,7 @@ class XchgOp : public Operator {
   std::unique_ptr<TaskGroup> group_;
   std::unique_ptr<Batch> current_;
   bool opened_ = false;
+  int cancel_callback_ = -1;  // registered on ctx->cancel while open
 };
 
 }  // namespace x100

@@ -2,105 +2,84 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
+#include "common/task_scheduler.h"
 #include "primitives/hash_kernels.h"
 
 namespace x100 {
 
-HashAggOp::HashAggOp(OperatorPtr child, std::vector<ProjectItem> group_by,
-                     std::vector<AggItem> aggs)
-    : child_(std::move(child)),
-      group_items_(std::move(group_by)),
-      agg_items_(std::move(aggs)) {
-  // Bind at construction so output_schema() precedes Open.
-  const Schema& in = child_->output_schema();
-  for (const ProjectItem& g : group_items_) {
-    auto bound = BindExpr(g.expr, in);
-    if (!bound.ok()) {
-      init_status_ = bound.status();
-      return;
-    }
-    key_schema_.AddField(Field(g.name, (*bound)->type, (*bound)->nullable));
-    out_schema_.AddField(Field(g.name, (*bound)->type, (*bound)->nullable));
-    bound_keys_.push_back(std::move(bound).value());
+namespace {
+
+/// Typed equality of one cell between two row buffers (group merge).
+bool CellsEqual(const RowBuffer& a, int col, int64_t ra, const RowBuffer& b,
+                int64_t rb) {
+  const bool an = a.IsNull(col, ra), bn = b.IsNull(col, rb);
+  if (an || bn) return an == bn;
+  switch (a.schema().field(col).type) {
+    case TypeId::kBool:
+      return a.Col<uint8_t>(col)[ra] == b.Col<uint8_t>(col)[rb];
+    case TypeId::kI8:
+      return a.Col<int8_t>(col)[ra] == b.Col<int8_t>(col)[rb];
+    case TypeId::kI16:
+      return a.Col<int16_t>(col)[ra] == b.Col<int16_t>(col)[rb];
+    case TypeId::kI32:
+    case TypeId::kDate:
+      return a.Col<int32_t>(col)[ra] == b.Col<int32_t>(col)[rb];
+    case TypeId::kI64:
+      return a.Col<int64_t>(col)[ra] == b.Col<int64_t>(col)[rb];
+    case TypeId::kF64:
+      return a.Col<double>(col)[ra] == b.Col<double>(col)[rb];
+    case TypeId::kStr:
+      return a.Col<StrRef>(col)[ra] == b.Col<StrRef>(col)[rb];
   }
-  for (const AggItem& a : agg_items_) {
-    TypeId in_type = TypeId::kI64;
-    if (a.input != nullptr) {
-      auto bound = BindExpr(a.input, in);
-      if (!bound.ok()) {
-        init_status_ = bound.status();
-        return;
-      }
-      if (a.kind != AggKind::kCount && (*bound)->type == TypeId::kStr) {
-        init_status_ =
-            Status::NotImplemented("string aggregates not supported");
-        return;
-      }
-      in_type = (*bound)->type;
-      bound_aggs_.push_back(std::move(bound).value());
-    } else {
-      if (a.kind != AggKind::kCount) {
-        init_status_ =
-            Status::InvalidArgument("only COUNT(*) may omit its input");
-        return;
-      }
-      bound_aggs_.push_back(nullptr);
-    }
-    TypeId out_type;
-    switch (a.kind) {
-      case AggKind::kCount: out_type = TypeId::kI64; break;
-      case AggKind::kAvg: out_type = TypeId::kF64; break;
-      case AggKind::kSum:
-        out_type = in_type == TypeId::kF64 ? TypeId::kF64 : TypeId::kI64;
-        break;
-      default: out_type = in_type; break;
-    }
-    // Aggregates over empty groups / all-NULL inputs yield NULL (except
-    // COUNT), hence nullable.
-    out_schema_.AddField(
-        Field(a.name, out_type, a.kind != AggKind::kCount));
-    Accum acc;
-    acc.in_type = in_type;
-    accums_.push_back(std::move(acc));
-  }
+  return false;
 }
 
-Status HashAggOp::OpenImpl(ExecContext* ctx) {
-  ctx_ = ctx;
-  X100_RETURN_IF_ERROR(init_status_);
-  X100_RETURN_IF_ERROR(child_->Open(ctx));
-  key_progs_.clear();
-  agg_progs_.clear();
-  for (const ExprPtr& bound : bound_keys_) {
-    auto prog = ExprProgram::Compile(bound, ctx->vector_size);
-    X100_RETURN_IF_ERROR(prog.status());
-    key_progs_.push_back(std::move(prog).value());
-  }
-  for (const ExprPtr& bound : bound_aggs_) {
-    if (bound == nullptr) {
-      agg_progs_.push_back(nullptr);
-      continue;
-    }
-    auto prog = ExprProgram::Compile(bound, ctx->vector_size);
-    X100_RETURN_IF_ERROR(prog.status());
-    agg_progs_.push_back(std::move(prog).value());
-  }
-  keys_ = std::make_unique<RowBuffer>(key_schema_);
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GroupTable
+// ---------------------------------------------------------------------------
+
+GroupTable::GroupTable(const Schema& key_schema, std::vector<AggKind> kinds,
+                       std::vector<TypeId> in_types)
+    : kinds_(std::move(kinds)) {
+  keys_ = std::make_unique<RowBuffer>(key_schema);
   buckets_.assign(1024, -1);
   bucket_mask_ = buckets_.size() - 1;
-  gids_.resize(ctx->vector_size);
-  hashes_.resize(ctx->vector_size);
-  out_ = std::make_unique<Batch>(out_schema_, ctx->vector_size);
-  return Status::OK();
+  accums_.resize(kinds_.size());
+  for (size_t a = 0; a < accums_.size(); a++) {
+    accums_[a].in_type = in_types[a];
+  }
 }
 
-void HashAggOp::CloseImpl() {
-  if (child_) child_->Close();
+Result<uint32_t> GroupTable::FinishNewGroup(uint64_t hash) {
+  const int64_t gid = keys_->rows() - 1;  // key row appended by the caller
+  if (gid >= static_cast<int64_t>(UINT32_MAX)) {
+    return Status::ResourceExhausted("too many groups");
+  }
+  key_hashes_.push_back(hash);
+  chain_.push_back(buckets_[hash & bucket_mask_]);
+  buckets_[hash & bucket_mask_] = gid;
+  for (Accum& a : accums_) {
+    a.i64.push_back(0);
+    a.f64.push_back(0);
+    a.count.push_back(0);
+  }
+  // Rehash when load factor exceeds ~0.7.
+  if (keys_->rows() * 10 > static_cast<int64_t>(buckets_.size()) * 7) {
+    buckets_.assign(buckets_.size() * 2, -1);
+    bucket_mask_ = buckets_.size() - 1;
+    for (int64_t r = 0; r < keys_->rows(); r++) {
+      const uint64_t slot = key_hashes_[r] & bucket_mask_;
+      chain_[r] = buckets_[slot];
+      buckets_[slot] = r;
+    }
+  }
+  return static_cast<uint32_t>(gid);
 }
 
-Result<uint32_t> HashAggOp::GroupIdFor(
-    Batch& /*in*/, int row, const std::vector<const Vector*>& key_vecs,
-    uint64_t hash) {
+Result<uint32_t> GroupTable::FindOrAdd(
+    const std::vector<const Vector*>& key_vecs, int row, uint64_t hash) {
   int64_t node = buckets_[hash & bucket_mask_];
   while (node >= 0) {
     if (key_hashes_[node] == hash) {
@@ -150,51 +129,163 @@ Result<uint32_t> HashAggOp::GroupIdFor(
     }
     node = chain_[node];
   }
-  // New group: append key row + grow accumulators.
-  const int64_t gid = keys_->rows();
-  if (gid >= static_cast<int64_t>(UINT32_MAX)) {
-    return Status::ResourceExhausted("too many groups");
-  }
   keys_->AppendRowFromVectors(key_vecs, row);
-  key_hashes_.push_back(hash);
-  chain_.push_back(buckets_[hash & bucket_mask_]);
-  buckets_[hash & bucket_mask_] = gid;
-  for (Accum& a : accums_) {
-    a.i64.push_back(0);
-    a.f64.push_back(0);
-    a.count.push_back(0);
-  }
-  // Rehash when load factor exceeds ~0.7.
-  if (keys_->rows() * 10 > static_cast<int64_t>(buckets_.size()) * 7) {
-    buckets_.assign(buckets_.size() * 2, -1);
-    bucket_mask_ = buckets_.size() - 1;
-    for (int64_t r = 0; r < keys_->rows(); r++) {
-      const uint64_t slot = key_hashes_[r] & bucket_mask_;
-      chain_[r] = buckets_[slot];
-      buckets_[slot] = r;
-    }
-  }
-  return static_cast<uint32_t>(gid);
+  return FinishNewGroup(hash);
 }
 
-Status HashAggOp::Consume() {
-  // Global aggregation: materialize the single group up front so an empty
-  // input still yields one output row.
+void GroupTable::EnsureGlobalGroup() {
+  if (keys_->rows() > 0) return;
   std::vector<const Vector*> no_keys;
-  if (group_items_.empty() && keys_->rows() == 0) {
-    keys_->AppendRowFromVectors(no_keys, 0);
-    key_hashes_.push_back(0);
-    chain_.push_back(-1);
-    for (Accum& a : accums_) {
-      a.i64.push_back(0);
-      a.f64.push_back(0);
-      a.count.push_back(0);
+  keys_->AppendRowFromVectors(no_keys, 0);
+  (void)FinishNewGroup(0);
+}
+
+Status GroupTable::MergeFrom(const GroupTable& src) {
+  for (int64_t g = 0; g < src.num_groups(); g++) {
+    const uint64_t h = src.key_hashes_[g];
+    int64_t node = buckets_[h & bucket_mask_];
+    while (node >= 0) {
+      if (key_hashes_[node] == h) {
+        bool eq = true;
+        for (int k = 0; k < keys_->schema().num_fields() && eq; k++) {
+          eq = CellsEqual(*keys_, k, node, *src.keys_, g);
+        }
+        if (eq) break;
+      }
+      node = chain_[node];
+    }
+    if (node < 0) {
+      keys_->AppendRowFromBuffer(*src.keys_, g);
+      auto gid = FinishNewGroup(h);
+      X100_RETURN_IF_ERROR(gid.status());
+      node = *gid;
+    }
+    for (size_t a = 0; a < accums_.size(); a++) {
+      Accum& d = accums_[a];
+      const Accum& s = src.accums_[a];
+      switch (kinds_[a]) {
+        case AggKind::kCount:
+          d.count[node] += s.count[g];
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          d.i64[node] += s.i64[g];
+          d.f64[node] += s.f64[g];
+          d.count[node] += s.count[g];
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          if (s.count[g] == 0) break;
+          const bool take =
+              d.count[node] == 0 ||
+              (d.in_type == TypeId::kF64
+                   ? (kinds_[a] == AggKind::kMin ? s.f64[g] < d.f64[node]
+                                                 : s.f64[g] > d.f64[node])
+                   : (kinds_[a] == AggKind::kMin ? s.i64[g] < d.i64[node]
+                                                 : s.i64[g] > d.i64[node]));
+          if (take) {
+            d.i64[node] = s.i64[g];
+            d.f64[node] = s.f64[g];
+          }
+          d.count[node] += s.count[g];
+          break;
+        }
+      }
     }
   }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AggBinding
+// ---------------------------------------------------------------------------
+
+Status AggBinding::Bind(const Schema& in,
+                        const std::vector<ProjectItem>& group_by,
+                        const std::vector<AggItem>& aggs) {
+  for (const ProjectItem& g : group_by) {
+    ExprPtr bound;
+    X100_ASSIGN_OR_RETURN(bound, BindExpr(g.expr, in));
+    key_schema.AddField(Field(g.name, bound->type, bound->nullable));
+    out_schema.AddField(Field(g.name, bound->type, bound->nullable));
+    bound_keys.push_back(std::move(bound));
+  }
+  for (const AggItem& a : aggs) {
+    TypeId in_type = TypeId::kI64;
+    if (a.input != nullptr) {
+      ExprPtr bound;
+      X100_ASSIGN_OR_RETURN(bound, BindExpr(a.input, in));
+      if (a.kind != AggKind::kCount && bound->type == TypeId::kStr) {
+        return Status::NotImplemented("string aggregates not supported");
+      }
+      in_type = bound->type;
+      bound_aggs.push_back(std::move(bound));
+    } else {
+      if (a.kind != AggKind::kCount) {
+        return Status::InvalidArgument("only COUNT(*) may omit its input");
+      }
+      bound_aggs.push_back(nullptr);
+    }
+    TypeId out_type;
+    switch (a.kind) {
+      case AggKind::kCount: out_type = TypeId::kI64; break;
+      case AggKind::kAvg: out_type = TypeId::kF64; break;
+      case AggKind::kSum:
+        out_type = in_type == TypeId::kF64 ? TypeId::kF64 : TypeId::kI64;
+        break;
+      default: out_type = in_type; break;
+    }
+    // Aggregates over empty groups / all-NULL inputs yield NULL (except
+    // COUNT), hence nullable.
+    out_schema.AddField(Field(a.name, out_type, a.kind != AggKind::kCount));
+    kinds.push_back(a.kind);
+    in_types.push_back(in_type);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// AggWorkerState
+// ---------------------------------------------------------------------------
+
+Status AggWorkerState::Prepare(const std::vector<ExprPtr>& bound_keys,
+                               const std::vector<ExprPtr>& bound_aggs,
+                               const Schema& key_schema,
+                               const std::vector<AggItem>& aggs,
+                               const std::vector<TypeId>& in_types,
+                               int vector_size) {
+  key_progs_.clear();
+  agg_progs_.clear();
+  for (const ExprPtr& bound : bound_keys) {
+    auto prog = ExprProgram::Compile(bound, vector_size);
+    X100_RETURN_IF_ERROR(prog.status());
+    key_progs_.push_back(std::move(prog).value());
+  }
+  for (const ExprPtr& bound : bound_aggs) {
+    if (bound == nullptr) {
+      agg_progs_.push_back(nullptr);
+      continue;
+    }
+    auto prog = ExprProgram::Compile(bound, vector_size);
+    X100_RETURN_IF_ERROR(prog.status());
+    agg_progs_.push_back(std::move(prog).value());
+  }
+  std::vector<AggKind> kinds;
+  for (const AggItem& a : aggs) kinds.push_back(a.kind);
+  table_ = std::make_unique<GroupTable>(key_schema, std::move(kinds),
+                                        in_types);
+  gids_.resize(vector_size);
+  hashes_.resize(vector_size);
+  return Status::OK();
+}
+
+Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
+                                  const std::vector<AggItem>& aggs) {
+  if (key_progs_.empty()) table_->EnsureGlobalGroup();
   while (true) {
-    X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+    X100_RETURN_IF_ERROR(ctx->CheckCancel());
     Batch* in;
-    X100_ASSIGN_OR_RETURN(in, child_->Next());
+    X100_ASSIGN_OR_RETURN(in, child->Next());
     if (in == nullptr) break;
     const int n = in->ActiveRows();
     const sel_t* sel = in->sel();
@@ -218,15 +309,15 @@ Status HashAggOp::Consume() {
         const int i = sel ? sel[j] : j;
         uint32_t gid;
         X100_ASSIGN_OR_RETURN(gid,
-                              GroupIdFor(*in, i, key_vecs, hashes_[j]));
+                              table_->FindOrAdd(key_vecs, i, hashes_[j]));
         gids_[j] = gid;
       }
     }
 
     // 2) Fold each aggregate's input vector into the accumulators.
-    for (size_t a = 0; a < agg_items_.size(); a++) {
-      Accum& acc = accums_[a];
-      const AggItem& item = agg_items_[a];
+    for (size_t a = 0; a < aggs.size(); a++) {
+      GroupTable::Accum& acc = table_->accum(a);
+      const AggItem& item = aggs[a];
       if (item.input == nullptr) {  // COUNT(*)
         for (int j = 0; j < n; j++) acc.count[gids_[j]]++;
         continue;
@@ -285,29 +376,32 @@ Status HashAggOp::Consume() {
       }
     }
   }
-  consumed_ = true;
   return Status::OK();
 }
 
-Status HashAggOp::EmitGroups() { return Status::OK(); }
+// ---------------------------------------------------------------------------
+// Emit (shared by serial and parallel operators)
+// ---------------------------------------------------------------------------
 
-Result<Batch*> HashAggOp::NextImpl() {
-  if (!consumed_) X100_RETURN_IF_ERROR(Consume());
-  X100_RETURN_IF_ERROR(ctx_->CheckCancel());
-  if (emit_pos_ >= keys_->rows()) return nullptr;
-  out_->Reset();
-  const int n = static_cast<int>(std::min<int64_t>(
-      ctx_->vector_size, keys_->rows() - emit_pos_));
-  const int nkeys = key_schema_.num_fields();
+namespace {
+
+Result<Batch*> EmitGroupBatch(GroupTable* t,
+                              const std::vector<AggItem>& aggs, int nkeys,
+                              int vector_size, int64_t* emit_pos,
+                              Batch* out) {
+  if (*emit_pos >= t->num_groups()) return nullptr;
+  out->Reset();
+  const int n = static_cast<int>(
+      std::min<int64_t>(vector_size, t->num_groups() - *emit_pos));
   for (int j = 0; j < n; j++) {
-    const int64_t g = emit_pos_ + j;
+    const int64_t g = *emit_pos + j;
     for (int k = 0; k < nkeys; k++) {
-      keys_->GatherCell(k, g, out_->column(k), j);
+      t->keys().GatherCell(k, g, out->column(k), j);
     }
-    for (size_t a = 0; a < agg_items_.size(); a++) {
-      Vector* dst = out_->column(nkeys + static_cast<int>(a));
-      const Accum& acc = accums_[a];
-      const AggItem& item = agg_items_[a];
+    for (size_t a = 0; a < aggs.size(); a++) {
+      Vector* dst = out->column(nkeys + static_cast<int>(a));
+      const GroupTable::Accum& acc = t->accum(a);
+      const AggItem& item = aggs[a];
       if (item.kind == AggKind::kCount) {
         dst->Data<int64_t>()[j] = acc.count[g];
         continue;
@@ -354,9 +448,138 @@ Result<Batch*> HashAggOp::NextImpl() {
       if (dst->has_nulls()) dst->MutableNulls()[j] = 0;
     }
   }
-  emit_pos_ += n;
-  out_->set_rows(n);
-  return out_.get();
+  *emit_pos += n;
+  out->set_rows(n);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashAggOp (serial)
+// ---------------------------------------------------------------------------
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<ProjectItem> group_by,
+                     std::vector<AggItem> aggs)
+    : child_(std::move(child)),
+      group_items_(std::move(group_by)),
+      agg_items_(std::move(aggs)) {
+  // Bind at construction so output_schema() precedes Open.
+  init_status_ =
+      binding_.Bind(child_->output_schema(), group_items_, agg_items_);
+}
+
+Status HashAggOp::OpenImpl(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(init_status_);
+  X100_RETURN_IF_ERROR(child_->Open(ctx));
+  X100_RETURN_IF_ERROR(worker_.Prepare(binding_.bound_keys,
+                                       binding_.bound_aggs,
+                                       binding_.key_schema, agg_items_,
+                                       binding_.in_types,
+                                       ctx->vector_size));
+  out_ = std::make_unique<Batch>(binding_.out_schema, ctx->vector_size);
+  return Status::OK();
+}
+
+void HashAggOp::CloseImpl() {
+  if (child_) child_->Close();
+}
+
+Result<Batch*> HashAggOp::NextImpl() {
+  if (!consumed_) {
+    X100_RETURN_IF_ERROR(worker_.ConsumeAll(child_.get(), ctx_, agg_items_));
+    consumed_ = true;
+  }
+  X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+  return EmitGroupBatch(worker_.table(), agg_items_,
+                        binding_.key_schema.num_fields(),
+                        ctx_->vector_size, &emit_pos_, out_.get());
+}
+
+// ---------------------------------------------------------------------------
+// ParallelHashAggOp (pipeline sink)
+// ---------------------------------------------------------------------------
+
+ParallelHashAggOp::ParallelHashAggOp(std::vector<OperatorPtr> chains,
+                                     std::vector<ProjectItem> group_by,
+                                     std::vector<AggItem> aggs)
+    : chains_(std::move(chains)),
+      group_items_(std::move(group_by)),
+      agg_items_(std::move(aggs)) {
+  init_status_ = chains_.empty()
+                     ? Status::InvalidArgument(
+                           "parallel aggregation needs >= 1 worker chain")
+                     : binding_.Bind(chains_[0]->output_schema(),
+                                     group_items_, agg_items_);
+}
+
+Status ParallelHashAggOp::OpenImpl(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(init_status_);
+  // Worker chains are NOT opened here: each is opened, drained and closed
+  // by its pipeline task so the whole chain runs on one pool thread.
+  final_ = std::make_unique<GroupTable>(
+      binding_.key_schema, binding_.kinds, binding_.in_types);
+  out_ = std::make_unique<Batch>(binding_.out_schema, ctx->vector_size);
+  return Status::OK();
+}
+
+void ParallelHashAggOp::CloseImpl() {
+  // Chains were closed by their tasks after ParallelConsume's barrier; a
+  // Close before the pipeline ever ran (error in a sibling operator)
+  // closes them here on the caller.
+  for (OperatorPtr& c : chains_) {
+    if (c) c->Close();
+  }
+}
+
+Status ParallelHashAggOp::ParallelConsume() {
+  TaskScheduler* sched =
+      ctx_->scheduler != nullptr ? ctx_->scheduler : TaskScheduler::Global();
+  const int W = static_cast<int>(chains_.size());
+  workers_.clear();
+  for (int w = 0; w < W; w++) {
+    auto ws = std::make_unique<AggWorkerState>();
+    X100_RETURN_IF_ERROR(ws->Prepare(binding_.bound_keys,
+                                     binding_.bound_aggs,
+                                     binding_.key_schema, agg_items_,
+                                     binding_.in_types, ctx_->vector_size));
+    workers_.push_back(std::move(ws));
+  }
+
+  X100_RETURN_IF_ERROR(RunPipelineTasks(
+      sched, ctx_->quota, ctx_->cancel, W,
+      [this](int w, TaskGroup& group) -> Status {
+        X100_RETURN_IF_ERROR(group.CheckCancel());
+        Operator* chain = chains_[w].get();
+        Status s = chain->Open(ctx_);
+        if (s.ok()) {
+          s = workers_[w]->ConsumeAll(chain, ctx_, agg_items_);
+        }
+        chain->Close();
+        return s;
+      }));
+
+  // Barrier merge: fold per-worker tables into the final one. A keyless
+  // aggregation still emits its single global row on empty input.
+  if (binding_.bound_keys.empty()) final_->EnsureGlobalGroup();
+  for (auto& ws : workers_) {
+    X100_RETURN_IF_ERROR(final_->MergeFrom(*ws->table()));
+  }
+  workers_.clear();
+  return Status::OK();
+}
+
+Result<Batch*> ParallelHashAggOp::NextImpl() {
+  if (!consumed_) {
+    X100_RETURN_IF_ERROR(ParallelConsume());
+    consumed_ = true;
+  }
+  X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+  return EmitGroupBatch(final_.get(), agg_items_,
+                        binding_.key_schema.num_fields(),
+                        ctx_->vector_size, &emit_pos_, out_.get());
 }
 
 }  // namespace x100

@@ -1,6 +1,20 @@
-// HashAggOp: vectorized hash group-by. Group ids are resolved for a whole
-// vector, then aggregate update kernels fold the vector into accumulator
-// arrays (the X100 aggr_* primitive pattern).
+// Hash group-by aggregation — serial and pipeline-parallel.
+//
+// The machinery is split so the pipeline executor can reuse it:
+//  * GroupTable      — open-addressed group store (key rows + accumulator
+//                      arrays) with an aggregate-aware MergeFrom, the
+//                      barrier operation of parallel aggregation.
+//  * AggWorkerState  — one worker chain's thread-local state: compiled
+//                      key/aggregate programs + a private GroupTable.
+//  * HashAggOp       — the serial operator (one worker over one child).
+//  * ParallelHashAggOp — N cloned source chains drained by scheduler
+//                      tasks into per-worker GroupTables, merged at the
+//                      pipeline barrier (Leis-style morsel parallelism:
+//                      no partial/final plan rewrite, no exchange).
+//
+// Group ids are resolved for a whole vector, then aggregate update kernels
+// fold the vector into accumulator arrays (the X100 aggr_* primitive
+// pattern).
 #ifndef X100_EXEC_HASH_AGG_H_
 #define X100_EXEC_HASH_AGG_H_
 
@@ -23,6 +37,99 @@ struct AggItem {
   std::string name;
 };
 
+/// Group store: key rows + open-addressed index + one accumulator set per
+/// aggregate. Single-writer; parallel aggregation gives each worker its
+/// own table and merges them at the barrier.
+class GroupTable {
+ public:
+  /// Accumulators for one aggregate: i64/f64 running values plus the
+  /// per-group count of non-NULL inputs folded so far.
+  struct Accum {
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<int64_t> count;
+    TypeId in_type = TypeId::kI64;
+  };
+
+  /// `kinds`/`in_types`: one entry per aggregate (merge semantics).
+  GroupTable(const Schema& key_schema, std::vector<AggKind> kinds,
+             std::vector<TypeId> in_types);
+
+  /// Resolves the group id for key values (`key_vecs`, row `row`, with
+  /// precomputed `hash`), appending a new group if unseen.
+  Result<uint32_t> FindOrAdd(const std::vector<const Vector*>& key_vecs,
+                             int row, uint64_t hash);
+
+  /// Materializes the single group of a keyless aggregation so an empty
+  /// input still yields one output row.
+  void EnsureGlobalGroup();
+
+  /// The parallel-aggregation barrier: folds every group of `src` into
+  /// this table, combining accumulators by aggregate kind (SUM/COUNT/AVG
+  /// add, MIN/MAX compare). `src` must share this table's construction.
+  Status MergeFrom(const GroupTable& src);
+
+  int64_t num_groups() const { return keys_->rows(); }
+  const RowBuffer& keys() const { return *keys_; }
+  Accum& accum(size_t a) { return accums_[a]; }
+  const Accum& accum(size_t a) const { return accums_[a]; }
+
+ private:
+  /// Appends a group row (already added to keys_) to the index +
+  /// accumulators; rehashes at ~0.7 load factor.
+  Result<uint32_t> FinishNewGroup(uint64_t hash);
+
+  std::vector<AggKind> kinds_;
+  std::unique_ptr<RowBuffer> keys_;
+  std::vector<int64_t> buckets_;
+  std::vector<int64_t> chain_;
+  std::vector<uint64_t> key_hashes_;
+  uint64_t bucket_mask_ = 0;
+  std::vector<Accum> accums_;
+};
+
+/// One aggregation worker: a source chain plus the thread-local state that
+/// drains it (compiled programs, scratch, private GroupTable). Used by
+/// both the serial operator (one worker) and the parallel one (N workers,
+/// each driven by a scheduler task).
+class AggWorkerState {
+ public:
+  /// Compiles programs and allocates the private table.
+  Status Prepare(const std::vector<ExprPtr>& bound_keys,
+                 const std::vector<ExprPtr>& bound_aggs,
+                 const Schema& key_schema,
+                 const std::vector<AggItem>& aggs,
+                 const std::vector<TypeId>& in_types, int vector_size);
+
+  /// Drains `child` (already open) to exhaustion into the private table.
+  Status ConsumeAll(Operator* child, ExecContext* ctx,
+                    const std::vector<AggItem>& aggs);
+
+  GroupTable* table() const { return table_.get(); }
+
+ private:
+  std::vector<std::unique_ptr<ExprProgram>> key_progs_;
+  std::vector<std::unique_ptr<ExprProgram>> agg_progs_;  // null: COUNT(*)
+  std::unique_ptr<GroupTable> table_;
+  std::vector<uint32_t> gids_;
+  std::vector<uint64_t> hashes_;
+};
+
+/// Binding shared by the serial and parallel operators: resolves group-by
+/// and aggregate expressions against the input schema and derives the key
+/// and output schemas.
+struct AggBinding {
+  Status Bind(const Schema& in, const std::vector<ProjectItem>& group_by,
+              const std::vector<AggItem>& aggs);
+
+  Schema key_schema;
+  Schema out_schema;
+  std::vector<ExprPtr> bound_keys;
+  std::vector<ExprPtr> bound_aggs;  // nullptr for COUNT(*)
+  std::vector<AggKind> kinds;
+  std::vector<TypeId> in_types;
+};
+
 class HashAggOp : public Operator {
  public:
   /// `group_by`: expressions evaluated as grouping keys (usually column
@@ -34,49 +141,65 @@ class HashAggOp : public Operator {
   Status OpenImpl(ExecContext* ctx) override;
   Result<Batch*> NextImpl() override;
   void CloseImpl() override;
-  const Schema& output_schema() const override { return out_schema_; }
+  const Schema& output_schema() const override {
+    return binding_.out_schema;
+  }
   std::string name() const override { return "HashAgg"; }
 
-  int64_t num_groups() const { return keys_ ? keys_->rows() : 0; }
+  int64_t num_groups() const {
+    return worker_.table() ? worker_.table()->num_groups() : 0;
+  }
 
  private:
-  Status Consume();
-  Result<uint32_t> GroupIdFor(Batch& in, int row,
-                              const std::vector<const Vector*>& key_vecs,
-                              uint64_t hash);
-  Status EmitGroups();
-
   OperatorPtr child_;
   std::vector<ProjectItem> group_items_;
   std::vector<AggItem> agg_items_;
-  std::vector<ExprPtr> bound_keys_;
-  std::vector<ExprPtr> bound_aggs_;  // nullptr for COUNT(*)
+  AggBinding binding_;
   Status init_status_;
-  Schema out_schema_;
-  Schema key_schema_;
   ExecContext* ctx_ = nullptr;
 
-  std::vector<std::unique_ptr<ExprProgram>> key_progs_;
-  std::vector<std::unique_ptr<ExprProgram>> agg_progs_;
+  AggWorkerState worker_;
+  bool consumed_ = false;
+  std::unique_ptr<Batch> out_;
+  int64_t emit_pos_ = 0;
+};
 
-  // Group store: key rows + open-addressed index.
-  std::unique_ptr<RowBuffer> keys_;
-  std::vector<int64_t> buckets_;
-  std::vector<int64_t> chain_;
-  std::vector<uint64_t> key_hashes_;
-  uint64_t bucket_mask_ = 0;
+/// Pipeline-parallel aggregation: the sink of a scan→[probe→]aggregate
+/// pipeline. Each of the N cloned source chains (sharing morsel sources
+/// and join build states underneath) is drained by a scheduler task into
+/// a per-worker GroupTable; the tables merge into one at the TaskGroup
+/// barrier, then groups stream out exactly like the serial operator.
+class ParallelHashAggOp : public Operator {
+ public:
+  ParallelHashAggOp(std::vector<OperatorPtr> chains,
+                    std::vector<ProjectItem> group_by,
+                    std::vector<AggItem> aggs);
+  ~ParallelHashAggOp() override { Close(); }
 
-  // Accumulators (per aggregate): i64/f64 arrays + per-group seen counts.
-  struct Accum {
-    std::vector<int64_t> i64;
-    std::vector<double> f64;
-    std::vector<int64_t> count;   // non-null inputs folded
-    TypeId in_type = TypeId::kI64;
-  };
-  std::vector<Accum> accums_;
-  std::vector<uint32_t> gids_;
-  std::vector<uint64_t> hashes_;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  const Schema& output_schema() const override {
+    return binding_.out_schema;
+  }
+  std::string name() const override {
+    return "ParallelHashAgg(" + std::to_string(chains_.size()) + ")";
+  }
 
+ private:
+  /// Runs the pipeline: spawn tasks (bounded by the query's TaskQuota),
+  /// barrier, merge per-worker tables into `final_`.
+  Status ParallelConsume();
+
+  std::vector<OperatorPtr> chains_;
+  std::vector<ProjectItem> group_items_;
+  std::vector<AggItem> agg_items_;
+  AggBinding binding_;
+  Status init_status_;
+  ExecContext* ctx_ = nullptr;
+
+  std::vector<std::unique_ptr<AggWorkerState>> workers_;
+  std::unique_ptr<GroupTable> final_;
   bool consumed_ = false;
   std::unique_ptr<Batch> out_;
   int64_t emit_pos_ = 0;

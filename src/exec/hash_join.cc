@@ -1,10 +1,22 @@
 #include "exec/hash_join.h"
 
+#include <atomic>
+#include <chrono>
+
 #include "common/bitutil.h"
 #include "common/hash.h"
+#include "common/task_scheduler.h"
 #include "primitives/hash_kernels.h"
 
 namespace x100 {
+
+namespace {
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 const char* JoinTypeName(JoinType t) {
   switch (t) {
@@ -17,49 +29,35 @@ const char* JoinTypeName(JoinType t) {
   return "?";
 }
 
-HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
-                       std::vector<int> build_keys,
-                       std::vector<int> probe_keys, JoinType type)
-    : build_child_(std::move(build)),
-      probe_child_(std::move(probe)),
-      build_keys_(std::move(build_keys)),
-      probe_keys_(std::move(probe_keys)),
-      type_(type) {
-  // Output schema known at construction (parents need it before Open).
-  for (const Field& f : probe_child_->output_schema().fields()) {
-    out_schema_.AddField(f);
-  }
-  if (type_ == JoinType::kInner || type_ == JoinType::kLeftOuter) {
-    for (const Field& f : build_child_->output_schema().fields()) {
+Schema JoinOutputSchema(const Schema& probe, const Schema& build,
+                        JoinType type) {
+  Schema out;
+  for (const Field& f : probe.fields()) out.AddField(f);
+  if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
+    for (const Field& f : build.fields()) {
       Field nf = f;
-      if (type_ == JoinType::kLeftOuter) nf.nullable = true;
-      out_schema_.AddField(nf);
+      if (type == JoinType::kLeftOuter) nf.nullable = true;
+      out.AddField(nf);
     }
   }
+  return out;
 }
 
-Status HashJoinOp::OpenImpl(ExecContext* ctx) {
-  ctx_ = ctx;
-  X100_RETURN_IF_ERROR(build_child_->Open(ctx));
-  X100_RETURN_IF_ERROR(probe_child_->Open(ctx));
-  out_ = std::make_unique<Batch>(out_schema_, ctx->vector_size);
-  probe_hashes_.resize(ctx->vector_size);
-  return Status::OK();
+// ---------------------------------------------------------------------------
+// JoinBuildState
+// ---------------------------------------------------------------------------
+
+JoinBuildState::JoinBuildState(std::vector<OperatorPtr> chains,
+                               std::vector<int> build_keys)
+    : chains_(std::move(chains)), build_keys_(std::move(build_keys)) {
+  build_schema_ = chains_.front()->output_schema();
 }
 
-void HashJoinOp::CloseImpl() {
-  if (build_child_) build_child_->Close();
-  if (probe_child_) probe_child_->Close();
-  build_rows_.reset();
-  buckets_.clear();
-  next_.clear();
-}
-
-uint64_t HashJoinOp::HashBuildRow(int64_t row) const {
+uint64_t JoinBuildState::HashRow(int64_t row) const {
   uint64_t h = 0;
   bool first = true;
   for (int c : build_keys_) {
-    const Value v = build_rows_->GetValue(c, row);
+    const Value v = rows_->GetValue(c, row);
     uint64_t hv;
     switch (v.type()) {
       case TypeId::kF64: hv = HashDouble(v.AsF64()); break;
@@ -73,85 +71,194 @@ uint64_t HashJoinOp::HashBuildRow(int64_t row) const {
   return h;
 }
 
-Status HashJoinOp::BuildSide() {
-  build_rows_ = std::make_unique<RowBuffer>(build_child_->output_schema());
-  while (true) {
-    X100_RETURN_IF_ERROR(ctx_->CheckCancel());
-    Batch* b;
-    X100_ASSIGN_OR_RETURN(b, build_child_->Next());
-    if (b == nullptr) break;
-    build_rows_->AppendBatch(*b);
+Status JoinBuildState::Build(ExecContext* ctx) {
+  TaskScheduler* sched =
+      ctx->scheduler != nullptr ? ctx->scheduler : TaskScheduler::Global();
+  const int W = static_cast<int>(chains_.size());
+  std::vector<std::unique_ptr<RowBuffer>> partials(W);
+
+  // Build pipeline: tasks drain the cloned chains (sharing one morsel
+  // source underneath) into per-worker buffers.
+  X100_RETURN_IF_ERROR(RunPipelineTasks(
+      sched, ctx->quota, ctx->cancel, W,
+      [this, &partials, ctx](int w, TaskGroup& group) -> Status {
+        X100_RETURN_IF_ERROR(group.CheckCancel());
+        partials[w] = std::make_unique<RowBuffer>(build_schema_);
+        Operator* chain = chains_[w].get();
+        Status s = chain->Open(ctx);
+        while (s.ok()) {
+          s = group.CheckCancel();
+          if (!s.ok()) break;
+          auto b = chain->Next();
+          if (!b.ok()) {
+            s = b.status();
+            break;
+          }
+          if (*b == nullptr) break;
+          partials[w]->AppendBatch(**b);
+        }
+        chain->Close();
+        return s;
+      }));
+
+  // Barrier merge: concatenate per-worker buffers, then hash-index once.
+  // Timed from here: the chain operators already reported their drain
+  // time in their own profile entries, so this one must carry only the
+  // barrier cost or self(us) would double-count the build phase.
+  const int64_t t0 = NowNs();
+  if (W == 1) {
+    rows_ = std::move(partials[0]);
+  } else {
+    rows_ = std::make_unique<RowBuffer>(build_schema_);
+    for (auto& p : partials) rows_->AppendRows(*p);
   }
-  const int64_t n = build_rows_->rows();
+  const int64_t n = rows_->rows();
   buckets_.assign(std::max<uint64_t>(16, NextPow2(n * 2)), -1);
   bucket_mask_ = buckets_.size() - 1;
   next_.assign(n, -1);
-  build_hashes_.resize(n);
+  hashes_.resize(n);
   for (int64_t r = 0; r < n; r++) {
     bool has_null = false;
-    for (int c : build_keys_) has_null |= build_rows_->IsNull(c, r);
+    for (int c : build_keys_) has_null |= rows_->IsNull(c, r);
     if (has_null) {
-      build_has_null_key_ = true;  // poison for NOT IN semantics
-      continue;                    // NULL keys never match
+      has_null_key_ = true;  // poison for NOT IN semantics
+      continue;              // NULL keys never match
     }
-    const uint64_t h = HashBuildRow(r);
-    build_hashes_[r] = h;
+    const uint64_t h = HashRow(r);
+    hashes_[r] = h;
     const uint64_t slot = h & bucket_mask_;
     next_[r] = buckets_[slot];
     buckets_[slot] = r;
   }
-  built_ = true;
+
+  // Make the build phase visible in the per-operator profile: the chain
+  // operators reported their own entries; this one carries the barrier
+  // (merge + index) cost and the built row count.
+  OperatorProfile prof;
+  prof.op = "JoinBuild(" + std::to_string(W) + ")";
+  prof.rows = n;
+  prof.open_ns = NowNs() - t0;
+  ctx->RecordOperator(std::move(prof));
   return Status::OK();
 }
 
-bool HashJoinOp::ProbeKeyHasNull(const Batch& probe, int i) const {
+Status JoinBuildState::EnsureBuilt(ExecContext* ctx) {
+  // Probes call this once per batch: after a successful build, skip the
+  // mutex so concurrent probe clones never serialize on it.
+  if (built_ok_.load(std::memory_order_acquire)) return Status::OK();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == State::kBuilt) return build_status_;
+    if (chains_closed_) {
+      return Status::Cancelled("join build side already closed");
+    }
+    if (state_ == State::kBuilding) {
+      // Another pipeline worker is building; sleep until its barrier
+      // completes. Deliberately NO task-stealing here: the builder makes
+      // progress on its own thread (its TaskGroup::Wait runs the build
+      // tasks inline if no worker is free), while stealing an arbitrary
+      // task from this frame could inline-execute work that depends on a
+      // barrier suspended beneath us — an unrecoverable self-deadlock.
+      built_cv_.wait(lock, [&] { return state_ == State::kBuilt; });
+      return build_status_;
+    }
+    state_ = State::kBuilding;
+  }
+  const Status s = Build(ctx);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    build_status_ = s;
+    state_ = State::kBuilt;
+  }
+  if (s.ok()) built_ok_.store(true, std::memory_order_release);
+  built_cv_.notify_all();
+  return s;
+}
+
+void JoinBuildState::CloseChains() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (chains_closed_) return;
+  if (state_ == State::kBuilding) return;  // build tasks own them right now
+  chains_closed_ = true;
+  for (OperatorPtr& c : chains_) {
+    if (c) c->Close();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JoinProber
+// ---------------------------------------------------------------------------
+
+void JoinProber::Init(const JoinBuildState* state,
+                      std::vector<int> probe_keys, JoinType type,
+                      const Schema* out_schema) {
+  state_ = state;
+  probe_keys_ = std::move(probe_keys);
+  type_ = type;
+  out_schema_ = out_schema;
+}
+
+Status JoinProber::Open(ExecContext* ctx) {
+  out_ = std::make_unique<Batch>(*out_schema_, ctx->vector_size);
+  probe_hashes_.resize(ctx->vector_size);
+  probe_batch_ = nullptr;
+  probe_pos_ = 0;
+  chain_pos_ = -1;
+  row_matched_ = false;
+  eos_ = false;
+  return Status::OK();
+}
+
+bool JoinProber::ProbeKeyHasNull(const Batch& probe, int i) const {
   for (int c : probe_keys_) {
     if (probe.column(c)->IsNull(i)) return true;
   }
   return false;
 }
 
-bool HashJoinOp::KeysEqual(const Batch& probe, int probe_i,
+bool JoinProber::KeysEqual(const Batch& probe, int probe_i,
                            int64_t build_row) const {
+  const RowBuffer& rows = state_->rows();
+  const std::vector<int>& bkeys = state_->build_keys();
   for (size_t k = 0; k < probe_keys_.size(); k++) {
     const Vector* pv = probe.column(probe_keys_[k]);
-    const int bc = build_keys_[k];
+    const int bc = bkeys[k];
     switch (pv->type()) {
       case TypeId::kBool:
         if (pv->Data<uint8_t>()[probe_i] !=
-            build_rows_->Col<uint8_t>(bc)[build_row]) return false;
+            rows.Col<uint8_t>(bc)[build_row]) return false;
         break;
       case TypeId::kI8:
         if (pv->Data<int8_t>()[probe_i] !=
-            build_rows_->Col<int8_t>(bc)[build_row]) return false;
+            rows.Col<int8_t>(bc)[build_row]) return false;
         break;
       case TypeId::kI16:
         if (pv->Data<int16_t>()[probe_i] !=
-            build_rows_->Col<int16_t>(bc)[build_row]) return false;
+            rows.Col<int16_t>(bc)[build_row]) return false;
         break;
       case TypeId::kI32:
       case TypeId::kDate:
         if (pv->Data<int32_t>()[probe_i] !=
-            build_rows_->Col<int32_t>(bc)[build_row]) return false;
+            rows.Col<int32_t>(bc)[build_row]) return false;
         break;
       case TypeId::kI64:
         if (pv->Data<int64_t>()[probe_i] !=
-            build_rows_->Col<int64_t>(bc)[build_row]) return false;
+            rows.Col<int64_t>(bc)[build_row]) return false;
         break;
       case TypeId::kF64:
         if (pv->Data<double>()[probe_i] !=
-            build_rows_->Col<double>(bc)[build_row]) return false;
+            rows.Col<double>(bc)[build_row]) return false;
         break;
       case TypeId::kStr:
         if (pv->Data<StrRef>()[probe_i] !=
-            build_rows_->Col<StrRef>(bc)[build_row]) return false;
+            rows.Col<StrRef>(bc)[build_row]) return false;
         break;
     }
   }
   return true;
 }
 
-void HashJoinOp::EmitPair(const Batch& probe, int probe_i, int64_t build_row,
+void JoinProber::EmitPair(const Batch& probe, int probe_i, int64_t build_row,
                           int out_i) {
   const int pcols = probe.num_columns();
   for (int c = 0; c < pcols; c++) {
@@ -159,12 +266,12 @@ void HashJoinOp::EmitPair(const Batch& probe, int probe_i, int64_t build_row,
     Vector* dst = out_->column(c);
     dst->CopyFrom(src, probe_i, 1, out_i);
   }
-  for (int c = 0; c < build_rows_->schema().num_fields(); c++) {
-    build_rows_->GatherCell(c, build_row, out_->column(pcols + c), out_i);
+  for (int c = 0; c < state_->rows().schema().num_fields(); c++) {
+    state_->rows().GatherCell(c, build_row, out_->column(pcols + c), out_i);
   }
 }
 
-void HashJoinOp::EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
+void JoinProber::EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
                                bool null_build_side) {
   const int pcols = probe.num_columns();
   for (int c = 0; c < pcols; c++) {
@@ -177,127 +284,196 @@ void HashJoinOp::EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
   }
 }
 
-Result<Batch*> HashJoinOp::NextImpl() {
-  if (!built_) X100_RETURN_IF_ERROR(BuildSide());
-  if (eos_) return nullptr;
-  out_->Reset();
-  int filled = 0;
+Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
+  while (true) {
+    if (eos_) return nullptr;
+    X100_RETURN_IF_ERROR(ctx->CheckCancel());
+    out_->Reset();
+    int filled = 0;
 
-  while (filled < ctx_->vector_size) {
-    if (probe_batch_ == nullptr) {
-      X100_RETURN_IF_ERROR(ctx_->CheckCancel());
-      X100_ASSIGN_OR_RETURN(probe_batch_, probe_child_->Next());
+    while (filled < ctx->vector_size) {
       if (probe_batch_ == nullptr) {
-        eos_ = true;
-        break;
+        X100_RETURN_IF_ERROR(ctx->CheckCancel());
+        X100_ASSIGN_OR_RETURN(probe_batch_, child->Next());
+        if (probe_batch_ == nullptr) {
+          eos_ = true;
+          break;
+        }
+        probe_pos_ = 0;
+        chain_pos_ = -1;
+        row_matched_ = false;
+        // Hash all live probe keys for this batch.
+        const int n = probe_batch_->ActiveRows();
+        const sel_t* sel = probe_batch_->sel();
+        bool first = true;
+        for (int c : probe_keys_) {
+          hashk::HashColumn(*probe_batch_->column(c), n, sel,
+                            probe_hashes_.data(), !first);
+          first = false;
+        }
       }
-      probe_pos_ = 0;
-      chain_pos_ = -1;
-      row_matched_ = false;
-      // Hash all live probe keys for this batch.
+
       const int n = probe_batch_->ActiveRows();
       const sel_t* sel = probe_batch_->sel();
-      bool first = true;
-      for (int c : probe_keys_) {
-        hashk::HashColumn(*probe_batch_->column(c), n, sel,
-                          probe_hashes_.data(), !first);
-        first = false;
-      }
-    }
+      bool batch_done = true;
+      while (probe_pos_ < n) {
+        const int i = sel ? sel[probe_pos_] : probe_pos_;
+        const bool key_null = ProbeKeyHasNull(*probe_batch_, i);
 
-    const int n = probe_batch_->ActiveRows();
-    const sel_t* sel = probe_batch_->sel();
-    bool batch_done = true;
-    while (probe_pos_ < n) {
-      const int i = sel ? sel[probe_pos_] : probe_pos_;
-      const bool key_null = ProbeKeyHasNull(*probe_batch_, i);
+        if (type_ == JoinType::kSemi || type_ == JoinType::kAnti ||
+            type_ == JoinType::kAntiNullAware) {
+          bool matched = false;
+          if (!key_null) {
+            int64_t node = state_->BucketHead(probe_hashes_[probe_pos_]);
+            while (node >= 0) {
+              if (state_->HashAt(node) == probe_hashes_[probe_pos_] &&
+                  KeysEqual(*probe_batch_, i, node)) {
+                matched = true;
+                break;
+              }
+              node = state_->NextRow(node);
+            }
+          }
+          bool emit;
+          switch (type_) {
+            case JoinType::kSemi:
+              emit = matched;
+              break;
+            case JoinType::kAnti:
+              // NOT EXISTS: NULL keys never match, so the row survives.
+              emit = !matched;
+              break;
+            case JoinType::kAntiNullAware:
+            default:
+              // NOT IN: any NULL in the build side or the probe key makes
+              // the predicate non-TRUE -> drop.
+              emit = !matched && !key_null && !state_->has_null_key();
+              break;
+          }
+          if (emit) {
+            EmitProbeOnly(*probe_batch_, i, filled, false);
+            filled++;
+          }
+          probe_pos_++;
+          if (filled >= ctx->vector_size) {
+            batch_done = probe_pos_ >= n;
+            break;
+          }
+          continue;
+        }
 
-      if (type_ == JoinType::kSemi || type_ == JoinType::kAnti ||
-          type_ == JoinType::kAntiNullAware) {
-        bool matched = false;
-        if (!key_null) {
-          int64_t node = buckets_[probe_hashes_[probe_pos_] & bucket_mask_];
-          while (node >= 0) {
-            if (build_hashes_[node] == probe_hashes_[probe_pos_] &&
-                KeysEqual(*probe_batch_, i, node)) {
-              matched = true;
+        // Inner / left outer: walk (or resume) the chain.
+        if (chain_pos_ < 0 && !row_matched_) {
+          chain_pos_ = key_null
+                           ? -1
+                           : state_->BucketHead(probe_hashes_[probe_pos_]);
+        }
+        bool overflowed = false;
+        while (chain_pos_ >= 0) {
+          const int64_t node = chain_pos_;
+          chain_pos_ = state_->NextRow(node);
+          if (state_->HashAt(node) == probe_hashes_[probe_pos_] &&
+              KeysEqual(*probe_batch_, i, node)) {
+            EmitPair(*probe_batch_, i, node, filled);
+            filled++;
+            row_matched_ = true;
+            if (filled >= ctx->vector_size) {
+              overflowed = true;
               break;
             }
-            node = next_[node];
           }
         }
-        bool emit;
-        switch (type_) {
-          case JoinType::kSemi:
-            emit = matched;
-            break;
-          case JoinType::kAnti:
-            // NOT EXISTS: NULL keys never match, so the row survives.
-            emit = !matched;
-            break;
-          case JoinType::kAntiNullAware:
-          default:
-            // NOT IN: any NULL in the build side or the probe key makes
-            // the predicate non-TRUE -> drop.
-            emit = !matched && !key_null && !build_has_null_key_;
-            break;
+        if (overflowed) {
+          batch_done = false;
+          break;
         }
-        if (emit) {
-          EmitProbeOnly(*probe_batch_, i, filled, false);
+        if (type_ == JoinType::kLeftOuter && !row_matched_) {
+          EmitProbeOnly(*probe_batch_, i, filled, true);
           filled++;
         }
         probe_pos_++;
-        if (filled >= ctx_->vector_size) {
+        chain_pos_ = -1;
+        row_matched_ = false;
+        if (filled >= ctx->vector_size) {
           batch_done = probe_pos_ >= n;
           break;
         }
-        continue;
       }
-
-      // Inner / left outer: walk (or resume) the chain.
-      if (chain_pos_ < 0 && !row_matched_) {
-        chain_pos_ = key_null
-                         ? -1
-                         : buckets_[probe_hashes_[probe_pos_] & bucket_mask_];
-      }
-      bool overflowed = false;
-      while (chain_pos_ >= 0) {
-        const int64_t node = chain_pos_;
-        chain_pos_ = next_[node];
-        if (build_hashes_[node] == probe_hashes_[probe_pos_] &&
-            KeysEqual(*probe_batch_, i, node)) {
-          EmitPair(*probe_batch_, i, node, filled);
-          filled++;
-          row_matched_ = true;
-          if (filled >= ctx_->vector_size) {
-            overflowed = true;
-            break;
-          }
-        }
-      }
-      if (overflowed) {
-        batch_done = false;
-        break;
-      }
-      if (type_ == JoinType::kLeftOuter && !row_matched_) {
-        EmitProbeOnly(*probe_batch_, i, filled, true);
-        filled++;
-      }
-      probe_pos_++;
-      chain_pos_ = -1;
-      row_matched_ = false;
-      if (filled >= ctx_->vector_size) {
-        batch_done = probe_pos_ >= n;
-        break;
-      }
+      if (probe_pos_ >= n && batch_done) probe_batch_ = nullptr;
+      if (filled >= ctx->vector_size) break;
     }
-    if (probe_pos_ >= n && batch_done) probe_batch_ = nullptr;
-    if (filled >= ctx_->vector_size) break;
-  }
 
-  if (filled == 0) return eos_ ? Result<Batch*>(nullptr) : Next();
-  out_->set_rows(filled);
-  return out_.get();
+    if (filled == 0) {
+      if (eos_) return nullptr;
+      continue;  // batch produced no output; pull the next one
+    }
+    out_->set_rows(filled);
+    return out_.get();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinOp (serial facade)
+// ---------------------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
+                       std::vector<int> build_keys,
+                       std::vector<int> probe_keys, JoinType type)
+    : probe_child_(std::move(probe)), type_(type) {
+  std::vector<OperatorPtr> chains;
+  chains.push_back(std::move(build));
+  state_ = std::make_shared<JoinBuildState>(std::move(chains),
+                                            std::move(build_keys));
+  // Output schema known at construction (parents need it before Open).
+  out_schema_ = JoinOutputSchema(probe_child_->output_schema(),
+                                 state_->schema(), type_);
+  prober_.Init(state_.get(), std::move(probe_keys), type_, &out_schema_);
+}
+
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(probe_child_->Open(ctx));
+  return prober_.Open(ctx);
+}
+
+void HashJoinOp::CloseImpl() {
+  if (probe_child_) probe_child_->Close();
+  if (state_) state_->CloseChains();
+}
+
+Result<Batch*> HashJoinOp::NextImpl() {
+  X100_RETURN_IF_ERROR(state_->EnsureBuilt(ctx_));
+  return prober_.Next(probe_child_.get(), ctx_);
+}
+
+// ---------------------------------------------------------------------------
+// JoinProbeOp (pipeline worker)
+// ---------------------------------------------------------------------------
+
+JoinProbeOp::JoinProbeOp(OperatorPtr probe, JoinBuildStatePtr state,
+                         std::vector<int> probe_keys, JoinType type)
+    : probe_child_(std::move(probe)),
+      state_(std::move(state)),
+      type_(type) {
+  out_schema_ = JoinOutputSchema(probe_child_->output_schema(),
+                                 state_->schema(), type_);
+  prober_.Init(state_.get(), std::move(probe_keys), type_, &out_schema_);
+}
+
+Status JoinProbeOp::OpenImpl(ExecContext* ctx) {
+  ctx_ = ctx;
+  X100_RETURN_IF_ERROR(probe_child_->Open(ctx));
+  return prober_.Open(ctx);
+}
+
+void JoinProbeOp::CloseImpl() {
+  if (probe_child_) probe_child_->Close();
+  if (state_) state_->CloseChains();
+}
+
+Result<Batch*> JoinProbeOp::NextImpl() {
+  X100_RETURN_IF_ERROR(state_->EnsureBuilt(ctx_));
+  return prober_.Next(probe_child_.get(), ctx_);
 }
 
 }  // namespace x100

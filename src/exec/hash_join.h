@@ -1,8 +1,7 @@
-// HashJoinOp: build/probe hash join with the join flavors whose SQL
-// semantics the paper calls out (§"NULL intricacies"): "While most
-// operators are NULL oblivious, one of the exceptions were join operators.
-// Here, intricacies of the SQL semantics of anti-joins added significant
-// complexity."
+// Hash join — build/probe with the join flavors whose SQL semantics the
+// paper calls out (§"NULL intricacies"): "While most operators are NULL
+// oblivious, one of the exceptions were join operators. Here, intricacies
+// of the SQL semantics of anti-joins added significant complexity."
 //
 // Flavors:
 //  * kInner, kLeftOuter, kSemi
@@ -11,10 +10,24 @@
 //  * kAntiNullAware  — NOT IN semantics: a NULL anywhere poisons the
 //                      predicate: any NULL build key -> empty result; a
 //                      NULL probe key -> row dropped.
+//
+// Pipeline decomposition (docs/EXECUTION.md): the build side is its own
+// pipeline. JoinBuildState owns N cloned build chains, drains them with
+// scheduler tasks into per-worker row buffers, and merges + indexes them
+// at the TaskGroup barrier — after which the table is immutable and any
+// number of probe pipelines read it concurrently:
+//  * JoinProbeOp  — one probe worker chain against the shared table; the
+//                   physical planner clones it per pipeline worker.
+//  * HashJoinOp   — the serial facade (single build chain, single probe
+//                   child) with the same semantics; used by tests and
+//                   directly-constructed plans.
 #ifndef X100_EXEC_HASH_JOIN_H_
 #define X100_EXEC_HASH_JOIN_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "exec/operator.h"
@@ -32,10 +45,111 @@ enum class JoinType : uint8_t {
 
 const char* JoinTypeName(JoinType t);
 
+/// The shared, immutable-after-build side of a hash join. Built exactly
+/// once per query by whichever caller reaches EnsureBuilt first (the
+/// planner's pipeline sinks pre-build; racing probe workers help the
+/// scheduler while they wait). Records a synthetic "JoinBuild(N)" entry
+/// in the query profile so the build phase is visible per-operator.
+class JoinBuildState {
+ public:
+  JoinBuildState(std::vector<OperatorPtr> chains,
+                 std::vector<int> build_keys);
+
+  /// Runs the build pipeline if it has not run yet: N scheduler tasks
+  /// drain the chains into per-worker buffers, merged + hash-indexed at
+  /// the barrier. Safe to call from any thread; every caller observes the
+  /// build's status.
+  Status EnsureBuilt(ExecContext* ctx);
+
+  /// Closes any chain the build tasks did not get to (cancellation /
+  /// sibling error paths). Idempotent, thread-safe.
+  void CloseChains();
+
+  const Schema& schema() const { return build_schema_; }
+
+  // Probe-side accessors; valid only after EnsureBuilt returned OK.
+  const RowBuffer& rows() const { return *rows_; }
+  int64_t BucketHead(uint64_t hash) const {
+    return buckets_[hash & bucket_mask_];
+  }
+  int64_t NextRow(int64_t node) const { return next_[node]; }
+  uint64_t HashAt(int64_t node) const { return hashes_[node]; }
+  bool has_null_key() const { return has_null_key_; }
+  const std::vector<int>& build_keys() const { return build_keys_; }
+
+ private:
+  Status Build(ExecContext* ctx);
+  uint64_t HashRow(int64_t row) const;
+
+  std::vector<OperatorPtr> chains_;
+  std::vector<int> build_keys_;
+  Schema build_schema_;
+
+  std::mutex mu_;
+  std::condition_variable built_cv_;
+  enum class State { kIdle, kBuilding, kBuilt } state_ = State::kIdle;
+  /// Lock-free fast path for the probe hot loop: set (release) once the
+  /// build completed successfully; probes then skip mu_ entirely.
+  std::atomic<bool> built_ok_{false};
+  Status build_status_;
+  bool chains_closed_ = false;
+
+  std::unique_ptr<RowBuffer> rows_;
+  std::vector<int64_t> buckets_;  // head index per bucket, -1 empty
+  std::vector<int64_t> next_;     // chain
+  std::vector<uint64_t> hashes_;
+  uint64_t bucket_mask_ = 0;
+  bool has_null_key_ = false;  // poison for NOT IN semantics
+};
+
+using JoinBuildStatePtr = std::shared_ptr<JoinBuildState>;
+
+/// Probe machinery against a built JoinBuildState: vectorized key hashing,
+/// chain walking with output-overflow resume, and the per-flavor emit
+/// rules. One instance per probing operator (it owns the output batch and
+/// resume cursor), so cloned probe pipelines never share mutable state.
+class JoinProber {
+ public:
+  void Init(const JoinBuildState* state, std::vector<int> probe_keys,
+            JoinType type, const Schema* out_schema);
+  Status Open(ExecContext* ctx);
+  /// Pulls probe batches from `child` and emits joined output; nullptr at
+  /// end-of-stream.
+  Result<Batch*> Next(Operator* child, ExecContext* ctx);
+
+ private:
+  bool ProbeKeyHasNull(const Batch& probe, int i) const;
+  bool KeysEqual(const Batch& probe, int probe_i, int64_t build_row) const;
+  void EmitPair(const Batch& probe, int probe_i, int64_t build_row,
+                int out_i);
+  void EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
+                     bool null_build_side);
+
+  const JoinBuildState* state_ = nullptr;
+  std::vector<int> probe_keys_;
+  JoinType type_ = JoinType::kInner;
+  const Schema* out_schema_ = nullptr;
+
+  std::unique_ptr<Batch> out_;
+  // Probe resume state (a probe batch can overflow the output vector).
+  Batch* probe_batch_ = nullptr;
+  int probe_pos_ = 0;        // index into the probe batch's live rows
+  int64_t chain_pos_ = -1;   // current chain node (inner/outer continue)
+  bool row_matched_ = false; // left outer bookkeeping
+  std::vector<uint64_t> probe_hashes_;
+  bool eos_ = false;
+};
+
+/// Output schema of a join: probe columns, then (inner/left-outer) build
+/// columns — nullable for the padded left-outer side.
+Schema JoinOutputSchema(const Schema& probe, const Schema& build,
+                        JoinType type);
+
+/// Serial hash join: owns both children; the build side still executes as
+/// a scheduler task (single-chain build pipeline).
 class HashJoinOp : public Operator {
  public:
-  /// Keys are column indexes into the respective child schemas. Output:
-  /// probe columns then (for inner/left-outer) build columns.
+  /// Keys are column indexes into the respective child schemas.
   HashJoinOp(OperatorPtr build, OperatorPtr probe,
              std::vector<int> build_keys, std::vector<int> probe_keys,
              JoinType type);
@@ -50,39 +164,39 @@ class HashJoinOp : public Operator {
   }
 
  private:
-  Status BuildSide();
-  uint64_t HashBuildRow(int64_t row) const;
-  bool KeysEqual(const Batch& probe, int probe_i, int64_t build_row) const;
-  bool ProbeKeyHasNull(const Batch& probe, int i) const;
-  void EmitPair(const Batch& probe, int probe_i, int64_t build_row,
-                int out_i);
-  void EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
-                     bool null_build_side);
-
-  OperatorPtr build_child_;
   OperatorPtr probe_child_;
-  std::vector<int> build_keys_;
-  std::vector<int> probe_keys_;
   JoinType type_;
   Schema out_schema_;
   ExecContext* ctx_ = nullptr;
+  JoinBuildStatePtr state_;
+  JoinProber prober_;
+};
 
-  std::unique_ptr<RowBuffer> build_rows_;
-  std::vector<int64_t> buckets_;  // head index per bucket, -1 empty
-  std::vector<int64_t> next_;     // chain
-  std::vector<uint64_t> build_hashes_;
-  uint64_t bucket_mask_ = 0;
-  bool build_has_null_key_ = false;
-  bool built_ = false;
+/// One probe pipeline worker: probes the shared build table with its own
+/// cloned source chain. The planner creates N of these per parallel join,
+/// embedded in the worker chains of the pipeline's sink (aggregation,
+/// sort, or an exchange union at the plan root).
+class JoinProbeOp : public Operator {
+ public:
+  JoinProbeOp(OperatorPtr probe, JoinBuildStatePtr state,
+              std::vector<int> probe_keys, JoinType type);
+  ~JoinProbeOp() override { Close(); }
 
-  std::unique_ptr<Batch> out_;
-  // Probe resume state (a probe batch can overflow the output vector).
-  Batch* probe_batch_ = nullptr;
-  int probe_pos_ = 0;        // index into the probe batch's live rows
-  int64_t chain_pos_ = -1;   // current chain node (inner/outer continue)
-  bool row_matched_ = false; // left outer bookkeeping
-  std::vector<uint64_t> probe_hashes_;
-  bool eos_ = false;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  const Schema& output_schema() const override { return out_schema_; }
+  std::string name() const override {
+    return std::string("JoinProbe[") + JoinTypeName(type_) + "]";
+  }
+
+ private:
+  OperatorPtr probe_child_;
+  JoinBuildStatePtr state_;
+  JoinType type_;
+  Schema out_schema_;
+  ExecContext* ctx_ = nullptr;
+  JoinProber prober_;
 };
 
 }  // namespace x100

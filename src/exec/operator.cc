@@ -10,21 +10,40 @@ inline int64_t NowNs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// The operator currently inside a public Open/Next on this thread. A
+// child's public entry points charge their elapsed time to the caller's
+// child_ns, which is how exclusive (self) time is derived without the
+// base class knowing the tree shape. Pipeline worker chains each run on
+// one pool thread, so nesting stays thread-local; an operator whose
+// children run on *other* threads (exchange consumer) accrues no
+// child_ns and its exclusive time includes the cross-thread wait.
+thread_local Operator* g_profiling_caller = nullptr;
 }  // namespace
 
 Status Operator::Open(ExecContext* ctx) {
   profile_ctx_ = ctx;
   prof_flushed_ = false;
+  Operator* caller = g_profiling_caller;
+  g_profiling_caller = this;
   const int64_t t0 = NowNs();
   Status s = OpenImpl(ctx);
-  prof_.open_ns += NowNs() - t0;
+  const int64_t elapsed = NowNs() - t0;
+  g_profiling_caller = caller;
+  prof_.open_ns += elapsed;
+  if (caller != nullptr) caller->prof_.child_ns += elapsed;
   return s;
 }
 
 Result<Batch*> Operator::Next() {
+  Operator* caller = g_profiling_caller;
+  g_profiling_caller = this;
   const int64_t t0 = NowNs();
   auto r = NextImpl();
-  prof_.next_ns += NowNs() - t0;
+  const int64_t elapsed = NowNs() - t0;
+  g_profiling_caller = caller;
+  prof_.next_ns += elapsed;
+  if (caller != nullptr) caller->prof_.child_ns += elapsed;
   if (r.ok() && *r != nullptr) {
     prof_.batches++;
     prof_.rows += (*r)->ActiveRows();

@@ -29,15 +29,19 @@ namespace x100 {
 
 class EventLog;        // monitor/monitor.h
 class TaskScheduler;   // common/task_scheduler.h
+class TaskQuota;       // common/task_scheduler.h
 
 /// Per-query execution context shared by all operators of a plan.
 struct ExecContext {
   int vector_size = kDefaultVectorSize;
   CancellationToken* cancel = nullptr;
   EventLog* events = nullptr;
-  /// Pool parallel operators (XchgOp) schedule their producers on;
+  /// Pool parallel operators (pipelines, XchgOp) schedule their tasks on;
   /// nullptr means TaskScheduler::Global().
   TaskScheduler* scheduler = nullptr;
+  /// Per-query admission control: pipelines acquire task slots here
+  /// before spawning (nullptr = unlimited). Owned by the query executor.
+  TaskQuota* quota = nullptr;
   /// Running total of tuples produced by scans (load monitoring).
   std::atomic<int64_t> tuples_scanned{0};
   /// Block groups elided by MinMax pushdown across all scans.

@@ -49,6 +49,68 @@ class RowBuffer {
     rows_++;
   }
 
+  /// Appends every row of `other` (same schema). Fixed-width columns copy
+  /// in bulk; strings re-intern into this buffer's heap. Used by pipeline
+  /// barriers merging per-worker partial buffers.
+  void AppendRows(const RowBuffer& other) {
+    for (int c = 0; c < schema_.num_fields(); c++) {
+      Column& dst = cols_[c];
+      const Column& src = other.cols_[c];
+      // Null indicators first: materialize ours if either side has any.
+      if (!src.nulls.empty() || !dst.nulls.empty()) {
+        EnsureNulls(c);
+        if (src.nulls.empty()) {
+          dst.nulls.insert(dst.nulls.end(), other.rows_, 0);
+        } else {
+          dst.nulls.insert(dst.nulls.end(), src.nulls.begin(),
+                           src.nulls.end());
+        }
+      }
+      if (schema_.field(c).type == TypeId::kStr) {
+        const StrRef* refs =
+            reinterpret_cast<const StrRef*>(src.fixed.data());
+        for (int64_t r = 0; r < other.rows_; r++) {
+          const StrRef copied = other.IsNull(c, r)
+                                    ? StrRef()
+                                    : dst.heap.Add(refs[r].view());
+          const auto* p = reinterpret_cast<const uint8_t*>(&copied);
+          dst.fixed.insert(dst.fixed.end(), p, p + sizeof(StrRef));
+        }
+      } else {
+        dst.fixed.insert(dst.fixed.end(), src.fixed.begin(),
+                         src.fixed.end());
+      }
+    }
+    rows_ += other.rows_;
+  }
+
+  /// Appends one row copied out of another RowBuffer with the same schema
+  /// (group-table merge at aggregation barriers).
+  void AppendRowFromBuffer(const RowBuffer& other, int64_t row) {
+    for (int c = 0; c < schema_.num_fields(); c++) {
+      Column& dst = cols_[c];
+      const int w = TypeWidth(schema_.field(c).type);
+      if (other.IsNull(c, row)) {
+        EnsureNulls(c);
+        dst.nulls.push_back(1);
+        dst.fixed.insert(dst.fixed.end(), w, 0);
+        continue;
+      }
+      if (!dst.nulls.empty()) dst.nulls.push_back(0);
+      if (schema_.field(c).type == TypeId::kStr) {
+        const StrRef copied =
+            dst.heap.Add(other.Col<StrRef>(c)[row].view());
+        const auto* p = reinterpret_cast<const uint8_t*>(&copied);
+        dst.fixed.insert(dst.fixed.end(), p, p + sizeof(StrRef));
+      } else {
+        const uint8_t* p =
+            other.cols_[c].fixed.data() + static_cast<size_t>(row) * w;
+        dst.fixed.insert(dst.fixed.end(), p, p + w);
+      }
+    }
+    rows_++;
+  }
+
   template <typename T>
   const T* Col(int c) const {
     return reinterpret_cast<const T*>(cols_[c].fixed.data());

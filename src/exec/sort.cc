@@ -1,6 +1,9 @@
 #include "exec/sort.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/task_scheduler.h"
 
 namespace x100 {
 
@@ -16,44 +19,83 @@ Status SortOp::OpenImpl(ExecContext* ctx) {
 
 namespace {
 
-/// -1 / 0 / +1 three-way compare of two cells; NULLs compare greater
-/// (NULLS LAST ascending).
-int CompareCell(const RowBuffer& rows, int col, int64_t a, int64_t b) {
-  const bool an = rows.IsNull(col, a), bn = rows.IsNull(col, b);
+/// -1 / 0 / +1 three-way compare of two cells, possibly from different
+/// row buffers of the same schema; NULLs compare greater (NULLS LAST
+/// ascending).
+int CompareCellAB(const RowBuffer& ra, int64_t a, const RowBuffer& rb,
+                  int64_t b, int col) {
+  const bool an = ra.IsNull(col, a), bn = rb.IsNull(col, b);
   if (an || bn) return an == bn ? 0 : (an ? 1 : -1);
-  switch (rows.schema().field(col).type) {
+  switch (ra.schema().field(col).type) {
     case TypeId::kBool: {
-      const auto x = rows.Col<uint8_t>(col)[a], y = rows.Col<uint8_t>(col)[b];
+      const auto x = ra.Col<uint8_t>(col)[a], y = rb.Col<uint8_t>(col)[b];
       return x < y ? -1 : x > y ? 1 : 0;
     }
     case TypeId::kI8: {
-      const auto x = rows.Col<int8_t>(col)[a], y = rows.Col<int8_t>(col)[b];
+      const auto x = ra.Col<int8_t>(col)[a], y = rb.Col<int8_t>(col)[b];
       return x < y ? -1 : x > y ? 1 : 0;
     }
     case TypeId::kI16: {
-      const auto x = rows.Col<int16_t>(col)[a], y = rows.Col<int16_t>(col)[b];
+      const auto x = ra.Col<int16_t>(col)[a], y = rb.Col<int16_t>(col)[b];
       return x < y ? -1 : x > y ? 1 : 0;
     }
     case TypeId::kI32:
     case TypeId::kDate: {
-      const auto x = rows.Col<int32_t>(col)[a], y = rows.Col<int32_t>(col)[b];
+      const auto x = ra.Col<int32_t>(col)[a], y = rb.Col<int32_t>(col)[b];
       return x < y ? -1 : x > y ? 1 : 0;
     }
     case TypeId::kI64: {
-      const auto x = rows.Col<int64_t>(col)[a], y = rows.Col<int64_t>(col)[b];
+      const auto x = ra.Col<int64_t>(col)[a], y = rb.Col<int64_t>(col)[b];
       return x < y ? -1 : x > y ? 1 : 0;
     }
     case TypeId::kF64: {
-      const auto x = rows.Col<double>(col)[a], y = rows.Col<double>(col)[b];
+      const auto x = ra.Col<double>(col)[a], y = rb.Col<double>(col)[b];
       return x < y ? -1 : x > y ? 1 : 0;
     }
     case TypeId::kStr: {
-      const StrRef& x = rows.Col<StrRef>(col)[a];
-      const StrRef& y = rows.Col<StrRef>(col)[b];
+      const StrRef& x = ra.Col<StrRef>(col)[a];
+      const StrRef& y = rb.Col<StrRef>(col)[b];
       return x < y ? -1 : y < x ? 1 : 0;
     }
   }
   return 0;
+}
+
+inline int CompareCell(const RowBuffer& rows, int col, int64_t a,
+                       int64_t b) {
+  return CompareCellAB(rows, a, rows, b, col);
+}
+
+/// Keyed three-way compare across (possibly distinct) run buffers.
+int CompareRowsAB(const RowBuffer& ra, int64_t a, const RowBuffer& rb,
+                  int64_t b, const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    int c = CompareCellAB(ra, a, rb, b, k.col);
+    if (!k.ascending) c = -c;
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+/// Sorts `order` (indexes into `rows`) by `keys`; a non-negative limit
+/// keeps only the first `limit` entries (top-N runs).
+void SortIndexRun(const RowBuffer& rows, const std::vector<SortKey>& keys,
+                  int64_t limit, std::vector<int64_t>* order) {
+  auto cmp = [&](int64_t a, int64_t b) {
+    for (const SortKey& k : keys) {
+      int c = CompareCell(rows, k.col, a, b);
+      if (!k.ascending) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return a < b;  // stable tie-break within one run
+  };
+  if (limit >= 0 && limit < static_cast<int64_t>(order->size())) {
+    std::partial_sort(order->begin(), order->begin() + limit, order->end(),
+                      cmp);
+    order->resize(limit);
+  } else {
+    std::sort(order->begin(), order->end(), cmp);
+  }
 }
 
 }  // namespace
@@ -69,21 +111,7 @@ Status SortOp::Materialize() {
   }
   order_.resize(rows_->rows());
   for (int64_t i = 0; i < rows_->rows(); i++) order_[i] = i;
-  auto cmp = [&](int64_t a, int64_t b) {
-    for (const SortKey& k : keys_) {
-      int c = CompareCell(*rows_, k.col, a, b);
-      if (!k.ascending) c = -c;
-      if (c != 0) return c < 0;
-    }
-    return a < b;  // stable tie-break
-  };
-  if (limit_ >= 0 && limit_ < static_cast<int64_t>(order_.size())) {
-    std::partial_sort(order_.begin(), order_.begin() + limit_, order_.end(),
-                      cmp);
-    order_.resize(limit_);
-  } else {
-    std::sort(order_.begin(), order_.end(), cmp);
-  }
+  SortIndexRun(*rows_, keys_, limit_, &order_);
   materialized_ = true;
   return Status::OK();
 }
@@ -99,6 +127,166 @@ Result<Batch*> SortOp::NextImpl() {
     const int64_t r = order_[emit_pos_ + j];
     for (int c = 0; c < out_->num_columns(); c++) {
       rows_->GatherCell(c, r, out_->column(c), j);
+    }
+  }
+  emit_pos_ += n;
+  out_->set_rows(n);
+  return out_.get();
+}
+
+// ---------------------------------------------------------------------------
+// ParallelSortOp
+// ---------------------------------------------------------------------------
+
+ParallelSortOp::ParallelSortOp(std::vector<OperatorPtr> chains,
+                               std::vector<SortKey> keys, int64_t limit,
+                               int split_ways)
+    : chains_(std::move(chains)),
+      keys_(std::move(keys)),
+      limit_(limit),
+      split_ways_(split_ways < 1 ? 1 : split_ways) {}
+
+Status ParallelSortOp::OpenImpl(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (chains_.empty()) {
+    return Status::InvalidArgument("parallel sort needs >= 1 input chain");
+  }
+  // Chains open inside their pipeline tasks, not here.
+  out_ = std::make_unique<Batch>(chains_[0]->output_schema(),
+                                 ctx->vector_size);
+  return Status::OK();
+}
+
+void ParallelSortOp::CloseImpl() {
+  for (OperatorPtr& c : chains_) {
+    if (c) c->Close();
+  }
+}
+
+Status ParallelSortOp::ParallelMaterialize() {
+  TaskScheduler* sched =
+      ctx_->scheduler != nullptr ? ctx_->scheduler : TaskScheduler::Global();
+  const int W = static_cast<int>(chains_.size());
+  buffers_.clear();
+  runs_.clear();
+
+  if (W > 1) {
+    // Shape 1: one run per cloned input chain; each task drains and sorts
+    // its own run (the input pipeline and the sort overlap).
+    buffers_.resize(W);
+    runs_.resize(W);
+    X100_RETURN_IF_ERROR(RunPipelineTasks(
+        sched, ctx_->quota, ctx_->cancel, W,
+        [this](int w, TaskGroup& group) -> Status {
+          X100_RETURN_IF_ERROR(group.CheckCancel());
+          buffers_[w] =
+              std::make_unique<RowBuffer>(chains_[0]->output_schema());
+          Operator* chain = chains_[w].get();
+          Status s = chain->Open(ctx_);
+          while (s.ok()) {
+            s = group.CheckCancel();
+            if (!s.ok()) break;
+            auto b = chain->Next();
+            if (!b.ok()) {
+              s = b.status();
+              break;
+            }
+            if (*b == nullptr) break;
+            buffers_[w]->AppendBatch(**b);
+          }
+          chain->Close();
+          X100_RETURN_IF_ERROR(s);
+          Run& run = runs_[w];
+          run.rows = buffers_[w].get();
+          run.order.resize(buffers_[w]->rows());
+          for (int64_t i = 0; i < buffers_[w]->rows(); i++) {
+            run.order[i] = i;
+          }
+          SortIndexRun(*buffers_[w], keys_, limit_, &run.order);
+          return Status::OK();
+        }));
+  } else {
+    // Shape 2: non-clonable input (e.g. an aggregation). One task drains
+    // it, then the materialized rows are range-split across sort tasks.
+    buffers_.resize(1);
+    buffers_[0] = std::make_unique<RowBuffer>(chains_[0]->output_schema());
+    X100_RETURN_IF_ERROR(RunPipelineTasks(
+        sched, ctx_->quota, ctx_->cancel, 1,
+        [this](int, TaskGroup& group) -> Status {
+          Operator* chain = chains_[0].get();
+          Status s = chain->Open(ctx_);
+          while (s.ok()) {
+            s = group.CheckCancel();
+            if (!s.ok()) break;
+            auto b = chain->Next();
+            if (!b.ok()) {
+              s = b.status();
+              break;
+            }
+            if (*b == nullptr) break;
+            buffers_[0]->AppendBatch(**b);
+          }
+          chain->Close();
+          return s;
+        }));
+    const int64_t n = buffers_[0]->rows();
+    // Don't spawn more range tasks than vectors of data to sort.
+    const int ways = static_cast<int>(
+        std::max<int64_t>(1, std::min<int64_t>(split_ways_,
+                                               (n + 1023) / 1024)));
+    runs_.resize(ways);
+    X100_RETURN_IF_ERROR(RunPipelineTasks(
+        sched, ctx_->quota, ctx_->cancel, ways,
+        [this, n, ways](int r, TaskGroup& group) -> Status {
+          X100_RETURN_IF_ERROR(group.CheckCancel());
+          const int64_t lo = n * r / ways, hi = n * (r + 1) / ways;
+          Run& run = runs_[r];
+          run.rows = buffers_[0].get();
+          run.order.resize(hi - lo);
+          for (int64_t i = lo; i < hi; i++) run.order[i - lo] = i;
+          SortIndexRun(*buffers_[0], keys_, limit_, &run.order);
+          return Status::OK();
+        }));
+  }
+
+  // Barrier merge: k-way merge of the sorted runs. Ties pick the lowest
+  // run index; runs are few, so linear selection beats a heap in
+  // simplicity and is cache-friendly for small k.
+  std::vector<size_t> cursor(runs_.size(), 0);
+  int64_t total = 0;
+  for (const Run& r : runs_) total += static_cast<int64_t>(r.order.size());
+  if (limit_ >= 0) total = std::min<int64_t>(total, limit_);
+  merged_.reserve(total);
+  while (static_cast<int64_t>(merged_.size()) < total) {
+    int best = -1;
+    for (int r = 0; r < static_cast<int>(runs_.size()); r++) {
+      if (cursor[r] >= runs_[r].order.size()) continue;
+      if (best < 0 ||
+          CompareRowsAB(*runs_[r].rows, runs_[r].order[cursor[r]],
+                        *runs_[best].rows, runs_[best].order[cursor[best]],
+                        keys_) < 0) {
+        best = r;
+      }
+    }
+    merged_.emplace_back(best, runs_[best].order[cursor[best]]);
+    cursor[best]++;
+  }
+  materialized_ = true;
+  return Status::OK();
+}
+
+Result<Batch*> ParallelSortOp::NextImpl() {
+  if (!materialized_) X100_RETURN_IF_ERROR(ParallelMaterialize());
+  X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+  if (emit_pos_ >= static_cast<int64_t>(merged_.size())) return nullptr;
+  out_->Reset();
+  const int n = static_cast<int>(std::min<int64_t>(
+      ctx_->vector_size,
+      static_cast<int64_t>(merged_.size()) - emit_pos_));
+  for (int j = 0; j < n; j++) {
+    const auto& [run, row] = merged_[emit_pos_ + j];
+    for (int c = 0; c < out_->num_columns(); c++) {
+      runs_[run].rows->GatherCell(c, row, out_->column(c), j);
     }
   }
   emit_pos_ += n;

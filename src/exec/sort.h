@@ -1,9 +1,21 @@
-// SortOp / TopNOp: full materializing sort and bounded top-N.
+// SortOp / ParallelSortOp: full materializing sort and bounded top-N.
 // NULLs order last ascending, first descending (documented engine rule).
+//
+// ParallelSortOp is the pipeline-executor sink for ORDER BY: per-worker
+// sorted runs built by scheduler tasks, merged at the pipeline barrier
+// (docs/EXECUTION.md). Two shapes:
+//  * N cloned input chains (morsel-parallel input): each task drains and
+//    sorts its own run.
+//  * one non-clonable input (e.g. an aggregation's output): one task
+//    drains it, then the materialized rows are range-split and sorted by
+//    parallel tasks.
+// A LIMIT truncates each run to the limit before the merge, so top-N never
+// materializes more than runs x limit rows for the merge phase.
 #ifndef X100_EXEC_SORT_H_
 #define X100_EXEC_SORT_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "exec/operator.h"
@@ -41,6 +53,62 @@ class SortOp : public Operator {
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<RowBuffer> rows_;
   std::vector<int64_t> order_;
+  int64_t emit_pos_ = 0;
+  bool materialized_ = false;
+  std::unique_ptr<Batch> out_;
+};
+
+/// Pipeline-parallel sort: run-per-worker, k-way merge at the barrier.
+class ParallelSortOp : public Operator {
+ public:
+  /// `chains`: >= 1 input worker chains (clones sharing morsel sources /
+  /// join build states underneath). With a single chain, `split_ways`
+  /// controls how many range-sort tasks run after materialization; with
+  /// multiple chains it is ignored (one run per chain).
+  ParallelSortOp(std::vector<OperatorPtr> chains, std::vector<SortKey> keys,
+                 int64_t limit = -1, int split_ways = 1);
+  ~ParallelSortOp() override { Close(); }
+
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<Batch*> NextImpl() override;
+  void CloseImpl() override;
+  const Schema& output_schema() const override {
+    return chains_[0]->output_schema();
+  }
+  std::string name() const override {
+    return (limit_ < 0 ? "ParallelSort(" : "ParallelTopN(") +
+           std::to_string(num_runs()) + ")";
+  }
+
+ private:
+  /// Planned width before the pipeline ran; the achieved run count after
+  /// (a range-split sort caps its ways by the data size, so the profile
+  /// must report what actually executed).
+  int num_runs() const {
+    if (materialized_) return static_cast<int>(runs_.size());
+    return chains_.size() > 1 ? static_cast<int>(chains_.size())
+                              : split_ways_;
+  }
+  /// Phase 1: drain input(s) into per-run buffers + sorted index runs
+  /// (scheduler tasks, barrier). Phase 2: serial k-way merge of the runs
+  /// into the emit order.
+  Status ParallelMaterialize();
+
+  std::vector<OperatorPtr> chains_;
+  std::vector<SortKey> keys_;
+  int64_t limit_;
+  int split_ways_;
+  ExecContext* ctx_ = nullptr;
+
+  /// One sorted run: indexes into a row buffer (runs of a range-split
+  /// sort share one buffer).
+  struct Run {
+    const RowBuffer* rows = nullptr;
+    std::vector<int64_t> order;
+  };
+  std::vector<std::unique_ptr<RowBuffer>> buffers_;
+  std::vector<Run> runs_;
+  std::vector<std::pair<int, int64_t>> merged_;  // (run, row) emit order
   int64_t emit_pos_ = 0;
   bool materialized_ = false;
   std::unique_ptr<Batch> out_;

@@ -23,6 +23,18 @@ struct OperatorProfile {
   int64_t rows = 0;      // active rows produced (selection-aware)
   int64_t open_ns = 0;   // wall time inside Open (pipeline breakers build)
   int64_t next_ns = 0;   // wall time inside Next, *inclusive* of children
+  /// Wall time spent inside direct children's Open/Next while this
+  /// operator was on the call stack (same thread). Subtracting it from
+  /// the inclusive times yields the operator's own cost.
+  int64_t child_ns = 0;
+
+  /// Exclusive time: open+next minus the children's share. For operators
+  /// whose children run on other pool threads (an exchange consumer), the
+  /// exclusive time includes the time spent waiting on those threads.
+  int64_t exclusive_ns() const {
+    const int64_t self = open_ns + next_ns - child_ns;
+    return self > 0 ? self : 0;
+  }
 };
 
 /// Aggregated per-query profile. Plain data: copied into QueryResult and

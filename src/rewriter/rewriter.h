@@ -13,6 +13,11 @@
 //    pipeline into FinalAggr(Xchg(N × PartialAggr(morsel-driven scan))).
 //    Producer clones share one MorselSource and pull block groups
 //    dynamically (no static partitioning). AVG decomposes to SUM+COUNT.
+//    LEGACY: the engine's default path no longer routes parallelism
+//    through this rule — the physical planner decomposes plans into
+//    morsel-parallel pipelines directly (engine/physical_plan.h). The
+//    rule remains for explicitly-rewritten plans and as the exchange-
+//    based reference implementation.
 //  * AntiJoinNullRule    — §"NULL intricacies": NOT-IN joins with nullable
 //    keys become null-aware anti joins; non-nullable keys downgrade to the
 //    cheaper plain anti join.

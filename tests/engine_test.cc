@@ -430,19 +430,17 @@ TEST_F(SessionTest, QueryResultCarriesOperatorProfile) {
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ASSERT_FALSE(res->profile.empty());
   int scans = 0;
-  bool saw_xchg = false, saw_agg = false;
+  bool saw_parallel_agg = false;
   int64_t scan_rows = 0;
   for (const OperatorProfile& p : res->profile.operators) {
     if (p.op == "Scan") {
       scans++;
       scan_rows += p.rows;
     }
-    saw_xchg |= p.op.rfind("XchgUnion", 0) == 0;
-    saw_agg |= p.op == "HashAgg";
+    saw_parallel_agg |= p.op == "ParallelHashAgg(2)";
   }
-  EXPECT_EQ(scans, 2);  // one per producer clone
-  EXPECT_TRUE(saw_xchg);
-  EXPECT_TRUE(saw_agg);
+  EXPECT_EQ(scans, 2);  // one per pipeline worker chain
+  EXPECT_TRUE(saw_parallel_agg);
   EXPECT_EQ(scan_rows, 1000);  // morsels cover the table exactly once
   EXPECT_EQ(res->profile.tuples_scanned, 1000);
   EXPECT_GT(res->profile.wall_ns, 0);

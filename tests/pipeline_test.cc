@@ -1,0 +1,470 @@
+// Pipeline-executor tests: parallel join build + probe, parallel sort,
+// group-by-join pipelines, determinism across worker counts on skewed
+// build sides, cancellation mid-pipeline, empty-input pipelines, and
+// per-query admission control (TaskQuota).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/task_scheduler.h"
+#include "engine/physical_plan.h"
+#include "engine/session.h"
+#include "exec/sort.h"
+#include "tpch/tpch.h"
+
+namespace x100 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TaskQuota (admission control)
+// ---------------------------------------------------------------------------
+
+TEST(TaskQuotaTest, GrantsAreBoundedAndNeverZero) {
+  TaskQuota q(4);
+  EXPECT_EQ(q.Acquire(3), 3);  // room
+  EXPECT_EQ(q.Acquire(8), 1);  // only 1 slot left
+  // Full: the escape valve still grants 1 so a query always progresses.
+  EXPECT_EQ(q.Acquire(5), 1);
+  q.Release(5);
+  EXPECT_EQ(q.Acquire(8), 4);
+  q.Release(4);
+  EXPECT_EQ(q.in_use(), 0);
+}
+
+TEST(TaskQuotaTest, UnlimitedGrantsWhatIsAsked) {
+  TaskQuota q(0);
+  EXPECT_EQ(q.Acquire(64), 64);
+  EXPECT_EQ(q.in_use(), 0);
+  q.Release(64);  // no-op, must not underflow
+  EXPECT_EQ(q.Acquire(1), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: a dimension table and a fact table with a skewed key column.
+// Half the fact rows share ONE join key, so morsels are heavily skewed
+// toward a single build-side group — the adversarial case for static
+// partitioning that dynamic morsel handout must absorb.
+// ---------------------------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    {
+      auto b = db_->CreateTable(
+          "dim",
+          Schema({Field("k", TypeId::kI64), Field("label", TypeId::kStr)}),
+          Layout::kDsm, 32);
+      for (int i = 0; i < 100; i++) {
+        ASSERT_TRUE(
+            b->AppendRow({Value::I64(i),
+                          Value::Str("lab" + std::to_string(i % 7))})
+                .ok());
+      }
+      auto t = b->Finish();
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+    }
+    {
+      auto b = db_->CreateTable(
+          "fact",
+          Schema({Field("fk", TypeId::kI64), Field("val", TypeId::kI64)}),
+          Layout::kDsm, 256);
+      for (int i = 0; i < 5000; i++) {
+        // Skew: rows 0..2499 all hit build key 7.
+        const int64_t key = i < 2500 ? 7 : i % 100;
+        ASSERT_TRUE(b->AppendRow({Value::I64(key), Value::I64(i)}).ok());
+      }
+      auto t = b->Finish();
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+    }
+    session_ = std::make_unique<Session>(db_.get());
+  }
+
+  void SetWorkers(int workers) {
+    db_->config().max_parallelism = workers;
+    db_->config().scheduler_workers = workers;
+  }
+
+  /// Join fact against dim, keep (val, label), order by unique val — the
+  /// unique sort key makes the result fully deterministic.
+  AlgebraPtr JoinPlan() {
+    AlgebraPtr join =
+        JoinNode(ScanNode("dim"), ScanNode("fact"), JoinType::kInner,
+                 {"k"}, {"fk"});
+    return OrderNode(std::move(join), {{"val", true}});
+  }
+
+  /// Group-by-join: join, aggregate per label, order by label.
+  AlgebraPtr GroupByJoinPlan() {
+    AlgebraPtr join =
+        JoinNode(ScanNode("dim"), ScanNode("fact"), JoinType::kInner,
+                 {"k"}, {"fk"});
+    AlgebraPtr aggr = AggrNode(std::move(join), {{"label", Col("label")}},
+                               {{AggKind::kSum, Col("val"), "s"},
+                                {AggKind::kCount, nullptr, "c"},
+                                {AggKind::kMin, Col("val"), "lo"},
+                                {AggKind::kMax, Col("val"), "hi"}});
+    return OrderNode(std::move(aggr), {{"label", true}});
+  }
+
+  static void ExpectSameRows(const QueryResult& a, const QueryResult& b,
+                             const std::string& what) {
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+    for (size_t i = 0; i < a.rows.size(); i++) {
+      for (size_t c = 0; c < a.rows[i].size(); c++) {
+        EXPECT_TRUE(a.rows[i][c].SqlEquals(b.rows[i][c]))
+            << what << " row " << i << " col " << c;
+      }
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+// ---------------------------------------------------------------------------
+// Parallel join probe
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineTest, ParallelJoinProbeDeterministicAcrossWorkerCounts) {
+  SetWorkers(1);
+  auto reference = session_->Execute(JoinPlan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->rows.size(), 5000u);  // every fact row matches
+  for (int workers : {2, 8}) {
+    SetWorkers(workers);
+    auto res = session_->Execute(JoinPlan());
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ExpectSameRows(*reference, *res,
+                   "join probe workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+}
+
+TEST_F(PipelineTest, JoinPhasesRunAsSchedulerTasks) {
+  SetWorkers(4);
+  auto res = session_->Execute(JoinPlan());
+  SetWorkers(0);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  int probe_clones = 0, scans = 0;
+  bool saw_build = false, saw_parallel_sort = false;
+  for (const OperatorProfile& p : res->profile.operators) {
+    if (p.op == "JoinProbe[inner]") probe_clones++;
+    if (p.op == "Scan") scans++;
+    saw_build |= p.op == "JoinBuild(4)";
+    saw_parallel_sort |= p.op.rfind("ParallelSort", 0) == 0;
+  }
+  EXPECT_TRUE(saw_build);          // build pipeline barrier entry
+  EXPECT_EQ(probe_clones, 4);      // probe cloned per sort worker chain
+  EXPECT_EQ(scans, 8);             // 4 build-side + 4 probe-side clones
+  EXPECT_TRUE(saw_parallel_sort);  // the pipeline's sink
+}
+
+TEST_F(PipelineTest, GroupByJoinDeterministicAcrossWorkerCounts) {
+  SetWorkers(1);
+  auto reference = session_->Execute(GroupByJoinPlan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->rows.size(), 7u);  // labels lab0..lab6
+  for (int workers : {2, 8}) {
+    SetWorkers(workers);
+    auto res = session_->Execute(GroupByJoinPlan());
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ExpectSameRows(*reference, *res,
+                   "group-by-join workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+}
+
+TEST_F(PipelineTest, GroupByJoinAllPhasesProfiled) {
+  // The acceptance shape: build, probe, aggregation and sort all visible
+  // as pipeline phases in the query profile.
+  SetWorkers(4);
+  auto res = session_->Execute(GroupByJoinPlan());
+  SetWorkers(0);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  bool build = false, probe = false, agg = false, sort = false;
+  for (const OperatorProfile& p : res->profile.operators) {
+    build |= p.op == "JoinBuild(4)";
+    probe |= p.op == "JoinProbe[inner]";
+    agg |= p.op == "ParallelHashAgg(4)";
+    sort |= p.op.rfind("ParallelSort", 0) == 0;
+  }
+  EXPECT_TRUE(build);
+  EXPECT_TRUE(probe);
+  EXPECT_TRUE(agg);
+  EXPECT_TRUE(sort);
+}
+
+TEST_F(PipelineTest, LeftOuterAndSemiJoinParallelMatchSerial) {
+  for (JoinType type : {JoinType::kLeftOuter, JoinType::kSemi,
+                        JoinType::kAnti}) {
+    // Probe dim against fact keys so some probe rows have no match
+    // (fact keys cover 0..99 but dim probes against skewed fk values).
+    auto make_plan = [&] {
+      AlgebraPtr join =
+          JoinNode(ScanNode("fact", {"fk"}), ScanNode("dim"), type, {"fk"},
+                   {"k"});
+      return OrderNode(std::move(join), {{"k", true}});
+    };
+    SetWorkers(1);
+    auto serial = session_->Execute(make_plan());
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    SetWorkers(8);
+    auto parallel = session_->Execute(make_plan());
+    SetWorkers(0);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameRows(*serial, *parallel,
+                   std::string("join type ") + JoinTypeName(type));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sort
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineTest, ParallelSortDeterministicAcrossWorkerCounts) {
+  auto plan = [] {
+    return OrderNode(ScanNode("fact"), {{"val", false}});  // descending
+  };
+  SetWorkers(1);
+  auto reference = session_->Execute(plan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->rows.size(), 5000u);
+  EXPECT_EQ(reference->rows[0][1].AsI64(), 4999);
+  for (int workers : {2, 8}) {
+    SetWorkers(workers);
+    auto res = session_->Execute(plan());
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ExpectSameRows(*reference, *res,
+                   "sort workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+}
+
+TEST_F(PipelineTest, ParallelTopNDeterministicAcrossWorkerCounts) {
+  auto plan = [] {
+    return OrderNode(ScanNode("fact"), {{"val", true}}, /*limit=*/17);
+  };
+  SetWorkers(1);
+  auto reference = session_->Execute(plan());
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->rows.size(), 17u);
+  for (int workers : {2, 8}) {
+    SetWorkers(workers);
+    auto res = session_->Execute(plan());
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ExpectSameRows(*reference, *res,
+                   "topn workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+}
+
+TEST_F(PipelineTest, ParallelSortOverAggregationUsesRangeSplit) {
+  // ORDER BY over an aggregation: the input is not clonable, so the sort
+  // drains it with one task and range-splits the sorting itself.
+  auto plan = [] {
+    AlgebraPtr aggr = AggrNode(ScanNode("fact"), {{"fk", Col("fk")}},
+                               {{AggKind::kSum, Col("val"), "s"}});
+    return OrderNode(std::move(aggr), {{"s", false}});
+  };
+  SetWorkers(1);
+  auto reference = session_->Execute(plan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  SetWorkers(8);
+  auto res = session_->Execute(plan());
+  SetWorkers(0);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ExpectSameRows(*reference, *res, "sort-over-agg");
+  bool saw_parallel_sort = false;
+  for (const OperatorProfile& p : res->profile.operators) {
+    saw_parallel_sort |= p.op.rfind("ParallelSort", 0) == 0;
+  }
+  EXPECT_TRUE(saw_parallel_sort);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation mid-pipeline
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineTest, CancellationMidPipelineJoinsAllTasks) {
+  // A self-join on a heavily duplicated key explodes quadratically
+  // (2500^2 pairs through the skewed key alone), so the pipeline cannot
+  // finish before the cancel lands. All worker tasks must observe the
+  // token and the query must unwind without deadlock.
+  SetWorkers(4);
+  CancellationToken token;
+  AlgebraPtr join =
+      JoinNode(ScanNode("fact"), ScanNode("fact"), JoinType::kInner,
+               {"fk"}, {"fk"});
+  AlgebraPtr plan = AggrNode(std::move(join), {},
+                             {{AggKind::kCount, nullptr, "n"}});
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.Cancel();
+  });
+  auto res = session_->Execute(std::move(plan), &token);
+  canceller.join();
+  SetWorkers(0);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled()) << res.status().ToString();
+}
+
+TEST_F(PipelineTest, PreCancelledPipelineAbortsPromptly) {
+  SetWorkers(8);
+  CancellationToken token;
+  token.Cancel();
+  auto res = session_->Execute(GroupByJoinPlan(), &token);
+  SetWorkers(0);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Empty-input pipelines
+// ---------------------------------------------------------------------------
+
+class EmptyPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    auto empty = db_->CreateTable(
+        "nothing",
+        Schema({Field("k", TypeId::kI64), Field("v", TypeId::kI64)}),
+        Layout::kDsm, 64);
+    auto t = empty->Finish();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+
+    auto some = db_->CreateTable(
+        "some",
+        Schema({Field("k", TypeId::kI64), Field("v", TypeId::kI64)}),
+        Layout::kDsm, 64);
+    for (int i = 0; i < 200; i++) {
+      ASSERT_TRUE(
+          some->AppendRow({Value::I64(i % 10), Value::I64(i)}).ok());
+    }
+    auto t2 = some->Finish();
+    ASSERT_TRUE(t2.ok());
+    ASSERT_TRUE(db_->RegisterTable(std::move(t2).value()).ok());
+
+    db_->config().max_parallelism = 4;
+    db_->config().scheduler_workers = 4;
+    session_ = std::make_unique<Session>(db_.get());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(EmptyPipelineTest, EmptyProbeSide) {
+  AlgebraPtr join = JoinNode(ScanNode("some"), ScanNode("nothing"),
+                             JoinType::kInner, {"k"}, {"k"});
+  auto res = session_->Execute(OrderNode(std::move(join), {{"v", true}}));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->rows.size(), 0u);
+}
+
+TEST_F(EmptyPipelineTest, EmptyBuildSideInnerAndOuter) {
+  AlgebraPtr inner = JoinNode(ScanNode("nothing"), ScanNode("some"),
+                              JoinType::kInner, {"k"}, {"k"});
+  auto r1 = session_->Execute(OrderNode(std::move(inner), {{"v", true}}));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->rows.size(), 0u);
+
+  AlgebraPtr outer = JoinNode(ScanNode("nothing"), ScanNode("some"),
+                              JoinType::kLeftOuter, {"k"}, {"k"});
+  auto r2 = session_->Execute(OrderNode(std::move(outer), {{"v", true}}));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r2->rows.size(), 200u);  // every probe row null-padded
+  EXPECT_TRUE(r2->rows[0][2].is_null());
+  EXPECT_TRUE(r2->rows[0][3].is_null());
+}
+
+TEST_F(EmptyPipelineTest, EmptyAggregationAndSort) {
+  // Keyless aggregate over nothing: one row, COUNT 0, SUM NULL.
+  auto agg = session_->Execute(AggrNode(
+      ScanNode("nothing"), {},
+      {{AggKind::kCount, nullptr, "n"}, {AggKind::kSum, Col("v"), "s"}}));
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  ASSERT_EQ(agg->rows.size(), 1u);
+  EXPECT_EQ(agg->rows[0][0].AsI64(), 0);
+  EXPECT_TRUE(agg->rows[0][1].is_null());
+
+  // Keyed aggregate over nothing: zero groups.
+  auto keyed = session_->Execute(AggrNode(
+      ScanNode("nothing"), {{"k", Col("k")}},
+      {{AggKind::kCount, nullptr, "n"}}));
+  ASSERT_TRUE(keyed.ok());
+  EXPECT_EQ(keyed->rows.size(), 0u);
+
+  // Parallel sort over nothing.
+  auto sorted =
+      session_->Execute(OrderNode(ScanNode("nothing"), {{"v", true}}));
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->rows.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control end-to-end + exclusive profile time
+// ---------------------------------------------------------------------------
+
+TEST_F(PipelineTest, QuotaConstrainedQueryStillCorrect) {
+  // A quota of 1 degrades the pipelines to sequential task execution but
+  // must not change results (tasks cover all worker chains in turn).
+  SetWorkers(1);
+  auto reference = session_->Execute(GroupByJoinPlan());
+  ASSERT_TRUE(reference.ok());
+  SetWorkers(8);
+  db_->config().query_task_quota = 1;
+  auto res = session_->Execute(GroupByJoinPlan());
+  db_->config().query_task_quota = 0;
+  SetWorkers(0);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ExpectSameRows(*reference, *res, "quota=1");
+}
+
+TEST_F(PipelineTest, ExclusiveTimeSubtractsChildTime) {
+  // Serial plan: Sort pulls Scan inside its own Next, so the sort's
+  // child_ns must be populated and exclusive <= inclusive.
+  SetWorkers(0);
+  auto res = session_->Execute(
+      OrderNode(ScanNode("fact"), {{"val", true}}));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  bool checked_sort = false;
+  for (const OperatorProfile& p : res->profile.operators) {
+    EXPECT_GE(p.exclusive_ns(), 0);
+    EXPECT_LE(p.exclusive_ns(), p.open_ns + p.next_ns);
+    if (p.op == "Sort") {
+      checked_sort = true;
+      EXPECT_GT(p.child_ns, 0);  // the scan ran inside the sort's Next
+    }
+  }
+  EXPECT_TRUE(checked_sort);
+  EXPECT_NE(res->profile.ToString().find("self(us)"), std::string::npos);
+}
+
+// The planner helpers drive the decomposition; pin their contract.
+TEST(ClonablePipelineTest, RecognizesStreamingChains) {
+  AlgebraPtr scan = ScanNode("t");
+  EXPECT_TRUE(IsClonablePipeline(scan));
+  EXPECT_TRUE(IsClonablePipeline(
+      SelectNode(ScanNode("t"), Gt(Col("x"), Lit(Value::I64(0))))));
+  // A join is clonable along its probe side.
+  EXPECT_TRUE(IsClonablePipeline(JoinNode(
+      AggrNode(ScanNode("b"), {}, {{AggKind::kCount, nullptr, "n"}}),
+      ScanNode("p"), JoinType::kInner, {"n"}, {"x"})));
+  // Breakers are not.
+  EXPECT_FALSE(IsClonablePipeline(
+      AggrNode(ScanNode("t"), {}, {{AggKind::kCount, nullptr, "n"}})));
+  EXPECT_FALSE(IsClonablePipeline(
+      OrderNode(ScanNode("t"), {{"x", true}})));
+  // Rewriter-parallelized scans keep the legacy exchange path.
+  AlgebraPtr morsel_scan = ScanNode("t");
+  morsel_scan->morsel_group = 0;
+  EXPECT_FALSE(IsClonablePipeline(morsel_scan));
+}
+
+}  // namespace
+}  // namespace x100
