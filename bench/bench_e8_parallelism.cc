@@ -9,8 +9,13 @@
 //          ParallelHashAgg / ParallelSort phases).
 // The QJ run doubles as the CI determinism smoke: results at every
 // worker count must SqlEqual the 1-worker reference, and the process
-// exits non-zero on mismatch. Speedup is bounded by the host core count
-// (reported).
+// exits non-zero on mismatch. A second sweep re-runs QJ for radix_bits
+// in {0, 2, 4} x workers in {1, 2, 8} — 0 bits is the legacy
+// single-table merge, so any cross-configuration mismatch means the
+// radix-partitioned merge changed results. A root-level join (no
+// Aggr/Order sink) must additionally show probe work spread over >1
+// worker (exchange-unioned probe clones). Speedup is bounded by the
+// host core count (reported).
 #include <cmath>
 #include <thread>
 
@@ -99,30 +104,81 @@ int main() {
                 same ? "ok" : "MISMATCH");
   }
 
+  // Radix sweep — the CI gate for the partitioned merge: every
+  // (radix_bits, workers) configuration must reproduce the single-table
+  // serial reference exactly. 0 bits is the legacy one-merge-task path.
+  bool radix_ok = true;
+  std::printf("\nradix_bits sweep (join+agg, vs radix=0 workers=1):\n");
+  std::printf("%-12s %8s %8s %8s\n", "radix_bits", "w=1", "w=2", "w=8");
+  for (int bits : {0, 2, 4}) {
+    std::printf("%-12d", bits);
+    for (int w : {1, 2, 8}) {
+      db.config().max_parallelism = w;
+      db.config().scheduler_workers = w;
+      db.config().radix_bits = bits;
+      auto r = session.Execute(GroupByJoinPlan());
+      const bool same = r.ok() && SameRows(reference, *r);
+      radix_ok &= same;
+      std::printf(" %8s", !r.ok() ? "ERROR" : same ? "ok" : "MISMATCH");
+    }
+    std::printf("\n");
+  }
+  db.config().radix_bits = -1;  // back to auto
+  db.config().max_parallelism = 8;
+  db.config().scheduler_workers = 8;
+
   // Per-operator profile of the widest run — every pipeline phase (build,
-  // probe, aggregation, sort) must appear as scheduler-task work, the
-  // §"System monitoring" answer to "attach a debugger to see what the
-  // server is doing".
+  // per-partition merge, probe, aggregation, sort) must appear as
+  // scheduler-task work, the §"System monitoring" answer to "attach a
+  // debugger to see what the server is doing".
   auto profiled = session.Execute(GroupByJoinPlan());
   bool phases_ok = false;
   if (profiled.ok()) {
     std::printf("\njoin+agg+sort per-operator profile (workers=8):\n%s",
                 profiled->profile.ToString().c_str());
-    bool build = false, probe = false, agg = false, sort = false;
+    bool build = false, probe = false, agg = false, merge = false,
+         sort = false;
     for (const OperatorProfile& p : profiled->profile.operators) {
-      build |= p.op.rfind("JoinBuild", 0) == 0;
+      build |= p.op.rfind("JoinBuildMerge", 0) == 0;
       probe |= p.op.rfind("JoinProbe", 0) == 0;
       agg |= p.op.rfind("ParallelHashAgg", 0) == 0;
+      merge |= p.op.rfind("AggMerge", 0) == 0;
       sort |= p.op.rfind("ParallelSort", 0) == 0;
     }
-    phases_ok = build && probe && agg && sort;
+    phases_ok = build && probe && agg && merge && sort;
     std::printf("\npipeline phases as scheduler tasks: build=%d probe=%d "
-                "agg=%d sort=%d\n", build, probe, agg, sort);
+                "agg=%d agg-merge=%d sort=%d\n", build, probe, agg, merge,
+                sort);
   }
+
+  // Root-level join (no Aggr/Order sink): the probe must not be serial —
+  // the planner unions probe clones through an exchange sink.
+  bool root_probe_ok = false;
+  {
+    auto root = session.Execute(JoinNode(
+        ScanNode("orders", {"o_orderkey", "o_orderpriority"}),
+        ScanNode("lineitem", {"l_orderkey", "l_extendedprice"}),
+        JoinType::kInner, {"o_orderkey"}, {"l_orderkey"}));
+    if (root.ok()) {
+      int probe_clones = 0;
+      bool saw_union = false;
+      for (const OperatorProfile& p : root->profile.operators) {
+        if (p.op.rfind("JoinProbe", 0) == 0) probe_clones++;
+        saw_union |= p.op.rfind("XchgUnion", 0) == 0;
+      }
+      root_probe_ok = probe_clones > 1 && saw_union;
+      std::printf("\nroot-level join probe: %d probe clones, union sink=%d "
+                  "-> %s\n", probe_clones, saw_union,
+                  root_probe_ok ? "parallel" : "SERIAL");
+    }
+  }
+
   std::printf("determinism across worker counts: %s\n",
               deterministic ? "ok" : "MISMATCH");
+  std::printf("determinism across radix_bits:    %s\n",
+              radix_ok ? "ok" : "MISMATCH");
   std::printf("\nNote: on a %u-thread host the speedup ceiling is %u; "
               "worker chains share one morsel source per scan, so adding "
               "workers never repartitions the table.\n", cores, cores);
-  return deterministic && phases_ok ? 0 : 1;
+  return deterministic && radix_ok && phases_ok && root_probe_ok ? 0 : 1;
 }

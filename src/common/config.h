@@ -35,6 +35,16 @@ struct EngineConfig {
   /// pool; a query granted fewer slots than its pipeline width degrades
   /// gracefully (fewer tasks each covering more worker chains).
   int query_task_quota = 0;
+  /// Radix partitioning of pipeline-breaker merges (join build table,
+  /// aggregation group merge): per-worker state is hash-partitioned by
+  /// the TOP `radix_bits` bits of the key hash, and each of the
+  /// 2^radix_bits partitions is merged/indexed by an independent
+  /// scheduler task — the barrier merge is no longer a serial fraction.
+  ///  -1 = auto: sized from the pipeline width (see EffectiveRadixBits),
+  ///   0 = single-table path (one merge task; the fallback for tiny
+  ///       builds and the reference configuration in bench sweeps),
+  ///  >0 = exactly 2^radix_bits partitions.
+  int radix_bits = -1;
   /// Memory accounting limit in bytes (0 = unlimited).
   int64_t memory_limit = 0;
   /// Buffer pool capacity in blocks.
@@ -44,6 +54,31 @@ struct EngineConfig {
   /// Simulated disk bandwidth in bytes/sec (0 = infinite, i.e. memcpy).
   int64_t disk_bandwidth = 0;
 };
+
+/// Upper bound on radix partitioning: 2^6 = 64 partitions is enough to
+/// keep any realistic pool busy while per-partition buffers stay coarse.
+inline constexpr int kMaxRadixBits = 6;
+
+/// The one radix routing function: partition = TOP `bits` bits of the
+/// key hash. Join build and aggregation must agree bit-for-bit on
+/// partition assignment, so both route through here (the bucket index
+/// inside a partition uses the LOW bits — no aliasing).
+inline uint64_t RadixPartitionOf(uint64_t hash, int bits) {
+  return bits == 0 ? 0 : hash >> (64 - bits);
+}
+
+/// Resolves EngineConfig::radix_bits against the plan's pipeline width.
+/// Auto (-1) sizes the partition count to ~2x the worker count so the
+/// merge fan-out tolerates partition skew; serial plans never partition.
+inline int EffectiveRadixBits(int configured, int parallelism) {
+  if (configured >= 0) {
+    return configured < kMaxRadixBits ? configured : kMaxRadixBits;
+  }
+  if (parallelism <= 1) return 0;
+  int bits = 1;
+  while ((1 << bits) < 2 * parallelism && bits < kMaxRadixBits) bits++;
+  return bits;
+}
 
 }  // namespace x100
 

@@ -179,7 +179,7 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
         }
         Finish(fn());
       },
-      /*tag=*/this);
+      tag_);
 }
 
 void TaskGroup::Finish(const Status& s) {
@@ -206,7 +206,7 @@ Status TaskGroup::Wait() {
     // worker) scheduler cannot deadlock the joining thread. Only own
     // tasks: an arbitrary stolen task may block on a barrier owned by a
     // frame suspended beneath this very Wait (see header).
-    if (!scheduler_->RunOneTask(/*tag=*/this)) {
+    if (!scheduler_->RunOneTask(tag_)) {
       lock.lock();
       if (outstanding_ > 0) {
         done_cv_.wait_for(lock, std::chrono::milliseconds(2));
@@ -224,11 +224,12 @@ Status TaskGroup::Wait() {
 
 Status RunPipelineTasks(TaskScheduler* scheduler, TaskQuota* quota,
                         CancellationToken* cancel, int n,
-                        const std::function<Status(int, TaskGroup&)>& body) {
+                        const std::function<Status(int, TaskGroup&)>& body,
+                        const void* help_tag) {
   const int grant = quota != nullptr ? quota->Acquire(n) : n;
   Status status;
   {
-    TaskGroup group(scheduler, cancel);
+    TaskGroup group(scheduler, cancel, help_tag);
     std::atomic<int> next{0};
     for (int t = 0; t < grant && t < n; t++) {
       group.Spawn([&group, &next, &body, n]() -> Status {

@@ -167,9 +167,23 @@ class TaskGroup {
  public:
   /// `cancel` (optional) chains external query cancellation into the
   /// group: once the token fires, pending tasks are skipped.
+  ///
+  /// `help_tag` (optional) overrides the tag the group's tasks carry.
+  /// By default tasks are tagged with the group itself, so only the
+  /// group's own Wait() can inline-run them. A shared state object that
+  /// runs SEVERAL groups in sequence (e.g. a partitioned join build: a
+  /// drain group, then a per-partition merge group) tags them all with
+  /// one external tag, so threads blocked on that state — not members of
+  /// either group — can help run its tasks via RunOneTask(tag). The
+  /// caller must guarantee that (a) groups sharing a tag never have
+  /// queued tasks concurrently and (b) no task under the tag can block
+  /// on the helper's own frame.
   explicit TaskGroup(TaskScheduler* scheduler,
-                     CancellationToken* cancel = nullptr)
-      : scheduler_(scheduler), external_cancel_(cancel) {}
+                     CancellationToken* cancel = nullptr,
+                     const void* help_tag = nullptr)
+      : scheduler_(scheduler),
+        external_cancel_(cancel),
+        tag_(help_tag != nullptr ? help_tag : this) {}
   ~TaskGroup() {
     Cancel();
     Wait();
@@ -201,11 +215,16 @@ class TaskGroup {
                          : Status::OK();
   }
 
+  /// The tag this group's tasks carry (the group itself unless an
+  /// explicit help_tag was given at construction).
+  const void* tag() const { return tag_; }
+
  private:
   void Finish(const Status& s);
 
   TaskScheduler* scheduler_;
   CancellationToken* external_cancel_;
+  const void* tag_;
   std::atomic<bool> cancelled_{false};
 
   std::mutex mu_;
@@ -222,10 +241,14 @@ class TaskGroup {
 /// task claim work-item indexes [0, n) from a shared cursor and run
 /// `body(index, group)` — so a reduced grant still covers every item,
 /// just with less concurrency. Waits at the barrier, releases the quota,
-/// and returns the group's status (first error wins).
+/// and returns the group's status (first error wins). `help_tag`
+/// forwards to the TaskGroup (see its constructor): pipelines whose
+/// completion OTHER threads block on (the partitioned join build) tag
+/// their phases so those waiters can help instead of idling.
 Status RunPipelineTasks(TaskScheduler* scheduler, TaskQuota* quota,
                         CancellationToken* cancel, int n,
-                        const std::function<Status(int, TaskGroup&)>& body);
+                        const std::function<Status(int, TaskGroup&)>& body,
+                        const void* help_tag = nullptr);
 
 }  // namespace x100
 

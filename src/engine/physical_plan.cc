@@ -194,7 +194,8 @@ Result<OperatorPtr> AggrFactory(const AlgebraPtr& node, PlannerContext* pc,
         chains, BuildPipelineChains(node->children[0], pc->parallelism, pc,
                                     planner));
     return OperatorPtr(std::make_unique<ParallelHashAggOp>(
-        std::move(chains), std::move(keys), std::move(aggs)));
+        std::move(chains), std::move(keys), std::move(aggs),
+        pc->radix_bits));
   }
   OperatorPtr child;
   X100_ASSIGN_OR_RETURN(child, planner->Build(node->children[0], pc));
@@ -224,8 +225,8 @@ Result<OperatorPtr> JoinFactory(const AlgebraPtr& node, PlannerContext* pc,
       if (c < 0) return Status::NotFound("build key not found: " + k);
       bkeys.push_back(c);
     }
-    state = std::make_shared<JoinBuildState>(std::move(build_chains),
-                                             std::move(bkeys));
+    state = std::make_shared<JoinBuildState>(
+        std::move(build_chains), std::move(bkeys), pc->radix_bits);
   }
   OperatorPtr probe;
   X100_ASSIGN_OR_RETURN(probe, planner->Build(node->children[1], pc));
@@ -309,6 +310,47 @@ Result<OperatorPtr> PhysicalPlanner::Build(const AlgebraPtr& node,
                                  std::to_string(static_cast<int>(node->kind)));
   }
   return it->second(node, pc, this);
+}
+
+namespace {
+
+/// True if the streaming spine (Select/Project links, the probe side of
+/// joins) contains a join — the case where a root-level pipeline is
+/// worth cloning. A bare scan spine is deliberately excluded: unioning
+/// scan clones would only shuffle row order for zero parallel work.
+bool StreamingSpineHasJoin(const AlgebraPtr& node) {
+  switch (node->kind) {
+    case AlgebraNode::Kind::kJoin:
+      return true;
+    case AlgebraNode::Kind::kSelect:
+    case AlgebraNode::Kind::kProject:
+      return StreamingSpineHasJoin(node->children[0]);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildRootOperator(const AlgebraPtr& root,
+                                      PlannerContext* pc,
+                                      const PhysicalPlanner* planner) {
+  // A join at the plan root (possibly under Select/Project links) has no
+  // pipeline-breaker sink whose worker chains would embed probe clones,
+  // so without special handling it gets a parallel build but a serial
+  // probe. Clone the whole streaming chain (probe spine included) and
+  // union the clones through an exchange sink — the root-level analogue
+  // of embedding probes in an Aggr/Order sink. Row order across clones
+  // is nondeterministic, which SQL permits for a sink-less plan (no
+  // ORDER BY).
+  if (pc->parallelism > 1 && !pc->cloning && IsClonablePipeline(root) &&
+      StreamingSpineHasJoin(root)) {
+    std::vector<OperatorPtr> chains;
+    X100_ASSIGN_OR_RETURN(
+        chains, BuildPipelineChains(root, pc->parallelism, pc, planner));
+    return OperatorPtr(std::make_unique<XchgOp>(std::move(chains)));
+  }
+  return planner->Build(root, pc);
 }
 
 const PhysicalPlanner& PhysicalPlanner::Default() {

@@ -48,6 +48,11 @@ struct PlannerContext {
   /// Pipeline width: > 1 makes the breaker factories decompose the plan
   /// into parallel pipelines of this many worker chains.
   int parallelism = 1;
+  /// Effective radix bits for pipeline-breaker merges (already resolved
+  /// against the pipeline width via EffectiveRadixBits — 0 disables
+  /// partitioning). Threaded into JoinBuildState / ParallelHashAggOp so
+  /// their barrier merges fan out over 2^radix_bits partition tasks.
+  int radix_bits = 0;
   /// True while building one of the N clones of a pipeline (set by
   /// BuildPipelineChains): scans then draw from a shared MorselSource.
   bool cloning = false;
@@ -110,6 +115,16 @@ bool IsClonablePipeline(const AlgebraPtr& node);
 Result<std::vector<OperatorPtr>> BuildPipelineChains(
     const AlgebraPtr& node, int n, PlannerContext* pc,
     const PhysicalPlanner* planner);
+
+/// Entry point for a whole plan: like planner->Build, but when the plan
+/// ROOT is a clonable streaming chain containing a join (a bare join, or
+/// Select/Project links over one — i.e. no Aggr/Order sink above it to
+/// parallelize into), the chain runs as `parallelism` clones unioned by
+/// an exchange sink — without this, a root-level join gets a parallel
+/// build but a serial probe. Used by QueryExecutor.
+Result<OperatorPtr> BuildRootOperator(const AlgebraPtr& root,
+                                      PlannerContext* pc,
+                                      const PhysicalPlanner* planner);
 
 }  // namespace x100
 

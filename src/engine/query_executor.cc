@@ -14,7 +14,11 @@ Result<OperatorPtr> QueryExecutor::Build(const AlgebraPtr& plan,
   // factories clone their input chains `parallelism` ways (see
   // engine/physical_plan.h).
   pc.parallelism = std::max(1, db_->config().max_parallelism);
-  return planner_->Build(plan, &pc);
+  pc.radix_bits =
+      EffectiveRadixBits(db_->config().radix_bits, pc.parallelism);
+  // Root dispatch handles the one shape the factories cannot: a join at
+  // the plan root gets its probe clones unioned by an exchange sink.
+  return BuildRootOperator(plan, &pc, planner_);
 }
 
 Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,

@@ -1,5 +1,7 @@
 #include "exec/hash_agg.h"
 
+#include <chrono>
+
 #include "common/bitutil.h"
 #include "common/hash.h"
 #include "common/task_scheduler.h"
@@ -253,7 +255,7 @@ Status AggWorkerState::Prepare(const std::vector<ExprPtr>& bound_keys,
                                const Schema& key_schema,
                                const std::vector<AggItem>& aggs,
                                const std::vector<TypeId>& in_types,
-                               int vector_size) {
+                               int vector_size, int radix_bits) {
   key_progs_.clear();
   agg_progs_.clear();
   for (const ExprPtr& bound : bound_keys) {
@@ -270,18 +272,25 @@ Status AggWorkerState::Prepare(const std::vector<ExprPtr>& bound_keys,
     X100_RETURN_IF_ERROR(prog.status());
     agg_progs_.push_back(std::move(prog).value());
   }
+  // Keyless aggregation has exactly one global group — nothing to
+  // partition; the serial operator also always runs unpartitioned.
+  radix_bits_ = bound_keys.empty() || radix_bits < 0 ? 0 : radix_bits;
   std::vector<AggKind> kinds;
   for (const AggItem& a : aggs) kinds.push_back(a.kind);
-  table_ = std::make_unique<GroupTable>(key_schema, std::move(kinds),
-                                        in_types);
+  tables_.clear();
+  for (int p = 0; p < num_partitions(); p++) {
+    tables_.push_back(
+        std::make_unique<GroupTable>(key_schema, kinds, in_types));
+  }
   gids_.resize(vector_size);
+  parts_.assign(vector_size, 0);
   hashes_.resize(vector_size);
   return Status::OK();
 }
 
 Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
                                   const std::vector<AggItem>& aggs) {
-  if (key_progs_.empty()) table_->EnsureGlobalGroup();
+  if (key_progs_.empty()) tables_[0]->EnsureGlobalGroup();
   while (true) {
     X100_RETURN_IF_ERROR(ctx->CheckCancel());
     Batch* in;
@@ -307,19 +316,33 @@ Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
       }
       for (int j = 0; j < n; j++) {
         const int i = sel ? sel[j] : j;
+        // Route to the radix partition named by the top hash bits: group
+        // ids are partition-local, so each partition merges without ever
+        // seeing another partition's keys.
+        const uint32_t p = static_cast<uint32_t>(
+            RadixPartitionOf(hashes_[j], radix_bits_));
+        parts_[j] = p;
         uint32_t gid;
-        X100_ASSIGN_OR_RETURN(gid,
-                              table_->FindOrAdd(key_vecs, i, hashes_[j]));
+        X100_ASSIGN_OR_RETURN(
+            gid, tables_[p]->FindOrAdd(key_vecs, i, hashes_[j]));
         gids_[j] = gid;
       }
     }
 
-    // 2) Fold each aggregate's input vector into the accumulators.
+    // 2) Fold each aggregate's input vector into the accumulators. With
+    // radix partitioning the row's accumulator set lives in its
+    // partition's table (parts_[j]); unpartitioned runs keep the single
+    // hoisted accumulator.
     for (size_t a = 0; a < aggs.size(); a++) {
-      GroupTable::Accum& acc = table_->accum(a);
+      GroupTable::Accum* acc0 =
+          radix_bits_ == 0 ? &tables_[0]->accum(a) : nullptr;
       const AggItem& item = aggs[a];
       if (item.input == nullptr) {  // COUNT(*)
-        for (int j = 0; j < n; j++) acc.count[gids_[j]]++;
+        for (int j = 0; j < n; j++) {
+          GroupTable::Accum& acc =
+              acc0 != nullptr ? *acc0 : tables_[parts_[j]]->accum(a);
+          acc.count[gids_[j]]++;
+        }
         continue;
       }
       const Vector* v;
@@ -328,6 +351,8 @@ Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
       for (int j = 0; j < n; j++) {
         const int i = sel ? sel[j] : j;
         if (nulls != nullptr && nulls[i]) continue;
+        GroupTable::Accum& acc =
+            acc0 != nullptr ? *acc0 : tables_[parts_[j]]->accum(a);
         const uint32_t g = gids_[j];
         double dv = 0;
         int64_t iv = 0;
@@ -503,15 +528,20 @@ Result<Batch*> HashAggOp::NextImpl() {
 
 ParallelHashAggOp::ParallelHashAggOp(std::vector<OperatorPtr> chains,
                                      std::vector<ProjectItem> group_by,
-                                     std::vector<AggItem> aggs)
+                                     std::vector<AggItem> aggs,
+                                     int radix_bits)
     : chains_(std::move(chains)),
       group_items_(std::move(group_by)),
-      agg_items_(std::move(aggs)) {
+      agg_items_(std::move(aggs)),
+      radix_bits_(radix_bits < 0 ? 0 : radix_bits) {
   init_status_ = chains_.empty()
                      ? Status::InvalidArgument(
                            "parallel aggregation needs >= 1 worker chain")
                      : binding_.Bind(chains_[0]->output_schema(),
                                      group_items_, agg_items_);
+  // A keyless aggregation has one global group; partitioning it is
+  // meaningless (and the workers force bits to 0 anyway).
+  if (init_status_.ok() && binding_.bound_keys.empty()) radix_bits_ = 0;
 }
 
 Status ParallelHashAggOp::OpenImpl(ExecContext* ctx) {
@@ -519,8 +549,11 @@ Status ParallelHashAggOp::OpenImpl(ExecContext* ctx) {
   X100_RETURN_IF_ERROR(init_status_);
   // Worker chains are NOT opened here: each is opened, drained and closed
   // by its pipeline task so the whole chain runs on one pool thread.
-  final_ = std::make_unique<GroupTable>(
-      binding_.key_schema, binding_.kinds, binding_.in_types);
+  final_.clear();
+  for (int p = 0; p < (1 << radix_bits_); p++) {
+    final_.push_back(std::make_unique<GroupTable>(
+        binding_.key_schema, binding_.kinds, binding_.in_types));
+  }
   out_ = std::make_unique<Batch>(binding_.out_schema, ctx->vector_size);
   return Status::OK();
 }
@@ -538,13 +571,15 @@ Status ParallelHashAggOp::ParallelConsume() {
   TaskScheduler* sched =
       ctx_->scheduler != nullptr ? ctx_->scheduler : TaskScheduler::Global();
   const int W = static_cast<int>(chains_.size());
+  const int P = 1 << radix_bits_;
   workers_.clear();
   for (int w = 0; w < W; w++) {
     auto ws = std::make_unique<AggWorkerState>();
     X100_RETURN_IF_ERROR(ws->Prepare(binding_.bound_keys,
                                      binding_.bound_aggs,
                                      binding_.key_schema, agg_items_,
-                                     binding_.in_types, ctx_->vector_size));
+                                     binding_.in_types, ctx_->vector_size,
+                                     radix_bits_));
     workers_.push_back(std::move(ws));
   }
 
@@ -561,12 +596,31 @@ Status ParallelHashAggOp::ParallelConsume() {
         return s;
       }));
 
-  // Barrier merge: fold per-worker tables into the final one. A keyless
-  // aggregation still emits its single global row on empty input.
-  if (binding_.bound_keys.empty()) final_->EnsureGlobalGroup();
-  for (auto& ws : workers_) {
-    X100_RETURN_IF_ERROR(final_->MergeFrom(*ws->table()));
-  }
+  // Merge fan-out: one scheduler task per radix partition folds that
+  // partition's per-worker tables into the final table — partitions hold
+  // disjoint key sets, so the tasks share nothing and the old serial
+  // barrier merge parallelizes. Each task records an "AggMerge" profile
+  // entry (rows = merged groups) so merge cost and partition skew are
+  // visible. A keyless aggregation still emits its single global row on
+  // empty input.
+  if (binding_.bound_keys.empty()) final_[0]->EnsureGlobalGroup();
+  X100_RETURN_IF_ERROR(RunPipelineTasks(
+      sched, ctx_->quota, ctx_->cancel, P,
+      [this](int p, TaskGroup& group) -> Status {
+        X100_RETURN_IF_ERROR(group.CheckCancel());
+        const auto t0 = std::chrono::steady_clock::now();
+        for (auto& ws : workers_) {
+          X100_RETURN_IF_ERROR(final_[p]->MergeFrom(*ws->table(p)));
+        }
+        OperatorProfile prof;
+        prof.op = "AggMerge";
+        prof.rows = final_[p]->num_groups();
+        prof.open_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        ctx_->RecordOperator(std::move(prof));
+        return Status::OK();
+      }));
   workers_.clear();
   return Status::OK();
 }
@@ -577,9 +631,19 @@ Result<Batch*> ParallelHashAggOp::NextImpl() {
     consumed_ = true;
   }
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
-  return EmitGroupBatch(final_.get(), agg_items_,
-                        binding_.key_schema.num_fields(),
-                        ctx_->vector_size, &emit_pos_, out_.get());
+  // Stream partitions in order; each partition emits exactly like the
+  // single-table path.
+  while (emit_part_ < static_cast<int>(final_.size())) {
+    Batch* b;
+    X100_ASSIGN_OR_RETURN(
+        b, EmitGroupBatch(final_[emit_part_].get(), agg_items_,
+                          binding_.key_schema.num_fields(),
+                          ctx_->vector_size, &emit_pos_, out_.get()));
+    if (b != nullptr) return b;
+    emit_part_++;
+    emit_pos_ = 0;
+  }
+  return nullptr;
 }
 
 }  // namespace x100

@@ -11,6 +11,11 @@
 //                      tasks into per-worker GroupTables, merged at the
 //                      pipeline barrier (Leis-style morsel parallelism:
 //                      no partial/final plan rewrite, no exchange).
+//                      With radix_bits > 0 each worker keeps one
+//                      GroupTable per radix partition (routed by the top
+//                      bits of the key hash), and the barrier merge runs
+//                      as 2^radix_bits independent scheduler tasks — one
+//                      per partition — instead of one serial fold.
 //
 // Group ids are resolved for a whole vector, then aggregate update kernels
 // fold the vector into accumulator arrays (the X100 aggr_* primitive
@@ -89,29 +94,42 @@ class GroupTable {
 };
 
 /// One aggregation worker: a source chain plus the thread-local state that
-/// drains it (compiled programs, scratch, private GroupTable). Used by
-/// both the serial operator (one worker) and the parallel one (N workers,
-/// each driven by a scheduler task).
+/// drains it (compiled programs, scratch, private GroupTables — one per
+/// radix partition). Used by both the serial operator (one worker, one
+/// partition) and the parallel one (N workers, each driven by a scheduler
+/// task, with 2^radix_bits partitions merged independently).
 class AggWorkerState {
  public:
-  /// Compiles programs and allocates the private table.
+  /// Compiles programs and allocates the private tables. `radix_bits` is
+  /// forced to 0 for keyless aggregation (a single global group cannot
+  /// be partitioned).
   Status Prepare(const std::vector<ExprPtr>& bound_keys,
                  const std::vector<ExprPtr>& bound_aggs,
                  const Schema& key_schema,
                  const std::vector<AggItem>& aggs,
-                 const std::vector<TypeId>& in_types, int vector_size);
+                 const std::vector<TypeId>& in_types, int vector_size,
+                 int radix_bits = 0);
 
-  /// Drains `child` (already open) to exhaustion into the private table.
+  /// Drains `child` (already open) to exhaustion into the private
+  /// tables, routing each row to the partition named by the top
+  /// radix_bits of its key hash.
   Status ConsumeAll(Operator* child, ExecContext* ctx,
                     const std::vector<AggItem>& aggs);
 
-  GroupTable* table() const { return table_.get(); }
+  GroupTable* table(int partition = 0) const {
+    return partition < static_cast<int>(tables_.size())
+               ? tables_[partition].get()
+               : nullptr;
+  }
+  int num_partitions() const { return 1 << radix_bits_; }
 
  private:
   std::vector<std::unique_ptr<ExprProgram>> key_progs_;
   std::vector<std::unique_ptr<ExprProgram>> agg_progs_;  // null: COUNT(*)
-  std::unique_ptr<GroupTable> table_;
+  int radix_bits_ = 0;
+  std::vector<std::unique_ptr<GroupTable>> tables_;  // one per partition
   std::vector<uint32_t> gids_;
+  std::vector<uint32_t> parts_;  // partition per live row (radix_bits > 0)
   std::vector<uint64_t> hashes_;
 };
 
@@ -167,13 +185,15 @@ class HashAggOp : public Operator {
 /// Pipeline-parallel aggregation: the sink of a scan→[probe→]aggregate
 /// pipeline. Each of the N cloned source chains (sharing morsel sources
 /// and join build states underneath) is drained by a scheduler task into
-/// a per-worker GroupTable; the tables merge into one at the TaskGroup
-/// barrier, then groups stream out exactly like the serial operator.
+/// per-worker GroupTables (one per radix partition); at the TaskGroup
+/// barrier each partition is merged by an independent scheduler task
+/// (radix_bits = 0: one table, one merge task — the serial fallback),
+/// then groups stream out partition by partition.
 class ParallelHashAggOp : public Operator {
  public:
   ParallelHashAggOp(std::vector<OperatorPtr> chains,
                     std::vector<ProjectItem> group_by,
-                    std::vector<AggItem> aggs);
+                    std::vector<AggItem> aggs, int radix_bits = 0);
   ~ParallelHashAggOp() override { Close(); }
 
   Status OpenImpl(ExecContext* ctx) override;
@@ -188,20 +208,22 @@ class ParallelHashAggOp : public Operator {
 
  private:
   /// Runs the pipeline: spawn tasks (bounded by the query's TaskQuota),
-  /// barrier, merge per-worker tables into `final_`.
+  /// barrier, then a per-partition merge fan-out into `final_`.
   Status ParallelConsume();
 
   std::vector<OperatorPtr> chains_;
   std::vector<ProjectItem> group_items_;
   std::vector<AggItem> agg_items_;
+  int radix_bits_;
   AggBinding binding_;
   Status init_status_;
   ExecContext* ctx_ = nullptr;
 
   std::vector<std::unique_ptr<AggWorkerState>> workers_;
-  std::unique_ptr<GroupTable> final_;
+  std::vector<std::unique_ptr<GroupTable>> final_;  // one per partition
   bool consumed_ = false;
   std::unique_ptr<Batch> out_;
+  int emit_part_ = 0;
   int64_t emit_pos_ = 0;
 };
 

@@ -4,7 +4,6 @@
 #include <chrono>
 
 #include "common/bitutil.h"
-#include "common/hash.h"
 #include "common/task_scheduler.h"
 #include "primitives/hash_kernels.h"
 
@@ -48,42 +47,46 @@ Schema JoinOutputSchema(const Schema& probe, const Schema& build,
 // ---------------------------------------------------------------------------
 
 JoinBuildState::JoinBuildState(std::vector<OperatorPtr> chains,
-                               std::vector<int> build_keys)
-    : chains_(std::move(chains)), build_keys_(std::move(build_keys)) {
+                               std::vector<int> build_keys, int radix_bits)
+    : chains_(std::move(chains)),
+      build_keys_(std::move(build_keys)),
+      radix_bits_(radix_bits < 0 ? 0 : radix_bits) {
   build_schema_ = chains_.front()->output_schema();
-}
-
-uint64_t JoinBuildState::HashRow(int64_t row) const {
-  uint64_t h = 0;
-  bool first = true;
-  for (int c : build_keys_) {
-    const Value v = rows_->GetValue(c, row);
-    uint64_t hv;
-    switch (v.type()) {
-      case TypeId::kF64: hv = HashDouble(v.AsF64()); break;
-      case TypeId::kStr: hv = HashBytes(v.AsStr().data(), v.AsStr().size());
-        break;
-      default: hv = HashInt(v.AsI64()); break;
-    }
-    h = first ? hv : HashCombine(h, hv);
-    first = false;
-  }
-  return h;
 }
 
 Status JoinBuildState::Build(ExecContext* ctx) {
   TaskScheduler* sched =
       ctx->scheduler != nullptr ? ctx->scheduler : TaskScheduler::Global();
   const int W = static_cast<int>(chains_.size());
-  std::vector<std::unique_ptr<RowBuffer>> partials(W);
+  const int P = num_partitions();
 
-  // Build pipeline: tasks drain the cloned chains (sharing one morsel
-  // source underneath) into per-worker buffers.
+  // Per-worker, per-partition partials: rows are routed by the top hash
+  // bits as they are drained, so the merge phase below has no
+  // cross-partition (and no cross-worker) data dependencies at all.
+  struct WorkerPartial {
+    std::vector<std::unique_ptr<RowBuffer>> rows;    // one per partition
+    std::vector<std::vector<uint64_t>> hashes;       // parallel to rows
+    bool saw_null_key = false;
+  };
+  std::vector<WorkerPartial> partials(W);
+
+  // Phase 1 — drain pipeline: tasks drain the cloned chains (sharing one
+  // morsel source underneath), hashing keys vectorized and scattering
+  // rows into partition buffers. Rows with a NULL key can never match
+  // any probe; they only matter through the has_null_key poison flag, so
+  // they are dropped here instead of being stored unreachable.
+  // Tagged with `this` so losers of the EnsureBuilt race can help.
   X100_RETURN_IF_ERROR(RunPipelineTasks(
       sched, ctx->quota, ctx->cancel, W,
-      [this, &partials, ctx](int w, TaskGroup& group) -> Status {
+      [this, &partials, ctx, P](int w, TaskGroup& group) -> Status {
         X100_RETURN_IF_ERROR(group.CheckCancel());
-        partials[w] = std::make_unique<RowBuffer>(build_schema_);
+        WorkerPartial& part = partials[w];
+        part.rows.resize(P);
+        part.hashes.resize(P);
+        for (int p = 0; p < P; p++) {
+          part.rows[p] = std::make_unique<RowBuffer>(build_schema_);
+        }
+        std::vector<uint64_t> hash_scratch(ctx->vector_size);
         Operator* chain = chains_[w].get();
         Status s = chain->Open(ctx);
         while (s.ok()) {
@@ -95,51 +98,79 @@ Status JoinBuildState::Build(ExecContext* ctx) {
             break;
           }
           if (*b == nullptr) break;
-          partials[w]->AppendBatch(**b);
+          const Batch& batch = **b;
+          const int n = batch.ActiveRows();
+          const sel_t* sel = batch.sel();
+          bool first = true;
+          for (int c : build_keys_) {
+            hashk::HashColumn(*batch.column(c), n, sel,
+                              hash_scratch.data(), !first);
+            first = false;
+          }
+          for (int j = 0; j < n; j++) {
+            const int i = sel ? sel[j] : j;
+            bool null_key = false;
+            for (int c : build_keys_) {
+              null_key |= batch.column(c)->IsNull(i);
+            }
+            if (null_key) {
+              part.saw_null_key = true;  // poison for NOT IN semantics
+              continue;
+            }
+            const size_t p = PartitionOf(hash_scratch[j]);
+            part.rows[p]->AppendRowFrom(batch, i);
+            part.hashes[p].push_back(hash_scratch[j]);
+          }
         }
         chain->Close();
         return s;
-      }));
+      },
+      /*help_tag=*/this));
 
-  // Barrier merge: concatenate per-worker buffers, then hash-index once.
-  // Timed from here: the chain operators already reported their drain
-  // time in their own profile entries, so this one must carry only the
-  // barrier cost or self(us) would double-count the build phase.
-  const int64_t t0 = NowNs();
-  if (W == 1) {
-    rows_ = std::move(partials[0]);
-  } else {
-    rows_ = std::make_unique<RowBuffer>(build_schema_);
-    for (auto& p : partials) rows_->AppendRows(*p);
-  }
-  const int64_t n = rows_->rows();
-  buckets_.assign(std::max<uint64_t>(16, NextPow2(n * 2)), -1);
-  bucket_mask_ = buckets_.size() - 1;
-  next_.assign(n, -1);
-  hashes_.resize(n);
-  for (int64_t r = 0; r < n; r++) {
-    bool has_null = false;
-    for (int c : build_keys_) has_null |= rows_->IsNull(c, r);
-    if (has_null) {
-      has_null_key_ = true;  // poison for NOT IN semantics
-      continue;              // NULL keys never match
-    }
-    const uint64_t h = HashRow(r);
-    hashes_[r] = h;
-    const uint64_t slot = h & bucket_mask_;
-    next_[r] = buckets_[slot];
-    buckets_[slot] = r;
-  }
+  for (const WorkerPartial& p : partials) has_null_key_ |= p.saw_null_key;
 
-  // Make the build phase visible in the per-operator profile: the chain
-  // operators reported their own entries; this one carries the barrier
-  // (merge + index) cost and the built row count.
-  OperatorProfile prof;
-  prof.op = "JoinBuild(" + std::to_string(W) + ")";
-  prof.rows = n;
-  prof.open_ns = NowNs() - t0;
-  ctx->RecordOperator(std::move(prof));
-  return Status::OK();
+  // Phase 2 — merge fan-out: each partition is concatenated and
+  // hash-indexed by its own scheduler task; partitions share nothing, so
+  // the old single-threaded barrier merge becomes an embarrassingly
+  // parallel pipeline. Each task records its own profile entry (timed
+  // from here: the chain operators already reported their drain time, so
+  // these carry only the merge + index cost — and per-partition entries
+  // expose partition skew via the profile's max column).
+  partitions_.resize(P);
+  return RunPipelineTasks(
+      sched, ctx->quota, ctx->cancel, P,
+      [this, &partials, ctx, W](int p, TaskGroup& group) -> Status {
+        X100_RETURN_IF_ERROR(group.CheckCancel());
+        const int64_t t0 = NowNs();
+        Partition& part = partitions_[p];
+        if (W == 1) {
+          part.rows = std::move(partials[0].rows[p]);
+          part.hashes = std::move(partials[0].hashes[p]);
+        } else {
+          part.rows = std::make_unique<RowBuffer>(build_schema_);
+          for (WorkerPartial& wp : partials) {
+            part.rows->AppendRows(*wp.rows[p]);
+            part.hashes.insert(part.hashes.end(), wp.hashes[p].begin(),
+                               wp.hashes[p].end());
+          }
+        }
+        const int64_t n = part.rows->rows();
+        part.buckets.assign(std::max<uint64_t>(16, NextPow2(n * 2)), -1);
+        part.bucket_mask = part.buckets.size() - 1;
+        part.next.assign(n, -1);
+        for (int64_t r = 0; r < n; r++) {
+          const uint64_t slot = part.hashes[r] & part.bucket_mask;
+          part.next[r] = part.buckets[slot];
+          part.buckets[slot] = r;
+        }
+        OperatorProfile prof;
+        prof.op = "JoinBuildMerge";
+        prof.rows = n;
+        prof.open_ns = NowNs() - t0;
+        ctx->RecordOperator(std::move(prof));
+        return Status::OK();
+      },
+      /*help_tag=*/this);
 }
 
 Status JoinBuildState::EnsureBuilt(ExecContext* ctx) {
@@ -153,13 +184,29 @@ Status JoinBuildState::EnsureBuilt(ExecContext* ctx) {
       return Status::Cancelled("join build side already closed");
     }
     if (state_ == State::kBuilding) {
-      // Another pipeline worker is building; sleep until its barrier
-      // completes. Deliberately NO task-stealing here: the builder makes
-      // progress on its own thread (its TaskGroup::Wait runs the build
-      // tasks inline if no worker is free), while stealing an arbitrary
-      // task from this frame could inline-execute work that depends on a
-      // barrier suspended beneath us — an unrecoverable self-deadlock.
-      built_cv_.wait(lock, [&] { return state_ == State::kBuilt; });
+      // Another pipeline worker is building. Stealing an ARBITRARY task
+      // from this frame could inline-execute work that depends on a
+      // barrier suspended beneath us — an unrecoverable self-deadlock —
+      // but tasks tagged with THIS build (its drain chains and its
+      // per-partition merge tasks) never wait on this build's own
+      // completion, so running them here is safe and turns the waiters
+      // into extra build workers: without this, sibling pipeline tasks
+      // parked in EnsureBuilt would occupy the whole pool and serialize
+      // the merge fan-out onto the builder's thread.
+      TaskScheduler* sched = ctx->scheduler != nullptr
+                                 ? ctx->scheduler
+                                 : TaskScheduler::Global();
+      while (state_ != State::kBuilt) {
+        lock.unlock();
+        if (!sched->RunOneTask(/*tag=*/this)) {
+          lock.lock();
+          if (state_ != State::kBuilt) {
+            built_cv_.wait_for(lock, std::chrono::milliseconds(1));
+          }
+        } else {
+          lock.lock();
+        }
+      }
       return build_status_;
     }
     state_ = State::kBuilding;
@@ -217,8 +264,7 @@ bool JoinProber::ProbeKeyHasNull(const Batch& probe, int i) const {
 }
 
 bool JoinProber::KeysEqual(const Batch& probe, int probe_i,
-                           int64_t build_row) const {
-  const RowBuffer& rows = state_->rows();
+                           const RowBuffer& rows, int64_t build_row) const {
   const std::vector<int>& bkeys = state_->build_keys();
   for (size_t k = 0; k < probe_keys_.size(); k++) {
     const Vector* pv = probe.column(probe_keys_[k]);
@@ -258,7 +304,8 @@ bool JoinProber::KeysEqual(const Batch& probe, int probe_i,
   return true;
 }
 
-void JoinProber::EmitPair(const Batch& probe, int probe_i, int64_t build_row,
+void JoinProber::EmitPair(const Batch& probe, int probe_i,
+                          const RowBuffer& build, int64_t build_row,
                           int out_i) {
   const int pcols = probe.num_columns();
   for (int c = 0; c < pcols; c++) {
@@ -266,8 +313,8 @@ void JoinProber::EmitPair(const Batch& probe, int probe_i, int64_t build_row,
     Vector* dst = out_->column(c);
     dst->CopyFrom(src, probe_i, 1, out_i);
   }
-  for (int c = 0; c < state_->rows().schema().num_fields(); c++) {
-    state_->rows().GatherCell(c, build_row, out_->column(pcols + c), out_i);
+  for (int c = 0; c < build.schema().num_fields(); c++) {
+    build.GatherCell(c, build_row, out_->column(pcols + c), out_i);
   }
 }
 
@@ -324,14 +371,16 @@ Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
             type_ == JoinType::kAntiNullAware) {
           bool matched = false;
           if (!key_null) {
-            int64_t node = state_->BucketHead(probe_hashes_[probe_pos_]);
+            const uint64_t h = probe_hashes_[probe_pos_];
+            const JoinBuildState::Partition& part = state_->partition(h);
+            int64_t node = part.Head(h);
             while (node >= 0) {
-              if (state_->HashAt(node) == probe_hashes_[probe_pos_] &&
-                  KeysEqual(*probe_batch_, i, node)) {
+              if (part.hashes[node] == h &&
+                  KeysEqual(*probe_batch_, i, *part.rows, node)) {
                 matched = true;
                 break;
               }
-              node = state_->NextRow(node);
+              node = part.next[node];
             }
           }
           bool emit;
@@ -362,19 +411,21 @@ Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
           continue;
         }
 
-        // Inner / left outer: walk (or resume) the chain.
+        // Inner / left outer: walk (or resume) the chain. The partition
+        // is a pure function of the probe hash, so a resumed row lands
+        // back in the partition its chain_pos_ refers to.
+        const uint64_t h = probe_hashes_[probe_pos_];
+        const JoinBuildState::Partition& part = state_->partition(h);
         if (chain_pos_ < 0 && !row_matched_) {
-          chain_pos_ = key_null
-                           ? -1
-                           : state_->BucketHead(probe_hashes_[probe_pos_]);
+          chain_pos_ = key_null ? -1 : part.Head(h);
         }
         bool overflowed = false;
         while (chain_pos_ >= 0) {
           const int64_t node = chain_pos_;
-          chain_pos_ = state_->NextRow(node);
-          if (state_->HashAt(node) == probe_hashes_[probe_pos_] &&
-              KeysEqual(*probe_batch_, i, node)) {
-            EmitPair(*probe_batch_, i, node, filled);
+          chain_pos_ = part.next[node];
+          if (part.hashes[node] == h &&
+              KeysEqual(*probe_batch_, i, *part.rows, node)) {
+            EmitPair(*probe_batch_, i, *part.rows, node, filled);
             filled++;
             row_matched_ = true;
             if (filled >= ctx->vector_size) {

@@ -13,8 +13,12 @@
 //
 // Pipeline decomposition (docs/EXECUTION.md): the build side is its own
 // pipeline. JoinBuildState owns N cloned build chains, drains them with
-// scheduler tasks into per-worker row buffers, and merges + indexes them
-// at the TaskGroup barrier — after which the table is immutable and any
+// scheduler tasks into per-worker, per-partition row buffers — rows are
+// radix-partitioned by the TOP `radix_bits` bits of the key hash as they
+// arrive — then merges + hash-indexes each of the 2^radix_bits
+// partitions with an independent scheduler task (no cross-partition
+// synchronization; radix_bits = 0 degenerates to the single-table path).
+// After the merge fan-out's barrier the table is immutable and any
 // number of probe pipelines read it concurrently:
 //  * JoinProbeOp  — one probe worker chain against the shared table; the
 //                   physical planner clones it per pipeline worker.
@@ -45,20 +49,39 @@ enum class JoinType : uint8_t {
 
 const char* JoinTypeName(JoinType t);
 
-/// The shared, immutable-after-build side of a hash join. Built exactly
-/// once per query by whichever caller reaches EnsureBuilt first (the
-/// planner's pipeline sinks pre-build; racing probe workers help the
-/// scheduler while they wait). Records a synthetic "JoinBuild(N)" entry
-/// in the query profile so the build phase is visible per-operator.
+/// The shared, immutable-after-build side of a hash join, radix-
+/// partitioned by the top `radix_bits` bits of the key hash. Built
+/// exactly once per query by whichever caller reaches EnsureBuilt first;
+/// concurrent callers help run the build's own scheduler tasks (drain +
+/// per-partition merge, all tagged with this state) while they wait.
+/// Records one "JoinBuildMerge" entry per partition merge task in the
+/// query profile so merge parallelism — and partition skew — is visible
+/// per-operator (replacing the old serial "JoinBuild(N)" entry).
 class JoinBuildState {
  public:
-  JoinBuildState(std::vector<OperatorPtr> chains,
-                 std::vector<int> build_keys);
+  /// One radix partition of the built table: rows whose key hash has the
+  /// same top `radix_bits` bits, with a private chained hash index.
+  struct Partition {
+    std::unique_ptr<RowBuffer> rows;
+    std::vector<int64_t> buckets;  // head index per bucket, -1 empty
+    std::vector<int64_t> next;     // chain (partition-local row ids)
+    std::vector<uint64_t> hashes;
+    uint64_t bucket_mask = 0;
+
+    int64_t Head(uint64_t hash) const { return buckets[hash & bucket_mask]; }
+  };
+
+  /// `radix_bits` = 0 keeps the single-table path (one partition, one
+  /// merge task) — the fallback for serial plans and tiny builds.
+  JoinBuildState(std::vector<OperatorPtr> chains, std::vector<int> build_keys,
+                 int radix_bits = 0);
 
   /// Runs the build pipeline if it has not run yet: N scheduler tasks
-  /// drain the chains into per-worker buffers, merged + hash-indexed at
-  /// the barrier. Safe to call from any thread; every caller observes the
-  /// build's status.
+  /// drain the chains into per-worker, per-partition buffers, then
+  /// 2^radix_bits merge tasks concatenate and hash-index one partition
+  /// each. Safe to call from any thread; every caller observes the
+  /// build's status, and callers that lose the build race help run the
+  /// build's tagged tasks instead of blocking.
   Status EnsureBuilt(ExecContext* ctx);
 
   /// Closes any chain the build tasks did not get to (cancellation /
@@ -68,22 +91,24 @@ class JoinBuildState {
   const Schema& schema() const { return build_schema_; }
 
   // Probe-side accessors; valid only after EnsureBuilt returned OK.
-  const RowBuffer& rows() const { return *rows_; }
-  int64_t BucketHead(uint64_t hash) const {
-    return buckets_[hash & bucket_mask_];
+  int radix_bits() const { return radix_bits_; }
+  int num_partitions() const { return 1 << radix_bits_; }
+  size_t PartitionOf(uint64_t hash) const {
+    return RadixPartitionOf(hash, radix_bits_);
   }
-  int64_t NextRow(int64_t node) const { return next_[node]; }
-  uint64_t HashAt(int64_t node) const { return hashes_[node]; }
+  const Partition& partition(uint64_t hash) const {
+    return partitions_[PartitionOf(hash)];
+  }
   bool has_null_key() const { return has_null_key_; }
   const std::vector<int>& build_keys() const { return build_keys_; }
 
  private:
   Status Build(ExecContext* ctx);
-  uint64_t HashRow(int64_t row) const;
 
   std::vector<OperatorPtr> chains_;
   std::vector<int> build_keys_;
   Schema build_schema_;
+  int radix_bits_;
 
   std::mutex mu_;
   std::condition_variable built_cv_;
@@ -94,11 +119,7 @@ class JoinBuildState {
   Status build_status_;
   bool chains_closed_ = false;
 
-  std::unique_ptr<RowBuffer> rows_;
-  std::vector<int64_t> buckets_;  // head index per bucket, -1 empty
-  std::vector<int64_t> next_;     // chain
-  std::vector<uint64_t> hashes_;
-  uint64_t bucket_mask_ = 0;
+  std::vector<Partition> partitions_;  // 2^radix_bits, built in parallel
   bool has_null_key_ = false;  // poison for NOT IN semantics
 };
 
@@ -119,9 +140,10 @@ class JoinProber {
 
  private:
   bool ProbeKeyHasNull(const Batch& probe, int i) const;
-  bool KeysEqual(const Batch& probe, int probe_i, int64_t build_row) const;
-  void EmitPair(const Batch& probe, int probe_i, int64_t build_row,
-                int out_i);
+  bool KeysEqual(const Batch& probe, int probe_i, const RowBuffer& build,
+                 int64_t build_row) const;
+  void EmitPair(const Batch& probe, int probe_i, const RowBuffer& build,
+                int64_t build_row, int out_i);
   void EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
                      bool null_build_side);
 

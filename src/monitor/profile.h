@@ -16,7 +16,12 @@
 namespace x100 {
 
 /// Counters for one operator instance of an executed plan. In a parallel
-/// plan each producer clone reports its own entry.
+/// plan each producer clone reports its own entry, and pipeline barriers
+/// record synthetic entries for work that is not an operator: one
+/// "JoinBuildMerge" / "AggMerge" entry PER radix-partition merge task
+/// (rows = that partition's rows/groups), so both the merge fan-out's
+/// parallelism and its partition skew are visible — ToString's max(us)
+/// column is the slowest instance, i.e. the merge's critical path.
 struct OperatorProfile {
   std::string op;        // operator display name, e.g. "HashJoin[inner]"
   int64_t batches = 0;   // non-empty batches produced
