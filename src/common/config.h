@@ -45,8 +45,19 @@ struct EngineConfig {
   ///       builds and the reference configuration in bench sweeps),
   ///  >0 = exactly 2^radix_bits partitions.
   int radix_bits = -1;
-  /// Memory accounting limit in bytes (0 = unlimited).
+  /// Memory accounting limit in bytes (0 = unlimited, unless the
+  /// X100_MEMORY_LIMIT environment knob supplies a default — see
+  /// Database::ResolvedMemoryLimit). Enforced by the per-query
+  /// MemoryTracker: pipeline breakers whose reservation fails spill whole
+  /// radix partitions / sorted runs to the SimulatedDisk, or surface
+  /// kResourceExhausted when spilling is disabled.
   int64_t memory_limit = 0;
+  /// Out-of-core execution: when a breaker's memory reservation fails,
+  /// spill radix partitions (join build, aggregation) and sorted runs
+  /// (sort) to disk instead of failing the query. false turns a failed
+  /// reservation into kResourceExhausted, unwound through the pipeline
+  /// cancellation machinery.
+  bool enable_spill = true;
   /// Buffer pool capacity in blocks.
   int buffer_pool_blocks = 256;
   /// Use cooperative scans (ABM relevance policy) instead of attach-LRU.
@@ -78,6 +89,28 @@ inline int EffectiveRadixBits(int configured, int parallelism) {
   int bits = 1;
   while ((1 << bits) < 2 * parallelism && bits < kMaxRadixBits) bits++;
   return bits;
+}
+
+/// Tiny-build cutoff for AUTO radix sizing: below this many estimated
+/// build rows the ~2^radix_bits empty per-worker partition buffers cost
+/// more than the single merge task they replace, so the planner keeps the
+/// single-table path. Explicit radix_bits settings are never overridden.
+inline constexpr int64_t kTinyBuildRows = 4096;
+
+/// Spill floor: a pipeline breaker only goes out of core when its
+/// spillable state exceeds this many bytes; anything smaller is
+/// force-admitted as minimum working set instead. Without the floor, a
+/// worker squeezed by OTHER operators' reservations degrades into
+/// hundreds of micro-spills (serialize + write + reload + merge for a
+/// few hundred bytes each) that free almost nothing.
+inline constexpr int64_t kMinSpillBytes = 16 * 1024;
+
+/// Applies the tiny-build cutoff to an already-resolved radix_bits.
+/// `estimated_rows < 0` means the planner could not bound the build
+/// cardinality (e.g. an aggregation feeds the build) — keep partitioning.
+inline int RadixBitsForBuild(int effective_bits, int64_t estimated_rows) {
+  if (estimated_rows >= 0 && estimated_rows < kTinyBuildRows) return 0;
+  return effective_bits;
 }
 
 }  // namespace x100

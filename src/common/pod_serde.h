@@ -1,0 +1,70 @@
+// POD append/read helpers shared by the spill serialization sites (row
+// buffers, group tables, join build chunks).
+//
+// Reads are bounds- AND overflow-checked: every length field in a spill
+// blob is attacker-grade untrusted as far as the reload code is concerned
+// (a truncated write, a disk bug), and `pos + n > size` style checks wrap
+// for huge n. Reader maintains pos <= size as an invariant and compares
+// against the REMAINING bytes, so no arithmetic here can overflow. A
+// corrupt blob must fail cleanly — never fault.
+#ifndef X100_COMMON_POD_SERDE_H_
+#define X100_COMMON_POD_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace x100 {
+namespace serde {
+
+template <typename T>
+inline void AppendPod(std::vector<uint8_t>* out, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+inline void AppendPodVec(std::vector<uint8_t>* out, const std::vector<T>& v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(v.data());
+  out->insert(out->end(), p, p + v.size() * sizeof(T));
+}
+
+/// Bounds-checked reader over a serialized blob. Invariant: pos <= size.
+struct Reader {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  size_t pos = 0;
+
+  size_t remaining() const { return size - pos; }
+
+  /// Borrows `n` raw bytes.
+  bool Take(size_t n, const uint8_t** out) {
+    if (n > remaining()) return false;
+    *out = data + pos;
+    pos += n;
+    return true;
+  }
+
+  template <typename T>
+  bool TakePod(T* v) {
+    const uint8_t* p;
+    if (!Take(sizeof(T), &p)) return false;
+    std::memcpy(v, p, sizeof(T));
+    return true;
+  }
+
+  /// Reads `n` elements of T; the element-count compare cannot overflow.
+  template <typename T>
+  bool TakePodVec(size_t n, std::vector<T>* v) {
+    if (n > remaining() / sizeof(T)) return false;
+    v->resize(n);
+    std::memcpy(v->data(), data + pos, n * sizeof(T));
+    pos += n * sizeof(T);
+    return true;
+  }
+};
+
+}  // namespace serde
+}  // namespace x100
+
+#endif  // X100_COMMON_POD_SERDE_H_

@@ -3,6 +3,8 @@
 #ifndef X100_ENGINE_DATABASE_H_
 #define X100_ENGINE_DATABASE_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/memory_tracker.h"
 #include "common/task_scheduler.h"
 #include "monitor/monitor.h"
 #include "pdt/transaction.h"
@@ -23,8 +26,36 @@ class Database {
  public:
   explicit Database(EngineConfig config = EngineConfig())
       : config_(config),
+        memory_(ResolvedMemoryLimit(config.memory_limit)),
         disk_(config.disk_bandwidth),
         buffers_(&disk_, config.buffer_pool_blocks) {}
+
+  /// The process-wide memory budget: config.memory_limit, or — when the
+  /// config leaves it at 0 (unlimited) — the X100_MEMORY_LIMIT environment
+  /// knob, which lets CI run the whole test suite with a tight default so
+  /// the sanitizer jobs exercise the spill paths without per-test setup.
+  static int64_t ResolvedMemoryLimit(int64_t configured) {
+    if (configured != 0) return configured;
+    const char* env = std::getenv("X100_MEMORY_LIMIT");
+    if (env == nullptr || *env == '\0') return 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    // Strict plain-bytes parse: "4M"-style suffixes or garbage would
+    // otherwise silently become a wrong (or disabled) budget — warn once
+    // and run unlimited instead.
+    if (end == env || *end != '\0' || v < 0) {
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "x100: ignoring malformed X100_MEMORY_LIMIT=\"%s\" "
+                     "(expected plain bytes, e.g. 4194304)\n",
+                     env);
+      }
+      return 0;
+    }
+    return v;
+  }
 
   /// Starts a table definition; finish with RegisterTable(builder.Finish()).
   std::unique_ptr<TableBuilder> CreateTable(const std::string& name,
@@ -76,6 +107,12 @@ class Database {
     return own_scheduler_.get();
   }
 
+  /// Root of the memory-tracker hierarchy: every query's tracker parents
+  /// here, so used() is the engine-wide footprint of materialized query
+  /// state. The limit follows the config: QueryExecutor re-applies it at
+  /// each query start (tests flip config().memory_limit between runs).
+  MemoryTracker* memory() { return &memory_; }
+
   SimulatedDisk* disk() { return &disk_; }
   BufferManager* buffers() { return &buffers_; }
   TransactionManager* txn_manager() { return &txn_manager_; }
@@ -85,6 +122,7 @@ class Database {
 
  private:
   EngineConfig config_;
+  MemoryTracker memory_;
   std::mutex scheduler_mu_;
   std::unique_ptr<TaskScheduler> own_scheduler_;
   std::vector<std::unique_ptr<TaskScheduler>> retired_schedulers_;

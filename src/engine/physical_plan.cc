@@ -203,6 +203,23 @@ Result<OperatorPtr> AggrFactory(const AlgebraPtr& node, PlannerContext* pc,
       std::move(child), std::move(keys), std::move(aggs)));
 }
 
+/// Upper-bound row estimate for a streaming build spine: a scan's table
+/// row count carried through Select/Project links (they never add rows).
+/// Joins (inner joins multiply) and breakers return -1 (unknown).
+int64_t EstimateSpineRows(const AlgebraPtr& node, Database* db) {
+  switch (node->kind) {
+    case AlgebraNode::Kind::kScan: {
+      auto table = db->GetTable(node->table);
+      return table.ok() ? (*table)->base()->num_rows() : -1;
+    }
+    case AlgebraNode::Kind::kSelect:
+    case AlgebraNode::Kind::kProject:
+      return EstimateSpineRows(node->children[0], db);
+    default:
+      return -1;
+  }
+}
+
 Result<OperatorPtr> JoinFactory(const AlgebraPtr& node, PlannerContext* pc,
                                 const PhysicalPlanner* planner) {
   // The build side is its own pipeline behind a shared JoinBuildState:
@@ -225,8 +242,17 @@ Result<OperatorPtr> JoinFactory(const AlgebraPtr& node, PlannerContext* pc,
       if (c < 0) return Status::NotFound("build key not found: " + k);
       bkeys.push_back(c);
     }
+    // Tiny-build cutoff, applied only under AUTO radix sizing: when the
+    // scan spine bounds the build under kTinyBuildRows, partitioning
+    // would cost ~2^radix_bits empty per-worker buffers for a merge that
+    // one task handles comfortably.
+    int build_bits = pc->radix_bits;
+    if (pc->configured_radix_bits < 0) {
+      build_bits = RadixBitsForBuild(
+          build_bits, EstimateSpineRows(node->children[0], pc->db));
+    }
     state = std::make_shared<JoinBuildState>(
-        std::move(build_chains), std::move(bkeys), pc->radix_bits);
+        std::move(build_chains), std::move(bkeys), build_bits);
   }
   OperatorPtr probe;
   X100_ASSIGN_OR_RETURN(probe, planner->Build(node->children[1], pc));

@@ -53,6 +53,12 @@ struct PlannerContext {
   /// partitioning). Threaded into JoinBuildState / ParallelHashAggOp so
   /// their barrier merges fan out over 2^radix_bits partition tasks.
   int radix_bits = 0;
+  /// The raw EngineConfig::radix_bits value. Auto (-1) lets the join
+  /// factory apply the tiny-build cutoff (RadixBitsForBuild): a build
+  /// whose scan spine bounds it under kTinyBuildRows skips partitioning
+  /// instead of paying ~2^radix_bits empty buffers per worker. Explicit
+  /// settings pass through untouched.
+  int configured_radix_bits = -1;
   /// True while building one of the N clones of a pipeline (set by
   /// BuildPipelineChains): scans then draw from a shared MorselSource.
   bool cloning = false;

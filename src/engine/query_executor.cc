@@ -16,6 +16,7 @@ Result<OperatorPtr> QueryExecutor::Build(const AlgebraPtr& plan,
   pc.parallelism = std::max(1, db_->config().max_parallelism);
   pc.radix_bits =
       EffectiveRadixBits(db_->config().radix_bits, pc.parallelism);
+  pc.configured_radix_bits = db_->config().radix_bits;
   // Root dispatch handles the one shape the factories cannot: a join at
   // the plan root gets its probe clones unioned by an exchange sink.
   return BuildRootOperator(plan, &pc, planner_);
@@ -32,12 +33,23 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   // Admission control: this query's pipelines draw task slots from one
   // quota, so a single wide query cannot flood the shared pool.
   TaskQuota quota(db_->config().query_task_quota);
+  // Memory governance: the query charges a child tracker rolling up into
+  // the Database's process-wide budget; the limit is re-read from the
+  // config here so tests/benches can sweep it between queries. The
+  // tracker must outlive the operator tree (declared before `root`):
+  // JoinBuildState and the breaker operators hold reservations until
+  // they are destroyed.
+  db_->memory()->set_limit(
+      Database::ResolvedMemoryLimit(db_->config().memory_limit));
+  MemoryTracker query_memory(/*limit=*/0, db_->memory());
   ExecContext ctx;
   ctx.vector_size = db_->config().vector_size;
   ctx.cancel = cancel;
   ctx.events = db_->events();
   ctx.scheduler = db_->scheduler();
   ctx.quota = &quota;
+  ctx.memory = &query_memory;
+  ctx.spill_disk = db_->config().enable_spill ? db_->disk() : nullptr;
 
   const int64_t qid =
       db_->queries()->Begin(text.empty() ? "<algebra query>" : text);

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.h"
 #include "common/hash.h"
+#include "common/pod_serde.h"
 #include "common/task_scheduler.h"
 #include "primitives/hash_kernels.h"
 
@@ -133,6 +134,71 @@ Result<uint32_t> GroupTable::FindOrAdd(
   }
   keys_->AppendRowFromVectors(key_vecs, row);
   return FinishNewGroup(hash);
+}
+
+size_t GroupTable::MemoryBytes() const {
+  size_t b = keys_->MemoryBytes();
+  b += (buckets_.capacity() + chain_.capacity()) * sizeof(int64_t);
+  b += key_hashes_.capacity() * sizeof(uint64_t);
+  for (const Accum& a : accums_) {
+    b += a.i64.capacity() * sizeof(int64_t) +
+         a.f64.capacity() * sizeof(double) +
+         a.count.capacity() * sizeof(int64_t);
+  }
+  return b;
+}
+
+void GroupTable::SerializeTo(std::vector<uint8_t>* out) const {
+  // [u64 keys blob size][keys RowBuffer][hashes][per accum: i64/f64/count].
+  // The open-addressed index is rebuilt on reload — hashes are enough.
+  std::vector<uint8_t> keys_blob;
+  keys_->SerializeTo(&keys_blob);
+  serde::AppendPod<uint64_t>(out, keys_blob.size());
+  out->insert(out->end(), keys_blob.begin(), keys_blob.end());
+  serde::AppendPodVec(out, key_hashes_);
+  for (const Accum& a : accums_) {
+    serde::AppendPodVec(out, a.i64);
+    serde::AppendPodVec(out, a.f64);
+    serde::AppendPodVec(out, a.count);
+  }
+}
+
+Result<std::unique_ptr<GroupTable>> GroupTable::Deserialize(
+    const Schema& key_schema, std::vector<AggKind> kinds,
+    std::vector<TypeId> in_types, const uint8_t* data, size_t size) {
+  const Status corrupt = Status::IoError("corrupt agg spill chunk");
+  serde::Reader in{data, size};
+  uint64_t keys_bytes;
+  const uint8_t* keys_blob;
+  if (!in.TakePod(&keys_bytes) ||
+      !in.Take(static_cast<size_t>(keys_bytes), &keys_blob)) {
+    return corrupt;
+  }
+  auto t = std::make_unique<GroupTable>(key_schema, std::move(kinds),
+                                        std::move(in_types));
+  auto keys = RowBuffer::Deserialize(key_schema, keys_blob,
+                                     static_cast<size_t>(keys_bytes));
+  X100_RETURN_IF_ERROR(keys.status());
+  t->keys_ = std::move(keys).value();
+  const size_t n = static_cast<size_t>(t->keys_->rows());
+  if (!in.TakePodVec(n, &t->key_hashes_)) return corrupt;
+  for (Accum& a : t->accums_) {
+    if (!in.TakePodVec(n, &a.i64) || !in.TakePodVec(n, &a.f64) ||
+        !in.TakePodVec(n, &a.count)) {
+      return corrupt;
+    }
+  }
+  // Rebuild the index so the reloaded table is fully functional (MergeFrom
+  // sources only need keys/hashes/accums, but a valid table is cheap).
+  t->buckets_.assign(std::max<size_t>(1024, NextPow2(n * 2)), -1);
+  t->bucket_mask_ = t->buckets_.size() - 1;
+  t->chain_.resize(n);
+  for (size_t r = 0; r < n; r++) {
+    const uint64_t slot = t->key_hashes_[r] & t->bucket_mask_;
+    t->chain_[r] = t->buckets_[slot];
+    t->buckets_[slot] = static_cast<int64_t>(r);
+  }
+  return t;
 }
 
 void GroupTable::EnsureGlobalGroup() {
@@ -275,17 +341,110 @@ Status AggWorkerState::Prepare(const std::vector<ExprPtr>& bound_keys,
   // Keyless aggregation has exactly one global group — nothing to
   // partition; the serial operator also always runs unpartitioned.
   radix_bits_ = bound_keys.empty() || radix_bits < 0 ? 0 : radix_bits;
-  std::vector<AggKind> kinds;
-  for (const AggItem& a : aggs) kinds.push_back(a.kind);
+  kinds_.clear();
+  for (const AggItem& a : aggs) kinds_.push_back(a.kind);
+  key_schema_ = key_schema;
+  in_types_ = in_types;
   tables_.clear();
   for (int p = 0; p < num_partitions(); p++) {
     tables_.push_back(
-        std::make_unique<GroupTable>(key_schema, kinds, in_types));
+        std::make_unique<GroupTable>(key_schema, kinds_, in_types));
   }
+  spilled_.clear();
+  spilled_.resize(num_partitions());
+  spill_bytes_ = spill_chunks_ = spill_rows_ = 0;
+  reserv_.ReleaseAll();
   gids_.resize(vector_size);
   parts_.assign(vector_size, 0);
   hashes_.resize(vector_size);
   return Status::OK();
+}
+
+Status AggWorkerState::EnsureReservation(ExecContext* ctx) {
+  reserv_.Init(ctx->memory);
+  const auto footprint = [this]() {
+    int64_t b = 0;
+    for (const auto& t : tables_) {
+      b += static_cast<int64_t>(t->MemoryBytes());
+    }
+    return b;
+  };
+  // Spill victims largest-first until one pressure event has freed at
+  // least kMinSpillBytes: per-partition tables can individually be
+  // small, and one tiny spill per batch degrades into micro-spill churn
+  // (serialize + write + reload + merge per few KB). Each spilled
+  // partition starts over with a fresh table; the barrier merge folds
+  // the chunks back via MergeFrom, so a group split across chunks
+  // recombines exactly. Freeing nothing when the total spillable state
+  // is itself below the floor makes GrowOrSpill force-admit it.
+  const auto spill_some = [this, ctx]() -> int64_t {
+    int64_t spillable = 0;
+    for (const auto& t : tables_) {
+      if (t->num_groups() > 0) {
+        spillable += static_cast<int64_t>(t->MemoryBytes());
+      }
+    }
+    if (spillable < kMinSpillBytes) return 0;
+    int64_t freed = 0;
+    while (freed < kMinSpillBytes) {
+      int victim = -1;
+      size_t best = 0;
+      for (int p = 0; p < num_partitions(); p++) {
+        if (tables_[p]->num_groups() == 0) continue;
+        const size_t b = tables_[p]->MemoryBytes();
+        if (victim < 0 || b > best) {
+          best = b;
+          victim = p;
+        }
+      }
+      if (victim < 0) break;
+      freed += static_cast<int64_t>(tables_[victim]->MemoryBytes());
+      std::vector<uint8_t> blob;
+      tables_[victim]->SerializeTo(&blob);
+      SpillFile file = SpillFile::Write(ctx->spill_disk, blob);
+      spill_bytes_ += file.bytes();
+      spill_chunks_++;
+      spill_rows_ += tables_[victim]->num_groups();
+      spilled_[victim].push_back(std::move(file));
+      tables_[victim] =
+          std::make_unique<GroupTable>(key_schema_, kinds_, in_types_);
+      if (key_progs_.empty()) tables_[victim]->EnsureGlobalGroup();
+    }
+    return freed;
+  };
+  return GrowOrSpill(&reserv_, ctx->spill_disk != nullptr, footprint,
+                     spill_some);
+}
+
+Status AggWorkerState::MergeSpilled(int partition, GroupTable* dst,
+                                    CancellationToken* cancel) const {
+  if (partition >= static_cast<int>(spilled_.size())) return Status::OK();
+  for (const SpillFile& file : spilled_[partition]) {
+    std::vector<uint8_t> blob;
+    X100_ASSIGN_OR_RETURN(blob, file.ReadAll(cancel));
+    std::unique_ptr<GroupTable> chunk;
+    X100_ASSIGN_OR_RETURN(
+        chunk, GroupTable::Deserialize(key_schema_, kinds_, in_types_,
+                                       blob.data(), blob.size()));
+    X100_RETURN_IF_ERROR(dst->MergeFrom(*chunk));
+  }
+  return Status::OK();
+}
+
+void AggWorkerState::RecordSpillProfile(ExecContext* ctx) const {
+  if (spill_chunks_ == 0) return;
+  OperatorProfile prof;
+  prof.op = "AggSpill";
+  prof.rows = spill_rows_;
+  prof.spill_bytes = spill_bytes_;
+  prof.spills = spill_chunks_;
+  ctx->RecordOperator(std::move(prof));
+}
+
+void AggWorkerState::ForceChargeTables() {
+  int64_t b = 0;
+  for (const auto& t : tables_) b += static_cast<int64_t>(t->MemoryBytes());
+  reserv_.ForceGrowTo(b);
 }
 
 Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
@@ -400,6 +559,10 @@ Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
         acc.count[g]++;
       }
     }
+
+    // Memory governance, checked once per batch (group ids stay valid
+    // within the batch; a spill swaps tables only between batches).
+    X100_RETURN_IF_ERROR(EnsureReservation(ctx));
   }
   return Status::OK();
 }
@@ -514,6 +677,15 @@ void HashAggOp::CloseImpl() {
 Result<Batch*> HashAggOp::NextImpl() {
   if (!consumed_) {
     X100_RETURN_IF_ERROR(worker_.ConsumeAll(child_.get(), ctx_, agg_items_));
+    // Out-of-core drain: fold any spilled chunks back into the (single,
+    // serial) table before emitting; the reloaded result must be
+    // resident, hence the force charge.
+    if (worker_.spilled()) {
+      worker_.RecordSpillProfile(ctx_);
+      X100_RETURN_IF_ERROR(
+          worker_.MergeSpilled(0, worker_.table(0), ctx_->cancel));
+      worker_.ForceChargeTables();
+    }
     consumed_ = true;
   }
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
@@ -593,6 +765,7 @@ Status ParallelHashAggOp::ParallelConsume() {
           s = workers_[w]->ConsumeAll(chain, ctx_, agg_items_);
         }
         chain->Close();
+        workers_[w]->RecordSpillProfile(ctx_);
         return s;
       }));
 
@@ -604,6 +777,8 @@ Status ParallelHashAggOp::ParallelConsume() {
   // visible. A keyless aggregation still emits its single global row on
   // empty input.
   if (binding_.bound_keys.empty()) final_[0]->EnsureGlobalGroup();
+  final_mem_.clear();
+  final_mem_.resize(P);
   X100_RETURN_IF_ERROR(RunPipelineTasks(
       sched, ctx_->quota, ctx_->cancel, P,
       [this](int p, TaskGroup& group) -> Status {
@@ -611,7 +786,17 @@ Status ParallelHashAggOp::ParallelConsume() {
         const auto t0 = std::chrono::steady_clock::now();
         for (auto& ws : workers_) {
           X100_RETURN_IF_ERROR(final_[p]->MergeFrom(*ws->table(p)));
+          // Merge-on-reload: chunks this worker spilled for partition p
+          // rejoin the fold here, after the live table (order does not
+          // matter — MergeFrom combines by aggregate kind).
+          X100_RETURN_IF_ERROR(
+              ws->MergeSpilled(p, final_[p].get(), ctx_->cancel));
         }
+        // The merged partition must be resident to emit; the drain phase
+        // is what spilling bounds. Released when the operator dies.
+        final_mem_[p].Init(ctx_->memory);
+        final_mem_[p].ForceGrowTo(
+            static_cast<int64_t>(final_[p]->MemoryBytes()));
         OperatorProfile prof;
         prof.op = "AggMerge";
         prof.rows = final_[p]->num_groups();

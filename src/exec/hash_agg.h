@@ -27,11 +27,13 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/expression.h"
 #include "exec/operator.h"
 #include "exec/row_buffer.h"
 #include "exec/select_project.h"
 #include "primitives/agg_kernels.h"
+#include "storage/spill_file.h"
 
 namespace x100 {
 
@@ -79,6 +81,17 @@ class GroupTable {
   Accum& accum(size_t a) { return accums_[a]; }
   const Accum& accum(size_t a) const { return accums_[a]; }
 
+  /// Footprint for memory accounting: key rows, index, accumulators.
+  size_t MemoryBytes() const;
+
+  /// Spill serialization: key rows + hashes + accumulator arrays (the
+  /// index is rebuilt on reload). kinds/in_types are NOT serialized —
+  /// the reloader constructs the table and merges it back via MergeFrom.
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  static Result<std::unique_ptr<GroupTable>> Deserialize(
+      const Schema& key_schema, std::vector<AggKind> kinds,
+      std::vector<TypeId> in_types, const uint8_t* data, size_t size);
+
  private:
   /// Appends a group row (already added to keys_) to the index +
   /// accumulators; rehashes at ~0.7 load factor.
@@ -123,7 +136,31 @@ class AggWorkerState {
   }
   int num_partitions() const { return 1 << radix_bits_; }
 
+  /// Reloads every chunk this worker spilled for `partition` and folds it
+  /// into `dst` via MergeFrom — the merge-on-reload half of out-of-core
+  /// aggregation. Called at the pipeline barrier (parallel: by the
+  /// partition's merge task into the final table; serial: back into the
+  /// worker's own table).
+  Status MergeSpilled(int partition, GroupTable* dst,
+                      CancellationToken* cancel) const;
+
+  /// Records an "AggSpill" profile entry when this worker went out of
+  /// core (rows = groups spilled).
+  void RecordSpillProfile(ExecContext* ctx) const;
+
+  /// Re-charges the reservation to the tables' current footprint with no
+  /// spill fallback — the post-barrier minimum working set (the serial
+  /// operator's reloaded table must be resident to emit).
+  void ForceChargeTables();
+
+  bool spilled() const { return spill_chunks_ > 0; }
+
  private:
+  /// Grows the reservation to the tables' footprint; on failure spills
+  /// the largest partition table (whole-partition chunks) or surfaces
+  /// kResourceExhausted when ctx has no spill device.
+  Status EnsureReservation(ExecContext* ctx);
+
   std::vector<std::unique_ptr<ExprProgram>> key_progs_;
   std::vector<std::unique_ptr<ExprProgram>> agg_progs_;  // null: COUNT(*)
   int radix_bits_ = 0;
@@ -131,6 +168,16 @@ class AggWorkerState {
   std::vector<uint32_t> gids_;
   std::vector<uint32_t> parts_;  // partition per live row (radix_bits > 0)
   std::vector<uint64_t> hashes_;
+
+  // Spill construction state (what a fresh table needs) + results.
+  Schema key_schema_;
+  std::vector<AggKind> kinds_;
+  std::vector<TypeId> in_types_;
+  MemoryReservation reserv_;
+  std::vector<std::vector<SpillFile>> spilled_;  // [partition][chunk]
+  int64_t spill_bytes_ = 0;
+  int64_t spill_chunks_ = 0;
+  int64_t spill_rows_ = 0;
 };
 
 /// Binding shared by the serial and parallel operators: resolves group-by
@@ -221,6 +268,9 @@ class ParallelHashAggOp : public Operator {
 
   std::vector<std::unique_ptr<AggWorkerState>> workers_;
   std::vector<std::unique_ptr<GroupTable>> final_;  // one per partition
+  /// Charges for the merged final tables (force-reserved: they must be
+  /// resident to emit; the drain phase is what spilling bounds).
+  std::vector<MemoryReservation> final_mem_;
   bool consumed_ = false;
   std::unique_ptr<Batch> out_;
   int emit_part_ = 0;

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/bitutil.h"
+#include "common/pod_serde.h"
 #include "common/task_scheduler.h"
 #include "primitives/hash_kernels.h"
 
@@ -14,6 +15,44 @@ inline int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Spill blob for one join-build partition chunk:
+/// [i64 nrows][nrows u64 key hashes][RowBuffer serialization]. Hashes ride
+/// along so the reload never re-evaluates key expressions — build and
+/// probe stay bit-for-bit agreed on partition assignment and bucket index.
+std::vector<uint8_t> SerializeBuildChunk(const RowBuffer& rows,
+                                         const std::vector<uint64_t>& hashes) {
+  std::vector<uint8_t> blob;
+  serde::AppendPod<int64_t>(&blob, rows.rows());
+  serde::AppendPodVec(&blob, hashes);
+  rows.SerializeTo(&blob);
+  return blob;
+}
+
+/// Appends a reloaded chunk to `rows_out`/`hashes_out`.
+Status AppendBuildChunk(const Schema& schema,
+                        const std::vector<uint8_t>& blob, RowBuffer* rows_out,
+                        std::vector<uint64_t>* hashes_out) {
+  const Status corrupt =
+      Status::IoError("corrupt join spill chunk: truncated blob");
+  serde::Reader in{blob.data(), blob.size()};
+  int64_t n;
+  std::vector<uint64_t> hashes;
+  if (!in.TakePod(&n) || n < 0 ||
+      !in.TakePodVec(static_cast<size_t>(n), &hashes)) {
+    return corrupt;
+  }
+  std::unique_ptr<RowBuffer> rb;
+  X100_ASSIGN_OR_RETURN(
+      rb, RowBuffer::Deserialize(schema, blob.data() + in.pos,
+                                 in.remaining()));
+  if (rb->rows() != n) {
+    return Status::IoError("corrupt join spill chunk: row count mismatch");
+  }
+  hashes_out->insert(hashes_out->end(), hashes.begin(), hashes.end());
+  rows_out->AppendRows(*rb);
+  return Status::OK();
 }
 }  // namespace
 
@@ -63,12 +102,19 @@ Status JoinBuildState::Build(ExecContext* ctx) {
   // Per-worker, per-partition partials: rows are routed by the top hash
   // bits as they are drained, so the merge phase below has no
   // cross-partition (and no cross-worker) data dependencies at all.
+  // Partition buffers allocate lazily on first touch — a build whose
+  // hashes only reach a few partitions (or a tiny build the planner
+  // could not predict) pays nothing for the empty ones.
   struct WorkerPartial {
     std::vector<std::unique_ptr<RowBuffer>> rows;    // one per partition
     std::vector<std::vector<uint64_t>> hashes;       // parallel to rows
     bool saw_null_key = false;
+    MemoryReservation reserv;  // tracks this worker's partial footprint
+    int64_t spill_bytes = 0, spill_chunks = 0, spill_rows = 0;
   };
   std::vector<WorkerPartial> partials(W);
+  spilled_.clear();
+  spilled_.resize(P);
 
   // Phase 1 — drain pipeline: tasks drain the cloned chains (sharing one
   // morsel source underneath), hashing keys vectorized and scattering
@@ -76,6 +122,12 @@ Status JoinBuildState::Build(ExecContext* ctx) {
   // any probe; they only matter through the has_null_key poison flag, so
   // they are dropped here instead of being stored unreachable.
   // Tagged with `this` so losers of the EnsureBuilt race can help.
+  //
+  // Memory governance: after every batch the worker grows its
+  // reservation to its actual footprint. On failure it spills its
+  // largest radix partition (the whole partition-so-far, one blob) and
+  // retries; with spilling disabled the kResourceExhausted status fails
+  // this task, which cancels the group and unwinds the build.
   X100_RETURN_IF_ERROR(RunPipelineTasks(
       sched, ctx->quota, ctx->cancel, W,
       [this, &partials, ctx, P](int w, TaskGroup& group) -> Status {
@@ -83,9 +135,61 @@ Status JoinBuildState::Build(ExecContext* ctx) {
         WorkerPartial& part = partials[w];
         part.rows.resize(P);
         part.hashes.resize(P);
-        for (int p = 0; p < P; p++) {
-          part.rows[p] = std::make_unique<RowBuffer>(build_schema_);
-        }
+        part.reserv.Init(ctx->memory);
+        auto footprint = [&part, P]() {
+          int64_t b = 0;
+          for (int p = 0; p < P; p++) {
+            if (part.rows[p] != nullptr) {
+              b += static_cast<int64_t>(part.rows[p]->MemoryBytes());
+            }
+            b += static_cast<int64_t>(part.hashes[p].capacity() *
+                                      sizeof(uint64_t));
+          }
+          return b;
+        };
+        // Writes the worker's largest non-empty partition to disk and
+        // frees it, returning the freed bytes; 0 when nothing (worth the
+        // round trip) is left — totals under kMinSpillBytes make
+        // GrowOrSpill force-admit the remainder instead of churning
+        // through micro-spills.
+        auto spill_one = [this, &part, ctx, P]() -> int64_t {
+          int victim = -1;
+          size_t best = 0;
+          size_t spillable = 0;
+          for (int p = 0; p < P; p++) {
+            if (part.rows[p] == nullptr || part.rows[p]->rows() == 0) {
+              continue;
+            }
+            const size_t b = part.rows[p]->MemoryBytes() +
+                             part.hashes[p].capacity() * sizeof(uint64_t);
+            spillable += b;
+            if (victim < 0 || b > best) {
+              best = b;
+              victim = p;
+            }
+          }
+          if (victim < 0 ||
+              spillable < static_cast<size_t>(kMinSpillBytes)) {
+            return 0;
+          }
+          const std::vector<uint8_t> blob =
+              SerializeBuildChunk(*part.rows[victim], part.hashes[victim]);
+          SpillFile file = SpillFile::Write(ctx->spill_disk, blob);
+          part.spill_bytes += file.bytes();
+          part.spill_chunks++;
+          part.spill_rows += part.rows[victim]->rows();
+          {
+            std::lock_guard<std::mutex> lock(spill_mu_);
+            spilled_[victim].push_back(std::move(file));
+          }
+          part.rows[victim].reset();
+          std::vector<uint64_t>().swap(part.hashes[victim]);
+          return static_cast<int64_t>(best);
+        };
+        auto ensure = [&]() -> Status {
+          return GrowOrSpill(&part.reserv, ctx->spill_disk != nullptr,
+                             footprint, spill_one);
+        };
         std::vector<uint64_t> hash_scratch(ctx->vector_size);
         Operator* chain = chains_[w].get();
         Status s = chain->Open(ctx);
@@ -118,11 +222,23 @@ Status JoinBuildState::Build(ExecContext* ctx) {
               continue;
             }
             const size_t p = PartitionOf(hash_scratch[j]);
+            if (part.rows[p] == nullptr) {
+              part.rows[p] = std::make_unique<RowBuffer>(build_schema_);
+            }
             part.rows[p]->AppendRowFrom(batch, i);
             part.hashes[p].push_back(hash_scratch[j]);
           }
+          s = ensure();
         }
         chain->Close();
+        if (part.spill_chunks > 0) {
+          OperatorProfile prof;
+          prof.op = "JoinBuildSpill";
+          prof.rows = part.spill_rows;
+          prof.spill_bytes = part.spill_bytes;
+          prof.spills = part.spill_chunks;
+          ctx->RecordOperator(std::move(prof));
+        }
         return s;
       },
       /*help_tag=*/this));
@@ -135,7 +251,12 @@ Status JoinBuildState::Build(ExecContext* ctx) {
   // parallel pipeline. Each task records its own profile entry (timed
   // from here: the chain operators already reported their drain time, so
   // these carry only the merge + index cost — and per-partition entries
-  // expose partition skew via the profile's max column).
+  // expose partition skew via the profile's max column). Spilled chunks
+  // of this partition are re-read here (Grace-style: partition assignment
+  // is a pure function of the key hash, so the reload lands every row
+  // exactly where the in-memory path would have). The merged partition
+  // is force-charged: it must be resident for the probe phase, and the
+  // charge is released when the build state dies with its query.
   partitions_.resize(P);
   return RunPipelineTasks(
       sched, ctx->quota, ctx->cancel, P,
@@ -143,15 +264,23 @@ Status JoinBuildState::Build(ExecContext* ctx) {
         X100_RETURN_IF_ERROR(group.CheckCancel());
         const int64_t t0 = NowNs();
         Partition& part = partitions_[p];
-        if (W == 1) {
+        if (W == 1 && spilled_[p].empty() &&
+            partials[0].rows[p] != nullptr) {
           part.rows = std::move(partials[0].rows[p]);
           part.hashes = std::move(partials[0].hashes[p]);
         } else {
           part.rows = std::make_unique<RowBuffer>(build_schema_);
           for (WorkerPartial& wp : partials) {
+            if (wp.rows[p] == nullptr) continue;
             part.rows->AppendRows(*wp.rows[p]);
             part.hashes.insert(part.hashes.end(), wp.hashes[p].begin(),
                                wp.hashes[p].end());
+          }
+          for (const SpillFile& file : spilled_[p]) {
+            std::vector<uint8_t> blob;
+            X100_ASSIGN_OR_RETURN(blob, file.ReadAll(ctx->cancel));
+            X100_RETURN_IF_ERROR(AppendBuildChunk(
+                build_schema_, blob, part.rows.get(), &part.hashes));
           }
         }
         const int64_t n = part.rows->rows();
@@ -163,6 +292,13 @@ Status JoinBuildState::Build(ExecContext* ctx) {
           part.next[r] = part.buckets[slot];
           part.buckets[slot] = r;
         }
+        part.mem.Init(ctx->memory);
+        part.mem.ForceGrowTo(
+            static_cast<int64_t>(part.rows->MemoryBytes()) +
+            static_cast<int64_t>((part.buckets.capacity() +
+                                  part.next.capacity() +
+                                  part.hashes.capacity()) *
+                                 sizeof(int64_t)));
         OperatorProfile prof;
         prof.op = "JoinBuildMerge";
         prof.rows = n;

@@ -34,8 +34,10 @@
 #include <mutex>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/operator.h"
 #include "exec/row_buffer.h"
+#include "storage/spill_file.h"
 
 namespace x100 {
 
@@ -67,6 +69,10 @@ class JoinBuildState {
     std::vector<int64_t> next;     // chain (partition-local row ids)
     std::vector<uint64_t> hashes;
     uint64_t bucket_mask = 0;
+    /// Charge for the merged, probe-resident partition (force-reserved:
+    /// the table must be in memory to probe; spilling bounds the DRAIN
+    /// phase). Released when the build state is destroyed.
+    MemoryReservation mem;
 
     int64_t Head(uint64_t hash) const { return buckets[hash & bucket_mask]; }
   };
@@ -121,6 +127,16 @@ class JoinBuildState {
 
   std::vector<Partition> partitions_;  // 2^radix_bits, built in parallel
   bool has_null_key_ = false;  // poison for NOT IN semantics
+
+  /// Out-of-core drain (Grace-style): when a drain worker's memory
+  /// reservation fails it writes its largest radix partition (rows +
+  /// hashes, one self-contained blob) to a SpillFile and continues with a
+  /// fresh buffer; the partition's merge task re-reads every spilled
+  /// chunk before indexing, so build and probe agree bit-for-bit on
+  /// partition assignment regardless of what hit disk. `spill_mu_` guards
+  /// the per-partition chunk lists during the concurrent drain.
+  std::mutex spill_mu_;
+  std::vector<std::vector<SpillFile>> spilled_;  // [partition][chunk]
 };
 
 using JoinBuildStatePtr = std::shared_ptr<JoinBuildState>;

@@ -30,6 +30,8 @@ namespace x100 {
 class EventLog;        // monitor/monitor.h
 class TaskScheduler;   // common/task_scheduler.h
 class TaskQuota;       // common/task_scheduler.h
+class MemoryTracker;   // common/memory_tracker.h
+class SimulatedDisk;   // storage/simulated_disk.h
 
 /// Per-query execution context shared by all operators of a plan.
 struct ExecContext {
@@ -42,6 +44,14 @@ struct ExecContext {
   /// Per-query admission control: pipelines acquire task slots here
   /// before spawning (nullptr = unlimited). Owned by the query executor.
   TaskQuota* quota = nullptr;
+  /// Per-query memory budget (child of the Database's process-wide
+  /// tracker). nullptr = unaccounted execution (directly-built plans in
+  /// tests); pipeline breakers then never spill.
+  MemoryTracker* memory = nullptr;
+  /// Device pipeline breakers spill radix partitions / sorted runs to
+  /// when a reservation fails. nullptr = spilling disabled: a failed
+  /// reservation surfaces kResourceExhausted instead.
+  SimulatedDisk* spill_disk = nullptr;
   /// Running total of tuples produced by scans (load monitoring).
   std::atomic<int64_t> tuples_scanned{0};
   /// Block groups elided by MinMax pushdown across all scans.

@@ -1,0 +1,141 @@
+// RowBuffer spill serialization — the byte format pipeline breakers write
+// through SpillFile when a memory reservation fails.
+//
+// Layout (all little-endian, matching the in-memory representation):
+//   i64  rows
+//   per column (schema order):
+//     u8   has_nulls
+//     [rows bytes of null flags when has_nulls]
+//     kStr column:   per row { u32 len, len payload bytes } (NULL rows
+//                    write len 0) — StrRef pointers never hit disk.
+//     other columns: rows * TypeWidth raw cell bytes
+// The schema itself is not serialized: the reloading site always knows it
+// (it constructed the spilled buffer), and spilled blobs never outlive
+// their query. Deserialize treats every length field as untrusted
+// (common/pod_serde.h): corrupt blobs fail with kIoError, never fault.
+#include "exec/row_buffer.h"
+
+#include <cstdint>
+
+#include "common/pod_serde.h"
+#include "common/result.h"
+
+namespace x100 {
+
+namespace {
+
+Status Corrupt() {
+  return Status::IoError("corrupt spill blob: truncated row buffer");
+}
+
+}  // namespace
+
+void RowBuffer::SerializeTo(std::vector<uint8_t>* out) const {
+  serde::AppendPod<int64_t>(out, rows_);
+  for (int c = 0; c < schema_.num_fields(); c++) {
+    const Column& col = cols_[c];
+    serde::AppendPod<uint8_t>(out, col.nulls.empty() ? 0 : 1);
+    if (!col.nulls.empty()) {
+      out->insert(out->end(), col.nulls.begin(), col.nulls.end());
+    }
+    if (schema_.field(c).type == TypeId::kStr) {
+      const StrRef* refs = reinterpret_cast<const StrRef*>(col.fixed.data());
+      for (int64_t r = 0; r < rows_; r++) {
+        if (IsNull(c, r)) {
+          serde::AppendPod<uint32_t>(out, 0);
+          continue;
+        }
+        const std::string_view sv = refs[r].view();
+        serde::AppendPod<uint32_t>(out, static_cast<uint32_t>(sv.size()));
+        const auto* p = reinterpret_cast<const uint8_t*>(sv.data());
+        out->insert(out->end(), p, p + sv.size());
+      }
+    } else {
+      out->insert(out->end(), col.fixed.begin(), col.fixed.end());
+    }
+  }
+}
+
+void RowBuffer::SerializeRowsTo(const std::vector<int64_t>& order,
+                                int64_t begin, int64_t end,
+                                std::vector<uint8_t>* out) const {
+  const int64_t n = end - begin;
+  serde::AppendPod<int64_t>(out, n);
+  for (int c = 0; c < schema_.num_fields(); c++) {
+    const Column& col = cols_[c];
+    serde::AppendPod<uint8_t>(out, col.nulls.empty() ? 0 : 1);
+    if (!col.nulls.empty()) {
+      for (int64_t i = begin; i < end; i++) {
+        out->push_back(col.nulls[order[i]]);
+      }
+    }
+    const int w = TypeWidth(schema_.field(c).type);
+    if (schema_.field(c).type == TypeId::kStr) {
+      const StrRef* refs = reinterpret_cast<const StrRef*>(col.fixed.data());
+      for (int64_t i = begin; i < end; i++) {
+        const int64_t r = order[i];
+        if (IsNull(c, r)) {
+          serde::AppendPod<uint32_t>(out, 0);
+          continue;
+        }
+        const std::string_view sv = refs[r].view();
+        serde::AppendPod<uint32_t>(out, static_cast<uint32_t>(sv.size()));
+        const auto* p = reinterpret_cast<const uint8_t*>(sv.data());
+        out->insert(out->end(), p, p + sv.size());
+      }
+    } else {
+      for (int64_t i = begin; i < end; i++) {
+        const uint8_t* p =
+            col.fixed.data() + static_cast<size_t>(order[i]) * w;
+        out->insert(out->end(), p, p + w);
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<RowBuffer>> RowBuffer::Deserialize(
+    const Schema& schema, const uint8_t* data, size_t size) {
+  serde::Reader in{data, size};
+  int64_t rows;
+  if (!in.TakePod(&rows) || rows < 0) return Corrupt();
+  // A row count no blob of this size could hold is corruption; rejecting
+  // it here keeps every per-row loop below bounded by the blob itself.
+  if (static_cast<uint64_t>(rows) > in.remaining()) return Corrupt();
+  auto buf = std::make_unique<RowBuffer>(schema);
+  for (int c = 0; c < schema.num_fields(); c++) {
+    Column& col = buf->cols_[c];
+    uint8_t has_nulls;
+    if (!in.TakePod(&has_nulls)) return Corrupt();
+    if (has_nulls) {
+      const uint8_t* p;
+      if (!in.Take(static_cast<size_t>(rows), &p)) return Corrupt();
+      col.nulls.assign(p, p + rows);
+    }
+    const int w = TypeWidth(schema.field(c).type);
+    if (schema.field(c).type == TypeId::kStr) {
+      col.fixed.reserve(static_cast<size_t>(rows) * sizeof(StrRef));
+      for (int64_t r = 0; r < rows; r++) {
+        uint32_t len;
+        if (!in.TakePod(&len)) return Corrupt();
+        const uint8_t* p = nullptr;
+        if (len > 0 && !in.Take(len, &p)) return Corrupt();
+        const bool null = has_nulls && col.nulls[r] != 0;
+        const StrRef ref =
+            (null || len == 0)
+                ? StrRef()
+                : col.heap.Add(std::string_view(
+                      reinterpret_cast<const char*>(p), len));
+        const auto* rp = reinterpret_cast<const uint8_t*>(&ref);
+        col.fixed.insert(col.fixed.end(), rp, rp + sizeof(StrRef));
+      }
+    } else {
+      if (!in.TakePodVec(static_cast<size_t>(rows) * w, &col.fixed)) {
+        return Corrupt();
+      }
+    }
+  }
+  buf->rows_ = rows;
+  return buf;
+}
+
+}  // namespace x100

@@ -4,8 +4,10 @@
 #define X100_EXEC_ROW_BUFFER_H_
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "vector/batch.h"
@@ -164,6 +166,21 @@ class RowBuffer {
     }
     return b;
   }
+
+  /// Appends a self-contained serialization of this buffer to `out` (the
+  /// spill format: fixed columns raw, strings re-inlined as length-
+  /// prefixed payloads so StrRef pointers never hit disk). The schema is
+  /// NOT serialized; the reloader supplies it. Optionally restricted to
+  /// rows [begin, end) in `order`'s permutation — how sorted runs spill
+  /// in emit order. Implemented in row_buffer.cc.
+  void SerializeTo(std::vector<uint8_t>* out) const;
+  void SerializeRowsTo(const std::vector<int64_t>& order, int64_t begin,
+                       int64_t end, std::vector<uint8_t>* out) const;
+
+  /// Rebuilds a buffer from SerializeTo bytes. Fails with kIoError on a
+  /// truncated or corrupt blob (a spill reload must never fault).
+  static Result<std::unique_ptr<RowBuffer>> Deserialize(
+      const Schema& schema, const uint8_t* data, size_t size);
 
  private:
   struct Column {

@@ -19,6 +19,11 @@ Status SortOp::OpenImpl(ExecContext* ctx) {
 
 namespace {
 
+/// Rows per spilled-run chunk: large enough to amortize the per-chunk
+/// disk blocks, small enough that the merge holds only a modest slice of
+/// each spilled run in memory.
+constexpr int64_t kSortSpillChunkRows = 4096;
+
 /// -1 / 0 / +1 three-way compare of two cells, possibly from different
 /// row buffers of the same schema; NULLs compare greater (NULLS LAST
 /// ascending).
@@ -98,20 +103,219 @@ void SortIndexRun(const RowBuffer& rows, const std::vector<SortKey>& keys,
   }
 }
 
+/// Per-drain-worker run construction under a memory budget: batches
+/// append into `*buffer` and grow `*reserv`; a failed reservation sorts
+/// what the buffer holds and writes it out as a spilled run (rows
+/// serialized in sorted order, kSortSpillChunkRows per chunk), then the
+/// worker continues with an empty buffer. No spill device means the
+/// failure surfaces as kResourceExhausted and fails the pipeline task.
+struct RunBuildState {
+  const Schema* schema = nullptr;
+  const std::vector<SortKey>* keys = nullptr;
+  int64_t limit = -1;
+  ExecContext* ctx = nullptr;
+  std::unique_ptr<RowBuffer>* buffer = nullptr;  // owned by the operator
+  MemoryReservation* reserv = nullptr;
+
+  std::vector<SortRun> spilled_runs;
+  int64_t spill_bytes = 0, spill_chunks = 0, spill_rows = 0;
+
+  Status Append(const Batch& b) {
+    (*buffer)->AppendBatch(b);
+    const auto footprint = [this]() {
+      return static_cast<int64_t>((*buffer)->MemoryBytes());
+    };
+    // The whole resident buffer is the spill unit; buffers under the
+    // kMinSpillBytes floor (the pressure comes from other operators)
+    // free nothing, so GrowOrSpill force-admits them instead of
+    // micro-spilling a few rows per run.
+    const auto spill_some = [this]() -> int64_t {
+      const int64_t bytes = static_cast<int64_t>((*buffer)->MemoryBytes());
+      if ((*buffer)->rows() == 0 || bytes < kMinSpillBytes) return 0;
+      SpillResident();
+      return bytes;
+    };
+    return GrowOrSpill(reserv, ctx->spill_disk != nullptr, footprint,
+                       spill_some);
+  }
+
+  /// Sorts the resident rows and writes them as one spilled run.
+  void SpillResident() {
+    RowBuffer& rows = **buffer;
+    std::vector<int64_t> order(rows.rows());
+    for (int64_t i = 0; i < rows.rows(); i++) order[i] = i;
+    SortIndexRun(rows, *keys, limit, &order);
+    SortRun run;
+    const int64_t n = static_cast<int64_t>(order.size());
+    for (int64_t begin = 0; begin < n; begin += kSortSpillChunkRows) {
+      const int64_t end = std::min(n, begin + kSortSpillChunkRows);
+      std::vector<uint8_t> blob;
+      rows.SerializeRowsTo(order, begin, end, &blob);
+      SpillFile file = SpillFile::Write(ctx->spill_disk, blob);
+      spill_bytes += file.bytes();
+      spill_chunks++;
+      run.chunks.push_back(std::move(file));
+    }
+    spill_rows += n;
+    spilled_runs.push_back(std::move(run));
+    *buffer = std::make_unique<RowBuffer>(*schema);
+    reserv->ShrinkTo(static_cast<int64_t>((*buffer)->MemoryBytes()));
+  }
+
+  /// Sorts the remaining resident rows into a run referencing `*buffer`;
+  /// no run when the buffer is empty (everything already spilled).
+  bool FinishResident(SortRun* out) {
+    if ((*buffer)->rows() == 0) return false;
+    out->rows = buffer->get();
+    out->order.resize((*buffer)->rows());
+    for (int64_t i = 0; i < (*buffer)->rows(); i++) out->order[i] = i;
+    SortIndexRun(**buffer, *keys, limit, &out->order);
+    return true;
+  }
+
+  void RecordProfile() const {
+    if (spill_chunks == 0) return;
+    OperatorProfile prof;
+    prof.op = "SortSpill";
+    prof.rows = spill_rows;
+    prof.spill_bytes = spill_bytes;
+    prof.spills = spill_chunks;
+    ctx->RecordOperator(std::move(prof));
+  }
+};
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// SortRunMerger
+// ---------------------------------------------------------------------------
+
+Status SortRunMerger::Init(const Schema* schema,
+                           const std::vector<SortKey>* keys, int64_t limit,
+                           ExecContext* ctx, std::vector<SortRun>* runs) {
+  schema_ = schema;
+  keys_ = keys;
+  limit_ = limit;
+  emitted_ = 0;
+  ctx_ = ctx;
+  cursors_.clear();
+  cursors_.resize(runs->size());
+  for (size_t i = 0; i < runs->size(); i++) {
+    Cursor& c = cursors_[i];
+    c.run = &(*runs)[i];
+    if (c.run->spilled()) {
+      X100_RETURN_IF_ERROR(AdvanceChunk(&c));
+    } else if (c.run->order.empty()) {
+      c.done = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status SortRunMerger::AdvanceChunk(Cursor* c) {
+  c->chunk_rows.reset();
+  c->mem.Init(ctx_ != nullptr ? ctx_->memory : nullptr);
+  c->mem.ShrinkTo(0);
+  while (c->chunk < c->run->chunks.size()) {
+    std::vector<uint8_t> blob;
+    X100_ASSIGN_OR_RETURN(
+        blob, c->run->chunks[c->chunk].ReadAll(
+                  ctx_ != nullptr ? ctx_->cancel : nullptr));
+    c->chunk++;
+    std::unique_ptr<RowBuffer> rows;
+    X100_ASSIGN_OR_RETURN(
+        rows, RowBuffer::Deserialize(*schema_, blob.data(), blob.size()));
+    if (rows->rows() == 0) continue;
+    c->chunk_rows = std::move(rows);
+    c->chunk_pos = 0;
+    // One resident chunk per spilled run is the merge's minimum working
+    // set — force-charged, released when the cursor advances past it.
+    c->mem.ForceGrowTo(static_cast<int64_t>(c->chunk_rows->MemoryBytes()));
+    return Status::OK();
+  }
+  c->done = true;
+  return Status::OK();
+}
+
+bool SortRunMerger::CurrentRow(const Cursor& c, const RowBuffer** rows,
+                               int64_t* row) const {
+  if (c.done) return false;
+  if (c.run->spilled()) {
+    *rows = c.chunk_rows.get();
+    *row = c.chunk_pos;
+  } else {
+    *rows = c.run->rows;
+    *row = c.run->order[c.pos];
+  }
+  return true;
+}
+
+Status SortRunMerger::NextBatch(Batch* out, int* n) {
+  *n = 0;
+  if (ctx_ != nullptr) X100_RETURN_IF_ERROR(ctx_->CheckCancel());
+  const int cap = ctx_ != nullptr ? ctx_->vector_size : kDefaultVectorSize;
+  while (*n < cap && (limit_ < 0 || emitted_ < limit_)) {
+    int best = -1;
+    const RowBuffer* best_rows = nullptr;
+    int64_t best_row = 0;
+    for (size_t i = 0; i < cursors_.size(); i++) {
+      const RowBuffer* rows;
+      int64_t row;
+      if (!CurrentRow(cursors_[i], &rows, &row)) continue;
+      if (best < 0 ||
+          CompareRowsAB(*rows, row, *best_rows, best_row, *keys_) < 0) {
+        best = static_cast<int>(i);
+        best_rows = rows;
+        best_row = row;
+      }
+    }
+    if (best < 0) break;  // every run exhausted
+    for (int c = 0; c < out->num_columns(); c++) {
+      best_rows->GatherCell(c, best_row, out->column(c), *n);
+    }
+    (*n)++;
+    emitted_++;
+    Cursor& bc = cursors_[best];
+    if (bc.run->spilled()) {
+      bc.chunk_pos++;
+      if (bc.chunk_pos >= bc.chunk_rows->rows()) {
+        X100_RETURN_IF_ERROR(AdvanceChunk(&bc));
+      }
+    } else {
+      bc.pos++;
+      if (bc.pos >= bc.run->order.size()) bc.done = true;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SortOp
+// ---------------------------------------------------------------------------
 
 Status SortOp::Materialize() {
   rows_ = std::make_unique<RowBuffer>(child_->output_schema());
+  rows_mem_.Init(ctx_->memory);
+  RunBuildState st;
+  st.schema = &child_->output_schema();
+  st.keys = &keys_;
+  st.limit = limit_;
+  st.ctx = ctx_;
+  st.buffer = &rows_;
+  st.reserv = &rows_mem_;
   while (true) {
     X100_RETURN_IF_ERROR(ctx_->CheckCancel());
     Batch* b;
     X100_ASSIGN_OR_RETURN(b, child_->Next());
     if (b == nullptr) break;
-    rows_->AppendBatch(*b);
+    X100_RETURN_IF_ERROR(st.Append(*b));
   }
-  order_.resize(rows_->rows());
-  for (int64_t i = 0; i < rows_->rows(); i++) order_[i] = i;
-  SortIndexRun(*rows_, keys_, limit_, &order_);
+  runs_ = std::move(st.spilled_runs);
+  SortRun resident;
+  if (st.FinishResident(&resident)) runs_.push_back(std::move(resident));
+  st.RecordProfile();
+  X100_RETURN_IF_ERROR(merger_.Init(&child_->output_schema(), &keys_,
+                                    limit_, ctx_, &runs_));
   materialized_ = true;
   return Status::OK();
 }
@@ -119,17 +323,10 @@ Status SortOp::Materialize() {
 Result<Batch*> SortOp::NextImpl() {
   if (!materialized_) X100_RETURN_IF_ERROR(Materialize());
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
-  if (emit_pos_ >= static_cast<int64_t>(order_.size())) return nullptr;
   out_->Reset();
-  const int n = static_cast<int>(std::min<int64_t>(
-      ctx_->vector_size, static_cast<int64_t>(order_.size()) - emit_pos_));
-  for (int j = 0; j < n; j++) {
-    const int64_t r = order_[emit_pos_ + j];
-    for (int c = 0; c < out_->num_columns(); c++) {
-      rows_->GatherCell(c, r, out_->column(c), j);
-    }
-  }
-  emit_pos_ += n;
+  int n;
+  X100_RETURN_IF_ERROR(merger_.NextBatch(out_.get(), &n));
+  if (n == 0) return nullptr;
   out_->set_rows(n);
   return out_.get();
 }
@@ -167,20 +364,31 @@ Status ParallelSortOp::ParallelMaterialize() {
   TaskScheduler* sched =
       ctx_->scheduler != nullptr ? ctx_->scheduler : TaskScheduler::Global();
   const int W = static_cast<int>(chains_.size());
+  const Schema& schema = chains_[0]->output_schema();
   buffers_.clear();
+  buffer_mem_.clear();
   runs_.clear();
 
   if (W > 1) {
-    // Shape 1: one run per cloned input chain; each task drains and sorts
-    // its own run (the input pipeline and the sort overlap).
+    // Shape 1: one run builder per cloned input chain; each task drains
+    // and sorts its own run (the input pipeline and the sort overlap),
+    // spilling sorted runs when its reservation fails.
     buffers_.resize(W);
-    runs_.resize(W);
+    buffer_mem_.resize(W);
+    std::vector<std::vector<SortRun>> worker_runs(W);
     X100_RETURN_IF_ERROR(RunPipelineTasks(
         sched, ctx_->quota, ctx_->cancel, W,
-        [this](int w, TaskGroup& group) -> Status {
+        [this, &schema, &worker_runs](int w, TaskGroup& group) -> Status {
           X100_RETURN_IF_ERROR(group.CheckCancel());
-          buffers_[w] =
-              std::make_unique<RowBuffer>(chains_[0]->output_schema());
+          buffers_[w] = std::make_unique<RowBuffer>(schema);
+          buffer_mem_[w].Init(ctx_->memory);
+          RunBuildState st;
+          st.schema = &schema;
+          st.keys = &keys_;
+          st.limit = limit_;
+          st.ctx = ctx_;
+          st.buffer = &buffers_[w];
+          st.reserv = &buffer_mem_[w];
           Operator* chain = chains_[w].get();
           Status s = chain->Open(ctx_);
           while (s.ok()) {
@@ -192,27 +400,41 @@ Status ParallelSortOp::ParallelMaterialize() {
               break;
             }
             if (*b == nullptr) break;
-            buffers_[w]->AppendBatch(**b);
+            s = st.Append(**b);
           }
           chain->Close();
           X100_RETURN_IF_ERROR(s);
-          Run& run = runs_[w];
-          run.rows = buffers_[w].get();
-          run.order.resize(buffers_[w]->rows());
-          for (int64_t i = 0; i < buffers_[w]->rows(); i++) {
-            run.order[i] = i;
+          worker_runs[w] = std::move(st.spilled_runs);
+          SortRun resident;
+          if (st.FinishResident(&resident)) {
+            worker_runs[w].push_back(std::move(resident));
           }
-          SortIndexRun(*buffers_[w], keys_, limit_, &run.order);
+          st.RecordProfile();
           return Status::OK();
         }));
+    for (std::vector<SortRun>& wr : worker_runs) {
+      for (SortRun& r : wr) runs_.push_back(std::move(r));
+    }
   } else {
     // Shape 2: non-clonable input (e.g. an aggregation). One task drains
-    // it, then the materialized rows are range-split across sort tasks.
+    // it — spilling sorted runs under memory pressure — then the
+    // materialized remainder is range-split across sort tasks. Once
+    // anything spilled, range splitting is moot (the merge is streaming
+    // anyway), so the remainder becomes a single sorted run.
     buffers_.resize(1);
-    buffers_[0] = std::make_unique<RowBuffer>(chains_[0]->output_schema());
+    buffer_mem_.resize(1);
+    buffers_[0] = std::make_unique<RowBuffer>(schema);
+    buffer_mem_[0].Init(ctx_->memory);
+    RunBuildState st;
+    st.schema = &schema;
+    st.keys = &keys_;
+    st.limit = limit_;
+    st.ctx = ctx_;
+    st.buffer = &buffers_[0];
+    st.reserv = &buffer_mem_[0];
     X100_RETURN_IF_ERROR(RunPipelineTasks(
         sched, ctx_->quota, ctx_->cancel, 1,
-        [this](int, TaskGroup& group) -> Status {
+        [this, &st](int, TaskGroup& group) -> Status {
           Operator* chain = chains_[0].get();
           Status s = chain->Open(ctx_);
           while (s.ok()) {
@@ -224,53 +446,40 @@ Status ParallelSortOp::ParallelMaterialize() {
               break;
             }
             if (*b == nullptr) break;
-            buffers_[0]->AppendBatch(**b);
+            s = st.Append(**b);
           }
           chain->Close();
           return s;
         }));
-    const int64_t n = buffers_[0]->rows();
-    // Don't spawn more range tasks than vectors of data to sort.
-    const int ways = static_cast<int>(
-        std::max<int64_t>(1, std::min<int64_t>(split_ways_,
-                                               (n + 1023) / 1024)));
-    runs_.resize(ways);
-    X100_RETURN_IF_ERROR(RunPipelineTasks(
-        sched, ctx_->quota, ctx_->cancel, ways,
-        [this, n, ways](int r, TaskGroup& group) -> Status {
-          X100_RETURN_IF_ERROR(group.CheckCancel());
-          const int64_t lo = n * r / ways, hi = n * (r + 1) / ways;
-          Run& run = runs_[r];
-          run.rows = buffers_[0].get();
-          run.order.resize(hi - lo);
-          for (int64_t i = lo; i < hi; i++) run.order[i - lo] = i;
-          SortIndexRun(*buffers_[0], keys_, limit_, &run.order);
-          return Status::OK();
-        }));
+    if (!st.spilled_runs.empty()) {
+      runs_ = std::move(st.spilled_runs);
+      SortRun resident;
+      if (st.FinishResident(&resident)) runs_.push_back(std::move(resident));
+      st.RecordProfile();
+    } else {
+      const int64_t n = buffers_[0]->rows();
+      // Don't spawn more range tasks than vectors of data to sort.
+      const int ways = static_cast<int>(
+          std::max<int64_t>(1, std::min<int64_t>(split_ways_,
+                                                 (n + 1023) / 1024)));
+      runs_.resize(ways);
+      X100_RETURN_IF_ERROR(RunPipelineTasks(
+          sched, ctx_->quota, ctx_->cancel, ways,
+          [this, n, ways](int r, TaskGroup& group) -> Status {
+            X100_RETURN_IF_ERROR(group.CheckCancel());
+            const int64_t lo = n * r / ways, hi = n * (r + 1) / ways;
+            SortRun& run = runs_[r];
+            run.rows = buffers_[0].get();
+            run.order.resize(hi - lo);
+            for (int64_t i = lo; i < hi; i++) run.order[i - lo] = i;
+            SortIndexRun(*buffers_[0], keys_, limit_, &run.order);
+            return Status::OK();
+          }));
+    }
   }
 
-  // Barrier merge: k-way merge of the sorted runs. Ties pick the lowest
-  // run index; runs are few, so linear selection beats a heap in
-  // simplicity and is cache-friendly for small k.
-  std::vector<size_t> cursor(runs_.size(), 0);
-  int64_t total = 0;
-  for (const Run& r : runs_) total += static_cast<int64_t>(r.order.size());
-  if (limit_ >= 0) total = std::min<int64_t>(total, limit_);
-  merged_.reserve(total);
-  while (static_cast<int64_t>(merged_.size()) < total) {
-    int best = -1;
-    for (int r = 0; r < static_cast<int>(runs_.size()); r++) {
-      if (cursor[r] >= runs_[r].order.size()) continue;
-      if (best < 0 ||
-          CompareRowsAB(*runs_[r].rows, runs_[r].order[cursor[r]],
-                        *runs_[best].rows, runs_[best].order[cursor[best]],
-                        keys_) < 0) {
-        best = r;
-      }
-    }
-    merged_.emplace_back(best, runs_[best].order[cursor[best]]);
-    cursor[best]++;
-  }
+  X100_RETURN_IF_ERROR(
+      merger_.Init(&schema, &keys_, limit_, ctx_, &runs_));
   materialized_ = true;
   return Status::OK();
 }
@@ -278,18 +487,10 @@ Status ParallelSortOp::ParallelMaterialize() {
 Result<Batch*> ParallelSortOp::NextImpl() {
   if (!materialized_) X100_RETURN_IF_ERROR(ParallelMaterialize());
   X100_RETURN_IF_ERROR(ctx_->CheckCancel());
-  if (emit_pos_ >= static_cast<int64_t>(merged_.size())) return nullptr;
   out_->Reset();
-  const int n = static_cast<int>(std::min<int64_t>(
-      ctx_->vector_size,
-      static_cast<int64_t>(merged_.size()) - emit_pos_));
-  for (int j = 0; j < n; j++) {
-    const auto& [run, row] = merged_[emit_pos_ + j];
-    for (int c = 0; c < out_->num_columns(); c++) {
-      runs_[run].rows->GatherCell(c, row, out_->column(c), j);
-    }
-  }
-  emit_pos_ += n;
+  int n;
+  X100_RETURN_IF_ERROR(merger_.NextBatch(out_.get(), &n));
+  if (n == 0) return nullptr;
   out_->set_rows(n);
   return out_.get();
 }

@@ -11,6 +11,16 @@
 //    parallel tasks.
 // A LIMIT truncates each run to the limit before the merge, so top-N never
 // materializes more than runs x limit rows for the merge phase.
+//
+// Out-of-core (docs/EXECUTION.md §"Memory accounting & spill"): when a
+// drain worker's memory reservation fails it sorts what it holds and
+// writes it as a SPILLED RUN — rows serialized in sorted order, chunked so
+// the merge can stream them — then continues with an empty buffer. The
+// k-way merge treats resident and spilled runs uniformly: resident runs
+// iterate their sorted index, spilled runs hold one reloaded chunk at a
+// time, so emit-phase memory is bounded by (resident rows + one chunk per
+// spilled run). With spilling disabled a failed reservation surfaces
+// kResourceExhausted through the pipeline's cancellation machinery.
 #ifndef X100_EXEC_SORT_H_
 #define X100_EXEC_SORT_H_
 
@@ -18,14 +28,70 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "exec/operator.h"
 #include "exec/row_buffer.h"
+#include "storage/spill_file.h"
 
 namespace x100 {
 
 struct SortKey {
   int col;
   bool ascending = true;
+};
+
+/// One sorted run. Exactly one representation is populated:
+///  * resident — `order` indexes into `rows` (range-split runs of a
+///    single materialized input share one buffer);
+///  * spilled  — `chunks` hold the rows serialized in sorted order.
+struct SortRun {
+  const RowBuffer* rows = nullptr;
+  std::vector<int64_t> order;
+  std::vector<SpillFile> chunks;
+
+  bool spilled() const { return !chunks.empty(); }
+};
+
+/// Streaming k-way merge over sorted runs, shared by SortOp and
+/// ParallelSortOp. Ties pick the lowest run index; runs are few, so
+/// linear selection beats a heap in simplicity and is cache-friendly for
+/// small k. Spilled runs stream chunk-by-chunk from disk; the resident
+/// chunk is force-charged against the query tracker and released when the
+/// cursor advances past it.
+class SortRunMerger {
+ public:
+  /// `limit` < 0: merge everything; otherwise stop after `limit` rows.
+  Status Init(const Schema* schema, const std::vector<SortKey>* keys,
+              int64_t limit, ExecContext* ctx, std::vector<SortRun>* runs);
+
+  /// Gathers up to `out`'s capacity rows in merge order; `*n` = 0 at end
+  /// of stream.
+  Status NextBatch(Batch* out, int* n);
+
+ private:
+  struct Cursor {
+    SortRun* run = nullptr;
+    size_t pos = 0;                          // resident: index into order
+    size_t chunk = 0;                        // spilled: next chunk to load
+    std::unique_ptr<RowBuffer> chunk_rows;   // spilled: resident chunk
+    int64_t chunk_pos = 0;                   // spilled: row within chunk
+    MemoryReservation mem;
+    bool done = false;
+  };
+
+  /// Loads the cursor's next spilled chunk (releasing the previous one);
+  /// marks the cursor done when chunks are exhausted.
+  Status AdvanceChunk(Cursor* c);
+  /// Current row of a cursor; false when the cursor is exhausted.
+  bool CurrentRow(const Cursor& c, const RowBuffer** rows,
+                  int64_t* row) const;
+
+  const Schema* schema_ = nullptr;
+  const std::vector<SortKey>* keys_ = nullptr;
+  int64_t limit_ = -1;
+  int64_t emitted_ = 0;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Cursor> cursors_;
 };
 
 class SortOp : public Operator {
@@ -52,8 +118,9 @@ class SortOp : public Operator {
   int64_t limit_;
   ExecContext* ctx_ = nullptr;
   std::unique_ptr<RowBuffer> rows_;
-  std::vector<int64_t> order_;
-  int64_t emit_pos_ = 0;
+  MemoryReservation rows_mem_;
+  std::vector<SortRun> runs_;
+  SortRunMerger merger_;
   bool materialized_ = false;
   std::unique_ptr<Batch> out_;
 };
@@ -90,8 +157,8 @@ class ParallelSortOp : public Operator {
                               : split_ways_;
   }
   /// Phase 1: drain input(s) into per-run buffers + sorted index runs
-  /// (scheduler tasks, barrier). Phase 2: serial k-way merge of the runs
-  /// into the emit order.
+  /// (scheduler tasks, barrier), spilling sorted runs under memory
+  /// pressure. Phase 2 is the streaming merge in NextImpl.
   Status ParallelMaterialize();
 
   std::vector<OperatorPtr> chains_;
@@ -100,16 +167,10 @@ class ParallelSortOp : public Operator {
   int split_ways_;
   ExecContext* ctx_ = nullptr;
 
-  /// One sorted run: indexes into a row buffer (runs of a range-split
-  /// sort share one buffer).
-  struct Run {
-    const RowBuffer* rows = nullptr;
-    std::vector<int64_t> order;
-  };
-  std::vector<std::unique_ptr<RowBuffer>> buffers_;
-  std::vector<Run> runs_;
-  std::vector<std::pair<int, int64_t>> merged_;  // (run, row) emit order
-  int64_t emit_pos_ = 0;
+  std::vector<std::unique_ptr<RowBuffer>> buffers_;  // one per worker
+  std::vector<MemoryReservation> buffer_mem_;
+  std::vector<SortRun> runs_;
+  SortRunMerger merger_;
   bool materialized_ = false;
   std::unique_ptr<Batch> out_;
 };

@@ -32,6 +32,13 @@ struct OperatorProfile {
   /// operator was on the call stack (same thread). Subtracting it from
   /// the inclusive times yields the operator's own cost.
   int64_t child_ns = 0;
+  /// Out-of-core accounting: bytes this instance wrote to SpillFiles and
+  /// how many spill events produced them. Recorded at the WRITE site by
+  /// the synthetic "JoinBuildSpill" / "AggSpill" / "SortSpill" entries
+  /// (rows = rows spilled), so a tight memory_limit shows exactly which
+  /// breaker went out of core and how much of its state hit disk.
+  int64_t spill_bytes = 0;
+  int64_t spills = 0;
 
   /// Exclusive time: open+next minus the children's share. For operators
   /// whose children run on other pool threads (an exchange consumer), the

@@ -39,6 +39,20 @@ class SimulatedDisk {
     return blocks_.size() - 1;
   }
 
+  /// Releases a block's storage (SpillFile reclamation: spilled blobs die
+  /// with their query, and this device keeps "disk" contents in RAM, so
+  /// without a free path every spilling query would grow the process
+  /// forever). Ids stay stable — freed slots are never reused — and a
+  /// read of a freed block returns empty bytes, which the SpillFile
+  /// layer rejects as truncation.
+  void FreeBlock(BlockId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < blocks_.size()) {
+      bytes_freed_ += blocks_[id].size();
+      std::vector<uint8_t>().swap(blocks_[id]);
+    }
+  }
+
   /// Reads a block. Charges simulated IO time; the wait is interruptible
   /// via `cancel` (may be nullptr). Returns a *copy* of the block bytes.
   Result<std::vector<uint8_t>> ReadBlock(BlockId id,
@@ -61,6 +75,10 @@ class SimulatedDisk {
   int64_t blocks_read() const { return blocks_read_.load(); }
   int64_t bytes_read() const { return bytes_read_.load(); }
   int64_t bytes_written() const { return bytes_written_; }
+  int64_t bytes_freed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_freed_;
+  }
   int64_t num_blocks() const {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int64_t>(blocks_.size());
@@ -102,6 +120,7 @@ class SimulatedDisk {
   mutable std::mutex mu_;
   std::vector<std::vector<uint8_t>> blocks_;
   int64_t bytes_written_ = 0;
+  int64_t bytes_freed_ = 0;
 
   std::mutex io_mu_;
   std::chrono::steady_clock::time_point busy_until_{};

@@ -1,0 +1,450 @@
+// Out-of-core execution tests: memory-accounted spill-to-disk for the
+// three pipeline breakers (join build, aggregation, sort).
+//
+//  * MemoryTracker / MemoryReservation unit contracts (hierarchy,
+//    overcommit, RAII release).
+//  * SpillFile + RowBuffer serialization round trips.
+//  * The determinism sweep: the bench_e8-shaped group-by-join+sort query
+//    at memory_limit {unlimited, tight, very tight} x workers {1, 2, 8}
+//    x radix_bits {0, 2, 4}, every configuration compared value-for-value
+//    against the in-memory serial reference.
+//  * Error paths: enable_spill = false + a tight limit surfaces
+//    kResourceExhausted mid-build / mid-agg / mid-sort with a clean
+//    TaskGroup unwind; cancellation mid-spill releases reservations.
+//  * After EVERY query the process-wide tracker must drain to zero —
+//    leaked charges fail the test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/config.h"
+#include "common/memory_tracker.h"
+#include "engine/session.h"
+#include "exec/hash_agg.h"
+#include "exec/row_buffer.h"
+#include "storage/spill_file.h"
+
+namespace x100 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MemoryTracker / MemoryReservation units
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, LimitEnforcedAllOrNothing) {
+  MemoryTracker t(1000);
+  EXPECT_TRUE(t.TryReserve(600).ok());
+  const Status s = t.TryReserve(500);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(t.used(), 600);  // failed reservation charged nothing
+  EXPECT_TRUE(t.TryReserve(400).ok());
+  t.Release(1000);
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), 1000);
+}
+
+TEST(MemoryTrackerTest, HierarchyRollsUpAndRollsBack) {
+  MemoryTracker root(1000);
+  MemoryTracker q1(0, &root), q2(0, &root);
+  EXPECT_TRUE(q1.TryReserve(700).ok());
+  EXPECT_EQ(root.used(), 700);
+  // q2 is itself unlimited but the parent rejects; q2 must roll back.
+  EXPECT_FALSE(q2.TryReserve(400).ok());
+  EXPECT_EQ(q2.used(), 0);
+  EXPECT_EQ(root.used(), 700);
+  q1.Release(700);
+  EXPECT_EQ(root.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ForceReserveOvercommits) {
+  MemoryTracker t(100);
+  t.ForceReserve(250);
+  EXPECT_EQ(t.used(), 250);
+  EXPECT_EQ(t.overcommitted(), 150);
+  EXPECT_FALSE(t.TryReserve(1).ok());  // still over limit
+  t.Release(250);
+  EXPECT_EQ(t.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ReservationRaiiDrains) {
+  MemoryTracker t(0);
+  {
+    MemoryReservation r(&t);
+    EXPECT_TRUE(r.GrowTo(500).ok());
+    EXPECT_TRUE(r.GrowTo(300).ok());  // never shrinks
+    EXPECT_EQ(r.charged(), 500);
+    r.ShrinkTo(200);
+    EXPECT_EQ(t.used(), 200);
+    r.ForceGrowTo(900);
+    EXPECT_EQ(t.used(), 900);
+  }
+  EXPECT_EQ(t.used(), 0);  // destructor released everything
+
+  // Null tracker: every operation is a no-op.
+  MemoryReservation none;
+  none.Init(nullptr);
+  EXPECT_TRUE(none.GrowTo(1 << 30).ok());
+  none.ForceGrowTo(1 << 30);
+  none.ReleaseAll();
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile + RowBuffer serialization
+// ---------------------------------------------------------------------------
+
+TEST(SpillFileTest, MultiBlockRoundTrip) {
+  SimulatedDisk disk;
+  // 2.5 disk blocks of patterned bytes.
+  std::vector<uint8_t> blob(kDiskBlockBytes * 5 / 2);
+  for (size_t i = 0; i < blob.size(); i++) {
+    blob[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  {
+    const SpillFile f = SpillFile::Write(&disk, blob);
+    EXPECT_EQ(f.num_blocks(), 3u);
+    EXPECT_EQ(f.bytes(), static_cast<int64_t>(blob.size()));
+    auto back = f.ReadAll();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, blob);
+    EXPECT_EQ(disk.bytes_freed(), 0);
+  }
+  // SpillFile owns its blocks: destruction reclaims the device storage,
+  // so a long-lived database does not accumulate spilled bytes forever.
+  EXPECT_EQ(disk.bytes_freed(), static_cast<int64_t>(blob.size()));
+}
+
+TEST(GroupTableSerdeTest, CorruptBlobsFailCleanly) {
+  const Schema key_schema({Field("k", TypeId::kI64)});
+  const std::vector<AggKind> kinds{AggKind::kSum};
+  const std::vector<TypeId> in_types{TypeId::kI64};
+  // A keys_bytes length field near UINT64_MAX must not wrap the bounds
+  // check into a huge out-of-bounds read (all-0xFF header).
+  const std::vector<uint8_t> garbage(16, 0xFF);
+  for (const size_t cut : {size_t{0}, size_t{4}, garbage.size()}) {
+    auto r = GroupTable::Deserialize(key_schema, kinds, in_types,
+                                     garbage.data(), cut);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(RowBufferSerdeTest, RoundTripWithNullsAndStrings) {
+  Schema schema({Field("i", TypeId::kI64, true),
+                 Field("s", TypeId::kStr, true),
+                 Field("d", TypeId::kF64)});
+  RowBuffer buf(schema);
+  Batch b(schema, 8);
+  for (int i = 0; i < 8; i++) {
+    b.column(0)->Data<int64_t>()[i] = i * 11;
+    if (i % 3 == 0) b.column(0)->SetNull(i);
+    const std::string s =
+        i == 5 ? "" : "value_" + std::string(i, 'x') + std::to_string(i);
+    b.column(1)->Data<StrRef>()[i] = b.column(1)->heap()->Add(s);
+    if (i == 6) b.column(1)->SetNull(i);
+    b.column(2)->Data<double>()[i] = i * 0.5;
+  }
+  b.set_rows(8);
+  buf.AppendBatch(b);
+
+  // SqlEquals is NULL != NULL by design; the round trip must preserve
+  // null-ness exactly, so compare that separately.
+  auto same = [](const Value& x, const Value& y) {
+    return x.is_null() ? y.is_null() : x.SqlEquals(y);
+  };
+
+  std::vector<uint8_t> blob;
+  buf.SerializeTo(&blob);
+  auto rt = RowBuffer::Deserialize(schema, blob.data(), blob.size());
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  ASSERT_EQ((*rt)->rows(), 8);
+  for (int64_t r = 0; r < 8; r++) {
+    for (int c = 0; c < 3; c++) {
+      EXPECT_TRUE(same(buf.GetValue(c, r), (*rt)->GetValue(c, r)))
+          << "row " << r << " col " << c;
+    }
+  }
+
+  // Permuted slice: rows {7, 2, 4} in that order.
+  std::vector<int64_t> order = {7, 2, 4};
+  std::vector<uint8_t> slice;
+  buf.SerializeRowsTo(order, 0, 3, &slice);
+  auto st = RowBuffer::Deserialize(schema, slice.data(), slice.size());
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ((*st)->rows(), 3);
+  for (int64_t r = 0; r < 3; r++) {
+    for (int c = 0; c < 3; c++) {
+      EXPECT_TRUE(same(buf.GetValue(c, order[r]), (*st)->GetValue(c, r)))
+          << "slice row " << r << " col " << c;
+    }
+  }
+
+  // Truncated blobs fail cleanly, never fault.
+  for (const size_t cut : {size_t{0}, size_t{4}, blob.size() / 2}) {
+    auto bad = RowBuffer::Deserialize(schema, blob.data(), cut);
+    EXPECT_FALSE(bad.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: a build side and a fact table big enough that tight limits
+// push every breaker out of core. dim keys (and labels) are UNIQUE so
+// join match order, group identity and sort order are all deterministic —
+// the out-of-core runs must reproduce the in-memory reference exactly.
+// ---------------------------------------------------------------------------
+
+class MemoryLimitTest : public ::testing::Test {
+ protected:
+  static constexpr int kDimRows = 20000;   // > kTinyBuildRows: radix kept
+  static constexpr int kFactRows = 40000;
+
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    {
+      auto b = db_->CreateTable(
+          "dim",
+          Schema({Field("k", TypeId::kI64), Field("label", TypeId::kStr)}),
+          Layout::kDsm, 1024);
+      for (int i = 0; i < kDimRows; i++) {
+        ASSERT_TRUE(
+            b->AppendRow({Value::I64(i), Value::Str(LabelOf(i))}).ok());
+      }
+      auto t = b->Finish();
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+    }
+    {
+      auto b = db_->CreateTable(
+          "fact",
+          Schema({Field("fk", TypeId::kI64), Field("val", TypeId::kI64)}),
+          Layout::kDsm, 2048);
+      for (int i = 0; i < kFactRows; i++) {
+        ASSERT_TRUE(
+            b->AppendRow({Value::I64(i % kDimRows), Value::I64(i)}).ok());
+      }
+      auto t = b->Finish();
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+    }
+    session_ = std::make_unique<Session>(db_.get());
+  }
+
+  /// Zero-padded so the string sort order equals the numeric key order.
+  static std::string LabelOf(int i) {
+    std::string n = std::to_string(i);
+    return "L" + std::string(5 - n.size(), '0') + n;
+  }
+
+  void SetWorkers(int workers) {
+    db_->config().max_parallelism = workers;
+    db_->config().scheduler_workers = workers;
+  }
+
+  /// The bench_e8 shape: group-by-join + sort. Integer aggregates and a
+  /// unique sort key keep the result bit-stable across worker counts,
+  /// radix bits and spill schedules.
+  AlgebraPtr GroupByJoinSortPlan() {
+    AlgebraPtr join =
+        JoinNode(ScanNode("dim"), ScanNode("fact"), JoinType::kInner,
+                 {"k"}, {"fk"});
+    AlgebraPtr aggr = AggrNode(std::move(join), {{"label", Col("label")}},
+                               {{AggKind::kSum, Col("val"), "s"},
+                                {AggKind::kCount, nullptr, "c"},
+                                {AggKind::kMin, Col("val"), "lo"},
+                                {AggKind::kMax, Col("val"), "hi"}});
+    return OrderNode(std::move(aggr), {{"label", true}});
+  }
+
+  static void ExpectSameRows(const QueryResult& a, const QueryResult& b,
+                             const std::string& what) {
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+    for (size_t i = 0; i < a.rows.size(); i++) {
+      for (size_t c = 0; c < a.rows[i].size(); c++) {
+        ASSERT_TRUE(a.rows[i][c].SqlEquals(b.rows[i][c]))
+            << what << " row " << i << " col " << c;
+      }
+    }
+  }
+
+  /// Every exit path — success, error, cancellation — must return every
+  /// charged byte: a leak here poisons all later queries' budgets.
+  void ExpectTrackerDrained(const std::string& what) {
+    EXPECT_EQ(db_->memory()->used(), 0) << "leaked charges after " << what;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+// ---------------------------------------------------------------------------
+// The out-of-core determinism sweep
+// ---------------------------------------------------------------------------
+
+TEST_F(MemoryLimitTest, OutOfCoreSweepMatchesInMemory) {
+  // In-memory serial reference; its peak sizes the tight limits.
+  SetWorkers(1);
+  db_->config().radix_bits = 0;
+  db_->config().memory_limit = 0;
+  db_->memory()->ResetPeak();
+  auto reference = session_->Execute(GroupByJoinSortPlan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->rows.size(), static_cast<size_t>(kDimRows));
+  ExpectTrackerDrained("reference");
+  const int64_t peak = db_->memory()->peak();
+  ASSERT_GT(peak, 0);
+
+  // tight ~ half the observed peak (a sizable fraction of breaker state
+  // spills), very tight ~ 1/24th (nearly everything spills).
+  const int64_t limits[] = {0, peak / 2, peak / 24};
+  for (const int64_t limit : limits) {
+    for (const int bits : {0, 2, 4}) {
+      for (const int workers : {1, 2, 8}) {
+        const std::string what = "memory_limit=" + std::to_string(limit) +
+                                 " radix_bits=" + std::to_string(bits) +
+                                 " workers=" + std::to_string(workers);
+        SetWorkers(workers);
+        db_->config().radix_bits = bits;
+        db_->config().memory_limit = limit;
+        auto res = session_->Execute(GroupByJoinSortPlan());
+        ASSERT_TRUE(res.ok()) << what << ": " << res.status().ToString();
+        ExpectSameRows(*reference, *res, what);
+        ExpectTrackerDrained(what);
+      }
+    }
+  }
+  SetWorkers(0);
+  db_->config().radix_bits = -1;
+  db_->config().memory_limit = 0;
+}
+
+TEST_F(MemoryLimitTest, TightLimitSpillsEveryBreaker) {
+  // The acceptance shape: a limit far below the breaker state forces the
+  // join build, the aggregation AND the sort out of core, each visibly
+  // (nonzero spilled bytes) in the profile.
+  SetWorkers(1);
+  db_->config().memory_limit = 0;
+  db_->memory()->ResetPeak();
+  auto reference = session_->Execute(GroupByJoinSortPlan());
+  ASSERT_TRUE(reference.ok());
+  const int64_t peak = db_->memory()->peak();
+
+  SetWorkers(8);
+  db_->config().radix_bits = 4;
+  db_->config().memory_limit = peak / 24;
+  auto res = session_->Execute(GroupByJoinSortPlan());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ExpectSameRows(*reference, *res, "tight spilling run");
+  int64_t build_spill = 0, agg_spill = 0, sort_spill = 0;
+  for (const OperatorProfile& p : res->profile.operators) {
+    if (p.op == "JoinBuildSpill") build_spill += p.spill_bytes;
+    if (p.op == "AggSpill") agg_spill += p.spill_bytes;
+    if (p.op == "SortSpill") sort_spill += p.spill_bytes;
+  }
+  EXPECT_GT(build_spill, 0) << res->profile.ToString();
+  EXPECT_GT(agg_spill, 0) << res->profile.ToString();
+  EXPECT_GT(sort_spill, 0) << res->profile.ToString();
+  // The spill columns surface in the rendered profile.
+  EXPECT_NE(res->profile.ToString().find("spill(kb)"), std::string::npos);
+  ExpectTrackerDrained("tight spilling run");
+  // Spilled disk blocks die with the query's operator tree: everything
+  // this query wrote must have been reclaimed by the time it returned.
+  EXPECT_GE(db_->disk()->bytes_freed(),
+            build_spill + agg_spill + sort_spill);
+  SetWorkers(0);
+  db_->config().radix_bits = -1;
+  db_->config().memory_limit = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: spilling disabled -> kResourceExhausted, clean unwind
+// ---------------------------------------------------------------------------
+
+TEST_F(MemoryLimitTest, SpillDisabledSurfacesResourceExhaustedMidBuild) {
+  db_->config().enable_spill = false;
+  db_->config().memory_limit = 64 * 1024;
+  for (const int workers : {1, 4}) {
+    SetWorkers(workers);
+    // A root join: the build side (20k rows) blows the limit during the
+    // drain; no sort/agg is present to hit it first.
+    auto res = session_->Execute(JoinNode(ScanNode("dim"), ScanNode("fact"),
+                                          JoinType::kInner, {"k"}, {"fk"}));
+    ASSERT_FALSE(res.ok()) << "workers=" << workers;
+    EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted)
+        << res.status().ToString();
+    ExpectTrackerDrained("mid-build workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+  db_->config().enable_spill = true;
+  db_->config().memory_limit = 0;
+}
+
+TEST_F(MemoryLimitTest, SpillDisabledSurfacesResourceExhaustedMidAgg) {
+  db_->config().enable_spill = false;
+  db_->config().memory_limit = 64 * 1024;
+  for (const int workers : {1, 4}) {
+    SetWorkers(workers);
+    // Grouping 40k rows by the unique val: the group table alone blows
+    // the limit mid-drain.
+    auto res = session_->Execute(
+        AggrNode(ScanNode("fact"), {{"val", Col("val")}},
+                 {{AggKind::kCount, nullptr, "n"},
+                  {AggKind::kSum, Col("fk"), "s"}}));
+    ASSERT_FALSE(res.ok()) << "workers=" << workers;
+    EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted)
+        << res.status().ToString();
+    ExpectTrackerDrained("mid-agg workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+  db_->config().enable_spill = true;
+  db_->config().memory_limit = 0;
+}
+
+TEST_F(MemoryLimitTest, SpillDisabledSurfacesResourceExhaustedMidSort) {
+  db_->config().enable_spill = false;
+  db_->config().memory_limit = 64 * 1024;
+  for (const int workers : {1, 4}) {
+    SetWorkers(workers);
+    auto res =
+        session_->Execute(OrderNode(ScanNode("fact"), {{"val", false}}));
+    ASSERT_FALSE(res.ok()) << "workers=" << workers;
+    EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted)
+        << res.status().ToString();
+    ExpectTrackerDrained("mid-sort workers=" + std::to_string(workers));
+  }
+  SetWorkers(0);
+  db_->config().enable_spill = true;
+  db_->config().memory_limit = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation mid-spill
+// ---------------------------------------------------------------------------
+
+TEST_F(MemoryLimitTest, CancellationMidSpillReleasesReservations) {
+  // Throttle the simulated disk so spill reloads take real time, then
+  // cancel while the out-of-core pipeline is in flight. Whatever phase
+  // the cancel lands in — drain, spill write, reload, merge — every
+  // reservation must be returned.
+  SetWorkers(4);
+  db_->config().memory_limit = 512 * 1024;
+  db_->disk()->set_bandwidth(8 * 1000 * 1000);
+  for (int round = 0; round < 3; round++) {
+    CancellationToken token;
+    std::thread canceller([&token, round] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 + 25 * round));
+      token.Cancel();
+    });
+    auto res = session_->Execute(GroupByJoinSortPlan(), &token);
+    canceller.join();
+    if (!res.ok()) {
+      EXPECT_TRUE(res.status().IsCancelled()) << res.status().ToString();
+    }
+    ExpectTrackerDrained("cancel round " + std::to_string(round));
+  }
+  db_->disk()->set_bandwidth(0);
+  db_->config().memory_limit = 0;
+  SetWorkers(0);
+}
+
+}  // namespace
+}  // namespace x100

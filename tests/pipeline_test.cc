@@ -163,9 +163,14 @@ TEST_F(PipelineTest, ParallelJoinProbeDeterministicAcrossWorkerCounts) {
 }
 
 TEST_F(PipelineTest, JoinPhasesRunAsSchedulerTasks) {
+  // Explicit radix_bits: dim (100 rows) is under the tiny-build cutoff,
+  // so AUTO sizing would collapse to one merge task — the explicit
+  // setting keeps the fan-out observable.
   SetWorkers(4);
+  SetRadixBits(3);
   auto res = session_->Execute(JoinPlan());
   SetWorkers(0);
+  SetRadixBits(-1);
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   int probe_clones = 0, scans = 0, merge_tasks = 0;
   bool saw_parallel_sort = false;
@@ -175,12 +180,28 @@ TEST_F(PipelineTest, JoinPhasesRunAsSchedulerTasks) {
     if (p.op == "JoinBuildMerge") merge_tasks++;
     saw_parallel_sort |= p.op.rfind("ParallelSort", 0) == 0;
   }
-  // The build's barrier merge fans out one task per radix partition
-  // (auto-sized from the 4-way pipeline: 2^3 partitions).
-  EXPECT_EQ(merge_tasks, 1 << EffectiveRadixBits(-1, 4));
+  // The build's barrier merge fans out one task per radix partition.
+  EXPECT_EQ(merge_tasks, 1 << 3);
   EXPECT_EQ(probe_clones, 4);      // probe cloned per sort worker chain
   EXPECT_EQ(scans, 8);             // 4 build-side + 4 probe-side clones
   EXPECT_TRUE(saw_parallel_sort);  // the pipeline's sink
+}
+
+TEST_F(PipelineTest, TinyBuildCollapsesAutoPartitioning) {
+  // ROADMAP-noted waste: a tiny build used to pay ~2^radix_bits empty
+  // per-worker partition buffers. Under AUTO sizing the planner now
+  // bounds the build by its scan spine (dim: 100 rows < kTinyBuildRows)
+  // and keeps the single-table path — exactly one JoinBuildMerge task.
+  SetWorkers(4);
+  SetRadixBits(-1);
+  auto auto_sized = session_->Execute(JoinPlan());
+  ASSERT_TRUE(auto_sized.ok()) << auto_sized.status().ToString();
+  int auto_merges = 0;
+  for (const OperatorProfile& p : auto_sized->profile.operators) {
+    if (p.op == "JoinBuildMerge") auto_merges++;
+  }
+  EXPECT_EQ(auto_merges, 1);
+  SetWorkers(0);
 }
 
 TEST_F(PipelineTest, GroupByJoinDeterministicAcrossWorkerCounts) {
@@ -258,6 +279,17 @@ TEST(EffectiveRadixBitsTest, SizesFromPipelineWidth) {
   EXPECT_EQ(EffectiveRadixBits(0, 8), 0);
   EXPECT_EQ(EffectiveRadixBits(4, 2), 4);
   EXPECT_EQ(EffectiveRadixBits(100, 8), kMaxRadixBits);
+}
+
+TEST(EffectiveRadixBitsTest, TinyBuildsSkipPartitioning) {
+  // Builds bounded under kTinyBuildRows keep the single-table path (the
+  // per-worker 2^bits empty partition buffers outweigh the merge they
+  // parallelize); unknown cardinality (-1) keeps partitioning.
+  EXPECT_EQ(RadixBitsForBuild(4, 0), 0);
+  EXPECT_EQ(RadixBitsForBuild(4, kTinyBuildRows - 1), 0);
+  EXPECT_EQ(RadixBitsForBuild(4, kTinyBuildRows), 4);
+  EXPECT_EQ(RadixBitsForBuild(4, -1), 4);
+  EXPECT_EQ(RadixBitsForBuild(0, kTinyBuildRows * 2), 0);
 }
 
 TEST_F(PipelineTest, RadixSweepDeterministicAcrossWorkersAndBits) {
