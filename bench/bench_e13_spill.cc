@@ -1,0 +1,159 @@
+// E13 — memory-accounted spill-to-disk: in-memory vs out-of-core
+// throughput for the E8 group-by-join+sort workload.
+//
+// The paper's product lesson (§"things researchers do not think about"):
+// graceful degradation under memory pressure is table stakes. This bench
+// runs orders ⋈ lineitem -> group-by -> sort at three memory_limit
+// points derived from the measured in-memory peak:
+//   unlimited — the reference (0% spilled),
+//   tight     — ~half the peak (a sizable fraction of breaker state
+//               spills),
+//   very tight — ~1/24th of the peak (nearly all build/agg/sort state
+//               streams through SpillFile).
+// Every configuration must reproduce the unlimited run's result exactly
+// (the determinism self-check doubles as the CI gate, like bench_e8), the
+// tight configurations must actually spill (nonzero spilled bytes in the
+// profile), and the tracker must drain to zero after every query.
+#include <cmath>
+
+#include "bench_util.h"
+#include "engine/session.h"
+#include "tpch/tpch.h"
+
+using namespace x100;
+
+namespace {
+
+AlgebraPtr GroupByJoinSortPlan() {
+  // The E8 shape (orders ⋈ lineitem -> group-by -> sort), but grouped
+  // per ORDER KEY rather than per priority: every breaker then carries
+  // real state (build: all orders; agg: one group per order; sort: one
+  // row per order), comfortably above the kMinSpillBytes floor, so each
+  // of them visibly spills at the tight limits. The unique integer sort
+  // key keeps row order deterministic.
+  AlgebraPtr join = JoinNode(
+      ScanNode("orders", {"o_orderkey", "o_orderpriority"}),
+      ScanNode("lineitem", {"l_orderkey", "l_extendedprice"}),
+      JoinType::kInner, {"o_orderkey"}, {"l_orderkey"});
+  AlgebraPtr aggr =
+      AggrNode(std::move(join), {{"okey", Col("o_orderkey")}},
+               {{AggKind::kSum, Col("l_extendedprice"), "revenue"},
+                {AggKind::kCount, nullptr, "items"}});
+  return OrderNode(std::move(aggr), {{"okey", true}});
+}
+
+bool SameRows(const QueryResult& a, const QueryResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); i++) {
+    for (size_t c = 0; c < a.rows[i].size(); c++) {
+      const Value& x = a.rows[i][c];
+      const Value& y = b.rows[i][c];
+      if (x.type() == TypeId::kF64 || y.type() == TypeId::kF64) {
+        // FP sums depend on merge order; accept relative eps.
+        const double dx = x.AsF64(), dy = y.AsF64();
+        if (std::abs(dx - dy) > 1e-9 * (1 + std::abs(dx))) return false;
+      } else if (!x.SqlEquals(y)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int64_t SpilledBytes(const QueryProfile& p) {
+  int64_t b = 0;
+  for (const OperatorProfile& op : p.operators) b += op.spill_bytes;
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E13", "memory-accounted spill-to-disk (out-of-core)");
+  EngineConfig cfg;
+  cfg.buffer_pool_blocks = 1024;
+  cfg.max_parallelism = 4;
+  cfg.scheduler_workers = 4;
+  Database db(cfg);
+  if (!tpch::Generate(&db, 0.02).ok()) return 1;
+  Session session(&db);
+  (void)session.Execute(GroupByJoinSortPlan());  // warm
+
+  // Measure the in-memory peak to derive the spilling limits.
+  db.memory()->ResetPeak();
+  auto reference = session.Execute(GroupByJoinSortPlan());
+  if (!reference.ok()) {
+    std::printf("reference failed: %s\n",
+                reference.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t peak = db.memory()->peak();
+  std::printf("in-memory peak: %.2f MB\n\n", peak / 1e6);
+
+  struct Point {
+    const char* name;
+    int64_t limit;
+    bool expect_spill;
+  };
+  const Point points[] = {
+      {"unlimited", 0, false},
+      {"tight (peak/2)", peak / 2, true},
+      {"very tight (peak/24)", peak / 24, true},
+  };
+
+  bool ok = true;
+  std::printf("%-22s %10s %12s %12s %8s   %s\n", "memory_limit", "ms",
+              "spilled(MB)", "disk-read(MB)", "leak(B)", "determinism");
+  for (const Point& pt : points) {
+    db.config().memory_limit = pt.limit;
+    const int64_t read0 = db.disk()->bytes_read();
+    const double t = bench::MinTime(2, [&] {
+      auto r = session.Execute(GroupByJoinSortPlan());
+      if (!r.ok()) std::abort();
+    });
+    auto res = session.Execute(GroupByJoinSortPlan());
+    if (!res.ok()) return 1;
+    const bool same = SameRows(*reference, *res);
+    const int64_t spilled = SpilledBytes(res->profile);
+    const int64_t leak = db.memory()->used();
+    std::printf("%-22s %10.2f %12.2f %12.2f %8lld   %s\n", pt.name, t * 1e3,
+                spilled / 1e6, (db.disk()->bytes_read() - read0) / 1e6,
+                static_cast<long long>(leak), same ? "ok" : "MISMATCH");
+    ok &= same;
+    ok &= leak == 0;  // reservations must drain after every query
+    if (pt.expect_spill && spilled == 0) {
+      std::printf("  ^ expected spilling at this limit, saw none\n");
+      ok = false;
+    }
+    if (!pt.expect_spill && spilled != 0) {
+      std::printf("  ^ unexpected spilling with no limit\n");
+      ok = false;
+    }
+  }
+  db.config().memory_limit = 0;
+
+  // Per-breaker visibility at the tightest point: each pipeline breaker
+  // must report nonzero spilled bytes in the profile.
+  db.config().memory_limit = peak / 24;
+  auto profiled = session.Execute(GroupByJoinSortPlan());
+  db.config().memory_limit = 0;
+  if (!profiled.ok()) return 1;
+  int64_t build = 0, agg = 0, sort = 0;
+  for (const OperatorProfile& p : profiled->profile.operators) {
+    if (p.op == "JoinBuildSpill") build += p.spill_bytes;
+    if (p.op == "AggSpill") agg += p.spill_bytes;
+    if (p.op == "SortSpill") sort += p.spill_bytes;
+  }
+  std::printf("\nper-breaker spill at peak/24: build=%.2fMB agg=%.2fMB "
+              "sort=%.2fMB\n", build / 1e6, agg / 1e6, sort / 1e6);
+  std::printf("\nvery-tight profile:\n%s",
+              profiled->profile.ToString().c_str());
+  const bool breakers_ok = build > 0 && agg > 0 && sort > 0;
+  if (!breakers_ok) {
+    std::printf("^ expected every breaker to spill at peak/24\n");
+  }
+
+  std::printf("\ndeterminism in-memory vs out-of-core: %s\n",
+              ok ? "ok" : "MISMATCH");
+  return ok && breakers_ok ? 0 : 1;
+}
