@@ -3,6 +3,7 @@
 #define X100_COMMON_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace x100 {
 
@@ -58,6 +59,16 @@ struct EngineConfig {
   /// reservation into kResourceExhausted, unwound through the pipeline
   /// cancellation machinery.
   bool enable_spill = true;
+  /// Directory for the file-backed spill device. Empty (the default)
+  /// spills to the in-RAM SimulatedDisk unless the X100_SPILL_PATH
+  /// environment knob supplies a directory (see Database::
+  /// ResolvedSpillPath); non-empty makes every spill write hit a real
+  /// temp file under this directory (storage/file_spill_device.h), so
+  /// memory_limit bounds the process's actual footprint, not just the
+  /// accounted one. The directory must exist: a configured-but-unusable
+  /// spill path fails the query loudly instead of silently running
+  /// in-RAM.
+  std::string spill_path;
   /// Buffer pool capacity in blocks.
   int buffer_pool_blocks = 256;
   /// Use cooperative scans (ABM relevance policy) instead of attach-LRU.
@@ -111,6 +122,37 @@ inline constexpr int64_t kMinSpillBytes = 16 * 1024;
 inline int RadixBitsForBuild(int effective_bits, int64_t estimated_rows) {
   if (estimated_rows >= 0 && estimated_rows < kTinyBuildRows) return 0;
   return effective_bits;
+}
+
+/// Dynamic radix re-sizing trigger: the drain re-plans its merge
+/// partitioning when the OBSERVED build cardinality exceeds the planner's
+/// scan-spine estimate by this factor (the estimate only sees base-table
+/// spines — PDT-inserted rows, for one, are invisible to it).
+inline constexpr int64_t kRadixResizeFactor = 8;
+
+/// Radix bits sized from an observed cardinality: enough partitions that
+/// each holds under ~kTinyBuildRows rows, capped at kMaxRadixBits. Used
+/// by the drain-time re-size (the planner-side estimate proved wrong by
+/// kRadixResizeFactor or more).
+inline int RadixBitsForObserved(int64_t rows) {
+  int bits = 0;
+  while (bits < kMaxRadixBits && (rows >> bits) >= kTinyBuildRows) bits++;
+  return bits;
+}
+
+/// The documented force-admit floor of out-of-core execution, beyond the
+/// partition pair: once every spillable byte is on disk, the breakers
+/// overcommit past memory_limit by at most
+///  * one Grace partition pair at a time (the resident build partition +
+///    one reloaded probe chunk — reported as mem(kb) on the query
+///    profile's JoinProbePair entries; pairs are processed strictly
+///    serially), plus
+///  * per concurrently-draining worker, a GrowOrSpill remainder under the
+///    kMinSpillBytes spill floor (with allocator slack, < 4x the floor).
+/// Tests assert peak <= limit + max pair mem + this slack — the bound PR 4
+/// could not state while the whole merged build table was force-charged.
+inline int64_t SpillForceAdmitSlack(int workers) {
+  return static_cast<int64_t>(workers + 2) * 4 * kMinSpillBytes;
 }
 
 }  // namespace x100

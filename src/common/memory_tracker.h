@@ -31,6 +31,7 @@
 #include <functional>
 #include <string>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace x100 {
@@ -221,18 +222,22 @@ class MemoryReservation {
 ///      kResourceExhausted (the caller's pipeline unwinds).
 ///   3. Otherwise ask the component to `spill_some` state (it applies
 ///      its own victim selection and kMinSpillBytes floor, returning the
-///      bytes it freed — 0 when nothing above the floor is left); then
-///      release the freed charge (Shrink BEFORE regrowing, or the retry
-///      compares against a stale charge) and retry.
+///      bytes it freed — 0 when nothing above the floor is left, or an
+///      error when the spill WRITE itself failed: a real device can run
+///      out of space, and that failure unwinds like any other IO error);
+///      then release the freed charge (Shrink BEFORE regrowing, or the
+///      retry compares against a stale charge) and retry.
 ///   4. When nothing is left to spill, force-admit the remainder as
 ///      minimum working set so the query progresses instead of wedging.
 inline Status GrowOrSpill(MemoryReservation* reserv, bool can_spill,
                           const std::function<int64_t()>& footprint,
-                          const std::function<int64_t()>& spill_some) {
+                          const std::function<Result<int64_t>()>& spill_some) {
   Status rs = reserv->GrowTo(footprint());
   while (!rs.ok()) {
     if (!can_spill) return rs;
-    if (spill_some() <= 0) {
+    int64_t freed;
+    X100_ASSIGN_OR_RETURN(freed, spill_some());
+    if (freed <= 0) {
       reserv->ForceGrowTo(footprint());
       return Status::OK();
     }

@@ -18,6 +18,7 @@
 #include "pdt/transaction.h"
 #include "storage/buffer_manager.h"
 #include "storage/coop_scan.h"
+#include "storage/file_spill_device.h"
 #include "storage/simulated_disk.h"
 
 namespace x100 {
@@ -55,6 +56,49 @@ class Database {
       return 0;
     }
     return v;
+  }
+
+  /// The spill directory: config.spill_path, or — when the config leaves
+  /// it empty — the X100_SPILL_PATH environment knob, which lets CI run
+  /// whole test suites over the file-backed device without per-test
+  /// setup. Empty means "spill to the SimulatedDisk".
+  static std::string ResolvedSpillPath(const std::string& configured) {
+    if (!configured.empty()) return configured;
+    const char* env = std::getenv("X100_SPILL_PATH");
+    return env != nullptr ? std::string(env) : std::string();
+  }
+
+  /// The device out-of-core execution spills to: the in-RAM SimulatedDisk
+  /// by default, or a lazily-created FileSpillDevice when a spill path is
+  /// configured. Creation failure (missing/unwritable directory) is
+  /// returned, not swallowed — a configured spill path that cannot be
+  /// used must fail queries loudly instead of silently keeping spilled
+  /// state in RAM. The device lives until Database destruction, which
+  /// removes its temp file.
+  Result<SpillDevice*> spill_device() {
+    const std::string dir = ResolvedSpillPath(config_.spill_path);
+    if (dir.empty()) return static_cast<SpillDevice*>(&disk_);
+    std::lock_guard<std::mutex> lock(spill_device_mu_);
+    if (file_spill_device_ == nullptr || file_spill_dir_ != dir) {
+      // A device whose directory no longer matches the config is
+      // retired — kept alive until Database destruction, like retired
+      // schedulers — since in-flight queries may still hold SpillFiles
+      // pointing at it.
+      if (file_spill_device_ != nullptr) {
+        retired_spill_devices_.push_back(std::move(file_spill_device_));
+      }
+      X100_ASSIGN_OR_RETURN(file_spill_device_, FileSpillDevice::Create(dir));
+      file_spill_dir_ = dir;
+    }
+    return static_cast<SpillDevice*>(file_spill_device_.get());
+  }
+
+  /// The file-backed device if one has been created (tests install fault
+  /// hooks through this); nullptr while spilling targets the
+  /// SimulatedDisk.
+  FileSpillDevice* file_spill_device() {
+    std::lock_guard<std::mutex> lock(spill_device_mu_);
+    return file_spill_device_.get();
   }
 
   /// Starts a table definition; finish with RegisterTable(builder.Finish()).
@@ -127,6 +171,10 @@ class Database {
   std::unique_ptr<TaskScheduler> own_scheduler_;
   std::vector<std::unique_ptr<TaskScheduler>> retired_schedulers_;
   SimulatedDisk disk_;
+  std::mutex spill_device_mu_;
+  std::unique_ptr<FileSpillDevice> file_spill_device_;
+  std::vector<std::unique_ptr<FileSpillDevice>> retired_spill_devices_;
+  std::string file_spill_dir_;
   BufferManager buffers_;
   TransactionManager txn_manager_;
   std::map<std::string, std::unique_ptr<UpdatableTable>> tables_;

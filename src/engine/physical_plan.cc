@@ -245,14 +245,19 @@ Result<OperatorPtr> JoinFactory(const AlgebraPtr& node, PlannerContext* pc,
     // Tiny-build cutoff, applied only under AUTO radix sizing: when the
     // scan spine bounds the build under kTinyBuildRows, partitioning
     // would cost ~2^radix_bits empty per-worker buffers for a merge that
-    // one task handles comfortably.
+    // one task handles comfortably. The estimate travels into the build
+    // state so the drain can re-size the merge fan-out when the
+    // OBSERVED cardinality proves it badly wrong (kRadixResizeFactor) —
+    // base-table counts miss PDT-inserted rows entirely. Explicit
+    // radix_bits settings are never overridden in either direction.
+    const int64_t estimate = EstimateSpineRows(node->children[0], pc->db);
     int build_bits = pc->radix_bits;
     if (pc->configured_radix_bits < 0) {
-      build_bits = RadixBitsForBuild(
-          build_bits, EstimateSpineRows(node->children[0], pc->db));
+      build_bits = RadixBitsForBuild(build_bits, estimate);
     }
     state = std::make_shared<JoinBuildState>(
-        std::move(build_chains), std::move(bkeys), build_bits);
+        std::move(build_chains), std::move(bkeys), build_bits, estimate,
+        /*allow_radix_resize=*/pc->configured_radix_bits < 0);
   }
   OperatorPtr probe;
   X100_ASSIGN_OR_RETURN(probe, planner->Build(node->children[1], pc));

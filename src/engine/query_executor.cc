@@ -49,7 +49,14 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   ctx.scheduler = db_->scheduler();
   ctx.quota = &quota;
   ctx.memory = &query_memory;
-  ctx.spill_disk = db_->config().enable_spill ? db_->disk() : nullptr;
+  if (db_->config().enable_spill) {
+    // A configured-but-unusable spill path (missing directory, no
+    // permission) fails the query here, loudly — silently falling back
+    // to in-RAM spilling would defeat the point of the knob.
+    auto device = db_->spill_device();
+    X100_RETURN_IF_ERROR(device.status());
+    ctx.spill_device = *device;
+  }
 
   const int64_t qid =
       db_->queries()->Begin(text.empty() ? "<algebra query>" : text);

@@ -377,14 +377,14 @@ Status AggWorkerState::EnsureReservation(ExecContext* ctx) {
   // the chunks back via MergeFrom, so a group split across chunks
   // recombines exactly. Freeing nothing when the total spillable state
   // is itself below the floor makes GrowOrSpill force-admit it.
-  const auto spill_some = [this, ctx]() -> int64_t {
+  const auto spill_some = [this, ctx]() -> Result<int64_t> {
     int64_t spillable = 0;
     for (const auto& t : tables_) {
       if (t->num_groups() > 0) {
         spillable += static_cast<int64_t>(t->MemoryBytes());
       }
     }
-    if (spillable < kMinSpillBytes) return 0;
+    if (spillable < kMinSpillBytes) return int64_t{0};
     int64_t freed = 0;
     while (freed < kMinSpillBytes) {
       int victim = -1;
@@ -401,7 +401,8 @@ Status AggWorkerState::EnsureReservation(ExecContext* ctx) {
       freed += static_cast<int64_t>(tables_[victim]->MemoryBytes());
       std::vector<uint8_t> blob;
       tables_[victim]->SerializeTo(&blob);
-      SpillFile file = SpillFile::Write(ctx->spill_disk, blob);
+      SpillFile file;
+      X100_ASSIGN_OR_RETURN(file, SpillFile::Write(ctx->spill_device, blob));
       spill_bytes_ += file.bytes();
       spill_chunks_++;
       spill_rows_ += tables_[victim]->num_groups();
@@ -412,7 +413,7 @@ Status AggWorkerState::EnsureReservation(ExecContext* ctx) {
     }
     return freed;
   };
-  return GrowOrSpill(&reserv_, ctx->spill_disk != nullptr, footprint,
+  return GrowOrSpill(&reserv_, ctx->spill_device != nullptr, footprint,
                      spill_some);
 }
 

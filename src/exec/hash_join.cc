@@ -1,5 +1,6 @@
 #include "exec/hash_join.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 
@@ -17,6 +18,11 @@ inline int64_t NowNs() {
       .count();
 }
 
+/// Probe-side spill chunks reload into batches of this many rows at a
+/// time, so the pair phase holds one bounded chunk resident — never a
+/// whole probe partition.
+constexpr int64_t kProbeSpillChunkRows = 4096;
+
 /// Spill blob for one join-build partition chunk:
 /// [i64 nrows][nrows u64 key hashes][RowBuffer serialization]. Hashes ride
 /// along so the reload never re-evaluates key expressions — build and
@@ -28,6 +34,40 @@ std::vector<uint8_t> SerializeBuildChunk(const RowBuffer& rows,
   serde::AppendPodVec(&blob, hashes);
   rows.SerializeTo(&blob);
   return blob;
+}
+
+/// Writes `rows`+`hashes` as build chunks of at most kProbeSpillChunkRows
+/// rows each, appended to `out`. Slicing bounds the transient
+/// serialization blob: the merge-time defer sites run at the exact
+/// moment the memory budget is exhausted, so a whole-partition blob
+/// there would spike the REAL footprint past what the tracker reports.
+/// Returns the bytes written; on a failed write the chunks already
+/// placed stay in `out` (their blocks are owned and freed with it).
+Result<int64_t> WriteBuildChunks(const RowBuffer& rows,
+                                 const std::vector<uint64_t>& hashes,
+                                 SpillDevice* device,
+                                 std::vector<SpillFile>* out,
+                                 int64_t* chunks_out) {
+  std::vector<int64_t> order(rows.rows());
+  for (int64_t i = 0; i < rows.rows(); i++) order[i] = i;
+  int64_t bytes = 0;
+  for (int64_t begin = 0; begin < rows.rows();
+       begin += kProbeSpillChunkRows) {
+    const int64_t end =
+        std::min<int64_t>(rows.rows(), begin + kProbeSpillChunkRows);
+    std::vector<uint8_t> blob;
+    serde::AppendPod<int64_t>(&blob, end - begin);
+    const auto* h = reinterpret_cast<const uint8_t*>(hashes.data());
+    blob.insert(blob.end(), h + begin * sizeof(uint64_t),
+                h + end * sizeof(uint64_t));
+    rows.SerializeRowsTo(order, begin, end, &blob);
+    SpillFile file;
+    X100_ASSIGN_OR_RETURN(file, SpillFile::Write(device, blob));
+    bytes += file.bytes();
+    (*chunks_out)++;
+    out->push_back(std::move(file));
+  }
+  return bytes;
 }
 
 /// Appends a reloaded chunk to `rows_out`/`hashes_out`.
@@ -53,6 +93,20 @@ Status AppendBuildChunk(const Schema& schema,
   hashes_out->insert(hashes_out->end(), hashes.begin(), hashes.end());
   rows_out->AppendRows(*rb);
   return Status::OK();
+}
+
+/// The one bucket-table sizing rule: IndexPartition allocates with it
+/// and IndexBytes estimates with it, so merge-time admission and
+/// settle-time actuals can never drift apart on the index size.
+uint64_t JoinBucketCount(int64_t n) {
+  return std::max<uint64_t>(16, NextPow2(n * 2));
+}
+
+/// Resident footprint of a chained hash index over n rows (buckets +
+/// next chain + kept hashes), for merge-time admission estimates.
+int64_t IndexBytes(int64_t n) {
+  return (static_cast<int64_t>(JoinBucketCount(n)) + 2 * n) *
+         static_cast<int64_t>(sizeof(int64_t));
 }
 }  // namespace
 
@@ -86,11 +140,39 @@ Schema JoinOutputSchema(const Schema& probe, const Schema& build,
 // ---------------------------------------------------------------------------
 
 JoinBuildState::JoinBuildState(std::vector<OperatorPtr> chains,
-                               std::vector<int> build_keys, int radix_bits)
+                               std::vector<int> build_keys, int radix_bits,
+                               int64_t estimated_rows, bool allow_radix_resize)
     : chains_(std::move(chains)),
       build_keys_(std::move(build_keys)),
-      radix_bits_(radix_bits < 0 ? 0 : radix_bits) {
+      radix_bits_(radix_bits < 0 ? 0 : radix_bits),
+      estimated_rows_(estimated_rows),
+      allow_radix_resize_(allow_radix_resize) {
   build_schema_ = chains_.front()->output_schema();
+}
+
+/// Resets a partition to the empty-but-probeable deferred shape: no
+/// resident rows or charge, and a one-slot empty bucket table so a stray
+/// Head() misses instead of faulting. Shared by the two merge-time defer
+/// sites and the pair-phase release.
+static void ResetPartitionToDeferred(JoinBuildState::Partition* part) {
+  part->rows.reset();
+  std::vector<uint64_t>().swap(part->hashes);
+  std::vector<int64_t>().swap(part->next);
+  part->buckets.assign(1, -1);
+  part->bucket_mask = 0;
+  part->mem.ReleaseAll();
+}
+
+void JoinBuildState::IndexPartition(Partition* part) {
+  const int64_t n = part->rows->rows();
+  part->buckets.assign(JoinBucketCount(n), -1);
+  part->bucket_mask = part->buckets.size() - 1;
+  part->next.assign(n, -1);
+  for (int64_t r = 0; r < n; r++) {
+    const uint64_t slot = part->hashes[r] & part->bucket_mask;
+    part->next[r] = part->buckets[slot];
+    part->buckets[slot] = r;
+  }
 }
 
 Status JoinBuildState::Build(ExecContext* ctx) {
@@ -115,6 +197,8 @@ Status JoinBuildState::Build(ExecContext* ctx) {
   std::vector<WorkerPartial> partials(W);
   spilled_.clear();
   spilled_.resize(P);
+  spilled_rows_.assign(P, 0);
+  spilled_bytes_.assign(P, 0);
 
   // Phase 1 — drain pipeline: tasks drain the cloned chains (sharing one
   // morsel source underneath), hashing keys vectorized and scattering
@@ -151,8 +235,9 @@ Status JoinBuildState::Build(ExecContext* ctx) {
         // frees it, returning the freed bytes; 0 when nothing (worth the
         // round trip) is left — totals under kMinSpillBytes make
         // GrowOrSpill force-admit the remainder instead of churning
-        // through micro-spills.
-        auto spill_one = [this, &part, ctx, P]() -> int64_t {
+        // through micro-spills. A failed spill WRITE (the device filling
+        // up) is a real error and unwinds the pipeline.
+        auto spill_one = [this, &part, ctx, P]() -> Result<int64_t> {
           int victim = -1;
           size_t best = 0;
           size_t spillable = 0;
@@ -170,24 +255,29 @@ Status JoinBuildState::Build(ExecContext* ctx) {
           }
           if (victim < 0 ||
               spillable < static_cast<size_t>(kMinSpillBytes)) {
-            return 0;
+            return int64_t{0};
           }
+          const int64_t victim_rows = part.rows[victim]->rows();
           const std::vector<uint8_t> blob =
               SerializeBuildChunk(*part.rows[victim], part.hashes[victim]);
-          SpillFile file = SpillFile::Write(ctx->spill_disk, blob);
+          SpillFile file;
+          X100_ASSIGN_OR_RETURN(file,
+                                SpillFile::Write(ctx->spill_device, blob));
           part.spill_bytes += file.bytes();
           part.spill_chunks++;
-          part.spill_rows += part.rows[victim]->rows();
+          part.spill_rows += victim_rows;
           {
             std::lock_guard<std::mutex> lock(spill_mu_);
             spilled_[victim].push_back(std::move(file));
+            spilled_rows_[victim] += victim_rows;
+            spilled_bytes_[victim] += static_cast<int64_t>(blob.size());
           }
           part.rows[victim].reset();
           std::vector<uint64_t>().swap(part.hashes[victim]);
           return static_cast<int64_t>(best);
         };
         auto ensure = [&]() -> Status {
-          return GrowOrSpill(&part.reserv, ctx->spill_disk != nullptr,
+          return GrowOrSpill(&part.reserv, ctx->spill_device != nullptr,
                              footprint, spill_one);
         };
         std::vector<uint64_t> hash_scratch(ctx->vector_size);
@@ -245,25 +335,228 @@ Status JoinBuildState::Build(ExecContext* ctx) {
 
   for (const WorkerPartial& p : partials) has_null_key_ |= p.saw_null_key;
 
+  // Phase 1.5 — dynamic radix re-sizing: the drain just OBSERVED the
+  // build cardinality; when it dwarfs the planner's scan-spine estimate
+  // (kRadixResizeFactor, e.g. PDT-inserted rows invisible to base-table
+  // counts) the tiny-build skip picked too few partitions — one huge
+  // merge task, one un-spillable Grace partition. Refinement is
+  // hierarchical (a partition under b1 bits splits exactly into
+  // 2^(b2-b1) partitions under b2 bits), so one repartition fan-out (one
+  // task per OLD partition, touching disjoint new partitions) re-buckets
+  // resident partials in memory and splits spilled chunks through one
+  // disk round trip.
+  int64_t observed = 0;
+  for (const WorkerPartial& wp : partials) {
+    for (int p = 0; p < P; p++) {
+      observed += static_cast<int64_t>(wp.hashes[p].size());
+    }
+  }
+  for (int p = 0; p < P; p++) observed += spilled_rows_[p];
+  if (allow_radix_resize_ && estimated_rows_ >= 0 &&
+      observed >= kRadixResizeFactor * std::max<int64_t>(estimated_rows_, 1) &&
+      RadixBitsForObserved(observed) > radix_bits_) {
+    const int new_bits = RadixBitsForObserved(observed);
+    const int P2 = 1 << new_bits;
+    // Move every worker's old partials aside BEFORE the fan-out: old
+    // partition q's buffers live at index q, which aliases NEW partition
+    // q (a child of old partition q >> d) — splitting in place would
+    // have task 0 writing child slots that still hold task 1's source.
+    struct OldPartial {
+      std::vector<std::unique_ptr<RowBuffer>> rows;
+      std::vector<std::vector<uint64_t>> hashes;
+    };
+    std::vector<OldPartial> old_partials(W);
+    for (int w = 0; w < W; w++) {
+      old_partials[w].rows = std::move(partials[w].rows);
+      old_partials[w].hashes = std::move(partials[w].hashes);
+      partials[w].rows.clear();
+      partials[w].rows.resize(P2);
+      partials[w].hashes.clear();
+      partials[w].hashes.resize(P2);
+    }
+    std::vector<std::vector<SpillFile>> old_spilled = std::move(spilled_);
+    spilled_.clear();
+    spilled_.resize(P2);
+    spilled_rows_.assign(P2, 0);
+    spilled_bytes_.assign(P2, 0);
+    const int old_bits = radix_bits_;
+    radix_bits_ = new_bits;  // PartitionOf now routes at the new width
+    X100_RETURN_IF_ERROR(RunPipelineTasks(
+        sched, ctx->quota, ctx->cancel, P,
+        [this, &partials, &old_partials, &old_spilled, ctx, observed,
+         old_bits, new_bits](int q, TaskGroup& group) -> Status {
+          X100_RETURN_IF_ERROR(group.CheckCancel());
+          const int64_t t0 = NowNs();
+          // Old partition q refines into new partitions
+          // [q << d, (q + 1) << d): every task reads only its own old
+          // partition and writes only its own child range, so the
+          // fan-out needs no locking.
+          //
+          // The repartition's transient duplication (an old partial
+          // alive while its child copies grow; a reloaded chunk plus
+          // its split halves) is force-charged as minimum working set —
+          // the resize cannot proceed with less, and the tracker must
+          // see the real footprint, not just the settled state. The
+          // RAII release at task end returns it before the merge phase
+          // reserves.
+          MemoryReservation transient;
+          transient.Init(ctx->memory);
+          int64_t transient_hwm = 0;
+          auto charge = [&transient, &transient_hwm](int64_t b) {
+            if (b > transient_hwm) {
+              transient_hwm = b;
+              transient.ForceGrowTo(b);
+            }
+          };
+          const int d = new_bits - old_bits;
+          int64_t moved = 0;
+          for (size_t w = 0; w < old_partials.size(); w++) {
+            std::unique_ptr<RowBuffer> src =
+                std::move(old_partials[w].rows[q]);
+            std::vector<uint64_t> src_hashes;
+            src_hashes.swap(old_partials[w].hashes[q]);
+            if (src == nullptr) continue;
+            charge(static_cast<int64_t>(src->MemoryBytes()) * 2 +
+                   static_cast<int64_t>(src_hashes.capacity() *
+                                        sizeof(uint64_t)));
+            WorkerPartial& wp = partials[w];
+            for (int64_t r = 0; r < src->rows(); r++) {
+              const size_t child = PartitionOf(src_hashes[r]);
+              if (wp.rows[child] == nullptr) {
+                wp.rows[child] = std::make_unique<RowBuffer>(build_schema_);
+              }
+              wp.rows[child]->AppendRowFromBuffer(*src, r);
+              wp.hashes[child].push_back(src_hashes[r]);
+            }
+            moved += src->rows();
+          }
+          // Spilled chunks of q split through one reload: each child
+          // slice is rewritten as its own chunk and the parent chunk is
+          // freed (the device recycles its blocks).
+          for (SpillFile& chunk : old_spilled[q]) {
+            std::vector<uint8_t> blob;
+            X100_ASSIGN_OR_RETURN(blob, chunk.ReadAll(ctx->cancel));
+            charge(static_cast<int64_t>(blob.size()) * 3);
+            RowBuffer rows(build_schema_);
+            std::vector<uint64_t> hashes;
+            X100_RETURN_IF_ERROR(
+                AppendBuildChunk(build_schema_, blob, &rows, &hashes));
+            std::vector<std::unique_ptr<RowBuffer>> split(size_t{1} << d);
+            std::vector<std::vector<uint64_t>> split_hashes(size_t{1} << d);
+            for (int64_t r = 0; r < rows.rows(); r++) {
+              const size_t child = PartitionOf(hashes[r]) - (q << d);
+              if (split[child] == nullptr) {
+                split[child] = std::make_unique<RowBuffer>(build_schema_);
+              }
+              split[child]->AppendRowFromBuffer(rows, r);
+              split_hashes[child].push_back(hashes[r]);
+            }
+            for (size_t c = 0; c < split.size(); c++) {
+              if (split[c] == nullptr) continue;
+              const std::vector<uint8_t> child_blob =
+                  SerializeBuildChunk(*split[c], split_hashes[c]);
+              SpillFile file;
+              X100_ASSIGN_OR_RETURN(
+                  file, SpillFile::Write(ctx->spill_device, child_blob));
+              const size_t child_p = (q << d) + c;
+              spilled_rows_[child_p] += split[c]->rows();
+              spilled_bytes_[child_p] +=
+                  static_cast<int64_t>(child_blob.size());
+              spilled_[child_p].push_back(std::move(file));
+              moved += split[c]->rows();
+            }
+            chunk.Free();
+          }
+          OperatorProfile prof;
+          prof.op = "JoinBuildResize";
+          prof.rows = moved;
+          prof.batches = observed;  // the trigger, for post-mortems
+          prof.open_ns = NowNs() - t0;
+          ctx->RecordOperator(std::move(prof));
+          return Status::OK();
+        },
+        /*help_tag=*/this));
+  }
+  const int PM = num_partitions();
+
   // Phase 2 — merge fan-out: each partition is concatenated and
   // hash-indexed by its own scheduler task; partitions share nothing, so
   // the old single-threaded barrier merge becomes an embarrassingly
   // parallel pipeline. Each task records its own profile entry (timed
   // from here: the chain operators already reported their drain time, so
   // these carry only the merge + index cost — and per-partition entries
-  // expose partition skew via the profile's max column). Spilled chunks
-  // of this partition are re-read here (Grace-style: partition assignment
-  // is a pure function of the key hash, so the reload lands every row
-  // exactly where the in-memory path would have). The merged partition
-  // is force-charged: it must be resident for the probe phase, and the
-  // charge is released when the build state dies with its query.
-  partitions_.resize(P);
+  // expose partition skew via the profile's max column).
+  //
+  // Admission (the Grace probe decision point): the task first RESERVES
+  // its estimated resident footprint. A partition that does not fit is
+  // DEFERRED — its resident partials are shipped to disk next to its
+  // drain-spilled chunks and the partition is joined later, pairwise
+  // against the probe rows that hash to it — instead of force-charged,
+  // which is what used to make memory_limit a fiction for the probe
+  // phase. With spilling disabled the old guarantee stands: the table is
+  // force-admitted resident (minimum working set of an in-memory join).
+  partitions_.clear();
+  partitions_.resize(PM);
+  probe_spilled_.clear();
+  probe_spilled_.resize(PM);
   return RunPipelineTasks(
-      sched, ctx->quota, ctx->cancel, P,
-      [this, &partials, ctx, W](int p, TaskGroup& group) -> Status {
+      sched, ctx->quota, ctx->cancel, PM,
+      [this, &partials, ctx](int p, TaskGroup& group) -> Status {
         X100_RETURN_IF_ERROR(group.CheckCancel());
         const int64_t t0 = NowNs();
         Partition& part = partitions_[p];
+        part.mem.Init(ctx->memory);
+        int64_t est_rows = spilled_rows_[p];
+        int64_t est_bytes = spilled_bytes_[p];
+        for (WorkerPartial& wp : partials) {
+          if (wp.rows[p] == nullptr) continue;
+          est_rows += static_cast<int64_t>(wp.hashes[p].size());
+          est_bytes += static_cast<int64_t>(wp.rows[p]->MemoryBytes()) +
+                       static_cast<int64_t>(wp.hashes[p].capacity() *
+                                            sizeof(uint64_t));
+        }
+        est_bytes += IndexBytes(est_rows);
+        const bool can_defer =
+            ctx->spill_device != nullptr && ctx->memory != nullptr;
+        auto defer_partials = [this, &partials, ctx, p]() -> Status {
+          int64_t bytes = 0, rows = 0, chunks = 0;
+          for (WorkerPartial& wp : partials) {
+            if (wp.rows[p] == nullptr || wp.rows[p]->rows() == 0) continue;
+            int64_t written;
+            X100_ASSIGN_OR_RETURN(
+                written, WriteBuildChunks(*wp.rows[p], wp.hashes[p],
+                                          ctx->spill_device, &spilled_[p],
+                                          &chunks));
+            bytes += written;
+            rows += wp.rows[p]->rows();
+            spilled_rows_[p] += wp.rows[p]->rows();
+            spilled_bytes_[p] += written;
+            wp.rows[p].reset();
+            std::vector<uint64_t>().swap(wp.hashes[p]);
+          }
+          if (chunks > 0) {
+            OperatorProfile prof;
+            prof.op = "JoinBuildDefer";
+            prof.rows = rows;
+            prof.spill_bytes = bytes;
+            prof.spills = chunks;
+            ctx->RecordOperator(std::move(prof));
+          }
+          return Status::OK();
+        };
+        if (can_defer && est_rows > 0 && !part.mem.GrowTo(est_bytes).ok()) {
+          X100_RETURN_IF_ERROR(defer_partials());
+          ResetPartitionToDeferred(&part);
+          part.deferred = true;
+          any_deferred_.store(true, std::memory_order_relaxed);
+          OperatorProfile prof;
+          prof.op = "JoinBuildMerge";
+          prof.rows = 0;
+          prof.open_ns = NowNs() - t0;
+          ctx->RecordOperator(std::move(prof));
+          return Status::OK();
+        }
+        const int W = static_cast<int>(partials.size());
         if (W == 1 && spilled_[p].empty() &&
             partials[0].rows[p] != nullptr) {
           part.rows = std::move(partials[0].rows[p]);
@@ -276,33 +569,57 @@ Status JoinBuildState::Build(ExecContext* ctx) {
             part.hashes.insert(part.hashes.end(), wp.hashes[p].begin(),
                                wp.hashes[p].end());
           }
-          for (const SpillFile& file : spilled_[p]) {
+          for (SpillFile& file : spilled_[p]) {
             std::vector<uint8_t> blob;
             X100_ASSIGN_OR_RETURN(blob, file.ReadAll(ctx->cancel));
             X100_RETURN_IF_ERROR(AppendBuildChunk(
                 build_schema_, blob, part.rows.get(), &part.hashes));
+            file.Free();  // consumed: the device recycles the blocks now
           }
+          spilled_[p].clear();
+          spilled_rows_[p] = 0;
+          spilled_bytes_[p] = 0;
         }
         const int64_t n = part.rows->rows();
-        part.buckets.assign(std::max<uint64_t>(16, NextPow2(n * 2)), -1);
-        part.bucket_mask = part.buckets.size() - 1;
-        part.next.assign(n, -1);
-        for (int64_t r = 0; r < n; r++) {
-          const uint64_t slot = part.hashes[r] & part.bucket_mask;
-          part.next[r] = part.buckets[slot];
-          part.buckets[slot] = r;
-        }
-        part.mem.Init(ctx->memory);
-        part.mem.ForceGrowTo(
+        IndexPartition(&part);
+        // Settle the estimate against the materialized footprint. If the
+        // actual size no longer fits (allocator slack past the
+        // estimate), the partition is serialized back out and deferred —
+        // never force-charged — so resident partitions are always WITHIN
+        // the budget. Without a spill device the old force-admit stands.
+        const int64_t actual =
             static_cast<int64_t>(part.rows->MemoryBytes()) +
             static_cast<int64_t>((part.buckets.capacity() +
                                   part.next.capacity() +
                                   part.hashes.capacity()) *
-                                 sizeof(int64_t)));
+                                 sizeof(int64_t));
+        if (actual <= part.mem.charged()) {
+          part.mem.ShrinkTo(actual);
+        } else if (!can_defer) {
+          part.mem.ForceGrowTo(actual);
+        } else if (!part.mem.GrowTo(actual).ok()) {
+          int64_t written, chunks = 0;
+          X100_ASSIGN_OR_RETURN(
+              written, WriteBuildChunks(*part.rows, part.hashes,
+                                        ctx->spill_device, &spilled_[p],
+                                        &chunks));
+          OperatorProfile dprof;
+          dprof.op = "JoinBuildDefer";
+          dprof.rows = n;
+          dprof.spill_bytes = written;
+          dprof.spills = chunks;
+          ctx->RecordOperator(std::move(dprof));
+          spilled_rows_[p] = n;
+          spilled_bytes_[p] = written;
+          ResetPartitionToDeferred(&part);
+          part.deferred = true;
+          any_deferred_.store(true, std::memory_order_relaxed);
+        }
         OperatorProfile prof;
         prof.op = "JoinBuildMerge";
-        prof.rows = n;
+        prof.rows = part.deferred ? 0 : n;
         prof.open_ns = NowNs() - t0;
+        prof.mem_bytes = part.mem.charged();
         ctx->RecordOperator(std::move(prof));
         return Status::OK();
       },
@@ -368,16 +685,78 @@ void JoinBuildState::CloseChains() {
   }
 }
 
+bool JoinBuildState::FinishProber(
+    std::vector<std::vector<SpillFile>> probe_chunks) {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  if (probe_spilled_.size() < probe_chunks.size()) {
+    probe_spilled_.resize(probe_chunks.size());
+  }
+  for (size_t p = 0; p < probe_chunks.size(); p++) {
+    for (SpillFile& f : probe_chunks[p]) {
+      probe_spilled_[p].push_back(std::move(f));
+    }
+  }
+  probers_finished_++;
+  return probers_finished_ ==
+         probers_registered_.load(std::memory_order_acquire);
+}
+
+std::vector<int> JoinBuildState::DeferredPairList() const {
+  std::vector<int> pairs;
+  for (size_t p = 0; p < partitions_.size(); p++) {
+    if (partitions_[p].deferred && p < probe_spilled_.size() &&
+        !probe_spilled_[p].empty()) {
+      pairs.push_back(static_cast<int>(p));
+    }
+  }
+  return pairs;
+}
+
+Result<int64_t> JoinBuildState::LoadDeferredPartition(int p,
+                                                      ExecContext* ctx) {
+  Partition& part = partitions_[p];
+  part.rows = std::make_unique<RowBuffer>(build_schema_);
+  part.hashes.clear();
+  for (const SpillFile& file : spilled_[p]) {
+    std::vector<uint8_t> blob;
+    X100_ASSIGN_OR_RETURN(blob, file.ReadAll(ctx->cancel));
+    X100_RETURN_IF_ERROR(AppendBuildChunk(build_schema_, blob,
+                                          part.rows.get(), &part.hashes));
+  }
+  IndexPartition(&part);
+  const int64_t bytes =
+      static_cast<int64_t>(part.rows->MemoryBytes()) +
+      static_cast<int64_t>((part.buckets.capacity() + part.next.capacity() +
+                            part.hashes.capacity()) *
+                           sizeof(int64_t));
+  // The pair IS the minimum working set of a deferred partition — it
+  // cannot be subdivided further, so it is force-admitted (the
+  // documented floor: limit + one pair + SpillForceAdmitSlack).
+  part.mem.Init(ctx->memory);
+  part.mem.ForceGrowTo(bytes);
+  return bytes;
+}
+
+void JoinBuildState::ReleaseDeferredPartition(int p) {
+  Partition& part = partitions_[p];
+  ResetPartitionToDeferred(&part);
+  for (SpillFile& f : spilled_[p]) f.Free();
+  spilled_[p].clear();
+  for (SpillFile& f : probe_spilled_[p]) f.Free();
+  probe_spilled_[p].clear();
+}
+
 // ---------------------------------------------------------------------------
 // JoinProber
 // ---------------------------------------------------------------------------
 
-void JoinProber::Init(const JoinBuildState* state,
-                      std::vector<int> probe_keys, JoinType type,
+void JoinProber::Init(JoinBuildState* state, std::vector<int> probe_keys,
+                      JoinType type, const Schema* probe_schema,
                       const Schema* out_schema) {
   state_ = state;
   probe_keys_ = std::move(probe_keys);
   type_ = type;
+  probe_schema_ = probe_schema;
   out_schema_ = out_schema;
 }
 
@@ -389,7 +768,26 @@ Status JoinProber::Open(ExecContext* ctx) {
   chain_pos_ = -1;
   row_matched_ = false;
   eos_ = false;
+  finished_ = false;
+  pair_mode_ = false;
   return Status::OK();
+}
+
+void JoinProber::Close(ExecContext* ctx) {
+  if (ctx != nullptr && probe_spill_chunks_ > 0) {
+    OperatorProfile prof;
+    prof.op = "JoinProbeSpill";
+    prof.rows = probe_spill_rows_;
+    prof.spill_bytes = probe_spill_bytes_;
+    prof.spills = probe_spill_chunks_;
+    ctx->RecordOperator(std::move(prof));
+    probe_spill_bytes_ = probe_spill_chunks_ = probe_spill_rows_ = 0;
+  }
+  defer_rows_.clear();
+  defer_chunks_.clear();
+  defer_mem_.ReleaseAll();
+  pair_mem_.ReleaseAll();
+  pair_probe_rows_.reset();
 }
 
 bool JoinProber::ProbeKeyHasNull(const Batch& probe, int i) const {
@@ -467,6 +865,207 @@ void JoinProber::EmitProbeOnly(const Batch& probe, int probe_i, int out_i,
   }
 }
 
+// --- Grace probe-side spill ------------------------------------------------
+
+Status JoinProber::DeferRow(const Batch& probe, int i, size_t partition) {
+  if (defer_rows_.empty()) {
+    defer_rows_.resize(state_->num_partitions());
+    defer_chunks_.resize(state_->num_partitions());
+  }
+  if (defer_rows_[partition] == nullptr) {
+    defer_rows_[partition] = std::make_unique<RowBuffer>(*probe_schema_);
+  }
+  defer_rows_[partition]->AppendRowFrom(probe, i);
+  return Status::OK();
+}
+
+/// Writes partition `victim`'s deferred probe rows as chunks of at most
+/// kProbeSpillChunkRows rows each (the pair phase reloads one chunk at a
+/// time, so chunk size bounds the pair's probe-side working set) and
+/// frees the buffer. Returns the resident bytes freed.
+Result<int64_t> JoinProber::SpillDeferredPartition(ExecContext* ctx,
+                                                   int victim) {
+  RowBuffer& rows = *defer_rows_[victim];
+  const int64_t freed = static_cast<int64_t>(rows.MemoryBytes());
+  std::vector<int64_t> order(rows.rows());
+  for (int64_t i = 0; i < rows.rows(); i++) order[i] = i;
+  for (int64_t begin = 0; begin < rows.rows();
+       begin += kProbeSpillChunkRows) {
+    const int64_t end =
+        std::min<int64_t>(rows.rows(), begin + kProbeSpillChunkRows);
+    std::vector<uint8_t> blob;
+    rows.SerializeRowsTo(order, begin, end, &blob);
+    SpillFile file;
+    X100_ASSIGN_OR_RETURN(file, SpillFile::Write(ctx->spill_device, blob));
+    probe_spill_bytes_ += file.bytes();
+    probe_spill_chunks_++;
+    defer_chunks_[victim].push_back(std::move(file));
+  }
+  probe_spill_rows_ += rows.rows();
+  defer_rows_[victim].reset();
+  return freed;
+}
+
+Status JoinProber::EnsureDeferReservation(ExecContext* ctx) {
+  if (defer_rows_.empty()) return Status::OK();
+  defer_mem_.Init(ctx->memory);
+  const auto footprint = [this]() {
+    int64_t b = 0;
+    for (const auto& rb : defer_rows_) {
+      if (rb != nullptr) b += static_cast<int64_t>(rb->MemoryBytes());
+    }
+    return b;
+  };
+  // Same policy as the drain: spill the largest deferred buffer, floor
+  // kMinSpillBytes so pressure from other operators cannot degrade this
+  // into per-row chunks.
+  const auto spill_some = [this, ctx]() -> Result<int64_t> {
+    int victim = -1;
+    size_t best = 0, spillable = 0;
+    for (size_t p = 0; p < defer_rows_.size(); p++) {
+      if (defer_rows_[p] == nullptr || defer_rows_[p]->rows() == 0) continue;
+      const size_t b = defer_rows_[p]->MemoryBytes();
+      spillable += b;
+      if (victim < 0 || b > best) {
+        best = b;
+        victim = static_cast<int>(p);
+      }
+    }
+    if (victim < 0 || spillable < static_cast<size_t>(kMinSpillBytes)) {
+      return int64_t{0};
+    }
+    return SpillDeferredPartition(ctx, victim);
+  };
+  return GrowOrSpill(&defer_mem_, ctx->spill_device != nullptr, footprint,
+                     spill_some);
+}
+
+Status JoinProber::SpillAllDeferred(ExecContext* ctx) {
+  for (size_t p = 0; p < defer_rows_.size(); p++) {
+    if (defer_rows_[p] == nullptr || defer_rows_[p]->rows() == 0) continue;
+    Result<int64_t> r = SpillDeferredPartition(ctx, static_cast<int>(p));
+    X100_RETURN_IF_ERROR(r.status());
+  }
+  defer_mem_.ReleaseAll();
+  return Status::OK();
+}
+
+// --- Partition-pair streaming (last finisher) ------------------------------
+
+Status JoinProber::StartPair(ExecContext* ctx) {
+  const int p = pair_parts_[pair_idx_];
+  pair_t0_ = NowNs();
+  pair_rows_ = 0;
+  X100_ASSIGN_OR_RETURN(pair_build_bytes_,
+                        state_->LoadDeferredPartition(p, ctx));
+  pair_mem_.Init(ctx->memory);
+  pair_mem_hwm_ = pair_build_bytes_;
+  pair_chunk_ = 0;
+  pair_row_ = 0;
+  pair_probe_rows_.reset();
+  if (pair_batch_ == nullptr) {
+    pair_batch_ = std::make_unique<Batch>(*probe_schema_, ctx->vector_size);
+  }
+  return Status::OK();
+}
+
+Status JoinProber::FinishPair(ExecContext* ctx) {
+  const int p = pair_parts_[pair_idx_];
+  OperatorProfile prof;
+  prof.op = "JoinProbePair";
+  prof.rows = pair_rows_;
+  prof.open_ns = NowNs() - pair_t0_;
+  prof.mem_bytes = pair_mem_hwm_;
+  ctx->RecordOperator(std::move(prof));
+  state_->ReleaseDeferredPartition(p);
+  pair_mem_.ShrinkTo(0);
+  pair_probe_rows_.reset();
+  return Status::OK();
+}
+
+Result<bool> JoinProber::NextPairChunk(ExecContext* ctx) {
+  const int p = pair_parts_[pair_idx_];
+  const std::vector<SpillFile>& chunks = state_->probe_chunks(p);
+  pair_probe_rows_.reset();
+  pair_mem_.ShrinkTo(0);
+  if (pair_chunk_ >= chunks.size()) return false;
+  std::vector<uint8_t> blob;
+  X100_ASSIGN_OR_RETURN(blob, chunks[pair_chunk_].ReadAll(ctx->cancel));
+  std::unique_ptr<RowBuffer> rb;
+  X100_ASSIGN_OR_RETURN(
+      rb, RowBuffer::Deserialize(*probe_schema_, blob.data(), blob.size()));
+  pair_probe_rows_ = std::move(rb);
+  pair_chunk_++;
+  pair_row_ = 0;
+  const int64_t b = static_cast<int64_t>(pair_probe_rows_->MemoryBytes());
+  pair_mem_.ForceGrowTo(b);  // one bounded chunk: pair working set
+  if (pair_build_bytes_ + b > pair_mem_hwm_) {
+    pair_mem_hwm_ = pair_build_bytes_ + b;
+  }
+  return true;
+}
+
+Result<Batch*> JoinProber::NextProbeBatch(Operator* child, ExecContext* ctx) {
+  if (!pair_mode_) {
+    Batch* b;
+    X100_ASSIGN_OR_RETURN(b, child->Next());
+    if (b != nullptr) {
+      // Budget check one batch behind: the rows deferred from the batch
+      // just processed are covered before the next one grows the
+      // buffers further (the final batch settles in SpillAllDeferred).
+      if (state_->any_deferred()) {
+        X100_RETURN_IF_ERROR(EnsureDeferReservation(ctx));
+      }
+      return b;
+    }
+    // Probe child exhausted. With deferred partitions, this prober's
+    // chunks are handed to the shared state; the LAST prober to arrive
+    // owns the pair phase — every other prober has already returned
+    // end-of-stream to its sink, so the pairs have exactly one owner
+    // and stream through this prober's (arbitrary, sinks merge anyway)
+    // chain.
+    if (finished_ || !state_->any_deferred()) return nullptr;
+    finished_ = true;
+    X100_RETURN_IF_ERROR(SpillAllDeferred(ctx));
+    const bool last = state_->FinishProber(std::move(defer_chunks_));
+    defer_chunks_.clear();
+    defer_rows_.clear();
+    if (!last) return nullptr;
+    pair_parts_ = state_->DeferredPairList();
+    if (pair_parts_.empty()) return nullptr;
+    pair_mode_ = true;
+    pair_idx_ = 0;
+    X100_RETURN_IF_ERROR(StartPair(ctx));
+  }
+  while (true) {
+    X100_RETURN_IF_ERROR(ctx->CheckCancel());
+    if (pair_probe_rows_ != nullptr &&
+        pair_row_ < pair_probe_rows_->rows()) {
+      const int n = static_cast<int>(std::min<int64_t>(
+          ctx->vector_size, pair_probe_rows_->rows() - pair_row_));
+      pair_batch_->Reset();
+      for (int c = 0; c < probe_schema_->num_fields(); c++) {
+        Vector* col = pair_batch_->column(c);
+        for (int r = 0; r < n; r++) {
+          pair_probe_rows_->GatherCell(c, pair_row_ + r, col, r);
+        }
+      }
+      pair_batch_->set_rows(n);
+      pair_row_ += n;
+      pair_rows_ += n;
+      return pair_batch_.get();
+    }
+    bool more;
+    X100_ASSIGN_OR_RETURN(more, NextPairChunk(ctx));
+    if (!more) {
+      X100_RETURN_IF_ERROR(FinishPair(ctx));
+      pair_idx_++;
+      if (pair_idx_ >= pair_parts_.size()) return nullptr;
+      X100_RETURN_IF_ERROR(StartPair(ctx));
+    }
+  }
+}
+
 Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
   while (true) {
     if (eos_) return nullptr;
@@ -477,7 +1076,7 @@ Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
     while (filled < ctx->vector_size) {
       if (probe_batch_ == nullptr) {
         X100_RETURN_IF_ERROR(ctx->CheckCancel());
-        X100_ASSIGN_OR_RETURN(probe_batch_, child->Next());
+        X100_ASSIGN_OR_RETURN(probe_batch_, NextProbeBatch(child, ctx));
         if (probe_batch_ == nullptr) {
           eos_ = true;
           break;
@@ -502,6 +1101,21 @@ Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
       while (probe_pos_ < n) {
         const int i = sel ? sel[probe_pos_] : probe_pos_;
         const bool key_null = ProbeKeyHasNull(*probe_batch_, i);
+
+        // Grace routing: a non-NULL-keyed row whose partition stayed on
+        // disk cannot be probed now — it is buffered (and spilled) for
+        // the partition-pair phase. NULL-keyed rows never need the
+        // table, so every flavor's NULL semantics resolve immediately.
+        if (!pair_mode_ && !key_null && state_->any_deferred() &&
+            chain_pos_ < 0 && !row_matched_ &&
+            state_->partition_deferred(
+                state_->PartitionOf(probe_hashes_[probe_pos_]))) {
+          X100_RETURN_IF_ERROR(DeferRow(
+              *probe_batch_, i,
+              state_->PartitionOf(probe_hashes_[probe_pos_])));
+          probe_pos_++;
+          continue;
+        }
 
         if (type_ == JoinType::kSemi || type_ == JoinType::kAnti ||
             type_ == JoinType::kAntiNullAware) {
@@ -611,10 +1225,12 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
   chains.push_back(std::move(build));
   state_ = std::make_shared<JoinBuildState>(std::move(chains),
                                             std::move(build_keys));
+  state_->RegisterProber();
   // Output schema known at construction (parents need it before Open).
   out_schema_ = JoinOutputSchema(probe_child_->output_schema(),
                                  state_->schema(), type_);
-  prober_.Init(state_.get(), std::move(probe_keys), type_, &out_schema_);
+  prober_.Init(state_.get(), std::move(probe_keys), type_,
+               &probe_child_->output_schema(), &out_schema_);
 }
 
 Status HashJoinOp::OpenImpl(ExecContext* ctx) {
@@ -626,6 +1242,7 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
 void HashJoinOp::CloseImpl() {
   if (probe_child_) probe_child_->Close();
   if (state_) state_->CloseChains();
+  prober_.Close(ctx_);
 }
 
 Result<Batch*> HashJoinOp::NextImpl() {
@@ -642,9 +1259,11 @@ JoinProbeOp::JoinProbeOp(OperatorPtr probe, JoinBuildStatePtr state,
     : probe_child_(std::move(probe)),
       state_(std::move(state)),
       type_(type) {
+  state_->RegisterProber();
   out_schema_ = JoinOutputSchema(probe_child_->output_schema(),
                                  state_->schema(), type_);
-  prober_.Init(state_.get(), std::move(probe_keys), type_, &out_schema_);
+  prober_.Init(state_.get(), std::move(probe_keys), type_,
+               &probe_child_->output_schema(), &out_schema_);
 }
 
 Status JoinProbeOp::OpenImpl(ExecContext* ctx) {
@@ -656,6 +1275,7 @@ Status JoinProbeOp::OpenImpl(ExecContext* ctx) {
 void JoinProbeOp::CloseImpl() {
   if (probe_child_) probe_child_->Close();
   if (state_) state_->CloseChains();
+  prober_.Close(ctx_);
 }
 
 Result<Batch*> JoinProbeOp::NextImpl() {

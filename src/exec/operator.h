@@ -31,7 +31,7 @@ class EventLog;        // monitor/monitor.h
 class TaskScheduler;   // common/task_scheduler.h
 class TaskQuota;       // common/task_scheduler.h
 class MemoryTracker;   // common/memory_tracker.h
-class SimulatedDisk;   // storage/simulated_disk.h
+class SpillDevice;     // storage/spill_device.h
 
 /// Per-query execution context shared by all operators of a plan.
 struct ExecContext {
@@ -48,10 +48,12 @@ struct ExecContext {
   /// tracker). nullptr = unaccounted execution (directly-built plans in
   /// tests); pipeline breakers then never spill.
   MemoryTracker* memory = nullptr;
-  /// Device pipeline breakers spill radix partitions / sorted runs to
-  /// when a reservation fails. nullptr = spilling disabled: a failed
+  /// Device pipeline breakers spill radix partitions / sorted runs /
+  /// Grace probe partitions to when a reservation fails — the in-RAM
+  /// SimulatedDisk by default, a FileSpillDevice when the engine is
+  /// configured with a spill_path. nullptr = spilling disabled: a failed
   /// reservation surfaces kResourceExhausted instead.
-  SimulatedDisk* spill_disk = nullptr;
+  SpillDevice* spill_device = nullptr;
   /// Running total of tuples produced by scans (load monitoring).
   std::atomic<int64_t> tuples_scanned{0};
   /// Block groups elided by MinMax pushdown across all scans.

@@ -129,18 +129,20 @@ struct RunBuildState {
     // kMinSpillBytes floor (the pressure comes from other operators)
     // free nothing, so GrowOrSpill force-admits them instead of
     // micro-spilling a few rows per run.
-    const auto spill_some = [this]() -> int64_t {
+    const auto spill_some = [this]() -> Result<int64_t> {
       const int64_t bytes = static_cast<int64_t>((*buffer)->MemoryBytes());
-      if ((*buffer)->rows() == 0 || bytes < kMinSpillBytes) return 0;
-      SpillResident();
+      if ((*buffer)->rows() == 0 || bytes < kMinSpillBytes) return int64_t{0};
+      X100_RETURN_IF_ERROR(SpillResident());
       return bytes;
     };
-    return GrowOrSpill(reserv, ctx->spill_disk != nullptr, footprint,
+    return GrowOrSpill(reserv, ctx->spill_device != nullptr, footprint,
                        spill_some);
   }
 
-  /// Sorts the resident rows and writes them as one spilled run.
-  void SpillResident() {
+  /// Sorts the resident rows and writes them as one spilled run. A
+  /// failed chunk write (the device filling up) surfaces the IO error;
+  /// the chunks already written are owned by the run and freed with it.
+  Status SpillResident() {
     RowBuffer& rows = **buffer;
     std::vector<int64_t> order(rows.rows());
     for (int64_t i = 0; i < rows.rows(); i++) order[i] = i;
@@ -151,7 +153,8 @@ struct RunBuildState {
       const int64_t end = std::min(n, begin + kSortSpillChunkRows);
       std::vector<uint8_t> blob;
       rows.SerializeRowsTo(order, begin, end, &blob);
-      SpillFile file = SpillFile::Write(ctx->spill_disk, blob);
+      SpillFile file;
+      X100_ASSIGN_OR_RETURN(file, SpillFile::Write(ctx->spill_device, blob));
       spill_bytes += file.bytes();
       spill_chunks++;
       run.chunks.push_back(std::move(file));
@@ -160,6 +163,7 @@ struct RunBuildState {
     spilled_runs.push_back(std::move(run));
     *buffer = std::make_unique<RowBuffer>(*schema);
     reserv->ShrinkTo(static_cast<int64_t>((*buffer)->MemoryBytes()));
+    return Status::OK();
   }
 
   /// Sorts the remaining resident rows into a run referencing `*buffer`;

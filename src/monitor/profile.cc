@@ -13,6 +13,7 @@ std::string QueryProfile::ToString() const {
     int64_t batches = 0, rows = 0, open_ns = 0, next_ns = 0, self_ns = 0;
     int64_t max_self_ns = 0;  // slowest instance: the fold's critical path
     int64_t spill_bytes = 0, spills = 0;
+    int64_t max_mem_bytes = 0;  // largest resident working set
   };
   std::map<std::string, Agg> byname;
   std::vector<std::string> order;  // first-seen order (roughly top-down)
@@ -32,23 +33,25 @@ std::string QueryProfile::ToString() const {
     if (p.exclusive_ns() > a.max_self_ns) a.max_self_ns = p.exclusive_ns();
     a.spill_bytes += p.spill_bytes;
     a.spills += p.spills;
+    if (p.mem_bytes > a.max_mem_bytes) a.max_mem_bytes = p.mem_bytes;
   }
-  char line[320];
+  char line[352];
   std::string s;
   std::snprintf(line, sizeof(line),
-                "%-28s %5s %10s %10s %12s %12s %12s %12s %10s %7s\n",
+                "%-28s %5s %10s %10s %12s %12s %12s %12s %10s %7s %9s\n",
                 "operator", "inst", "batches", "rows", "open(us)",
-                "next(us)", "self(us)", "max(us)", "spill(kb)", "spills");
+                "next(us)", "self(us)", "max(us)", "spill(kb)", "spills",
+                "mem(kb)");
   s += line;
   for (const std::string& name : order) {
     const Agg& a = byname[name];
     std::snprintf(
         line, sizeof(line),
         "%-28s %5d %10" PRId64 " %10" PRId64
-        " %12.1f %12.1f %12.1f %12.1f %10.1f %7" PRId64 "\n",
+        " %12.1f %12.1f %12.1f %12.1f %10.1f %7" PRId64 " %9.1f\n",
         name.c_str(), a.instances, a.batches, a.rows, a.open_ns / 1e3,
         a.next_ns / 1e3, a.self_ns / 1e3, a.max_self_ns / 1e3,
-        a.spill_bytes / 1e3, a.spills);
+        a.spill_bytes / 1e3, a.spills, a.max_mem_bytes / 1e3);
     s += line;
   }
   std::snprintf(line, sizeof(line),

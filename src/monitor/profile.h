@@ -34,11 +34,18 @@ struct OperatorProfile {
   int64_t child_ns = 0;
   /// Out-of-core accounting: bytes this instance wrote to SpillFiles and
   /// how many spill events produced them. Recorded at the WRITE site by
-  /// the synthetic "JoinBuildSpill" / "AggSpill" / "SortSpill" entries
-  /// (rows = rows spilled), so a tight memory_limit shows exactly which
-  /// breaker went out of core and how much of its state hit disk.
+  /// the synthetic "JoinBuildSpill" / "JoinBuildDefer" / "JoinProbeSpill"
+  /// / "AggSpill" / "SortSpill" entries (rows = rows spilled), so a tight
+  /// memory_limit shows exactly which breaker went out of core and how
+  /// much of its state hit disk.
   int64_t spill_bytes = 0;
   int64_t spills = 0;
+  /// High-water RESIDENT bytes this entry held charged against the query
+  /// tracker. Set by the synthetic merge/pair entries ("JoinBuildMerge"
+  /// for a resident partition, "JoinProbePair" for one Grace partition
+  /// pair) — the pair entries are how tests bound peak tracker usage to
+  /// limit + max pair + SpillForceAdmitSlack (common/config.h).
+  int64_t mem_bytes = 0;
 
   /// Exclusive time: open+next minus the children's share. For operators
   /// whose children run on other pool threads (an exchange consumer), the

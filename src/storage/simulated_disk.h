@@ -6,6 +6,10 @@
 // and charges `bytes / bandwidth` wall-clock time per read, serialized as
 // on a single channel, with cancellation-interruptible waits. IO statistics
 // feed the monitoring subsystem and experiments E3/E4/E9.
+//
+// It doubles as the default SpillDevice: spilled blocks live in RAM, which
+// keeps unit tests hermetic but means "disk" is really memory — the
+// file-backed device (storage/file_spill_device.h) is the real thing.
 #ifndef X100_STORAGE_SIMULATED_DISK_H_
 #define X100_STORAGE_SIMULATED_DISK_H_
 
@@ -20,12 +24,11 @@
 #include "common/config.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/spill_device.h"
 
 namespace x100 {
 
-using BlockId = uint64_t;
-
-class SimulatedDisk {
+class SimulatedDisk : public SpillDevice {
  public:
   /// bandwidth_bytes_per_sec == 0 means infinite (pure memcpy).
   explicit SimulatedDisk(int64_t bandwidth_bytes_per_sec = 0)
@@ -70,6 +73,44 @@ class SimulatedDisk {
     blocks_read_.fetch_add(1, std::memory_order_relaxed);
     bytes_read_.fetch_add(data.size(), std::memory_order_relaxed);
     return data;
+  }
+
+  // SpillDevice: spill traffic rides the same block store and bandwidth
+  // channel as table IO, with its own accounting (table blocks are never
+  // freed, so spill hygiene must be measurable separately).
+  Result<BlockId> WriteSpill(std::vector<uint8_t> data) override {
+    const int64_t n = static_cast<int64_t>(data.size());
+    const BlockId id = WriteBlock(std::move(data));
+    spill_written_.fetch_add(n, std::memory_order_relaxed);
+    spill_in_use_.fetch_add(n, std::memory_order_relaxed);
+    return id;
+  }
+  Result<std::vector<uint8_t>> ReadSpill(BlockId id,
+                                         CancellationToken* cancel) override {
+    auto data = ReadBlock(id, cancel);
+    if (data.ok()) {
+      spill_read_.fetch_add(static_cast<int64_t>(data->size()),
+                            std::memory_order_relaxed);
+    }
+    return data;
+  }
+  void FreeSpill(BlockId id) override {
+    int64_t n = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (id < blocks_.size()) n = static_cast<int64_t>(blocks_[id].size());
+    }
+    spill_in_use_.fetch_sub(n, std::memory_order_relaxed);
+    FreeBlock(id);
+  }
+  int64_t spill_bytes_written() const override {
+    return spill_written_.load(std::memory_order_relaxed);
+  }
+  int64_t spill_bytes_read() const override {
+    return spill_read_.load(std::memory_order_relaxed);
+  }
+  int64_t spill_bytes_in_use() const override {
+    return spill_in_use_.load(std::memory_order_relaxed);
   }
 
   int64_t blocks_read() const { return blocks_read_.load(); }
@@ -121,6 +162,9 @@ class SimulatedDisk {
   std::vector<std::vector<uint8_t>> blocks_;
   int64_t bytes_written_ = 0;
   int64_t bytes_freed_ = 0;
+  std::atomic<int64_t> spill_written_{0};
+  std::atomic<int64_t> spill_read_{0};
+  std::atomic<int64_t> spill_in_use_{0};
 
   std::mutex io_mu_;
   std::chrono::steady_clock::time_point busy_until_{};

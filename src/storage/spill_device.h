@@ -1,0 +1,61 @@
+// SpillDevice: the block-store contract behind SpillFile.
+//
+// The out-of-core executor spills serialized radix partitions, sorted-run
+// chunks and (Grace probe) probe-side partitions as runs of blocks no
+// larger than kDiskBlockBytes. PR 4 hardwired those blocks into the
+// SimulatedDisk, which keeps every "spilled" byte in RAM for the query's
+// lifetime — fine for unit tests, useless as an actual memory bound. This
+// interface lets the engine plug in a real file-backed device
+// (storage/file_spill_device.h) while SimulatedDisk stays the default.
+//
+// Contract:
+//  * Write may FAIL (a real disk runs out of space); callers must treat a
+//    failed spill write like any other IO error and unwind, never crash.
+//  * Read returns exactly the bytes written for that id, or kIoError —
+//    a freed, truncated, corrupted or vanished block must surface as a
+//    clean error, not as wrong bytes (devices are expected to verify).
+//  * Free releases the block's storage for recycling; ids are never
+//    reused, and reading a freed id is an error.
+//  * All three are thread-safe: drain workers spill concurrently while
+//    merge tasks reload other partitions.
+#ifndef X100_STORAGE_SPILL_DEVICE_H_
+#define X100_STORAGE_SPILL_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+
+namespace x100 {
+
+using BlockId = uint64_t;
+
+class SpillDevice {
+ public:
+  virtual ~SpillDevice() = default;
+
+  /// Stores `data` (size <= kDiskBlockBytes) and returns its id, or an
+  /// IO error (ENOSPC and friends) when the device cannot take it.
+  virtual Result<BlockId> WriteSpill(std::vector<uint8_t> data) = 0;
+
+  /// Returns the block's bytes. The wait (simulated bandwidth or real
+  /// disk) is interruptible via `cancel` (may be nullptr).
+  virtual Result<std::vector<uint8_t>> ReadSpill(
+      BlockId id, CancellationToken* cancel) = 0;
+
+  /// Releases the block's storage (idempotent per id). Spilled state dies
+  /// with its query; a device must recycle freed space, not grow forever.
+  virtual void FreeSpill(BlockId id) = 0;
+
+  // Accounting, used by tests and benches to assert spill hygiene.
+  virtual int64_t spill_bytes_written() const = 0;
+  virtual int64_t spill_bytes_read() const = 0;
+  /// Bytes of live (written, not yet freed) spill blocks. Must return to
+  /// zero once every SpillFile of a query has been destroyed.
+  virtual int64_t spill_bytes_in_use() const = 0;
+};
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_SPILL_DEVICE_H_

@@ -1,12 +1,14 @@
-// SpillFile: a spilled byte blob on the SimulatedDisk.
+// SpillFile: a spilled byte blob on a SpillDevice.
 //
 // The spill unit of the out-of-core executor is one serialized radix
-// partition (join build rows + hashes, an aggregation GroupTable) or one
-// sorted-run chunk. A SpillFile owns the disk blocks of one such blob:
-// Write splits the serialization into kDiskBlockBytes-sized blocks
-// (respecting the device's block-size contract), ReadAll reassembles it —
-// charging the device's simulated IO time, interruptible by the query's
-// cancellation token like every other read in the engine.
+// partition (join build rows + hashes, an aggregation GroupTable, a Grace
+// probe-side partition chunk) or one sorted-run chunk. A SpillFile owns
+// the device blocks of one such blob: Write splits the serialization into
+// kDiskBlockBytes-sized blocks (respecting the device's block-size
+// contract), ReadAll reassembles it — charging the device's IO cost,
+// interruptible by the query's cancellation token like every other read
+// in the engine. Writes can FAIL on a real device (ENOSPC); a failed
+// Write frees whatever blocks it had already placed.
 #ifndef X100_STORAGE_SPILL_FILE_H_
 #define X100_STORAGE_SPILL_FILE_H_
 
@@ -17,75 +19,79 @@
 #include "common/cancellation.h"
 #include "common/config.h"
 #include "common/result.h"
-#include "storage/simulated_disk.h"
+#include "storage/spill_device.h"
 
 namespace x100 {
 
 class SpillFile {
  public:
   SpillFile() = default;
-  /// Owns its disk blocks: destruction frees them (the spilled state of
+  /// Owns its device blocks: destruction frees them (the spilled state of
   /// a query dies with the query's operator tree, so a long-lived
   /// Database running memory-limited queries does not accumulate spilled
-  /// bytes in the simulated device forever).
+  /// bytes on the device forever).
   ~SpillFile() { Free(); }
 
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
   SpillFile(SpillFile&& other) noexcept
-      : disk_(other.disk_),
+      : device_(other.device_),
         blocks_(std::move(other.blocks_)),
         bytes_(other.bytes_) {
-    other.disk_ = nullptr;
+    other.device_ = nullptr;
     other.blocks_.clear();
     other.bytes_ = 0;
   }
   SpillFile& operator=(SpillFile&& other) noexcept {
     if (this != &other) {
       Free();
-      disk_ = other.disk_;
+      device_ = other.device_;
       blocks_ = std::move(other.blocks_);
       bytes_ = other.bytes_;
-      other.disk_ = nullptr;
+      other.device_ = nullptr;
       other.blocks_.clear();
       other.bytes_ = 0;
     }
     return *this;
   }
 
-  /// Writes `size` bytes as a run of disk blocks. Writes are synchronous
-  /// and uncharged (the bandwidth model charges reads; symmetric write
-  /// cost would double-charge the reload the benches measure).
-  static SpillFile Write(SimulatedDisk* disk, const uint8_t* data,
-                         size_t size) {
+  /// Writes `size` bytes as a run of device blocks. A failed block write
+  /// (a real disk filling up) releases the blocks already written and
+  /// surfaces the device's error — the caller unwinds like any other IO
+  /// failure.
+  static Result<SpillFile> Write(SpillDevice* device, const uint8_t* data,
+                                 size_t size) {
     SpillFile f;
-    f.disk_ = disk;
+    f.device_ = device;
     f.bytes_ = static_cast<int64_t>(size);
     size_t off = 0;
     while (off < size) {
       const size_t n = std::min<size_t>(size - off,
                                         static_cast<size_t>(kDiskBlockBytes));
-      f.blocks_.push_back(
-          disk->WriteBlock(std::vector<uint8_t>(data + off, data + off + n)));
+      BlockId id;
+      X100_ASSIGN_OR_RETURN(
+          id,
+          device->WriteSpill(std::vector<uint8_t>(data + off, data + off + n)));
+      f.blocks_.push_back(id);
       off += n;
     }
     return f;
   }
 
-  static SpillFile Write(SimulatedDisk* disk,
-                         const std::vector<uint8_t>& data) {
-    return Write(disk, data.data(), data.size());
+  static Result<SpillFile> Write(SpillDevice* device,
+                                 const std::vector<uint8_t>& data) {
+    return Write(device, data.data(), data.size());
   }
 
-  /// Reassembles the blob. The per-block reads queue on the device's
-  /// single bandwidth channel and abort promptly when `cancel` fires.
+  /// Reassembles the blob. The per-block reads charge the device's IO
+  /// cost and abort promptly when `cancel` fires.
   Result<std::vector<uint8_t>> ReadAll(
       CancellationToken* cancel = nullptr) const {
     std::vector<uint8_t> out;
     out.reserve(static_cast<size_t>(bytes_));
     for (const BlockId id : blocks_) {
       std::vector<uint8_t> block;
-      X100_ASSIGN_OR_RETURN(block, disk_->ReadBlock(id, cancel));
+      X100_ASSIGN_OR_RETURN(block, device_->ReadSpill(id, cancel));
       out.insert(out.end(), block.begin(), block.end());
     }
     if (out.size() != static_cast<size_t>(bytes_)) {
@@ -101,18 +107,18 @@ class SpillFile {
   size_t num_blocks() const { return blocks_.size(); }
 
   /// Releases the underlying blocks early (idempotent; the destructor
-  /// calls it). Reads after Free fail as truncated.
+  /// calls it). Reads after Free fail cleanly.
   void Free() {
-    if (disk_ != nullptr) {
-      for (const BlockId id : blocks_) disk_->FreeBlock(id);
+    if (device_ != nullptr) {
+      for (const BlockId id : blocks_) device_->FreeSpill(id);
     }
     blocks_.clear();
     bytes_ = 0;
-    disk_ = nullptr;
+    device_ = nullptr;
   }
 
  private:
-  SimulatedDisk* disk_ = nullptr;
+  SpillDevice* device_ = nullptr;
   std::vector<BlockId> blocks_;
   int64_t bytes_ = 0;
 };
