@@ -1,6 +1,10 @@
 // E12 — §"Many Functions": throughput of hand-written kernels vs
 // rewriter-expanded compositions ("some functions were implemented in the
 // rewriter phase … for others, manual implementation was needed").
+//
+// Every expression runs once per SIMD dispatch level the machine supports,
+// so a regression in either the scalar kernels or the registered SIMD
+// variants shows up side by side. `--json <path>` writes BENCH_E12.json.
 #include "bench_util.h"
 #include "common/rng.h"
 #include "exec/expression.h"
@@ -11,10 +15,10 @@ using namespace x100;
 namespace {
 
 double RunExpr(const ExprPtr& expr, const Schema& schema, Batch* batch,
-               int iters) {
+               int iters, SimdLevel simd) {
   auto bound = BindExpr(expr, schema);
   if (!bound.ok()) std::abort();
-  auto prog = ExprProgram::Compile(*bound, batch->capacity());
+  auto prog = ExprProgram::Compile(*bound, batch->capacity(), simd);
   if (!prog.ok()) std::abort();
   return bench::MinTime(3, [&] {
     for (int i = 0; i < iters; i++) {
@@ -26,13 +30,16 @@ double RunExpr(const ExprPtr& expr, const Schema& schema, Batch* batch,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::Header("E12", "SQL functions: kernels vs rewriter expansions");
+  bench::JsonReport json("E12", argc, argv);
   EnsureKernelsRegistered();
   auto* reg = PrimitiveRegistry::Get();
-  std::printf("registered primitives: %d map + %d select (the paper's"
-              " 'dozens of functions')\n\n",
-              reg->num_map_primitives(), reg->num_select_primitives());
+  const auto levels = AvailableSimdLevels();
+  std::printf("registered primitives: %d map + %d select (+%d simd"
+              " variants) — the paper's 'dozens of functions'\n\n",
+              reg->num_map_primitives(), reg->num_select_primitives(),
+              reg->num_simd_variants());
 
   const int kN = 1024, kIters = 2000;
   Schema schema({Field("s", TypeId::kStr), Field("d", TypeId::kDate),
@@ -52,7 +59,6 @@ int main() {
   Rewriter rw;
   auto expand = [&](ExprPtr e) { return *rw.ExpandFunctions(std::move(e)); };
 
-  std::printf("%-34s %14s\n", "function", "ns/tuple");
   struct Entry {
     const char* name;
     ExprPtr expr;
@@ -76,6 +82,10 @@ int main() {
                      Call("year", {Col("d")})});
   entries.push_back({"quarter(d)          [kernel]",
                      Call("quarter", {Col("d")})});
+  entries.push_back({"d >= 9000           [kernel, simd variant]",
+                     Call("ge", {Col("d"), Lit(Value::I32(9000))})});
+  entries.push_back({"x < 0               [kernel, simd variant]",
+                     Call("lt", {Col("x"), Lit(Value::F64(0))})});
   entries.push_back({"abs(x)              [rewriter->ifthenelse]",
                      expand(Call("abs", {Col("x")}))});
   entries.push_back({"sign(x)             [rewriter->nested if]",
@@ -84,11 +94,23 @@ int main() {
       {"x between -10,10    [rewriter->ge&le]",
        expand(Call("between", {Col("x"), Lit(Value::F64(-10)),
                                Lit(Value::F64(10))}))});
+
+  std::printf("%-42s", "function, ns/tuple at level:");
+  for (SimdLevel l : levels) std::printf(" %12s", SimdLevelName(l));
+  std::printf("\n");
   for (const Entry& e : entries) {
-    std::printf("%-34s %14.2f\n", e.name,
-                RunExpr(e.expr, schema, &batch, kIters) * per);
+    std::printf("%-42s", e.name);
+    for (SimdLevel l : levels) {
+      const double ns = RunExpr(e.expr, schema, &batch, kIters, l) * per;
+      std::printf(" %12.2f", ns);
+      // Strip the padded annotation for the JSON name.
+      std::string name(e.name);
+      name = name.substr(0, name.find_first_of(' '));
+      json.Add(name + " " + SimdLevelName(l), ns);
+    }
+    std::printf("\n");
   }
   std::printf("\nrewriter expansions run at kernel-composition speed — the"
               " cheap path for the long tail of SQL functions.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

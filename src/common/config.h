@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "simd/simd.h"
+
 namespace x100 {
 
 /// Default number of values per vector. X100's sweet spot: large enough to
@@ -69,6 +71,15 @@ struct EngineConfig {
   /// spill path fails the query loudly instead of silently running
   /// in-RAM.
   std::string spill_path;
+  /// SIMD dispatch level for primitive/kernel selection. kAuto defers to
+  /// the X100_SIMD environment knob when set (auto|scalar|avx2|neon;
+  /// malformed values warn once and stay auto — same contract as
+  /// X100_MEMORY_LIMIT), then to runtime CPU detection. A concrete mode
+  /// the hardware cannot execute degrades to scalar with a one-time
+  /// warning; scalar kernels are always available, so every query runs at
+  /// every setting with bit-identical results (hashes included — see
+  /// src/simd/simd_kernels.h).
+  SimdMode simd_level = SimdMode::kAuto;
   /// Buffer pool capacity in blocks.
   int buffer_pool_blocks = 256;
   /// Use cooperative scans (ABM relevance policy) instead of attach-LRU.

@@ -44,6 +44,7 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   MemoryTracker query_memory(/*limit=*/0, db_->memory());
   ExecContext ctx;
   ctx.vector_size = db_->config().vector_size;
+  ctx.simd = ResolveSimdLevel(db_->config().simd_level);
   ctx.cancel = cancel;
   ctx.events = db_->events();
   ctx.scheduler = db_->scheduler();
@@ -78,6 +79,7 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   // CollectRows closed the whole tree, so every operator has flushed its
   // metrics; snapshot them for the result and the query listing.
   QueryProfile profile = ctx.TakeProfile();
+  profile.simd = SimdLevelName(ctx.simd);
   profile.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - t0)
                         .count();

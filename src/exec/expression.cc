@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "simd/simd_kernels.h"
+
 namespace x100 {
 
 namespace {
@@ -53,13 +55,15 @@ void BroadcastConst(const Value& v, int n, Vector* out) {
 }  // namespace
 
 Result<std::unique_ptr<ExprProgram>> ExprProgram::Compile(const ExprPtr& e,
-                                                          int vector_size) {
+                                                          int vector_size,
+                                                          SimdLevel simd) {
   if (!e->bound) {
     return Status::InvalidArgument("expression not bound: " + e->ToString());
   }
   EnsureKernelsRegistered();
   auto prog = std::unique_ptr<ExprProgram>(new ExprProgram());
   prog->vector_size_ = vector_size;
+  prog->simd_ = simd;
   prog->out_type_ = e->type;
   prog->nullable_ = e->nullable;
   X100_ASSIGN_OR_RETURN(prog->result_, prog->CompileNode(e));
@@ -129,7 +133,7 @@ Result<ExprProgram::ArgRef> ExprProgram::CompileNode(const ExprPtr& e) {
   }
 
   auto* reg = PrimitiveRegistry::Get();
-  MapEntry entry = reg->FindMap("map", e->fn, sigs);
+  MapEntry entry = reg->FindMap("map", e->fn, sigs, simd_);
   if (entry.fn == nullptr) {
     // Fall back to all-vector shapes, broadcasting constants.
     bool changed = false;
@@ -146,7 +150,7 @@ Result<ExprProgram::ArgRef> ExprProgram::CompileNode(const ExprPtr& e) {
       sigs[i].is_const = false;
       changed = true;
     }
-    if (changed) entry = reg->FindMap("map", e->fn, sigs);
+    if (changed) entry = reg->FindMap("map", e->fn, sigs, simd_);
     if (entry.fn == nullptr) {
       return Status::NotFound("no kernel for " +
                               BuildSignature("map", e->fn, sigs));
@@ -210,7 +214,7 @@ Result<const Vector*> ExprProgram::Eval(Batch& batch) {
       if (nulls == nullptr) {
         std::memset(o, step.negate_isnull ? 1 : 0, rows);
       } else if (step.negate_isnull) {
-        for (int i = 0; i < rows; i++) o[i] = nulls[i] ? 0 : 1;
+        simd::IsZeroBytes(rows, nulls, o, simd_);
       } else {
         std::memcpy(o, nulls, rows);
       }
@@ -234,7 +238,7 @@ Result<const Vector*> ExprProgram::Eval(Batch& batch) {
       for (const ArgRef& src : step.null_sources) {
         const uint8_t* sn = ResolveNulls(src, batch);
         if (sn == nullptr) continue;
-        for (int i = 0; i < rows; i++) on[i] |= sn[i];
+        simd::OrBytesInto(rows, sn, on, simd_);
       }
     }
   }

@@ -23,8 +23,12 @@ class ExprProgram {
  public:
   /// Compiles `bound` (a tree produced by BindExpr against the schema of
   /// the batches that will be evaluated). vector_size bounds batch size.
-  static Result<std::unique_ptr<ExprProgram>> Compile(const ExprPtr& bound,
-                                                      int vector_size);
+  /// `simd` selects registry kernel variants at that dispatch level
+  /// (lookups fall back to the scalar kernel per primitive) and the
+  /// vectorized NULL-indicator combination.
+  static Result<std::unique_ptr<ExprProgram>> Compile(
+      const ExprPtr& bound, int vector_size,
+      SimdLevel simd = SimdLevel::kScalar);
 
   /// Evaluates over the batch's live rows. The result vector is owned by
   /// the program and valid until the next Eval call. Its null indicator
@@ -64,6 +68,7 @@ class ExprProgram {
   const uint8_t* ResolveNulls(const ArgRef& a, Batch& batch) const;
 
   int vector_size_ = 0;
+  SimdLevel simd_ = SimdLevel::kScalar;
   TypeId out_type_ = TypeId::kI64;
   bool nullable_ = false;
   std::vector<Step> steps_;

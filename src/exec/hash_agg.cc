@@ -321,11 +321,13 @@ Status AggWorkerState::Prepare(const std::vector<ExprPtr>& bound_keys,
                                const Schema& key_schema,
                                const std::vector<AggItem>& aggs,
                                const std::vector<TypeId>& in_types,
-                               int vector_size, int radix_bits) {
+                               int vector_size, int radix_bits,
+                               SimdLevel simd) {
+  simd_ = simd;
   key_progs_.clear();
   agg_progs_.clear();
   for (const ExprPtr& bound : bound_keys) {
-    auto prog = ExprProgram::Compile(bound, vector_size);
+    auto prog = ExprProgram::Compile(bound, vector_size, simd);
     X100_RETURN_IF_ERROR(prog.status());
     key_progs_.push_back(std::move(prog).value());
   }
@@ -334,7 +336,7 @@ Status AggWorkerState::Prepare(const std::vector<ExprPtr>& bound_keys,
       agg_progs_.push_back(nullptr);
       continue;
     }
-    auto prog = ExprProgram::Compile(bound, vector_size);
+    auto prog = ExprProgram::Compile(bound, vector_size, simd);
     X100_RETURN_IF_ERROR(prog.status());
     agg_progs_.push_back(std::move(prog).value());
   }
@@ -471,10 +473,26 @@ Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
     } else {
       bool first = true;
       for (const Vector* v : key_vecs) {
-        hashk::HashColumn(*v, n, sel, hashes_.data(), !first);
+        hashk::HashColumn(*v, n, sel, hashes_.data(), !first, simd_);
         first = false;
       }
+      // Group lookup with a software-prefetch window: all n hashes are
+      // already known, so while resolving row j the bucket head of row
+      // j + kPrefetchDistance is hinted into cache — the dependent loads
+      // of the chain walk overlap instead of serializing on DRAM misses.
+      const bool prefetch = simd_ != SimdLevel::kScalar;
+      if (prefetch) {
+        const int w = n < kPrefetchDistance ? n : kPrefetchDistance;
+        for (int j = 0; j < w; j++) {
+          tables_[RadixPartitionOf(hashes_[j], radix_bits_)]->PrefetchBucket(
+              hashes_[j]);
+        }
+      }
       for (int j = 0; j < n; j++) {
+        if (prefetch && j + kPrefetchDistance < n) {
+          const uint64_t ph = hashes_[j + kPrefetchDistance];
+          tables_[RadixPartitionOf(ph, radix_bits_)]->PrefetchBucket(ph);
+        }
         const int i = sel ? sel[j] : j;
         // Route to the radix partition named by the top hash bits: group
         // ids are partition-local, so each partition merges without ever
@@ -493,26 +511,39 @@ Status AggWorkerState::ConsumeAll(Operator* child, ExecContext* ctx,
     // radix partitioning the row's accumulator set lives in its
     // partition's table (parts_[j]); unpartitioned runs keep the single
     // hoisted accumulator.
+    // The unpartitioned case (acc0 below) runs the aggr_* update kernels
+    // (primitives/agg_kernels.h): keyless vectors take the SIMD fast
+    // paths, grouped ones the shared scalar loop. The radix-partitioned
+    // case keeps the inline loop — each row's accumulator set lives in a
+    // different partition table, which no flat kernel signature covers.
+    const uint32_t* gid0 = key_progs_.empty() ? nullptr : gids_.data();
     for (size_t a = 0; a < aggs.size(); a++) {
       GroupTable::Accum* acc0 =
           radix_bits_ == 0 ? &tables_[0]->accum(a) : nullptr;
       const AggItem& item = aggs[a];
       if (item.input == nullptr) {  // COUNT(*)
-        for (int j = 0; j < n; j++) {
-          GroupTable::Accum& acc =
-              acc0 != nullptr ? *acc0 : tables_[parts_[j]]->accum(a);
-          acc.count[gids_[j]]++;
+        if (acc0 != nullptr) {
+          agg::UpdateCountStar(n, gid0, acc0->count.data());
+        } else {
+          for (int j = 0; j < n; j++) {
+            tables_[parts_[j]]->accum(a).count[gids_[j]]++;
+          }
         }
         continue;
       }
       const Vector* v;
       X100_ASSIGN_OR_RETURN(v, agg_progs_[a]->Eval(*in));
       const uint8_t* nulls = v->has_nulls() ? v->nulls() : nullptr;
+      if (acc0 != nullptr) {
+        agg::UpdateAccum(item.kind, acc0->in_type, n, sel, gid0, nulls,
+                         v->RawData(), acc0->i64.data(), acc0->f64.data(),
+                         acc0->count.data(), simd_);
+        continue;
+      }
       for (int j = 0; j < n; j++) {
         const int i = sel ? sel[j] : j;
         if (nulls != nullptr && nulls[i]) continue;
-        GroupTable::Accum& acc =
-            acc0 != nullptr ? *acc0 : tables_[parts_[j]]->accum(a);
+        GroupTable::Accum& acc = tables_[parts_[j]]->accum(a);
         const uint32_t g = gids_[j];
         double dv = 0;
         int64_t iv = 0;
@@ -666,7 +697,8 @@ Status HashAggOp::OpenImpl(ExecContext* ctx) {
                                        binding_.bound_aggs,
                                        binding_.key_schema, agg_items_,
                                        binding_.in_types,
-                                       ctx->vector_size));
+                                       ctx->vector_size, /*radix_bits=*/0,
+                                       ctx->simd));
   out_ = std::make_unique<Batch>(binding_.out_schema, ctx->vector_size);
   return Status::OK();
 }
@@ -752,7 +784,7 @@ Status ParallelHashAggOp::ParallelConsume() {
                                      binding_.bound_aggs,
                                      binding_.key_schema, agg_items_,
                                      binding_.in_types, ctx_->vector_size,
-                                     radix_bits_));
+                                     radix_bits_, ctx_->simd));
     workers_.push_back(std::move(ws));
   }
 

@@ -33,6 +33,7 @@
 #include "exec/row_buffer.h"
 #include "exec/select_project.h"
 #include "primitives/agg_kernels.h"
+#include "simd/prefetch.h"
 #include "storage/spill_file.h"
 
 namespace x100 {
@@ -66,6 +67,13 @@ class GroupTable {
   /// precomputed `hash`), appending a new group if unseen.
   Result<uint32_t> FindOrAdd(const std::vector<const Vector*>& key_vecs,
                              int row, uint64_t hash);
+
+  /// Hints the bucket head for `hash` into cache. The whole vector's
+  /// hashes are known before the FindOrAdd loop runs, so the lookup for
+  /// row j can overlap the memory latency of row j + kPrefetchDistance.
+  void PrefetchBucket(uint64_t hash) const {
+    if (!buckets_.empty()) PrefetchRead(&buckets_[hash & bucket_mask_]);
+  }
 
   /// Materializes the single group of a keyless aggregation so an empty
   /// input still yields one output row.
@@ -121,7 +129,8 @@ class AggWorkerState {
                  const Schema& key_schema,
                  const std::vector<AggItem>& aggs,
                  const std::vector<TypeId>& in_types, int vector_size,
-                 int radix_bits = 0);
+                 int radix_bits = 0,
+                 SimdLevel simd = SimdLevel::kScalar);
 
   /// Drains `child` (already open) to exhaustion into the private
   /// tables, routing each row to the partition named by the top
@@ -164,6 +173,9 @@ class AggWorkerState {
   std::vector<std::unique_ptr<ExprProgram>> key_progs_;
   std::vector<std::unique_ptr<ExprProgram>> agg_progs_;  // null: COUNT(*)
   int radix_bits_ = 0;
+  /// Resolved dispatch level: picks hash/agg kernel variants and gates
+  /// the group-lookup prefetch window (kScalar = reference behavior).
+  SimdLevel simd_ = SimdLevel::kScalar;
   std::vector<std::unique_ptr<GroupTable>> tables_;  // one per partition
   std::vector<uint32_t> gids_;
   std::vector<uint32_t> parts_;  // partition per live row (radix_bits > 0)

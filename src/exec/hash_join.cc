@@ -298,7 +298,7 @@ Status JoinBuildState::Build(ExecContext* ctx) {
           bool first = true;
           for (int c : build_keys_) {
             hashk::HashColumn(*batch.column(c), n, sel,
-                              hash_scratch.data(), !first);
+                              hash_scratch.data(), !first, ctx->simd);
             first = false;
           }
           for (int j = 0; j < n; j++) {
@@ -763,6 +763,8 @@ void JoinProber::Init(JoinBuildState* state, std::vector<int> probe_keys,
 Status JoinProber::Open(ExecContext* ctx) {
   out_ = std::make_unique<Batch>(*out_schema_, ctx->vector_size);
   probe_hashes_.resize(ctx->vector_size);
+  simd_ = ctx->simd;
+  prefetch_ = ctx->simd != SimdLevel::kScalar;
   probe_batch_ = nullptr;
   probe_pos_ = 0;
   chain_pos_ = -1;
@@ -1090,8 +1092,18 @@ Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
         bool first = true;
         for (int c : probe_keys_) {
           hashk::HashColumn(*probe_batch_->column(c), n, sel,
-                            probe_hashes_.data(), !first);
+                            probe_hashes_.data(), !first, simd_);
           first = false;
+        }
+        // Prime the prefetch window: the whole batch's hashes are known,
+        // so the first rows' bucket heads can start their trip from DRAM
+        // before the probe loop touches them.
+        if (prefetch_) {
+          const int w = n < kPrefetchDistance ? n : kPrefetchDistance;
+          for (int j = 0; j < w; j++) {
+            state_->partition(probe_hashes_[j])
+                .PrefetchBucket(probe_hashes_[j]);
+          }
         }
       }
 
@@ -1099,6 +1111,13 @@ Result<Batch*> JoinProber::Next(Operator* child, ExecContext* ctx) {
       const sel_t* sel = probe_batch_->sel();
       bool batch_done = true;
       while (probe_pos_ < n) {
+        // Keep the in-flight window full: hint the bucket head the loop
+        // will need kPrefetchDistance rows from now (resumed rows re-hint
+        // harmlessly — prefetch is advisory).
+        if (prefetch_ && probe_pos_ + kPrefetchDistance < n) {
+          const uint64_t ph = probe_hashes_[probe_pos_ + kPrefetchDistance];
+          state_->partition(ph).PrefetchBucket(ph);
+        }
         const int i = sel ? sel[probe_pos_] : probe_pos_;
         const bool key_null = ProbeKeyHasNull(*probe_batch_, i);
 

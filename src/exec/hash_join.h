@@ -53,6 +53,7 @@
 #include "common/memory_tracker.h"
 #include "exec/operator.h"
 #include "exec/row_buffer.h"
+#include "simd/prefetch.h"
 #include "storage/spill_file.h"
 
 namespace x100 {
@@ -96,6 +97,13 @@ class JoinBuildState {
     bool deferred = false;
 
     int64_t Head(uint64_t hash) const { return buckets[hash & bucket_mask]; }
+
+    /// Hints the bucket head for `hash` into cache ahead of the probe.
+    /// Deferred partitions have no resident index (buckets is empty) —
+    /// nothing useful to prefetch there.
+    void PrefetchBucket(uint64_t hash) const {
+      if (!buckets.empty()) PrefetchRead(&buckets[hash & bucket_mask]);
+    }
   };
 
   /// `radix_bits` = 0 keeps the single-table path (one partition, one
@@ -281,6 +289,10 @@ class JoinProber {
 
   std::unique_ptr<Batch> out_;
   // Probe resume state (a probe batch can overflow the output vector).
+  /// Resolved dispatch level (batched hash kernels) and the derived
+  /// prefetch gate — kScalar keeps the exact reference memory behavior.
+  SimdLevel simd_ = SimdLevel::kScalar;
+  bool prefetch_ = false;
   Batch* probe_batch_ = nullptr;
   int probe_pos_ = 0;        // index into the probe batch's live rows
   int64_t chain_pos_ = -1;   // current chain node (inner/outer continue)

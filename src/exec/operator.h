@@ -36,6 +36,11 @@ class SpillDevice;     // storage/spill_device.h
 /// Per-query execution context shared by all operators of a plan.
 struct ExecContext {
   int vector_size = kDefaultVectorSize;
+  /// Resolved SIMD dispatch level for this query's kernels. The default
+  /// resolves kAuto (X100_SIMD env knob, then CPU detection) so
+  /// directly-built plans in tests honor the knob; QueryExecutor
+  /// overwrites it from EngineConfig::simd_level.
+  SimdLevel simd = ResolveSimdLevel(SimdMode::kAuto);
   CancellationToken* cancel = nullptr;
   EventLog* events = nullptr;
   /// Pool parallel operators (pipelines, XchgOp) schedule their tasks on;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "simd/simd_kernels.h"
+
 namespace x100 {
 
 SelectOp::SelectOp(OperatorPtr child, ExprPtr predicate)
@@ -17,7 +19,7 @@ Status SelectOp::OpenImpl(ExecContext* ctx) {
     return Status::InvalidArgument("predicate must be boolean: " +
                                    bound->ToString());
   }
-  auto prog = ExprProgram::Compile(bound, ctx->vector_size);
+  auto prog = ExprProgram::Compile(bound, ctx->vector_size, ctx->simd);
   X100_RETURN_IF_ERROR(prog.status());
   program_ = std::move(prog).value();
   return Status::OK();
@@ -44,11 +46,10 @@ Result<Batch*> SelectOp::NextImpl() {
         sel[k] = i;
         k += (val[i] && (!nulls || !nulls[i])) ? 1 : 0;
       }
+    } else if (nulls != nullptr) {
+      k = simd::CompactTrueNotNull(n, val, nulls, sel, ctx_->simd);
     } else {
-      for (int i = 0; i < n; i++) {
-        sel[k] = i;
-        k += (val[i] && (!nulls || !nulls[i])) ? 1 : 0;
-      }
+      k = simd::CompactTrue(n, val, sel, ctx_->simd);
     }
     in->SetSelCount(k);
     if (k > 0) return in;
@@ -78,7 +79,7 @@ Status ProjectOp::OpenImpl(ExecContext* ctx) {
   X100_RETURN_IF_ERROR(child_->Open(ctx));
   programs_.clear();
   for (const ExprPtr& bound : bound_) {
-    auto prog = ExprProgram::Compile(bound, ctx->vector_size);
+    auto prog = ExprProgram::Compile(bound, ctx->vector_size, ctx->simd);
     X100_RETURN_IF_ERROR(prog.status());
     programs_.push_back(std::move(prog).value());
   }

@@ -56,8 +56,9 @@ std::string QueryProfile::ToString() const {
   }
   std::snprintf(line, sizeof(line),
                 "tuples_scanned=%" PRId64 " groups_skipped=%" PRId64
-                " wall=%.2fms\n",
-                tuples_scanned, groups_skipped, wall_ns / 1e6);
+                " wall=%.2fms%s%s\n",
+                tuples_scanned, groups_skipped, wall_ns / 1e6,
+                simd.empty() ? "" : " simd=", simd.c_str());
   s += line;
   return s;
 }

@@ -63,6 +63,9 @@ struct QueryProfile {
   int64_t tuples_scanned = 0;
   int64_t groups_skipped = 0;  // MinMax pushdown IO elision
   int64_t wall_ns = 0;         // end-to-end execute time
+  /// Resolved SIMD dispatch level the query ran at ("scalar" / "avx2" /
+  /// "neon") — empty for profiles not produced by QueryExecutor.
+  std::string simd;
 
   bool empty() const { return operators.empty(); }
 

@@ -1,11 +1,15 @@
-// Aggregation update kernels: given per-row group slots, fold a vector of
-// inputs into accumulator arrays. HashAggOp drives these after computing
-// group ids for a whole vector (the X100 "aggr_*" primitive family).
+// Aggregation update kernels: fold one vector of agg input into the
+// accumulator arrays (the X100 "aggr_*" primitive family). HashAggOp
+// drives these after computing group ids for a whole vector; pulling the
+// row loop out of the operator lets the keyless/dense cases ride the SIMD
+// fast paths while every grouped case keeps the exact scalar semantics.
 #ifndef X100_PRIMITIVES_AGG_KERNELS_H_
 #define X100_PRIMITIVES_AGG_KERNELS_H_
 
 #include <cstdint>
 
+#include "common/types.h"
+#include "simd/simd.h"
 #include "vector/vector.h"
 
 namespace x100 {
@@ -23,53 +27,27 @@ const char* AggKindName(AggKind k);
 
 namespace agg {
 
-template <typename T, typename ACC>
-inline void SumUpdate(int n, const sel_t* sel, const uint32_t* gid,
-                      const T* in, ACC* acc) {
-  for (int j = 0; j < n; j++) {
-    const int i = sel ? sel[j] : j;
-    acc[gid[j]] += static_cast<ACC>(in[i]);
-  }
-}
+/// Folds `data` (a typed column of `in_type`) into one accumulator set.
+/// Exact engine semantics per live non-NULL row i with group g = gid[j]
+/// (gid == nullptr means keyless: every row hits group 0):
+///   kCount:      count[g]++
+///   kSum/kAvg:   f64 input: f64[g] += v;  int input: i64[g] += v AND
+///                f64[g] += double(v) (the f64 shadow accumulates in row
+///                order — FP addition is non-associative, so it is never
+///                vectorized); then count[g]++
+///   kMin/kMax:   adopt v when count[g] == 0 or v beats the current best
+///                (f64[g]/i64[g] both overwritten; int inputs store 0.0
+///                into f64[g]); then count[g]++
+/// SIMD fast paths exist for keyless + dense (sel == nullptr) int sum /
+/// min / max and for COUNT(x); they mask NULL lanes rather than trusting
+/// NULL-slot values and produce bit-identical accumulator state.
+void UpdateAccum(AggKind kind, TypeId in_type, int n, const sel_t* sel,
+                 const uint32_t* gid, const uint8_t* nulls, const void* data,
+                 int64_t* i64, double* f64, int64_t* count,
+                 SimdLevel simd = SimdLevel::kScalar);
 
-inline void CountUpdate(int n, const uint32_t* gid, int64_t* acc) {
-  for (int j = 0; j < n; j++) acc[gid[j]]++;
-}
-
-/// COUNT(x): skip NULLs via the indicator column.
-inline void CountNonNullUpdate(int n, const sel_t* sel, const uint32_t* gid,
-                               const uint8_t* nulls, int64_t* acc) {
-  for (int j = 0; j < n; j++) {
-    const int i = sel ? sel[j] : j;
-    acc[gid[j]] += nulls && nulls[i] ? 0 : 1;
-  }
-}
-
-template <typename T>
-inline void MinUpdate(int n, const sel_t* sel, const uint32_t* gid,
-                      const T* in, T* acc, uint8_t* seen) {
-  for (int j = 0; j < n; j++) {
-    const int i = sel ? sel[j] : j;
-    const uint32_t g = gid[j];
-    if (!seen[g] || in[i] < acc[g]) {
-      acc[g] = in[i];
-      seen[g] = 1;
-    }
-  }
-}
-
-template <typename T>
-inline void MaxUpdate(int n, const sel_t* sel, const uint32_t* gid,
-                      const T* in, T* acc, uint8_t* seen) {
-  for (int j = 0; j < n; j++) {
-    const int i = sel ? sel[j] : j;
-    const uint32_t g = gid[j];
-    if (!seen[g] || in[i] > acc[g]) {
-      acc[g] = in[i];
-      seen[g] = 1;
-    }
-  }
-}
+/// COUNT(*): no input column, no NULL skip — every live row counts.
+void UpdateCountStar(int n, const uint32_t* gid, int64_t* count);
 
 }  // namespace agg
 }  // namespace x100

@@ -1,6 +1,7 @@
 #include "primitives/hash_kernels.h"
 
 #include "primitives/agg_kernels.h"
+#include "simd/simd_kernels.h"
 
 namespace x100 {
 
@@ -16,9 +17,57 @@ const char* AggKindName(AggKind k) {
 }
 
 namespace hashk {
+namespace {
+
+/// Selection-vector inputs: gather live rows into a small dense chunk,
+/// then run the dense SIMD hash over the chunk. hashes[] is indexed by j
+/// (live-row position), so the chunked output lands exactly where the
+/// scalar loop would have written it.
+template <typename T, typename DenseFn>
+void HashGatherChunked(int n, const sel_t* sel, const T* col,
+                       uint64_t* hashes, bool combine, DenseFn dense) {
+  constexpr int kChunk = 64;
+  T buf[kChunk];
+  for (int j = 0; j < n; j += kChunk) {
+    const int m = n - j < kChunk ? n - j : kChunk;
+    for (int t = 0; t < m; t++) buf[t] = col[sel[j + t]];
+    dense(m, buf, hashes + j, combine);
+  }
+}
+
+template <typename T, typename DenseFn>
+void HashAvx2(int n, const sel_t* sel, const T* col, uint64_t* hashes,
+              bool combine, DenseFn dense) {
+  if (sel == nullptr) {
+    dense(n, col, hashes, combine);
+  } else {
+    HashGatherChunked(n, sel, col, hashes, combine, dense);
+  }
+}
+
+}  // namespace
 
 void HashColumn(const Vector& v, int n, const sel_t* sel, uint64_t* hashes,
-                bool combine) {
+                bool combine, SimdLevel simd) {
+  if (simd == SimdLevel::kAvx2) {
+    switch (v.type()) {
+      case TypeId::kI32:
+      case TypeId::kDate:
+        HashAvx2(n, sel, v.Data<int32_t>(), hashes, combine,
+                 &simd_avx2::HashI32Dense);
+        return;
+      case TypeId::kI64:
+        HashAvx2(n, sel, v.Data<int64_t>(), hashes, combine,
+                 &simd_avx2::HashI64Dense);
+        return;
+      case TypeId::kF64:
+        HashAvx2(n, sel, v.Data<double>(), hashes, combine,
+                 &simd_avx2::HashF64Dense);
+        return;
+      default:
+        break;  // bool/i8/i16/str: scalar below
+    }
+  }
   switch (v.type()) {
     case TypeId::kBool:
       HashColumnT<uint8_t>(n, sel, v.Data<uint8_t>(), hashes, combine);

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/hash.h"
+#include "simd/simd.h"
 #include "vector/vector.h"
 
 namespace x100 {
@@ -40,9 +41,12 @@ void HashColumnT(int n, const sel_t* sel, const T* col, uint64_t* hashes,
   }
 }
 
-/// Type-dispatched entry point.
+/// Type-dispatched entry point. `simd` selects the batched AVX2 pipeline
+/// for i32/date/i64/f64 columns (bit-identical to the scalar hash — these
+/// hashes feed RadixPartitionOf and thus partition/spill routing, so the
+/// kernels MUST agree); narrow ints and strings always hash scalar.
 void HashColumn(const Vector& v, int n, const sel_t* sel, uint64_t* hashes,
-                bool combine);
+                bool combine, SimdLevel simd = SimdLevel::kScalar);
 
 }  // namespace hashk
 }  // namespace x100

@@ -21,6 +21,10 @@ std::string BuildSignature(const std::string& kind, const std::string& op,
 struct PrimitiveRegistry::Impl {
   std::unordered_map<std::string, MapEntry> maps;
   std::unordered_map<std::string, SelectFn> selects;
+  /// SIMD variants, indexed by SimdLevel (slot kScalar stays empty — the
+  /// scalar kernel lives in maps/selects).
+  std::unordered_map<std::string, MapFn> map_variants[kNumSimdLevels];
+  std::unordered_map<std::string, SelectFn> select_variants[kNumSimdLevels];
 };
 
 PrimitiveRegistry* PrimitiveRegistry::Get() {
@@ -46,18 +50,49 @@ void PrimitiveRegistry::RegisterSelect(const std::string& sig, SelectFn fn) {
   impl()->selects[sig] = fn;
 }
 
-MapEntry PrimitiveRegistry::FindMap(const std::string& kind,
-                                    const std::string& op,
-                                    const std::vector<ArgSig>& args) const {
-  const auto& m = impl()->maps;
-  auto it = m.find(BuildSignature(kind, op, args));
-  return it == m.end() ? MapEntry{} : it->second;
+void PrimitiveRegistry::RegisterMapVariant(const std::string& sig,
+                                           SimdLevel level, MapFn fn) {
+  if (level == SimdLevel::kScalar) return;
+  impl()->map_variants[static_cast<int>(level)][sig] = fn;
 }
 
-SelectFn PrimitiveRegistry::FindSelect(
-    const std::string& op, const std::vector<ArgSig>& args) const {
+void PrimitiveRegistry::RegisterSelectVariant(const std::string& sig,
+                                              SimdLevel level, SelectFn fn) {
+  if (level == SimdLevel::kScalar) return;
+  impl()->select_variants[static_cast<int>(level)][sig] = fn;
+}
+
+MapEntry PrimitiveRegistry::FindMap(const std::string& kind,
+                                    const std::string& op,
+                                    const std::vector<ArgSig>& args,
+                                    SimdLevel level) const {
+  const std::string sig = BuildSignature(kind, op, args);
+  const auto& m = impl()->maps;
+  auto it = m.find(sig);
+  if (it == m.end()) return MapEntry{};
+  MapEntry entry = it->second;
+  if (level != SimdLevel::kScalar) {
+    const auto& vm = impl()->map_variants[static_cast<int>(level)];
+    auto vit = vm.find(sig);
+    if (vit != vm.end()) {
+      entry.fn = vit->second;
+      entry.level = level;
+    }
+  }
+  return entry;
+}
+
+SelectFn PrimitiveRegistry::FindSelect(const std::string& op,
+                                       const std::vector<ArgSig>& args,
+                                       SimdLevel level) const {
+  const std::string sig = BuildSignature("select", op, args);
+  if (level != SimdLevel::kScalar) {
+    const auto& vm = impl()->select_variants[static_cast<int>(level)];
+    auto vit = vm.find(sig);
+    if (vit != vm.end()) return vit->second;
+  }
   const auto& m = impl()->selects;
-  auto it = m.find(BuildSignature("select", op, args));
+  auto it = m.find(sig);
   return it == m.end() ? nullptr : it->second;
 }
 
@@ -67,6 +102,15 @@ int PrimitiveRegistry::num_map_primitives() const {
 
 int PrimitiveRegistry::num_select_primitives() const {
   return static_cast<int>(impl()->selects.size());
+}
+
+int PrimitiveRegistry::num_simd_variants() const {
+  size_t n = 0;
+  for (int l = 0; l < kNumSimdLevels; l++) {
+    n += impl()->map_variants[l].size();
+    n += impl()->select_variants[l].size();
+  }
+  return static_cast<int>(n);
 }
 
 std::vector<std::string> PrimitiveRegistry::ListSignatures() const {
@@ -83,6 +127,9 @@ void RegisterSelectKernels();
 void RegisterStringKernels();
 void RegisterDateKernels();
 void RegisterCheckedKernels();
+// src/simd/register_simd.cc — registers the variants for every level the
+// machine can execute (possibly none).
+void RegisterSimdKernels();
 
 void EnsureKernelsRegistered() {
   static std::once_flag once;
@@ -92,6 +139,7 @@ void EnsureKernelsRegistered() {
     RegisterStringKernels();
     RegisterDateKernels();
     RegisterCheckedKernels();
+    RegisterSimdKernels();
   });
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "simd/simd.h"
 #include "vector/string_heap.h"
 #include "vector/vector.h"
 
@@ -57,6 +58,9 @@ std::string BuildSignature(const std::string& kind, const std::string& op,
 struct MapEntry {
   MapFn fn = nullptr;
   TypeId out_type = TypeId::kI64;
+  /// The dispatch level `fn` was compiled for: kScalar for the baseline
+  /// kernel, or the variant level a lookup resolved to.
+  SimdLevel level = SimdLevel::kScalar;
 };
 
 /// Process-wide registry. Registration happens once at startup from the
@@ -68,16 +72,31 @@ class PrimitiveRegistry {
   void RegisterMap(const std::string& sig, MapFn fn, TypeId out_type);
   void RegisterSelect(const std::string& sig, SelectFn fn);
 
-  /// Looks up a map primitive; nullptr fn if absent.
+  /// Registers a SIMD variant of an already-registered scalar primitive.
+  /// Variants share the scalar signature and out_type; lookups at `level`
+  /// prefer them and fall back to the scalar kernel when absent.
+  void RegisterMapVariant(const std::string& sig, SimdLevel level, MapFn fn);
+  void RegisterSelectVariant(const std::string& sig, SimdLevel level,
+                             SelectFn fn);
+
+  /// Looks up a map primitive; nullptr fn if absent. `level` selects the
+  /// registered variant for that dispatch level when one exists (the
+  /// returned entry's `level` says which kernel actually resolved);
+  /// otherwise the scalar kernel — fallback is always available.
   MapEntry FindMap(const std::string& kind, const std::string& op,
-                   const std::vector<ArgSig>& args) const;
+                   const std::vector<ArgSig>& args,
+                   SimdLevel level = SimdLevel::kScalar) const;
   SelectFn FindSelect(const std::string& op,
-                      const std::vector<ArgSig>& args) const;
+                      const std::vector<ArgSig>& args,
+                      SimdLevel level = SimdLevel::kScalar) const;
 
   /// Number of registered primitives (the paper's "dozens of functions";
   /// reported by bench_e12 and the monitoring example).
   int num_map_primitives() const;
   int num_select_primitives() const;
+  /// SIMD variants registered on top of the scalar kernels (0 when the
+  /// CPU/build supports none).
+  int num_simd_variants() const;
 
   /// All registered signatures (diagnostics / docs).
   std::vector<std::string> ListSignatures() const;

@@ -1,0 +1,302 @@
+// NEON kernel variants — the byte-wise subset (boolean logic, NULL-mask
+// combination, selection compaction). AArch64 has no movemask; the
+// compaction mask comes from the vshrn narrowing trick: compare to get
+// 0x00/0xFF bytes, narrow 16x8-bit to a 64-bit nibble mask, then walk the
+// nibbles. Hash and aggregation kernels stay scalar on this target.
+//
+// NEON is baseline on AArch64, so no per-function target attribute is
+// needed — the guard is compile-time only.
+#include "simd/simd_kernels.h"
+
+#include <cstring>
+
+#include "primitives/primitive_registry.h"
+
+#if defined(X100_HAVE_NEON_BUILD)
+
+#include <arm_neon.h>
+
+namespace x100 {
+namespace {
+
+// 16 compare-result bytes (0x00/0xFF) -> 64-bit mask, 4 bits per input
+// byte (all-ones nibble iff the byte was 0xFF).
+inline uint64_t NibbleMask(uint8x16_t eq) {
+  const uint8x8_t narrowed = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+}
+
+int CompactTrueImpl(int n, const uint8_t* val, sel_t* sel_out) {
+  int k = 0;
+  int i = 0;
+  const uint8x16_t zero = vdupq_n_u8(0);
+  for (; i + 16 <= n; i += 16) {
+    uint64_t m = ~NibbleMask(vceqq_u8(vld1q_u8(val + i), zero));
+    while (m != 0) {
+      const int bit = __builtin_ctzll(m);
+      sel_out[k++] = i + (bit >> 2);
+      m &= m - 1;
+      m &= ~(uint64_t{0xE} << bit);  // clear the rest of this nibble
+    }
+  }
+  for (; i < n; i++) {
+    sel_out[k] = i;
+    k += val[i] ? 1 : 0;
+  }
+  return k;
+}
+
+int CompactNotNullImpl(int n, const uint8_t* nulls, sel_t* sel_out) {
+  int k = 0;
+  int i = 0;
+  const uint8x16_t zero = vdupq_n_u8(0);
+  for (; i + 16 <= n; i += 16) {
+    uint64_t m = NibbleMask(vceqq_u8(vld1q_u8(nulls + i), zero));
+    while (m != 0) {
+      const int bit = __builtin_ctzll(m);
+      sel_out[k++] = i + (bit >> 2);
+      m &= ~(uint64_t{0xF} << (bit & ~3));
+    }
+  }
+  for (; i < n; i++) {
+    sel_out[k] = i;
+    k += nulls[i] ? 0 : 1;
+  }
+  return k;
+}
+
+int CompactTrueNotNullImpl(int n, const uint8_t* val, const uint8_t* nulls,
+                           sel_t* sel_out) {
+  int k = 0;
+  int i = 0;
+  const uint8x16_t zero = vdupq_n_u8(0);
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t live = vandq_u8(
+        vmvnq_u8(vceqq_u8(vld1q_u8(val + i), zero)),
+        vceqq_u8(vld1q_u8(nulls + i), zero));
+    uint64_t m = NibbleMask(live);
+    while (m != 0) {
+      const int bit = __builtin_ctzll(m);
+      sel_out[k++] = i + (bit >> 2);
+      m &= ~(uint64_t{0xF} << (bit & ~3));
+    }
+  }
+  for (; i < n; i++) {
+    sel_out[k] = i;
+    k += (val[i] && !nulls[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+Status MapAndBool(int n, const sel_t* sel, const void* const* args, void* out,
+                  PrimCtx*) {
+  const auto* a = static_cast<const uint8_t*>(args[0]);
+  const auto* b = static_cast<const uint8_t*>(args[1]);
+  auto* o = static_cast<uint8_t*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = a[i] & b[i];
+    }
+    return Status::OK();
+  }
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(o + i, vandq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  for (; i < n; i++) o[i] = a[i] & b[i];
+  return Status::OK();
+}
+
+Status MapOrBool(int n, const sel_t* sel, const void* const* args, void* out,
+                 PrimCtx*) {
+  const auto* a = static_cast<const uint8_t*>(args[0]);
+  const auto* b = static_cast<const uint8_t*>(args[1]);
+  auto* o = static_cast<uint8_t*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = a[i] | b[i];
+    }
+    return Status::OK();
+  }
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(o + i, vorrq_u8(vld1q_u8(a + i), vld1q_u8(b + i)));
+  }
+  for (; i < n; i++) o[i] = a[i] | b[i];
+  return Status::OK();
+}
+
+Status MapXorBool(int n, const sel_t* sel, const void* const* args, void* out,
+                  PrimCtx*) {
+  const auto* a = static_cast<const uint8_t*>(args[0]);
+  const auto* b = static_cast<const uint8_t*>(args[1]);
+  auto* o = static_cast<uint8_t*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = static_cast<uint8_t>((a[i] ^ b[i]) & 1);
+    }
+    return Status::OK();
+  }
+  int i = 0;
+  const uint8x16_t one = vdupq_n_u8(1);
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(o + i,
+             vandq_u8(veorq_u8(vld1q_u8(a + i), vld1q_u8(b + i)), one));
+  }
+  for (; i < n; i++) o[i] = static_cast<uint8_t>((a[i] ^ b[i]) & 1);
+  return Status::OK();
+}
+
+Status MapNotBool(int n, const sel_t* sel, const void* const* args, void* out,
+                  PrimCtx*) {
+  const auto* a = static_cast<const uint8_t*>(args[0]);
+  auto* o = static_cast<uint8_t*>(out);
+  if (sel) {
+    for (int j = 0; j < n; j++) {
+      const int i = sel[j];
+      o[i] = static_cast<uint8_t>(a[i] ^ 1);
+    }
+    return Status::OK();
+  }
+  int i = 0;
+  const uint8x16_t one = vdupq_n_u8(1);
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(o + i, veorq_u8(vld1q_u8(a + i), one));
+  }
+  for (; i < n; i++) o[i] = static_cast<uint8_t>(a[i] ^ 1);
+  return Status::OK();
+}
+
+int SelectTrueNeon(int n, const sel_t* sel_in, const void* const* args,
+                   sel_t* sel_out) {
+  const auto* b = static_cast<const uint8_t*>(args[0]);
+  if (sel_in) {
+    int k = 0;
+    for (int j = 0; j < n; j++) {
+      const int i = sel_in[j];
+      sel_out[k] = i;
+      k += b[i] ? 1 : 0;
+    }
+    return k;
+  }
+  return CompactTrueImpl(n, b, sel_out);
+}
+
+int SelectNotNullNeon(int n, const sel_t* sel_in, const void* const* args,
+                      sel_t* sel_out) {
+  const auto* nulls = static_cast<const uint8_t*>(args[0]);
+  if (sel_in) {
+    int k = 0;
+    for (int j = 0; j < n; j++) {
+      const int i = sel_in[j];
+      sel_out[k] = i;
+      k += nulls[i] ? 0 : 1;
+    }
+    return k;
+  }
+  return CompactNotNullImpl(n, nulls, sel_out);
+}
+
+}  // namespace
+
+namespace simd_neon {
+
+void RegisterKernels() {
+  auto* reg = PrimitiveRegistry::Get();
+  const SimdLevel L = SimdLevel::kNeon;
+  const ArgSig bvec{TypeId::kBool, false};
+  reg->RegisterMapVariant(BuildSignature("map", "and", {bvec, bvec}), L,
+                          &MapAndBool);
+  reg->RegisterMapVariant(BuildSignature("map", "or", {bvec, bvec}), L,
+                          &MapOrBool);
+  reg->RegisterMapVariant(BuildSignature("map", "xor", {bvec, bvec}), L,
+                          &MapXorBool);
+  reg->RegisterMapVariant(BuildSignature("map", "not", {bvec}), L,
+                          &MapNotBool);
+  reg->RegisterSelectVariant(BuildSignature("select", "true", {bvec}), L,
+                             &SelectTrueNeon);
+  reg->RegisterSelectVariant(BuildSignature("select", "notnull", {bvec}), L,
+                             &SelectNotNullNeon);
+}
+
+void OrBytesInto(int n, const uint8_t* src, uint8_t* dst) {
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, vorrq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  for (; i < n; i++) dst[i] |= src[i];
+}
+
+void IsZeroBytes(int n, const uint8_t* src, uint8_t* dst) {
+  const uint8x16_t zero = vdupq_n_u8(0);
+  const uint8x16_t one = vdupq_n_u8(1);
+  int i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, vandq_u8(vceqq_u8(vld1q_u8(src + i), zero), one));
+  }
+  for (; i < n; i++) dst[i] = src[i] == 0 ? 1 : 0;
+}
+
+int CompactTrue(int n, const uint8_t* val, sel_t* sel_out) {
+  return CompactTrueImpl(n, val, sel_out);
+}
+
+int CompactNotNull(int n, const uint8_t* nulls, sel_t* sel_out) {
+  return CompactNotNullImpl(n, nulls, sel_out);
+}
+
+int CompactTrueNotNull(int n, const uint8_t* val, const uint8_t* nulls,
+                       sel_t* sel_out) {
+  return CompactTrueNotNullImpl(n, val, nulls, sel_out);
+}
+
+}  // namespace simd_neon
+}  // namespace x100
+
+#else  // !X100_HAVE_NEON_BUILD
+
+namespace x100 {
+namespace simd_neon {
+
+// Scalar stubs: dispatch can never select kNeon on this build.
+void RegisterKernels() {}
+
+void OrBytesInto(int n, const uint8_t* src, uint8_t* dst) {
+  for (int i = 0; i < n; i++) dst[i] |= src[i];
+}
+void IsZeroBytes(int n, const uint8_t* src, uint8_t* dst) {
+  for (int i = 0; i < n; i++) dst[i] = src[i] == 0 ? 1 : 0;
+}
+int CompactTrue(int n, const uint8_t* val, sel_t* sel_out) {
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    sel_out[k] = i;
+    k += val[i] ? 1 : 0;
+  }
+  return k;
+}
+int CompactNotNull(int n, const uint8_t* nulls, sel_t* sel_out) {
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    sel_out[k] = i;
+    k += nulls[i] ? 0 : 1;
+  }
+  return k;
+}
+int CompactTrueNotNull(int n, const uint8_t* val, const uint8_t* nulls,
+                       sel_t* sel_out) {
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    sel_out[k] = i;
+    k += (val[i] && !nulls[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+}  // namespace simd_neon
+}  // namespace x100
+
+#endif  // X100_HAVE_NEON_BUILD

@@ -1,0 +1,29 @@
+// Software prefetch for the hash-table-miss walls (join probe, group
+// lookup). The idiom (docs/EXECUTION.md §"SIMD dispatch & prefetch"):
+// hashes are computed for a whole vector up front, so while probing row j
+// the bucket head of row j + kPrefetchDistance can already be on its way
+// from memory — a small in-flight window that overlaps the dependent
+// loads instead of eating full miss latency per key.
+#ifndef X100_SIMD_PREFETCH_H_
+#define X100_SIMD_PREFETCH_H_
+
+namespace x100 {
+
+/// Rows probed between issuing a prefetch and consuming its line. Large
+/// enough to cover DRAM latency at a few ns/row, small enough that the
+/// prefetched lines are not evicted before use.
+inline constexpr int kPrefetchDistance = 16;
+
+/// Read prefetch into (moderate-locality) cache; a hint, never a fault —
+/// safe on any address that is merely reachable.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/2);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace x100
+
+#endif  // X100_SIMD_PREFETCH_H_

@@ -1,0 +1,23 @@
+// Hooks the per-target kernel variants into the primitive registry.
+// Called once from EnsureKernelsRegistered; only the level(s) this CPU
+// can actually execute are registered, so a variant lookup hit is always
+// safe to run.
+#include "simd/simd.h"
+#include "simd/simd_kernels.h"
+
+namespace x100 {
+
+void RegisterSimdKernels() {
+  switch (BestSupportedSimdLevel()) {
+    case SimdLevel::kAvx2:
+      simd_avx2::RegisterKernels();
+      break;
+    case SimdLevel::kNeon:
+      simd_neon::RegisterKernels();
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+}
+
+}  // namespace x100

@@ -1,0 +1,111 @@
+#include "simd/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace x100 {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kNeon: return "neon";
+  }
+  return "?";
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto: return "auto";
+    case SimdMode::kScalar: return "scalar";
+    case SimdMode::kAvx2: return "avx2";
+    case SimdMode::kNeon: return "neon";
+  }
+  return "?";
+}
+
+bool ParseSimdMode(const char* s, SimdMode* out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "auto") == 0) { *out = SimdMode::kAuto; return true; }
+  if (std::strcmp(s, "scalar") == 0) { *out = SimdMode::kScalar; return true; }
+  if (std::strcmp(s, "avx2") == 0) { *out = SimdMode::kAvx2; return true; }
+  if (std::strcmp(s, "neon") == 0) { *out = SimdMode::kNeon; return true; }
+  return false;
+}
+
+SimdLevel BestSupportedSimdLevel() {
+#if defined(X100_HAVE_AVX2_BUILD)
+  // CPUID is not free; resolve once per process.
+  static const bool avx2 = __builtin_cpu_supports("avx2");
+  return avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+#elif defined(X100_HAVE_NEON_BUILD)
+  // NEON is architecturally guaranteed on aarch64.
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+namespace {
+
+/// X100_SIMD with the same contract as X100_MEMORY_LIMIT: only consulted
+/// when the config leaves the knob at its default (kAuto), strict parse,
+/// malformed values warn once and fall back to auto.
+SimdMode EnvSimdMode() {
+  const char* env = std::getenv("X100_SIMD");
+  if (env == nullptr || *env == '\0') return SimdMode::kAuto;
+  SimdMode mode;
+  if (!ParseSimdMode(env, &mode)) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "x100: ignoring malformed X100_SIMD=\"%s\" "
+                   "(expected auto|scalar|avx2|neon)\n",
+                   env);
+    }
+    return SimdMode::kAuto;
+  }
+  return mode;
+}
+
+/// A concrete requested level the machine cannot execute degrades to
+/// scalar — correctness never depends on the knob.
+SimdLevel Degrade(SimdLevel requested) {
+  if (requested == SimdLevel::kScalar ||
+      requested == BestSupportedSimdLevel()) {
+    return requested;
+  }
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "x100: SIMD level \"%s\" not supported by this "
+                 "build/CPU; using scalar kernels\n",
+                 SimdLevelName(requested));
+  }
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel ResolveSimdLevel(SimdMode mode) {
+  if (mode == SimdMode::kAuto) mode = EnvSimdMode();
+  switch (mode) {
+    case SimdMode::kAuto: return BestSupportedSimdLevel();
+    case SimdMode::kScalar: return SimdLevel::kScalar;
+    case SimdMode::kAvx2: return Degrade(SimdLevel::kAvx2);
+    case SimdMode::kNeon: return Degrade(SimdLevel::kNeon);
+  }
+  return SimdLevel::kScalar;
+}
+
+std::vector<SimdLevel> AvailableSimdLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  const SimdLevel best = BestSupportedSimdLevel();
+  if (best != SimdLevel::kScalar) levels.push_back(best);
+  return levels;
+}
+
+}  // namespace x100

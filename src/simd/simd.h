@@ -1,0 +1,63 @@
+// SIMD dispatch layer — level selection and introspection.
+//
+// The X100 primitive registry keeps one scalar kernel per signature plus
+// optional SIMD variants (AVX2, NEON) compiled in dedicated translation
+// units with per-function target attributes, so the engine binary runs on
+// any CPU and selects the widest supported level at runtime (CPUID).
+// Selection order:
+//   1. EngineConfig::simd_level when it names a concrete mode,
+//   2. the X100_SIMD environment knob (auto|scalar|avx2|neon; malformed
+//      values warn once and fall back to auto, mirroring X100_MEMORY_LIMIT),
+//   3. auto: the best level both the build and the CPU support.
+// A level the hardware or build cannot execute degrades to scalar (warn
+// once) — the scalar kernel is always registered and always correct.
+#ifndef X100_SIMD_SIMD_H_
+#define X100_SIMD_SIMD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace x100 {
+
+/// Compile-time capability of this build. AVX2 kernels use per-function
+/// target attributes, so they only need a GCC/Clang-compatible compiler on
+/// x86-64, not a global -mavx2.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define X100_HAVE_AVX2_BUILD 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#define X100_HAVE_NEON_BUILD 1
+#endif
+
+/// A concrete dispatch level a kernel variant is compiled for. kScalar is
+/// the portable baseline every primitive registers.
+enum class SimdLevel : uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+inline constexpr int kNumSimdLevels = 3;
+
+/// The user-facing knob (EngineConfig::simd_level / X100_SIMD): a concrete
+/// level, or kAuto = "widest level build + CPU support".
+enum class SimdMode : uint8_t { kAuto = 0, kScalar = 1, kAvx2 = 2, kNeon = 3 };
+
+const char* SimdLevelName(SimdLevel level);
+const char* SimdModeName(SimdMode mode);
+
+/// Strict parse of a mode string ("auto"/"scalar"/"avx2"/"neon").
+/// Returns false (out untouched) on anything else.
+bool ParseSimdMode(const char* s, SimdMode* out);
+
+/// Widest level this build AND this CPU can execute (CPUID; cached).
+SimdLevel BestSupportedSimdLevel();
+
+/// Resolves a configured mode to the level the engine will dispatch at.
+/// kAuto consults the X100_SIMD environment knob first (strict parse,
+/// warn-once fallback to auto); a concrete mode the machine cannot run
+/// warns once and degrades to scalar.
+SimdLevel ResolveSimdLevel(SimdMode mode);
+
+/// The levels runnable on this machine, scalar first. Parity tests and
+/// benches iterate this.
+std::vector<SimdLevel> AvailableSimdLevels();
+
+}  // namespace x100
+
+#endif  // X100_SIMD_SIMD_H_

@@ -1,0 +1,91 @@
+// Level-dispatched helpers (namespace simd). The scalar loops are the
+// reference semantics; the per-target variants must match them bit for
+// bit (tests/simd_test.cc).
+#include "simd/simd_kernels.h"
+
+namespace x100 {
+namespace simd {
+
+void OrBytesInto(int n, const uint8_t* src, uint8_t* dst, SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      simd_avx2::OrBytesInto(n, src, dst);
+      return;
+    case SimdLevel::kNeon:
+      simd_neon::OrBytesInto(n, src, dst);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+  for (int i = 0; i < n; i++) dst[i] |= src[i];
+}
+
+void IsZeroBytes(int n, const uint8_t* src, uint8_t* dst, SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      simd_avx2::IsZeroBytes(n, src, dst);
+      return;
+    case SimdLevel::kNeon:
+      simd_neon::IsZeroBytes(n, src, dst);
+      return;
+    case SimdLevel::kScalar:
+      break;
+  }
+  for (int i = 0; i < n; i++) dst[i] = src[i] == 0 ? 1 : 0;
+}
+
+int CompactTrue(int n, const uint8_t* val, sel_t* sel_out, SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return simd_avx2::CompactTrue(n, val, sel_out);
+    case SimdLevel::kNeon:
+      return simd_neon::CompactTrue(n, val, sel_out);
+    case SimdLevel::kScalar:
+      break;
+  }
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    sel_out[k] = i;
+    k += val[i] ? 1 : 0;
+  }
+  return k;
+}
+
+int CompactNotNull(int n, const uint8_t* nulls, sel_t* sel_out,
+                   SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return simd_avx2::CompactNotNull(n, nulls, sel_out);
+    case SimdLevel::kNeon:
+      return simd_neon::CompactNotNull(n, nulls, sel_out);
+    case SimdLevel::kScalar:
+      break;
+  }
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    sel_out[k] = i;
+    k += nulls[i] ? 0 : 1;
+  }
+  return k;
+}
+
+int CompactTrueNotNull(int n, const uint8_t* val, const uint8_t* nulls,
+                       sel_t* sel_out, SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return simd_avx2::CompactTrueNotNull(n, val, nulls, sel_out);
+    case SimdLevel::kNeon:
+      return simd_neon::CompactTrueNotNull(n, val, nulls, sel_out);
+    case SimdLevel::kScalar:
+      break;
+  }
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    sel_out[k] = i;
+    k += (val[i] && !nulls[i]) ? 1 : 0;
+  }
+  return k;
+}
+
+}  // namespace simd
+}  // namespace x100
