@@ -7,9 +7,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "simd/simd.h"
@@ -78,7 +80,14 @@ class JsonReport {
     rows_.push_back({name, ns_per_row});
   }
 
+  /// Worker-thread count recorded in the document (defaults to the
+  /// machine's concurrency; parallel benches set what they actually used).
+  void set_workers(int workers) { workers_ = workers; }
+
   /// Writes the document; returns false (with a message) on IO failure.
+  /// Every bench shares the same envelope — bench id, git sha (from
+  /// GITHUB_SHA in CI, "unknown" locally), worker count, resolved SIMD
+  /// level — so E1/E12/E14 artifacts diff cleanly across runs.
   bool Write() const {
     if (path_.empty()) return true;
     std::FILE* f = std::fopen(path_.c_str(), "w");
@@ -86,7 +95,10 @@ class JsonReport {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"simd\": \"%s\",\n", id_,
+    const char* sha = std::getenv("GITHUB_SHA");
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n",
+                 id_, sha != nullptr && *sha != '\0' ? sha : "unknown");
+    std::fprintf(f, "  \"workers\": %d,\n  \"simd\": \"%s\",\n", workers_,
                  SimdLevelName(ResolveSimdLevel(SimdMode::kAuto)));
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < rows_.size(); i++) {
@@ -107,6 +119,7 @@ class JsonReport {
   };
   const char* id_;
   std::string path_;
+  int workers_ = static_cast<int>(std::thread::hardware_concurrency());
   std::vector<Row> rows_;
 };
 

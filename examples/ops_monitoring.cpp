@@ -1,11 +1,21 @@
-// Operations: system monitoring (event log, query listing, counters) and
-// query cancellation — the paper's "mundane" production features.
+// Operations: system monitoring exposed over the WIRE protocol — event
+// log, query listing (with per-operator profiles), counters — plus async
+// query submission and cancellation: the paper's "mundane" production
+// features.
+//
+// The monitor side runs a MonitorEndpoint serving length-prefixed frames
+// over a pipe; the "ops tool" side speaks the client half of
+// monitor/wire.h — the same split a real deployment has between the
+// server process and an external dashboard.
 //
 //   $ ./ops_monitoring
+#include <unistd.h>
+
 #include <cstdio>
 #include <thread>
 
 #include "engine/session.h"
+#include "monitor/wire.h"
 #include "tpch/tpch.h"
 
 using namespace x100;
@@ -18,10 +28,18 @@ int main() {
   if (!tpch::Generate(&db, 0.005).ok()) return 1;
   Session session(&db);
 
-  // Run a few queries, one failing, one cancelled.
-  (void)session.ExecuteSql(
+  // A prepared statement submitted asynchronously (twice: the second
+  // submission reuses the cached plan), one failing ad-hoc query, one
+  // cancelled query.
+  auto prepared = session.Prepare(
       "SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY "
       "l_returnflag");
+  if (prepared.ok()) {
+    auto p1 = session.Submit(*prepared);
+    auto p2 = session.Submit(*prepared);
+    if (p1.ok()) (void)p1->Wait();
+    if (p2.ok()) (void)p2->Wait();
+  }
   (void)session.ExecuteSql("SELECT no_such_column FROM lineitem");
 
   CancellationToken token;
@@ -32,32 +50,78 @@ int main() {
   (void)session.Execute(tpch::Q1Plan(), &token);
   canceller.join();
 
+  // Serve the monitor state over a pipe pair: server thread on one end,
+  // this thread acting as the external ops tool on the other.
+  int to_server[2], to_client[2];
+  if (pipe(to_server) != 0 || pipe(to_client) != 0) return 1;
+  MonitorEndpoint endpoint(db.queries(), db.counters(), db.events());
+  std::thread server([&] {
+    (void)endpoint.ServeStream(to_server[0], to_client[1]);
+    close(to_server[0]);
+    close(to_client[1]);
+  });
+
+  auto request = [&](WireOpcode op, std::vector<uint8_t>* response) {
+    if (!WriteFrame(to_server[1], EncodeRequest(op)).ok()) return false;
+    return ReadFrame(to_client[0], response).ok();
+  };
+
   // Query listing — the production replacement for "kill -9 and hope".
-  std::printf("%-4s %-10s %10s %10s  %s\n", "id", "state", "time(s)",
-              "tuples", "query");
-  for (const auto& q : db.queries()->List()) {
-    std::string text = q.text.substr(0, 48);
-    std::printf("%-4lld %-10s %10.3f %10lld  %s%s\n",
-                static_cast<long long>(q.id), QueryStateName(q.state),
-                q.elapsed_sec, static_cast<long long>(q.tuples_scanned),
-                text.c_str(), q.text.size() > 48 ? "…" : "");
-    if (!q.error.empty()) std::printf("       error: %s\n", q.error.c_str());
+  std::vector<uint8_t> payload;
+  std::vector<QueryInfo> queries;
+  if (request(WireOpcode::kListQueries, &payload) &&
+      DecodeQueryList(payload, &queries).ok()) {
+    std::printf("%-4s %-10s %10s %10s  %s\n", "id", "state", "time(s)",
+                "tuples", "query");
+    for (const auto& q : queries) {
+      std::string text = q.text.substr(0, 48);
+      std::printf("%-4lld %-10s %10.3f %10lld  %s%s\n",
+                  static_cast<long long>(q.id), QueryStateName(q.state),
+                  q.elapsed_sec, static_cast<long long>(q.tuples_scanned),
+                  text.c_str(), q.text.size() > 48 ? "…" : "");
+      if (!q.error.empty()) {
+        std::printf("       error: %s\n", q.error.c_str());
+      }
+      if (!q.profile.empty()) {
+        std::printf("       %zu profiled operators, wall %.3f ms\n",
+                    q.profile.operators.size(), q.profile.wall_ns / 1e6);
+      }
+    }
   }
 
-  std::printf("\nrecent events:\n");
-  for (const auto& ev : db.events()->Recent(6)) {
-    std::printf("  [%d] %s\n", static_cast<int>(ev.level),
-                ev.message.c_str());
+  std::printf("\nrecent events (over the wire):\n");
+  std::vector<WireEvent> events;
+  if (request(WireOpcode::kEvents, &payload) &&
+      DecodeEvents(payload, &events).ok()) {
+    const size_t start = events.size() > 6 ? events.size() - 6 : 0;
+    for (size_t i = start; i < events.size(); i++) {
+      std::printf("  [%d] %s\n", static_cast<int>(events[i].level),
+                  events[i].message.c_str());
+    }
   }
 
-  std::printf("\ncounters:\n");
-  for (const auto& [name, value] : db.counters()->Snapshot()) {
-    std::printf("  %-20s %lld\n", name.c_str(),
-                static_cast<long long>(value));
+  std::printf("\ncounters (over the wire):\n");
+  std::map<std::string, int64_t> counters;
+  if (request(WireOpcode::kCounters, &payload) &&
+      DecodeCounters(payload, &counters).ok()) {
+    for (const auto& [name, value] : counters) {
+      std::printf("  %-20s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
   }
-  std::printf("\nbuffer pool: %lld hits / %lld misses; disk: %.1f MB read\n",
-              static_cast<long long>(db.buffers()->hits()),
-              static_cast<long long>(db.buffers()->misses()),
-              db.disk()->bytes_read() / 1e6);
+
+  // Client hangs up; the server loop sees EOF and exits.
+  close(to_server[1]);
+  server.join();
+  close(to_client[0]);
+
+  std::printf(
+      "\nplan cache: %lld hits / %lld misses; buffer pool: %lld hits / "
+      "%lld misses; disk: %.1f MB read\n",
+      static_cast<long long>(db.plan_cache()->hits()),
+      static_cast<long long>(db.plan_cache()->misses()),
+      static_cast<long long>(db.buffers()->hits()),
+      static_cast<long long>(db.buffers()->misses()),
+      db.disk()->bytes_read() / 1e6);
   return 0;
 }

@@ -1,0 +1,151 @@
+// AdaptiveQuotaController: turns EngineConfig::query_task_quota from a
+// static per-query constant into a GLOBAL task budget redistributed
+// across whatever queries are active right now.
+//
+// Motivation (paper §"When more cores hurts", ISSUE 7 tentpole c): a
+// fixed per-query quota is wrong in both directions under a mixed
+// workload. Sized for one analytical query it lets N concurrent queries
+// submit N x quota tasks and flood the shared pool (point queries then
+// wait behind fat scans); sized for the concurrent case it strands cores
+// when the machine is otherwise idle. The controller instead:
+//
+//  * gives a lone query the WHOLE budget (full parallelism when idle),
+//  * splits the budget evenly as queries register (never below 1 slot,
+//    so every query keeps making progress — it degrades toward serial
+//    execution instead of queueing behind its neighbours),
+//  * and halves the per-query share while the scheduler shows sustained
+//    pressure: run queues backed up beyond 2x the worker count with the
+//    steal counter flat (queues deep AND nobody idle enough to steal
+//    means the pool is saturated with running tasks — adding more can
+//    only grow latency).
+//
+// Rebalancing happens at the moments that change the answer: a query
+// registering/unregistering, and a pressure flip sampled from TaskQuota's
+// Acquire observer (i.e. exactly when a pipeline is about to spawn
+// tasks). Limits move via TaskQuota::set_limit, which never revokes
+// in-flight grants — a shrink takes effect at each query's next pipeline
+// barrier.
+//
+// Thread-safety: fully thread-safe; Register/release may happen on any
+// thread (async queries release their quota from scheduler workers).
+#ifndef X100_COMMON_ADAPTIVE_QUOTA_H_
+#define X100_COMMON_ADAPTIVE_QUOTA_H_
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/task_scheduler.h"
+
+namespace x100 {
+
+class AdaptiveQuotaController {
+ public:
+  /// `configured_budget` is EngineConfig::query_task_quota: > 0 = that
+  /// many global slots, 0 = auto-size to 2x the scheduler's workers.
+  /// (< 0 = unlimited is handled by the caller NOT using a controller.)
+  AdaptiveQuotaController(TaskScheduler* scheduler, int configured_budget)
+      : scheduler_(scheduler),
+        budget_(configured_budget > 0 ? configured_budget
+                                      : 2 * scheduler->num_workers()),
+        last_steals_(scheduler->tasks_stolen()) {}
+
+  AdaptiveQuotaController(const AdaptiveQuotaController&) = delete;
+  AdaptiveQuotaController& operator=(const AdaptiveQuotaController&) =
+      delete;
+
+  /// Registers a query and returns its quota, already set to the fair
+  /// share. The shared_ptr's deleter unregisters the query and grows the
+  /// survivors' shares back — holding the pointer IS the registration.
+  std::shared_ptr<TaskQuota> Register() {
+    auto* quota = new TaskQuota(1);
+    quota->set_observer([this] { MaybeRebalance(); });
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.push_back(quota);
+      RebalanceLocked();
+    }
+    return std::shared_ptr<TaskQuota>(
+        quota, [this](TaskQuota* q) { Unregister(q); });
+  }
+
+  // Introspection for tests and the serving monitor.
+  int global_budget() const { return budget_; }
+  int active_queries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(active_.size());
+  }
+  /// The per-query share the last rebalance handed out.
+  int current_share() const {
+    return current_share_.load(std::memory_order_relaxed);
+  }
+  int64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+  bool pressured() const {
+    return pressured_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Unregister(TaskQuota* q) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(std::remove(active_.begin(), active_.end(), q),
+                    active_.end());
+      if (!active_.empty()) RebalanceLocked();
+    }
+    delete q;
+  }
+
+  /// Acquire-observer path: cheap pressure sample, rebalance only on a
+  /// state flip so the common case is two relaxed atomic loads.
+  void MaybeRebalance() {
+    const bool now = SamplePressure();
+    if (now == pressured_.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now == pressured_.load(std::memory_order_relaxed)) return;
+    pressured_.store(now, std::memory_order_relaxed);
+    RebalanceLocked();
+  }
+
+  /// Pressure = run queues backed up past 2x the workers while the steal
+  /// counter has not moved since the last deep-queue sample: depth alone
+  /// is normal burstiness (an idle pool drains it via steals), depth
+  /// WITHOUT steals means every worker is busy running, not stealing.
+  bool SamplePressure() {
+    if (scheduler_->queue_depth() <= 2 * scheduler_->num_workers()) {
+      last_steals_.store(scheduler_->tasks_stolen(),
+                         std::memory_order_relaxed);
+      return false;
+    }
+    const int64_t steals = scheduler_->tasks_stolen();
+    return steals ==
+           last_steals_.exchange(steals, std::memory_order_relaxed);
+  }
+
+  void RebalanceLocked() {
+    const int active = std::max<int>(1, static_cast<int>(active_.size()));
+    int share = std::max(1, budget_ / active);
+    if (pressured_.load(std::memory_order_relaxed)) {
+      share = std::max(1, share / 2);
+    }
+    for (TaskQuota* q : active_) q->set_limit(share);
+    current_share_.store(share, std::memory_order_relaxed);
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  TaskScheduler* const scheduler_;
+  const int budget_;
+  mutable std::mutex mu_;
+  std::vector<TaskQuota*> active_;  // owned via the shared_ptr deleters
+  std::atomic<int> current_share_{0};
+  std::atomic<int64_t> rebalances_{0};
+  std::atomic<bool> pressured_{false};
+  std::atomic<int64_t> last_steals_;
+};
+
+}  // namespace x100
+
+#endif  // X100_COMMON_ADAPTIVE_QUOTA_H_

@@ -32,12 +32,32 @@ struct EngineConfig {
   /// > 0 = give this Database a private pool with that many workers
   /// (tests and benches pin worker counts this way).
   int scheduler_workers = 0;
-  /// Admission control: cap on a single query's concurrently-running
-  /// pipeline tasks on the shared scheduler (0 = unlimited). Under
-  /// concurrent sessions this keeps one wide query from monopolizing the
-  /// pool; a query granted fewer slots than its pipeline width degrades
-  /// gracefully (fewer tasks each covering more worker chains).
+  /// Admission control: the GLOBAL budget of concurrently-running
+  /// pipeline tasks shared by every query on this Database, redistributed
+  /// across active queries by the AdaptiveQuotaController
+  /// (common/adaptive_quota.h). 0 = auto-size to 2x the scheduler's
+  /// worker count; < 0 = unlimited (no controller). A single query gets
+  /// the whole budget; each concurrent query is granted an equal share
+  /// (never below 1), shrunk further while the scheduler's run queues
+  /// back up with no steals happening — so one fat analytical query
+  /// cannot starve concurrent point queries. A query granted fewer slots
+  /// than its pipeline width degrades gracefully (fewer tasks each
+  /// covering more worker chains).
   int query_task_quota = 0;
+  /// Plan cache capacity in entries (prepared statements; engine/
+  /// plan_cache.h). 0 disables caching — Session::Prepare then compiles
+  /// every time.
+  int plan_cache_capacity = 256;
+  /// Async admission queue: cap on queued + running Session::Submit
+  /// queries per Database (0 = unbounded). Submit returns
+  /// kResourceExhausted once the cap is reached — backpressure at the
+  /// door instead of an unbounded task pile-up on the scheduler.
+  int admission_queue_cap = 0;
+  /// Completed-query retention in the QueryRegistry (monitoring): at most
+  /// this many finished/failed/cancelled entries are kept, oldest evicted
+  /// first (0 = unbounded — only sensible for short-lived tests). Running
+  /// and queued queries are never evicted.
+  int query_history_cap = 1024;
   /// Radix partitioning of pipeline-breaker merges (join build table,
   /// aggregation group merge): per-worker state is hash-partitioned by
   /// the TOP `radix_bits` bits of the key hash, and each of the

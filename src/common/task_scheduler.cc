@@ -50,6 +50,7 @@ void TaskScheduler::Submit(std::function<void()> fn, const void* tag) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queues_[q].push_back(Task{std::move(fn), tag});
+    queued_.fetch_add(1, std::memory_order_relaxed);
   }
   work_cv_.notify_one();
 }
@@ -61,6 +62,7 @@ bool TaskScheduler::PopTaskLocked(int home, std::function<void()>* out,
       !queues_[home].empty()) {
     *out = std::move(queues_[home].front().fn);
     queues_[home].pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
   // Steal from the longest deque (front = oldest task: FIFO across
@@ -76,6 +78,7 @@ bool TaskScheduler::PopTaskLocked(int home, std::function<void()>* out,
   if (victim < 0) return false;
   *out = std::move(queues_[victim].front().fn);
   queues_[victim].pop_front();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
   *stolen = home >= 0;  // external helpers don't count as steals
   return true;
 }
@@ -87,6 +90,7 @@ bool TaskScheduler::PopTaggedTaskLocked(const void* tag,
       if (it->tag == tag) {
         *out = std::move(it->fn);
         queue.erase(it);
+        queued_.fetch_sub(1, std::memory_order_relaxed);
         return true;
       }
     }

@@ -95,6 +95,13 @@ class TaskScheduler {
   // Monitoring counters.
   int64_t tasks_run() const { return tasks_run_.load(); }
   int64_t tasks_stolen() const { return tasks_stolen_.load(); }
+  /// Tasks submitted but not yet picked up, summed across all deques —
+  /// the pool-pressure signal the AdaptiveQuotaController samples on
+  /// every quota acquisition (common/adaptive_quota.h). Kept as its own
+  /// atomic so reading it never touches the scheduler lock.
+  int64_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Task {
@@ -120,6 +127,7 @@ class TaskScheduler {
   std::atomic<uint64_t> next_queue_{0};  // round-robin submission cursor
   std::atomic<int64_t> tasks_run_{0};
   std::atomic<int64_t> tasks_stolen_{0};
+  std::atomic<int64_t> queued_{0};  // submitted, not yet popped
 };
 
 /// Per-query admission control: a budget of concurrently-running pipeline
@@ -128,19 +136,36 @@ class TaskScheduler {
 /// makes progress (it degrades toward serial execution instead of
 /// queueing behind itself). Thread-safe; slots are returned at the
 /// pipeline's barrier.
+///
+/// The limit is dynamic: the AdaptiveQuotaController (common/
+/// adaptive_quota.h) retargets each active query's budget via set_limit()
+/// as queries come and go. A shrink never revokes in-flight grants — it
+/// only governs subsequent Acquires — and usage is tracked even while
+/// unlimited, so a limit change between Acquire and Release can never
+/// underflow the slot count.
 class TaskQuota {
  public:
   /// limit <= 0 means unlimited.
   explicit TaskQuota(int limit) : limit_(limit) {}
 
+  /// Optional hook run at the top of every Acquire — the quota controller
+  /// samples pool pressure here, so rebalancing happens exactly when a
+  /// query is about to spawn tasks. Set before the quota is shared across
+  /// threads (not synchronized against concurrent Acquire).
+  void set_observer(std::function<void()> fn) { observer_ = std::move(fn); }
+
   /// Grants between 1 and `want` slots (never blocks, never zero).
   int Acquire(int want) {
+    if (observer_) observer_();
     if (want < 1) want = 1;
-    if (limit_ <= 0) return want;
     int used = used_.load(std::memory_order_relaxed);
     while (true) {
-      const int room = limit_ - used;
-      const int grant = room < 1 ? 1 : (room < want ? room : want);
+      const int limit = limit_.load(std::memory_order_relaxed);
+      int grant = want;
+      if (limit > 0) {
+        const int room = limit - used;
+        grant = room < 1 ? 1 : (room < want ? room : want);
+      }
       if (used_.compare_exchange_weak(used, used + grant,
                                       std::memory_order_acq_rel)) {
         return grant;
@@ -148,18 +173,23 @@ class TaskQuota {
     }
   }
 
-  void Release(int n) {
-    if (limit_ > 0) used_.fetch_sub(n, std::memory_order_acq_rel);
+  void Release(int n) { used_.fetch_sub(n, std::memory_order_acq_rel); }
+
+  /// Retargets the budget. In-flight grants are unaffected; only future
+  /// Acquires see the new limit.
+  void set_limit(int limit) {
+    limit_.store(limit, std::memory_order_relaxed);
   }
 
-  int limit() const { return limit_; }
+  int limit() const { return limit_.load(std::memory_order_relaxed); }
   int in_use() const {
-    return limit_ <= 0 ? 0 : used_.load(std::memory_order_relaxed);
+    return limit() <= 0 ? 0 : used_.load(std::memory_order_relaxed);
   }
 
  private:
-  const int limit_;
+  std::atomic<int> limit_;
   std::atomic<int> used_{0};
+  std::function<void()> observer_;
 };
 
 /// A batch of tasks that complete together. Not reusable after Wait().

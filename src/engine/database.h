@@ -1,8 +1,21 @@
 // Database: catalog + shared resources (disk, buffer pool, scan scheduler,
 // transaction manager, monitoring) — the embedding point of the engine.
+//
+// Thread-safety contract (serving layer, docs/SERVING.md): one Database
+// serves any number of concurrent Sessions. Everything reachable through
+// the accessors below — catalog lookup/registration, scheduler, spill
+// device, memory tracker root, plan cache, quota controller, query
+// registry, event log, counters, buffer pool, transaction manager — is
+// safe to call from any thread. The exception is config(): it returns a
+// mutable reference with no synchronization, so reconfigure only while no
+// query is in flight (tests flip knobs between runs; a serving process
+// sets the config once at startup). Destruction drains async submissions
+// first (DrainAsync), so PendingQuery tasks never outlive the Database.
 #ifndef X100_ENGINE_DATABASE_H_
 #define X100_ENGINE_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -11,9 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "common/adaptive_quota.h"
 #include "common/config.h"
 #include "common/memory_tracker.h"
 #include "common/task_scheduler.h"
+#include "engine/plan_cache.h"
 #include "monitor/monitor.h"
 #include "pdt/transaction.h"
 #include "storage/buffer_manager.h"
@@ -29,7 +44,17 @@ class Database {
       : config_(config),
         memory_(ResolvedMemoryLimit(config.memory_limit)),
         disk_(config.disk_bandwidth),
-        buffers_(&disk_, config.buffer_pool_blocks) {}
+        buffers_(&disk_, config.buffer_pool_blocks),
+        plan_cache_(config.plan_cache_capacity) {
+    queries_.set_history_cap(config.query_history_cap);
+  }
+
+  ~Database() {
+    // Async queries run on the (possibly process-global) scheduler and
+    // reference this Database's registry, trackers and tables — they must
+    // complete before any member is torn down.
+    DrainAsync();
+  }
 
   /// The process-wide memory budget: config.memory_limit, or — when the
   /// config leaves it at 0 (unlimited) — the X100_MEMORY_LIMIT environment
@@ -111,17 +136,38 @@ class Database {
 
   Result<UpdatableTable*> RegisterTable(std::unique_ptr<Table> table) {
     const std::string name = table->name();
+    std::lock_guard<std::mutex> lock(tables_mu_);
     if (tables_.count(name)) {
       return Status::AlreadyExists("table " + name + " already exists");
     }
     auto updatable = std::make_unique<UpdatableTable>(std::move(table));
     UpdatableTable* ptr = updatable.get();
     tables_[name] = std::move(updatable);
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     events_.Info("created table " + name);
     return ptr;
   }
 
+  /// DDL drop. The table object is RETIRED — kept alive until Database
+  /// destruction, like retired schedulers — because in-flight queries may
+  /// still hold a pointer resolved before the drop; it just becomes
+  /// unreachable by name. Bumps the catalog version, so plans cached
+  /// against the old catalog are invalidated on next lookup.
+  Status DropTable(const std::string& name) {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("table not found: " + name);
+    }
+    retired_tables_.push_back(std::move(it->second));
+    tables_.erase(it);
+    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+    events_.Info("dropped table " + name);
+    return Status::OK();
+  }
+
   Result<UpdatableTable*> GetTable(const std::string& name) {
+    std::lock_guard<std::mutex> lock(tables_mu_);
     auto it = tables_.find(name);
     if (it == tables_.end()) {
       return Status::NotFound("table not found: " + name);
@@ -129,6 +175,82 @@ class Database {
     return it->second.get();
   }
 
+  /// Monotonic catalog version: bumped by every schema-affecting change
+  /// (RegisterTable/DropTable). The plan-cache key — a prepared plan is
+  /// only served while the catalog it was compiled against is current.
+  /// Data changes (PDT commits, appends) deliberately do NOT bump it:
+  /// physical planning re-reads table state per execution (see
+  /// engine/plan_cache.h).
+  int64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
+
+  /// Prepared-statement cache (Session::Prepare). Sized once at
+  /// construction from config.plan_cache_capacity.
+  PlanCache* plan_cache() { return &plan_cache_; }
+
+  /// The adaptive task-quota controller governing this Database's queries
+  /// (common/adaptive_quota.h). Created lazily against the current
+  /// scheduler + configured budget; a controller invalidated by a config
+  /// change is retired (quotas of in-flight queries still point into it)
+  /// rather than destroyed. Callers with query_task_quota < 0 (unlimited)
+  /// must not register — QueryExecutor runs those queries quota-less.
+  AdaptiveQuotaController* quota_controller() {
+    TaskScheduler* sched = scheduler();
+    std::lock_guard<std::mutex> lock(quota_mu_);
+    if (quota_controller_ == nullptr || quota_scheduler_ != sched ||
+        quota_budget_ != config_.query_task_quota) {
+      if (quota_controller_ != nullptr) {
+        retired_quota_controllers_.push_back(std::move(quota_controller_));
+      }
+      quota_controller_ = std::make_unique<AdaptiveQuotaController>(
+          sched, config_.query_task_quota);
+      quota_scheduler_ = sched;
+      quota_budget_ = config_.query_task_quota;
+    }
+    return quota_controller_.get();
+  }
+
+  // --- Async admission (Session::Submit / PendingQuery) ---------------
+
+  /// Admits one async query against config.admission_queue_cap (counting
+  /// queued + running submissions; 0 = unbounded). On success the caller
+  /// MUST pair with FinishAsync when the query completes.
+  Status TryAdmitAsync() {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    const int cap = config_.admission_queue_cap;
+    if (cap > 0 && async_inflight_ >= cap) {
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(async_inflight_) + "/" +
+          std::to_string(cap) + " async queries in flight)");
+    }
+    async_inflight_++;
+    return Status::OK();
+  }
+
+  void FinishAsync() {
+    {
+      std::lock_guard<std::mutex> lock(async_mu_);
+      async_inflight_--;
+    }
+    async_cv_.notify_all();
+  }
+
+  int async_inflight() const {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    return async_inflight_;
+  }
+
+  /// Blocks until every admitted async query has completed. Called by the
+  /// destructor; also useful as a test barrier. Must not be called from a
+  /// scheduler worker (it would wait on itself).
+  void DrainAsync() {
+    std::unique_lock<std::mutex> lock(async_mu_);
+    async_cv_.wait(lock, [this] { return async_inflight_ == 0; });
+  }
+
+  /// Mutable engine configuration. NOT synchronized: reconfigure only
+  /// while no query is in flight (see the class comment).
   EngineConfig& config() { return config_; }
 
   /// Pool parallel plans run on: the process-wide scheduler by default, or
@@ -177,7 +299,20 @@ class Database {
   std::string file_spill_dir_;
   BufferManager buffers_;
   TransactionManager txn_manager_;
+  std::mutex tables_mu_;
   std::map<std::string, std::unique_ptr<UpdatableTable>> tables_;
+  std::vector<std::unique_ptr<UpdatableTable>> retired_tables_;
+  std::atomic<int64_t> catalog_version_{1};
+  PlanCache plan_cache_;
+  std::mutex quota_mu_;
+  std::unique_ptr<AdaptiveQuotaController> quota_controller_;
+  std::vector<std::unique_ptr<AdaptiveQuotaController>>
+      retired_quota_controllers_;
+  TaskScheduler* quota_scheduler_ = nullptr;
+  int quota_budget_ = 0;
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  int async_inflight_ = 0;
   EventLog events_;
   QueryRegistry queries_;
   Counters counters_;

@@ -1,0 +1,166 @@
+// PlanCache: mutex-sharded LRU of prepared statements, owned by Database.
+//
+// The serving-path lesson of the paper (X100 -> Vectorwise) is that once
+// the kernel loop is vectorized, the frontend path — parse, cross-
+// compile, rewrite — dominates small-query latency. Session::Prepare
+// does that work once and caches the REWRITTEN algebra here, keyed by
+// (sql, catalog version):
+//
+//  * The cached plan is immutable and shared: concurrent executions each
+//    run their own physical Build against it (the planner clones
+//    expressions and keeps all mutable state in its own PlannerContext),
+//    so one entry serves any number of in-flight queries.
+//  * Data changes (PDT inserts/deletes, appends) do NOT invalidate
+//    entries — physical planning re-reads table state (schemas by name,
+//    scan-spine row estimates for radix AUTO-sizing) at every execution,
+//    so a cached plan can never serve stale row counts. Only catalog
+//    changes (CREATE/DROP TABLE — Database::catalog_version) rotate the
+//    key: a stale-version entry found by Lookup is dropped on sight and
+//    counted as an invalidation.
+//  * Sharded by sql hash: concurrent sessions preparing different
+//    statements contend on different mutexes; per-shard LRU eviction.
+//
+// Thread-safe. Capacity 0 disables caching (Lookup always misses,
+// Insert is a no-op).
+#ifndef X100_ENGINE_PLAN_CACHE_H_
+#define X100_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "algebra/algebra.h"
+#include "rewriter/rewriter.h"
+
+namespace x100 {
+
+/// One prepared statement: the frontend work of a query, done once.
+/// Immutable after construction; shared across sessions and concurrent
+/// executions via shared_ptr<const>.
+struct PreparedPlan {
+  std::string sql;         // monitoring label + cache key
+  AlgebraPtr rewritten;    // post-rewrite algebra, ready for Build
+  RewriteStats stats;      // rewrite-rule hit counts (introspection)
+  int64_t catalog_version = 0;  // Database::catalog_version at prepare
+  /// True when compiled from SQL text (recompilable on a stale catalog
+  /// version); false for hand-built algebra plans (Session::PreparePlan).
+  bool from_sql = false;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(int capacity) : capacity_(capacity) {}
+
+  /// Returns the cached plan for `sql` if present AND prepared under
+  /// `catalog_version`; a present-but-stale entry is invalidated (erased,
+  /// counted) and reported as a miss.
+  std::shared_ptr<const PreparedPlan> Lookup(const std::string& sql,
+                                             int64_t catalog_version) {
+    if (capacity_ <= 0) return nullptr;
+    Shard& s = ShardFor(sql);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.entries.find(sql);
+    if (it == s.entries.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (it->second.plan->catalog_version != catalog_version) {
+      s.lru.erase(it->second.lru_pos);
+      s.entries.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    // Touch: move to the MRU end.
+    s.lru.splice(s.lru.end(), s.lru, it->second.lru_pos);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.plan;
+  }
+
+  /// Inserts (or replaces — a concurrent prepare of the same sql may have
+  /// raced us; last one wins, both plans are equivalent) and evicts the
+  /// shard's LRU entry beyond capacity.
+  void Insert(std::shared_ptr<const PreparedPlan> plan) {
+    if (capacity_ <= 0 || plan == nullptr) return;
+    Shard& s = ShardFor(plan->sql);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.entries.find(plan->sql);
+    if (it != s.entries.end()) {
+      s.lru.splice(s.lru.end(), s.lru, it->second.lru_pos);
+      it->second.plan = std::move(plan);
+      return;
+    }
+    const std::string sql = plan->sql;  // before the move below
+    s.lru.push_back(sql);
+    auto lru_pos = std::prev(s.lru.end());
+    s.entries.emplace(sql, Entry{std::move(plan), lru_pos});
+    const int per_shard = capacity_ / kShards > 0 ? capacity_ / kShards : 1;
+    while (static_cast<int>(s.entries.size()) > per_shard) {
+      s.entries.erase(s.lru.front());
+      s.lru.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drops every entry (tests; not needed for correctness — version
+  /// keying already prevents stale service).
+  void Clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.entries.clear();
+      s.lru.clear();
+    }
+  }
+
+  int capacity() const { return capacity_; }
+  int64_t size() const {
+    int64_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += static_cast<int64_t>(s.entries.size());
+    }
+    return n;
+  }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  int64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kShards = 8;
+
+  struct Entry {
+    std::shared_ptr<const PreparedPlan> plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> entries;
+    std::list<std::string> lru;  // front = LRU, back = MRU
+  };
+
+  Shard& ShardFor(const std::string& sql) {
+    return shards_[std::hash<std::string>{}(sql) % kShards];
+  }
+
+  const int capacity_;
+  Shard shards_[kShards];
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace x100
+
+#endif  // X100_ENGINE_PLAN_CACHE_H_

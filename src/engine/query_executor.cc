@@ -29,10 +29,23 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   auto rewritten = rewriter.Rewrite(std::move(plan));
   X100_RETURN_IF_ERROR(rewritten.status());
   last_stats_ = rewriter.stats();
+  return RunRewritten(*rewritten, text, cancel);
+}
 
+Result<QueryResult> QueryExecutor::RunRewritten(const AlgebraPtr& plan,
+                                                const std::string& text,
+                                                CancellationToken* cancel,
+                                                int64_t qid) {
   // Admission control: this query's pipelines draw task slots from one
-  // quota, so a single wide query cannot flood the shared pool.
-  TaskQuota quota(db_->config().query_task_quota);
+  // quota, so a single wide query cannot flood the shared pool. The
+  // quota's limit is the query's CURRENT share of the global budget,
+  // retargeted by the adaptive controller as queries come and go
+  // (common/adaptive_quota.h); holding the shared_ptr is the
+  // registration. query_task_quota < 0 = unlimited, no quota at all.
+  std::shared_ptr<TaskQuota> quota;
+  if (db_->config().query_task_quota >= 0) {
+    quota = db_->quota_controller()->Register();
+  }
   // Memory governance: the query charges a child tracker rolling up into
   // the Database's process-wide budget; the limit is re-read from the
   // config here so tests/benches can sweep it between queries. The
@@ -41,6 +54,7 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   // they are destroyed.
   db_->memory()->set_limit(
       Database::ResolvedMemoryLimit(db_->config().memory_limit));
+  db_->queries()->set_history_cap(db_->config().query_history_cap);
   MemoryTracker query_memory(/*limit=*/0, db_->memory());
   ExecContext ctx;
   ctx.vector_size = db_->config().vector_size;
@@ -48,7 +62,7 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
   ctx.cancel = cancel;
   ctx.events = db_->events();
   ctx.scheduler = db_->scheduler();
-  ctx.quota = &quota;
+  ctx.quota = quota.get();
   ctx.memory = &query_memory;
   if (db_->config().enable_spill) {
     // A configured-but-unusable spill path (missing directory, no
@@ -59,14 +73,17 @@ Result<QueryResult> QueryExecutor::Execute(AlgebraPtr plan,
     ctx.spill_device = *device;
   }
 
-  const int64_t qid =
-      db_->queries()->Begin(text.empty() ? "<algebra query>" : text);
+  if (qid < 0) {
+    qid = db_->queries()->Begin(text.empty() ? "<algebra query>" : text);
+  } else {
+    db_->queries()->MarkRunning(qid);
+  }
   db_->events()->Info("query " + std::to_string(qid) + " started");
 
   const auto t0 = std::chrono::steady_clock::now();
   OperatorPtr root;
   {
-    auto built = Build(*rewritten, &ctx);
+    auto built = Build(plan, &ctx);
     if (!built.ok()) {
       db_->queries()->Finish(qid, built.status(), 0);
       return built.status();

@@ -32,6 +32,19 @@ class QueryExecutor {
   Result<QueryResult> Execute(AlgebraPtr plan, const std::string& text = "",
                               CancellationToken* cancel = nullptr);
 
+  /// Execution of an ALREADY-REWRITTEN plan — the prepared-statement /
+  /// plan-cache path (engine/plan_cache.h): the rewrite was done once at
+  /// Prepare, every execution starts here. `plan` is borrowed and not
+  /// mutated, so one cached plan serves concurrent executions; physical
+  /// Build still happens per call (fresh scan-spine estimates, per-query
+  /// PlannerContext). `qid` >= 0 reuses a pre-registered query-listing
+  /// entry (async submissions register as kQueued at admission) and flips
+  /// it to kRunning; -1 registers a fresh entry.
+  Result<QueryResult> RunRewritten(const AlgebraPtr& plan,
+                                   const std::string& text,
+                                   CancellationToken* cancel = nullptr,
+                                   int64_t qid = -1);
+
   const RewriteStats& last_rewrite_stats() const { return last_stats_; }
 
   /// Swaps in a custom physical planner (must outlive the executor).

@@ -1,16 +1,142 @@
 // Session: the user-facing entry point — SQL text in, rows out, via the
 // full Figure-1 path (parser -> Ingres-like plan -> cross compiler -> X100
 // rewriter -> vectorized execution).
+//
+// Serving surface (docs/SERVING.md):
+//  * ExecuteSql / Execute — synchronous, full frontend work per call.
+//  * Prepare / ExecutePrepared — the frontend work (parse, cross-compile,
+//    rewrite) done ONCE, cached in the Database's plan cache keyed by
+//    (sql, catalog version); execution still physically plans per call,
+//    so prepared statements never see stale row counts.
+//  * Submit / SubmitSql — asynchronous: the query runs as a task on the
+//    shared TaskScheduler; the caller gets a PendingQuery (wait, cancel,
+//    result) and its thread back.
+//
+// Thread-safety contract: a Session is NOT thread-safe — it carries
+// per-session executor state (last_rewrite_stats). Use one Session per
+// thread; any number of Sessions may share one Database concurrently
+// (Database-level state is fully synchronized, see database.h).
+// PreparedStatement handles and PendingQuery objects may be shared and
+// waited on across threads.
 #ifndef X100_ENGINE_SESSION_H_
 #define X100_ENGINE_SESSION_H_
 
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
+#include "common/cancellation.h"
 #include "engine/database.h"
 #include "engine/query_executor.h"
 #include "frontend/frontend.h"
 
 namespace x100 {
+
+/// Shared immutable prepared-statement handle (engine/plan_cache.h).
+using PreparedStatement = std::shared_ptr<const PreparedPlan>;
+
+/// Future-like handle to an asynchronously submitted query
+/// (Session::Submit). Copyable (copies share the underlying query);
+/// thread-safe. The query holds the Database's admission slot until it
+/// completes — Database destruction drains all pending queries first, so
+/// a PendingQuery may safely outlive its Session (but not the Database:
+/// Wait() after the Database is gone is a use-after-free like any other
+/// retained engine pointer).
+class PendingQuery {
+ public:
+  PendingQuery() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Query-listing id (monitor/QueryRegistry): the entry is registered as
+  /// kQueued at submission and flips to kRunning on a worker.
+  int64_t id() const { return state_->qid; }
+
+  /// Requests cancellation: a still-queued query finishes kCancelled
+  /// without running; a mid-flight query unwinds through the pipeline
+  /// cancellation machinery. Wait() then returns the Cancelled status.
+  void Cancel() { state_->cancel.Cancel(); }
+
+  bool done() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the query completes and moves the result out (one
+  /// consumer; a second Wait returns an error status). Must not be called
+  /// from a scheduler worker thread — the waiter parks, it does not help.
+  Result<QueryResult> Wait() {
+    State& s = *state_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.cv.wait(lock, [&] { return s.done; });
+    if (!s.status.ok()) return s.status;
+    if (s.result == nullptr) {
+      return Status::Internal("PendingQuery result already consumed");
+    }
+    QueryResult out = std::move(*s.result);
+    s.result.reset();
+    return out;
+  }
+
+ private:
+  friend class Session;
+
+  struct State {
+    Database* db = nullptr;
+    PreparedStatement plan;
+    int64_t qid = -1;
+    CancellationToken cancel;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::unique_ptr<QueryResult> result;
+  };
+
+  explicit PendingQuery(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  /// The scheduler task body. Runs on a pool worker; the worker blocks at
+  /// the query's own pipeline barriers but helps run its own tasks there
+  /// (TaskGroup::Wait), so async queries cannot self-deadlock the pool.
+  static void Run(const std::shared_ptr<State>& s) {
+    Result<QueryResult> r = [&]() -> Result<QueryResult> {
+      if (s->cancel.IsCancelled()) {
+        // Cancelled while queued: never executes. Close out the
+        // registry entry and counters the way RunRewritten would have.
+        const Status st = Status::Cancelled("cancelled while queued");
+        s->db->queries()->Finish(s->qid, st, 0);
+        s->db->counters()->Add("queries.total", 1);
+        s->db->counters()->Add("queries.failed", 1);
+        return st;
+      }
+      // A fresh executor per task: QueryExecutor carries per-session
+      // state (last_rewrite_stats) and the submitting Session may be
+      // gone or busy.
+      QueryExecutor executor(s->db);
+      return executor.RunRewritten(s->plan->rewritten, s->plan->sql,
+                                   &s->cancel, s->qid);
+    }();
+    // Release the admission slot BEFORE publishing the result: a waiter
+    // returning from Wait() must observe the slot freed (and DrainAsync
+    // in ~Database must only unblock once nothing touches the Database
+    // anymore — everything below operates on the shared State alone).
+    s->db->FinishAsync();
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->status = r.status();
+      if (r.ok()) {
+        s->result = std::make_unique<QueryResult>(std::move(*r));
+      }
+      s->done = true;
+    }
+    s->cv.notify_all();
+  }
+
+  std::shared_ptr<State> state_;
+};
 
 class Session {
  public:
@@ -43,10 +169,112 @@ class Session {
     return executor_.Execute(std::move(plan), "<algebra>", cancel);
   }
 
+  // --- Prepared statements --------------------------------------------
+
+  /// Parse + cross-compile + rewrite once, served from the Database plan
+  /// cache on repeat (keyed by sql + catalog version; a stale entry is
+  /// recompiled, never served).
+  Result<PreparedStatement> Prepare(const std::string& sql) {
+    const int64_t version = db_->catalog_version();
+    if (auto cached = db_->plan_cache()->Lookup(sql, version)) {
+      return PreparedStatement(std::move(cached));
+    }
+    AlgebraPtr plan;
+    X100_ASSIGN_OR_RETURN(plan, CompileSql(sql));
+    return PrepareCompiled(std::move(plan), sql, /*from_sql=*/true);
+  }
+
+  /// Prepares a hand-built algebra plan (joins — the SQL subset cannot
+  /// express them). Rewritten once, NOT cached (the label is no key);
+  /// `label` shows in the query listing.
+  Result<PreparedStatement> PreparePlan(AlgebraPtr plan,
+                                        const std::string& label =
+                                            "<algebra>") {
+    return PrepareCompiled(std::move(plan), label, /*from_sql=*/false);
+  }
+
+  /// Synchronous execution of a prepared statement: no frontend work,
+  /// physical Build per call. A handle prepared under an older catalog is
+  /// transparently re-prepared first (see Revalidate).
+  Result<QueryResult> ExecutePrepared(const PreparedStatement& stmt,
+                                      CancellationToken* cancel = nullptr) {
+    PreparedStatement fresh;
+    X100_ASSIGN_OR_RETURN(fresh, Revalidate(stmt));
+    return executor_.RunRewritten(fresh->rewritten, fresh->sql, cancel);
+  }
+
+  // --- Async submission -----------------------------------------------
+
+  /// Submits a prepared statement for asynchronous execution on the
+  /// Database's TaskScheduler. Returns immediately with a PendingQuery;
+  /// fails with kResourceExhausted when the admission queue
+  /// (EngineConfig::admission_queue_cap) is full — backpressure at the
+  /// door instead of an unbounded task pile-up. Stale handles are
+  /// re-prepared at submission, so DDL between Prepare and Submit cannot
+  /// serve a stale plan.
+  Result<PendingQuery> Submit(const PreparedStatement& stmt) {
+    PreparedStatement fresh;
+    X100_ASSIGN_OR_RETURN(fresh, Revalidate(stmt));
+    X100_RETURN_IF_ERROR(db_->TryAdmitAsync());
+    auto state = std::make_shared<PendingQuery::State>();
+    state->db = db_;
+    state->plan = std::move(fresh);
+    state->qid =
+        db_->queries()->Begin(state->plan->sql, QueryState::kQueued);
+    db_->scheduler()->Submit([state] { PendingQuery::Run(state); });
+    return PendingQuery(std::move(state));
+  }
+
+  /// Ad-hoc async submission: the FULL frontend path runs now (errors
+  /// surface here, synchronously), deliberately bypassing the plan cache
+  /// — this is the re-plan-every-call baseline prepared statements are
+  /// measured against (bench_e14). Apps wanting caching: Prepare first.
+  Result<PendingQuery> SubmitSql(const std::string& sql) {
+    AlgebraPtr plan;
+    X100_ASSIGN_OR_RETURN(plan, CompileSql(sql));
+    PreparedStatement stmt;
+    X100_ASSIGN_OR_RETURN(stmt, PrepareCompiled(std::move(plan), sql,
+                                                /*from_sql=*/false));
+    return Submit(stmt);
+  }
+
   Database* db() { return db_; }
   QueryExecutor* executor() { return &executor_; }
 
  private:
+  /// Rewrite + wrap. Only sql-keyed plans enter the cache.
+  Result<PreparedStatement> PrepareCompiled(AlgebraPtr plan,
+                                            const std::string& text,
+                                            bool from_sql) {
+    Rewriter rewriter;
+    auto rewritten = rewriter.Rewrite(std::move(plan));
+    X100_RETURN_IF_ERROR(rewritten.status());
+    auto prepared = std::make_shared<PreparedPlan>();
+    prepared->sql = text;
+    prepared->rewritten = std::move(*rewritten);
+    prepared->stats = rewriter.stats();
+    prepared->catalog_version = db_->catalog_version();
+    prepared->from_sql = from_sql;
+    PreparedStatement out = std::move(prepared);
+    if (from_sql) db_->plan_cache()->Insert(out);
+    return out;
+  }
+
+  /// Stale-handle defense: a statement prepared under an older catalog
+  /// version is recompiled from its SQL (the cache Lookup drops the stale
+  /// entry and this Prepare repopulates it). Algebra-prepared handles
+  /// cannot be recompiled — they pass through, which is safe: physical
+  /// Build re-resolves tables by name and re-reads row estimates at every
+  /// execution, failing loudly if a referenced table is gone.
+  Result<PreparedStatement> Revalidate(const PreparedStatement& stmt) {
+    if (stmt == nullptr) return Status::InvalidArgument("null statement");
+    if (!stmt->from_sql ||
+        stmt->catalog_version == db_->catalog_version()) {
+      return stmt;
+    }
+    return Prepare(stmt->sql);
+  }
+
   Database* db_;
   QueryExecutor executor_;
 };

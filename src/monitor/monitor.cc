@@ -4,6 +4,7 @@ namespace x100 {
 
 const char* QueryStateName(QueryState s) {
   switch (s) {
+    case QueryState::kQueued: return "QUEUED";
     case QueryState::kRunning: return "RUNNING";
     case QueryState::kFinished: return "FINISHED";
     case QueryState::kFailed: return "FAILED";

@@ -63,6 +63,8 @@ class EventLog {
 };
 
 enum class QueryState : uint8_t {
+  /// Admitted via Session::Submit, waiting for a scheduler worker.
+  kQueued,
   kRunning,
   kFinished,
   kFailed,
@@ -84,18 +86,38 @@ struct QueryInfo {
   QueryProfile profile;
 };
 
-/// Live + recently finished query listing.
+/// Live + recently finished query listing. Thread-safe: concurrent
+/// sessions Begin/Finish under one mutex, monitors snapshot via List().
+/// Completed entries are retained up to the history cap
+/// (EngineConfig::query_history_cap, re-applied by QueryExecutor per
+/// query): oldest finished/failed/cancelled entries are evicted first; a
+/// query that is still queued or running is never evicted.
 class QueryRegistry {
  public:
-  int64_t Begin(std::string text) {
+  /// Registers a query. Async submissions enter as kQueued and flip to
+  /// kRunning via MarkRunning when a worker picks them up; the
+  /// synchronous path registers directly as kRunning.
+  int64_t Begin(std::string text,
+                QueryState initial = QueryState::kRunning) {
     std::lock_guard<std::mutex> lock(mu_);
     const int64_t id = next_id_++;
     QueryInfo q;
     q.id = id;
     q.text = std::move(text);
+    q.state = initial;
     q.started = std::chrono::steady_clock::now();
     queries_[id] = std::move(q);
     return id;
+  }
+
+  /// Queued -> running transition; restarts the clock so elapsed_sec
+  /// measures execution, not admission-queue wait.
+  void MarkRunning(int64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) return;
+    it->second.state = QueryState::kRunning;
+    it->second.started = std::chrono::steady_clock::now();
   }
 
   void Finish(int64_t id, const Status& status, int64_t tuples,
@@ -117,6 +139,21 @@ class QueryRegistry {
       q.state = QueryState::kFailed;
       q.error = status.ToString();
     }
+    completed_++;
+    EvictLocked();
+  }
+
+  /// Completed-entry retention cap (0 = unbounded). Applies immediately
+  /// and to every later Finish.
+  void set_history_cap(int64_t cap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_cap_ = cap;
+    EvictLocked();
+  }
+
+  int64_t evicted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evicted_;
   }
 
   /// Snapshot of all known queries (running first, then history).
@@ -137,9 +174,29 @@ class QueryRegistry {
   }
 
  private:
+  /// Drops the oldest completed entries over the cap. Ids ascend, so a
+  /// forward scan meets oldest-first; queued/running entries are skipped.
+  void EvictLocked() {
+    if (history_cap_ <= 0) return;
+    for (auto it = queries_.begin();
+         it != queries_.end() && completed_ > history_cap_;) {
+      if (it->second.state == QueryState::kQueued ||
+          it->second.state == QueryState::kRunning) {
+        ++it;
+        continue;
+      }
+      it = queries_.erase(it);
+      completed_--;
+      evicted_++;
+    }
+  }
+
   mutable std::mutex mu_;
   std::map<int64_t, QueryInfo> queries_;
   int64_t next_id_ = 1;
+  int64_t history_cap_ = 0;  // 0 = unbounded
+  int64_t completed_ = 0;    // finished/failed/cancelled entries retained
+  int64_t evicted_ = 0;
 };
 
 class Counters {

@@ -1,0 +1,300 @@
+#include "monitor/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/pod_serde.h"
+
+namespace x100 {
+namespace {
+
+/// Frames larger than this are rejected on read: the whole query listing
+/// of a busy server is well under it, and an absurd length prefix is a
+/// corrupt stream, not a real request.
+constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+void AppendString(std::vector<uint8_t>* out, const std::string& s) {
+  serde::AppendPod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool TakeString(serde::Reader* r, std::string* s) {
+  uint32_t n;
+  if (!r->TakePod(&n)) return false;
+  const uint8_t* p;
+  if (!r->Take(n, &p)) return false;
+  s->assign(reinterpret_cast<const char*>(p), n);
+  return true;
+}
+
+void AppendHeader(std::vector<uint8_t>* out, WireOpcode op) {
+  serde::AppendPod(out, kWireMagic);
+  serde::AppendPod(out, kWireVersion);
+  serde::AppendPod(out, static_cast<uint16_t>(op));
+}
+
+Status TakeHeader(serde::Reader* r, WireOpcode expect) {
+  uint32_t magic;
+  uint16_t version, op;
+  if (!r->TakePod(&magic) || !r->TakePod(&version) || !r->TakePod(&op)) {
+    return Status::IoError("wire: truncated header");
+  }
+  if (magic != kWireMagic) return Status::IoError("wire: bad magic");
+  if (version != kWireVersion) {
+    return Status::IoError("wire: unsupported version " +
+                           std::to_string(version));
+  }
+  if (op != static_cast<uint16_t>(expect)) {
+    return Status::IoError("wire: unexpected opcode " + std::to_string(op));
+  }
+  return Status::OK();
+}
+
+void AppendProfile(std::vector<uint8_t>* out, const QueryProfile& p) {
+  serde::AppendPod<int64_t>(out, p.tuples_scanned);
+  serde::AppendPod<int64_t>(out, p.groups_skipped);
+  serde::AppendPod<int64_t>(out, p.wall_ns);
+  AppendString(out, p.simd);
+  serde::AppendPod<uint32_t>(out, static_cast<uint32_t>(p.operators.size()));
+  for (const OperatorProfile& o : p.operators) {
+    AppendString(out, o.op);
+    serde::AppendPod<int64_t>(out, o.batches);
+    serde::AppendPod<int64_t>(out, o.rows);
+    serde::AppendPod<int64_t>(out, o.open_ns);
+    serde::AppendPod<int64_t>(out, o.next_ns);
+    serde::AppendPod<int64_t>(out, o.child_ns);
+    serde::AppendPod<int64_t>(out, o.spill_bytes);
+    serde::AppendPod<int64_t>(out, o.spills);
+    serde::AppendPod<int64_t>(out, o.mem_bytes);
+  }
+}
+
+bool TakeProfile(serde::Reader* r, QueryProfile* p) {
+  uint32_t ops;
+  if (!r->TakePod(&p->tuples_scanned) || !r->TakePod(&p->groups_skipped) ||
+      !r->TakePod(&p->wall_ns) || !TakeString(r, &p->simd) ||
+      !r->TakePod(&ops)) {
+    return false;
+  }
+  p->operators.clear();
+  for (uint32_t i = 0; i < ops; i++) {
+    OperatorProfile o;
+    if (!TakeString(r, &o.op) || !r->TakePod(&o.batches) ||
+        !r->TakePod(&o.rows) || !r->TakePod(&o.open_ns) ||
+        !r->TakePod(&o.next_ns) || !r->TakePod(&o.child_ns) ||
+        !r->TakePod(&o.spill_bytes) || !r->TakePod(&o.spills) ||
+        !r->TakePod(&o.mem_bytes)) {
+      return false;
+    }
+    p->operators.push_back(std::move(o));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequest(WireOpcode op) {
+  std::vector<uint8_t> out;
+  AppendHeader(&out, op);
+  return out;
+}
+
+Status DecodeQueryList(const std::vector<uint8_t>& payload,
+                       std::vector<QueryInfo>* out) {
+  serde::Reader r{payload.data(), payload.size(), 0};
+  X100_RETURN_IF_ERROR(TakeHeader(&r, WireOpcode::kListQueries));
+  uint32_t n;
+  if (!r.TakePod(&n)) return Status::IoError("wire: truncated query list");
+  out->clear();
+  for (uint32_t i = 0; i < n; i++) {
+    QueryInfo q;
+    uint8_t state;
+    if (!r.TakePod(&q.id) || !r.TakePod(&state) ||
+        !r.TakePod(&q.elapsed_sec) || !r.TakePod(&q.tuples_scanned) ||
+        !TakeString(&r, &q.text) || !TakeString(&r, &q.error) ||
+        !TakeProfile(&r, &q.profile)) {
+      return Status::IoError("wire: truncated query entry");
+    }
+    q.state = static_cast<QueryState>(state);
+    out->push_back(std::move(q));
+  }
+  return Status::OK();
+}
+
+Status DecodeCounters(const std::vector<uint8_t>& payload,
+                      std::map<std::string, int64_t>* out) {
+  serde::Reader r{payload.data(), payload.size(), 0};
+  X100_RETURN_IF_ERROR(TakeHeader(&r, WireOpcode::kCounters));
+  uint32_t n;
+  if (!r.TakePod(&n)) return Status::IoError("wire: truncated counters");
+  out->clear();
+  for (uint32_t i = 0; i < n; i++) {
+    std::string name;
+    int64_t value;
+    if (!TakeString(&r, &name) || !r.TakePod(&value)) {
+      return Status::IoError("wire: truncated counter entry");
+    }
+    (*out)[std::move(name)] = value;
+  }
+  return Status::OK();
+}
+
+Status DecodeEvents(const std::vector<uint8_t>& payload,
+                    std::vector<WireEvent>* out) {
+  serde::Reader r{payload.data(), payload.size(), 0};
+  X100_RETURN_IF_ERROR(TakeHeader(&r, WireOpcode::kEvents));
+  uint32_t n;
+  if (!r.TakePod(&n)) return Status::IoError("wire: truncated events");
+  out->clear();
+  for (uint32_t i = 0; i < n; i++) {
+    WireEvent e;
+    uint8_t level;
+    if (!r.TakePod(&e.unix_micros) || !r.TakePod(&level) ||
+        !TakeString(&r, &e.message)) {
+      return Status::IoError("wire: truncated event entry");
+    }
+    e.level = static_cast<EventLevel>(level);
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> MonitorEndpoint::Handle(const uint8_t* payload,
+                                                     size_t len) const {
+  serde::Reader r{payload, len, 0};
+  uint32_t magic;
+  uint16_t version, op;
+  if (!r.TakePod(&magic) || !r.TakePod(&version) || !r.TakePod(&op)) {
+    return Status::IoError("wire: truncated request");
+  }
+  if (magic != kWireMagic) return Status::IoError("wire: bad magic");
+  if (version != kWireVersion) {
+    return Status::IoError("wire: unsupported version " +
+                           std::to_string(version));
+  }
+
+  std::vector<uint8_t> out;
+  switch (static_cast<WireOpcode>(op)) {
+    case WireOpcode::kListQueries: {
+      AppendHeader(&out, WireOpcode::kListQueries);
+      const std::vector<QueryInfo> queries =
+          queries_ != nullptr ? queries_->List() : std::vector<QueryInfo>();
+      serde::AppendPod<uint32_t>(&out,
+                                 static_cast<uint32_t>(queries.size()));
+      for (const QueryInfo& q : queries) {
+        serde::AppendPod<int64_t>(&out, q.id);
+        serde::AppendPod<uint8_t>(&out, static_cast<uint8_t>(q.state));
+        serde::AppendPod<double>(&out, q.elapsed_sec);
+        serde::AppendPod<int64_t>(&out, q.tuples_scanned);
+        AppendString(&out, q.text);
+        AppendString(&out, q.error);
+        AppendProfile(&out, q.profile);
+      }
+      return out;
+    }
+    case WireOpcode::kCounters: {
+      AppendHeader(&out, WireOpcode::kCounters);
+      const std::map<std::string, int64_t> counters =
+          counters_ != nullptr ? counters_->Snapshot()
+                               : std::map<std::string, int64_t>();
+      serde::AppendPod<uint32_t>(&out,
+                                 static_cast<uint32_t>(counters.size()));
+      for (const auto& [name, value] : counters) {
+        AppendString(&out, name);
+        serde::AppendPod<int64_t>(&out, value);
+      }
+      return out;
+    }
+    case WireOpcode::kEvents: {
+      AppendHeader(&out, WireOpcode::kEvents);
+      const std::vector<Event> events =
+          events_ != nullptr ? events_->Recent(4096) : std::vector<Event>();
+      serde::AppendPod<uint32_t>(&out, static_cast<uint32_t>(events.size()));
+      for (const Event& e : events) {
+        const int64_t micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                e.ts.time_since_epoch())
+                .count();
+        serde::AppendPod<int64_t>(&out, micros);
+        serde::AppendPod<uint8_t>(&out, static_cast<uint8_t>(e.level));
+        AppendString(&out, e.message);
+      }
+      return out;
+    }
+  }
+  return Status::IoError("wire: unknown opcode " + std::to_string(op));
+}
+
+Status MonitorEndpoint::ServeStream(int in_fd, int out_fd) const {
+  while (true) {
+    std::vector<uint8_t> request;
+    const Status s = ReadFrame(in_fd, &request);
+    if (s.code() == StatusCode::kNotFound) return Status::OK();  // clean EOF
+    X100_RETURN_IF_ERROR(s);
+    auto response = Handle(request.data(), request.size());
+    X100_RETURN_IF_ERROR(response.status());
+    X100_RETURN_IF_ERROR(WriteFrame(out_fd, *response));
+  }
+}
+
+namespace {
+
+Status WriteAll(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("wire: write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// Returns kNotFound on immediate EOF (no bytes read), kIoError on a
+/// partial read followed by EOF.
+Status ReadAll(int fd, uint8_t* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("wire: read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      return got == 0 ? Status::NotFound("wire: eof")
+                      : Status::IoError("wire: truncated frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  X100_RETURN_IF_ERROR(
+      WriteAll(fd, reinterpret_cast<const uint8_t*>(&len), sizeof(len)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Status ReadFrame(int fd, std::vector<uint8_t>* payload) {
+  uint32_t len = 0;
+  X100_RETURN_IF_ERROR(
+      ReadAll(fd, reinterpret_cast<uint8_t*>(&len), sizeof(len)));
+  if (len > kMaxFramePayload) {
+    return Status::IoError("wire: oversized frame (" + std::to_string(len) +
+                           " bytes)");
+  }
+  payload->resize(len);
+  return ReadAll(fd, payload->data(), len);
+}
+
+}  // namespace x100

@@ -1,0 +1,104 @@
+// Wire-format monitoring endpoint — paper §"System monitoring": the
+// query listing, counters and event log exposed to an EXTERNAL observer,
+// not just in-process callers (which is all examples/ops_monitoring.cpp
+// could show before). An ops tool speaks a tiny length-prefixed binary
+// protocol to a serving process:
+//
+//   frame    := u32 payload_len | payload
+//   payload  := u32 magic 'X100' | u16 version | u16 opcode | body
+//   request  : empty body
+//   response : opcode echoed, body per opcode (see Encode*/Decode*)
+//
+// All integers little-endian host order (the protocol is for a local
+// ops socket/pipe, not cross-architecture interchange). Strings are
+// u32-length-prefixed bytes. Decoding uses the bounds- and overflow-
+// checked serde::Reader — a truncated or corrupt frame fails cleanly
+// with kIoError, never faults (same contract as spill reload).
+//
+// Layering: this is a monitor/ component — it sees QueryRegistry,
+// Counters and EventLog only, never a Database, so the monitor layer
+// stays engine-independent.
+#ifndef X100_MONITOR_WIRE_H_
+#define X100_MONITOR_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "monitor/monitor.h"
+
+namespace x100 {
+
+inline constexpr uint32_t kWireMagic = 0x30303158;  // "X100" little-endian
+inline constexpr uint16_t kWireVersion = 1;
+
+enum class WireOpcode : uint16_t {
+  kListQueries = 1,  // -> QueryInfo vector incl. per-operator profiles
+  kCounters = 2,     // -> name/value map
+  kEvents = 3,       // -> recent events (bounded by the log's ring)
+};
+
+/// An event as it travels the wire (steady/system clock flattened to
+/// microseconds since the unix epoch).
+struct WireEvent {
+  int64_t unix_micros = 0;
+  EventLevel level = EventLevel::kInfo;
+  std::string message;
+};
+
+// --- Client side -------------------------------------------------------
+
+/// A request payload for `op` (frame it with WriteFrame).
+std::vector<uint8_t> EncodeRequest(WireOpcode op);
+
+/// Decoders for response payloads. Each checks magic/version/opcode and
+/// fails with kIoError on any malformation.
+Status DecodeQueryList(const std::vector<uint8_t>& payload,
+                       std::vector<QueryInfo>* out);
+Status DecodeCounters(const std::vector<uint8_t>& payload,
+                      std::map<std::string, int64_t>* out);
+Status DecodeEvents(const std::vector<uint8_t>& payload,
+                    std::vector<WireEvent>* out);
+
+// --- Server side -------------------------------------------------------
+
+/// Serves monitoring requests against live monitor state. Thread-safe
+/// (the underlying registries are; the endpoint itself is stateless).
+class MonitorEndpoint {
+ public:
+  /// Any pointer may be null — the matching opcode then returns an empty
+  /// listing. Pointees must outlive the endpoint.
+  MonitorEndpoint(const QueryRegistry* queries, const Counters* counters,
+                  const EventLog* events)
+      : queries_(queries), counters_(counters), events_(events) {}
+
+  /// Handles one request payload, returns the response payload.
+  Result<std::vector<uint8_t>> Handle(const uint8_t* payload,
+                                      size_t len) const;
+
+  /// Blocking serve loop over a byte stream (pipe or socket fd pair):
+  /// reads request frames, writes response frames, returns OK on clean
+  /// EOF. One outstanding request at a time per stream.
+  Status ServeStream(int in_fd, int out_fd) const;
+
+ private:
+  const QueryRegistry* queries_;
+  const Counters* counters_;
+  const EventLog* events_;
+};
+
+// --- Frame IO (shared by client and server) ----------------------------
+
+/// Writes one length-prefixed frame. Handles short writes/EINTR.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+
+/// Reads one frame. Returns kNotFound on clean EOF at a frame boundary,
+/// kIoError on truncation mid-frame or an oversized length prefix.
+Status ReadFrame(int fd, std::vector<uint8_t>* payload);
+
+}  // namespace x100
+
+#endif  // X100_MONITOR_WIRE_H_

@@ -7,6 +7,7 @@
 #ifndef X100_STORAGE_BUFFER_MANAGER_H_
 #define X100_STORAGE_BUFFER_MANAGER_H_
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -32,11 +33,11 @@ class BufferManager {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = cache_.find(id);
       if (it != cache_.end()) {
-        hits_++;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         Touch(id);
         return it->second.data;
       }
-      misses_++;
+      misses_.fetch_add(1, std::memory_order_relaxed);
     }
     // Read outside the lock: the simulated IO wait must not block hits.
     auto read = disk_->ReadBlock(id, cancel);
@@ -74,8 +75,11 @@ class BufferManager {
     lru_.clear();
   }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  // Atomic: monitors read these while concurrent scans fault blocks in.
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   int size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int>(cache_.size());
@@ -109,8 +113,8 @@ class BufferManager {
   mutable std::mutex mu_;
   std::unordered_map<BlockId, Entry> cache_;
   std::list<BlockId> lru_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace x100

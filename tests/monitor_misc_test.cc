@@ -1,10 +1,14 @@
-// Coverage for the monitoring subsystem, algebra plan printing, SQL
-// expression precedence, and TPC-H over the PAX layout.
+// Coverage for the monitoring subsystem (registry, counters, events, the
+// wire-format endpoint), algebra plan printing, SQL expression
+// precedence, and TPC-H over the PAX layout.
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include "algebra/algebra.h"
 #include "engine/session.h"
 #include "monitor/monitor.h"
+#include "monitor/wire.h"
 #include "tpch/tpch.h"
 
 namespace x100 {
@@ -52,6 +56,54 @@ TEST(QueryRegistryTest, FailureRecordsError) {
   auto all = reg.List();
   EXPECT_EQ(all[0].state, QueryState::kFailed);
   EXPECT_NE(all[0].error.find("no such table"), std::string::npos);
+}
+
+TEST(QueryRegistryTest, HistoryCapEvictsOldestCompleted) {
+  QueryRegistry reg;
+  reg.set_history_cap(3);
+  // Ten completed queries: only the newest three survive.
+  for (int i = 0; i < 10; i++) {
+    reg.Finish(reg.Begin("q" + std::to_string(i)), Status::OK(), i);
+  }
+  auto all = reg.List();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].text, "q7");
+  EXPECT_EQ(all[2].text, "q9");
+  EXPECT_EQ(reg.evicted(), 7);
+}
+
+TEST(QueryRegistryTest, HistoryCapNeverEvictsLiveQueries) {
+  QueryRegistry reg;
+  reg.set_history_cap(1);
+  // Old but still-live entries (queued or running) are immune: eviction
+  // skips them and reclaims only terminal entries.
+  const int64_t running = reg.Begin("long running");
+  const int64_t queued = reg.Begin("still queued", QueryState::kQueued);
+  for (int i = 0; i < 5; i++) {
+    reg.Finish(reg.Begin("done " + std::to_string(i)), Status::OK(), 0);
+  }
+  auto all = reg.List();
+  ASSERT_EQ(all.size(), 3u);  // running + queued + newest completed
+  EXPECT_EQ(all[0].id, running);
+  EXPECT_EQ(all[1].id, queued);
+  EXPECT_EQ(all[2].text, "done 4");
+  // Once they finish, the cap applies to them like anyone else.
+  reg.Finish(running, Status::OK(), 0);
+  reg.MarkRunning(queued);
+  reg.Finish(queued, Status::OK(), 0);
+  EXPECT_EQ(reg.List().size(), 1u);  // the newest completed entry
+}
+
+TEST(QueryRegistryTest, QueuedStateTransitionsThroughMarkRunning) {
+  QueryRegistry reg;
+  const int64_t q = reg.Begin("async", QueryState::kQueued);
+  EXPECT_EQ(reg.Running().size(), 0u);
+  EXPECT_STREQ(QueryStateName(QueryState::kQueued), "QUEUED");
+  reg.MarkRunning(q);
+  ASSERT_EQ(reg.Running().size(), 1u);
+  EXPECT_EQ(reg.Running()[0].state, QueryState::kRunning);
+  reg.Finish(q, Status::OK(), 1);
+  EXPECT_EQ(reg.List()[0].state, QueryState::kFinished);
 }
 
 TEST(CountersTest, AccumulateAndSnapshot) {
@@ -129,6 +181,114 @@ TEST(TpchPaxTest, PaxLayoutEndToEnd) {
   } else {
     EXPECT_NEAR(a->rows[0][0].AsF64(), b->rows[0][0].AsF64(), 1e-6);
   }
+}
+
+TEST(WireTest, QueryListRoundTripsProfiles) {
+  QueryRegistry reg;
+  const int64_t q1 = reg.Begin("SELECT 1");
+  QueryProfile prof;
+  prof.tuples_scanned = 6001215;
+  prof.wall_ns = 123456789;
+  prof.simd = "avx2";
+  OperatorProfile op;
+  op.op = "HashAggr";
+  op.rows = 4;
+  op.next_ns = 42;
+  op.spill_bytes = 1 << 20;
+  prof.operators.push_back(op);
+  reg.Finish(q1, Status::OK(), prof.tuples_scanned, prof);
+  reg.Finish(reg.Begin("bad"), Status::NotFound("no such table"), 0);
+
+  MonitorEndpoint endpoint(&reg, nullptr, nullptr);
+  const std::vector<uint8_t> request =
+      EncodeRequest(WireOpcode::kListQueries);
+  auto response = endpoint.Handle(request.data(), request.size());
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  std::vector<QueryInfo> decoded;
+  ASSERT_TRUE(DecodeQueryList(*response, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].text, "SELECT 1");
+  EXPECT_EQ(decoded[0].state, QueryState::kFinished);
+  EXPECT_EQ(decoded[0].tuples_scanned, 6001215);
+  ASSERT_EQ(decoded[0].profile.operators.size(), 1u);
+  EXPECT_EQ(decoded[0].profile.operators[0].op, "HashAggr");
+  EXPECT_EQ(decoded[0].profile.operators[0].spill_bytes, 1 << 20);
+  EXPECT_EQ(decoded[0].profile.simd, "avx2");
+  EXPECT_NE(decoded[1].error.find("no such table"), std::string::npos);
+}
+
+TEST(WireTest, CountersAndEventsRoundTrip) {
+  Counters counters;
+  counters.Add("queries.total", 12);
+  counters.Add("spill.bytes", 1 << 30);
+  EventLog events;
+  events.Log(EventLevel::kWarn, "memory pressure");
+  MonitorEndpoint endpoint(nullptr, &counters, &events);
+
+  auto req = EncodeRequest(WireOpcode::kCounters);
+  auto resp = endpoint.Handle(req.data(), req.size());
+  ASSERT_TRUE(resp.ok());
+  std::map<std::string, int64_t> decoded;
+  ASSERT_TRUE(DecodeCounters(*resp, &decoded).ok());
+  EXPECT_EQ(decoded["queries.total"], 12);
+  EXPECT_EQ(decoded["spill.bytes"], 1 << 30);
+
+  req = EncodeRequest(WireOpcode::kEvents);
+  resp = endpoint.Handle(req.data(), req.size());
+  ASSERT_TRUE(resp.ok());
+  std::vector<WireEvent> evs;
+  ASSERT_TRUE(DecodeEvents(*resp, &evs).ok());
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].level, EventLevel::kWarn);
+  EXPECT_EQ(evs[0].message, "memory pressure");
+  EXPECT_GT(evs[0].unix_micros, 0);
+}
+
+TEST(WireTest, MalformedFramesRejectedCleanly) {
+  QueryRegistry reg;
+  MonitorEndpoint endpoint(&reg, nullptr, nullptr);
+  // Truncated header.
+  const uint8_t junk[] = {0x58, 0x31};
+  EXPECT_FALSE(endpoint.Handle(junk, sizeof(junk)).ok());
+  // Wrong magic.
+  std::vector<uint8_t> req = EncodeRequest(WireOpcode::kListQueries);
+  req[0] ^= 0xFF;
+  EXPECT_FALSE(endpoint.Handle(req.data(), req.size()).ok());
+  // Unknown opcode.
+  req = EncodeRequest(static_cast<WireOpcode>(99));
+  EXPECT_FALSE(endpoint.Handle(req.data(), req.size()).ok());
+  // Response decoders reject truncation at every prefix length.
+  req = EncodeRequest(WireOpcode::kCounters);
+  auto resp = endpoint.Handle(req.data(), req.size());
+  // (kCounters against a null Counters serves an empty listing.)
+  req = EncodeRequest(WireOpcode::kListQueries);
+  resp = endpoint.Handle(req.data(), req.size());
+  ASSERT_TRUE(resp.ok());
+  for (size_t cut = 0; cut < resp->size(); cut++) {
+    std::vector<uint8_t> partial(resp->begin(), resp->begin() + cut);
+    std::vector<QueryInfo> out;
+    EXPECT_FALSE(DecodeQueryList(partial, &out).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, FrameIoOverPipeAndOversizeRejection) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFrame(fds[1], payload).ok());
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(ReadFrame(fds[0], &got).ok());
+  EXPECT_EQ(got, payload);
+  // An absurd length prefix is rejected before any allocation.
+  const uint32_t huge = 1u << 31;
+  ASSERT_EQ(write(fds[1], &huge, sizeof(huge)),
+            static_cast<ssize_t>(sizeof(huge)));
+  EXPECT_EQ(ReadFrame(fds[0], &got).code(), StatusCode::kIoError);
+  // Clean EOF at a frame boundary reads as kNotFound (server loop exits
+  // OK); mid-frame truncation is an IO error.
+  close(fds[1]);
+  EXPECT_EQ(ReadFrame(fds[0], &got).code(), StatusCode::kNotFound);
+  close(fds[0]);
 }
 
 TEST(DatabaseTest, DuplicateTableRejected) {

@@ -1,0 +1,755 @@
+// Concurrent serving layer — multi-session stress & race suite (ISSUE 7).
+//
+// Hammers the serving surface end to end: prepared statements against the
+// sharded plan cache (hit/miss/invalidation counters, DDL staleness),
+// async submission (PendingQuery wait/cancel for queued AND mid-flight
+// queries, admission backpressure), the adaptive task-quota controller
+// (share split/rejoin, pressure shrink, fat-query starvation), the wire
+// monitoring endpoint under load, and an out-of-core variant where
+// concurrent spilling queries must stay correct and drain the memory
+// tracker to zero. The stress tests run 16+ concurrent sessions
+// (X100_SERVING_SESSIONS overrides, CI sweeps it under TSan) and assert
+// every result BIT-identical to a serial reference — the fixture data
+// uses exact binary fractions, so parallel merge order cannot perturb
+// sums.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/adaptive_quota.h"
+#include "engine/plan_cache.h"
+#include "engine/session.h"
+#include "monitor/wire.h"
+
+namespace x100 {
+namespace {
+
+int ServingSessions() {
+  // CI stress sweep knob; defaults to the acceptance floor.
+  const char* env = std::getenv("X100_SERVING_SESSIONS");
+  if (env == nullptr || *env == '\0') return 16;
+  const int v = std::atoi(env);
+  return v >= 1 ? v : 16;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>();
+    // emp: 1000 rows; salary/bonus are exact binary fractions so every
+    // aggregation result is exact in f64 regardless of summation order.
+    auto b = db_->CreateTable(
+        "emp",
+        Schema({Field("id", TypeId::kI64), Field("dept", TypeId::kStr),
+                Field("salary", TypeId::kF64),
+                Field("bonus", TypeId::kF64, /*nullable=*/true)}),
+        Layout::kDsm, 128);
+    const char* depts[] = {"eng", "sales", "ops"};
+    for (int i = 0; i < 1000; i++) {
+      ASSERT_TRUE(b->AppendRow({Value::I64(i), Value::Str(depts[i % 3]),
+                                Value::F64(1000.0 + i),
+                                i % 4 == 0 ? Value::Null(TypeId::kF64)
+                                           : Value::F64(i * 0.5)})
+                      .ok());
+    }
+    auto t = b->Finish();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+    session_ = std::make_unique<Session>(db_.get());
+  }
+
+  /// Registers dim(k, label) with `rows` rows, k = 0..rows-1.
+  void RegisterDim(const std::string& name, int rows) {
+    auto b = db_->CreateTable(
+        name, Schema({Field("k", TypeId::kI64), Field("label", TypeId::kStr)}),
+        Layout::kDsm, 256);
+    for (int i = 0; i < rows; i++) {
+      ASSERT_TRUE(
+          b->AppendRow({Value::I64(i), Value::Str("d" + std::to_string(i % 7))})
+              .ok());
+    }
+    auto t = b->Finish();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+  }
+
+  /// Registers fact(fk, val) with `rows` rows, fk = i % mod, val = i (i64:
+  /// SUMs are exact).
+  void RegisterFact(const std::string& name, int rows, int mod) {
+    auto b = db_->CreateTable(
+        name, Schema({Field("fk", TypeId::kI64), Field("val", TypeId::kI64)}),
+        Layout::kDsm, 256);
+    for (int i = 0; i < rows; i++) {
+      ASSERT_TRUE(b->AppendRow({Value::I64(i % mod), Value::I64(i)}).ok());
+    }
+    auto t = b->Finish();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+  }
+
+  static void ExpectSameRows(const QueryResult& a, const QueryResult& b,
+                             const std::string& what) {
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+    for (size_t i = 0; i < a.rows.size(); i++) {
+      for (size_t c = 0; c < a.rows[i].size(); c++) {
+        EXPECT_TRUE(a.rows[i][c].SqlEquals(b.rows[i][c]))
+            << what << " row " << i << " col " << c;
+      }
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, LruEvictionAndCounters) {
+  PlanCache cache(8);  // 8 across 8 shards -> capacity 1 per shard
+  auto make = [](const std::string& sql) {
+    auto p = std::make_shared<PreparedPlan>();
+    p->sql = sql;
+    p->catalog_version = 1;
+    return std::shared_ptr<const PreparedPlan>(std::move(p));
+  };
+  EXPECT_EQ(cache.Lookup("q1", 1), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  cache.Insert(make("q1"));
+  EXPECT_NE(cache.Lookup("q1", 1), nullptr);
+  EXPECT_EQ(cache.hits(), 1);
+  // A stale catalog version invalidates on sight.
+  EXPECT_EQ(cache.Lookup("q1", 2), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1);
+  EXPECT_EQ(cache.Lookup("q1", 2), nullptr);  // really gone
+  EXPECT_EQ(cache.size(), 0);
+  // Filling far past capacity evicts per-shard LRU entries.
+  for (int i = 0; i < 64; i++) cache.Insert(make("q" + std::to_string(i)));
+  EXPECT_LE(cache.size(), 8);
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  auto p = std::make_shared<PreparedPlan>();
+  p->sql = "q";
+  p->catalog_version = 1;
+  cache.Insert(std::shared_ptr<const PreparedPlan>(std::move(p)));
+  EXPECT_EQ(cache.Lookup("q", 1), nullptr);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST_F(ServingTest, PreparedMatchesAdhocAndHitsCache) {
+  const std::string sql =
+      "SELECT dept, SUM(salary) AS s, COUNT(*) AS c FROM emp "
+      "GROUP BY dept ORDER BY dept";
+  auto reference = session_->ExecuteSql(sql);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  auto p1 = session_->Prepare(sql);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  EXPECT_EQ(db_->plan_cache()->misses(), 1);
+  auto p2 = session_->Prepare(sql);  // served from cache
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(db_->plan_cache()->hits(), 1);
+  EXPECT_EQ(*p1, *p2);  // literally the same shared plan
+
+  for (int i = 0; i < 3; i++) {
+    auto res = session_->ExecutePrepared(*p1);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ExpectSameRows(*reference, *res, "prepared run " + std::to_string(i));
+  }
+}
+
+TEST_F(ServingTest, DdlInvalidatesCachedPlan) {
+  const std::string sql = "SELECT COUNT(*) AS n FROM emp WHERE id < 100";
+  auto p1 = session_->Prepare(sql);
+  ASSERT_TRUE(p1.ok());
+  auto r1 = session_->ExecutePrepared(*p1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->rows[0][0].AsI64(), 100);
+
+  // DDL: replace emp with a 50-row table of the same schema.
+  const int64_t version_before = db_->catalog_version();
+  ASSERT_TRUE(db_->DropTable("emp").ok());
+  {
+    auto b = db_->CreateTable(
+        "emp",
+        Schema({Field("id", TypeId::kI64), Field("dept", TypeId::kStr),
+                Field("salary", TypeId::kF64),
+                Field("bonus", TypeId::kF64, /*nullable=*/true)}),
+        Layout::kDsm, 128);
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(b->AppendRow({Value::I64(i), Value::Str("eng"),
+                                Value::F64(1.0), Value::F64(2.0)})
+                      .ok());
+    }
+    auto t = b->Finish();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(db_->RegisterTable(std::move(t).value()).ok());
+  }
+  EXPECT_EQ(db_->catalog_version(), version_before + 2);  // drop + create
+
+  // Preparing again must not serve the stale entry...
+  auto p2 = session_->Prepare(sql);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_GE(db_->plan_cache()->invalidations(), 1);
+  // ...and even the STALE handle must re-plan at execution (Revalidate).
+  auto r2 = session_->ExecutePrepared(*p1);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows[0][0].AsI64(), 50);
+  auto pending = session_->Submit(*p1);
+  ASSERT_TRUE(pending.ok());
+  auto r3 = pending->Wait();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->rows[0][0].AsI64(), 50);
+}
+
+TEST_F(ServingTest, DdlBetweenPrepareAndRunReplansRadixEstimate) {
+  // Radix AUTO-sizing reads the build side's scan-spine estimate at
+  // physical-plan time. A plan prepared while the build table was tiny
+  // (under kTinyBuildRows -> single-table merge) must pick up the NEW
+  // estimate when the table is re-created larger: partitioned merge
+  // fan-out, not a stale single merge task.
+  RegisterDim("growing", 100);
+  RegisterFact("bigfact", 2000, 100);
+  db_->config().max_parallelism = 4;
+  db_->config().scheduler_workers = 4;
+
+  auto join = [] {
+    return JoinNode(ScanNode("growing"), ScanNode("bigfact"),
+                    JoinType::kInner, {"k"}, {"fk"});
+  };
+  auto prepared = session_->PreparePlan(join(), "growing-join");
+  ASSERT_TRUE(prepared.ok());
+
+  auto count_merges = [](const QueryResult& r) {
+    int merges = 0;
+    for (const OperatorProfile& p : r.profile.operators) {
+      merges += p.op == "JoinBuildMerge";
+    }
+    return merges;
+  };
+
+  auto small = session_->ExecutePrepared(*prepared);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_EQ(small->rows.size(), 2000u);
+  EXPECT_EQ(count_merges(*small), 1);  // est 100 < kTinyBuildRows
+
+  ASSERT_TRUE(db_->DropTable("growing").ok());
+  RegisterDim("growing", 2 * kTinyBuildRows);
+
+  auto big = session_->ExecutePrepared(*prepared);
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  EXPECT_EQ(big->rows.size(), 2000u);  // every fk < 100 still matches
+  EXPECT_GT(count_merges(*big), 1);  // fresh estimate -> partitioned merge
+  db_->config().max_parallelism = 0;
+  db_->config().scheduler_workers = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Async submission
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, SubmitRunsAsynchronouslyAndMatchesSync) {
+  const std::string sql =
+      "SELECT dept, SUM(salary) AS s FROM emp GROUP BY dept ORDER BY dept";
+  auto reference = session_->ExecuteSql(sql);
+  ASSERT_TRUE(reference.ok());
+
+  auto prepared = session_->Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  std::vector<PendingQuery> pending;
+  for (int i = 0; i < 8; i++) {
+    auto p = session_->Submit(*prepared);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    pending.push_back(*p);
+  }
+  for (auto& p : pending) {
+    auto res = p.Wait();
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ExpectSameRows(*reference, *res, "async run");
+    EXPECT_TRUE(p.done());
+  }
+  // Every async entry reached a terminal registry state.
+  EXPECT_EQ(db_->queries()->Running().size(), 0u);
+  EXPECT_EQ(db_->async_inflight(), 0);
+  EXPECT_GE(db_->counters()->Get("queries.total"), 9);
+}
+
+TEST_F(ServingTest, SubmitSqlAdhocBypassesPlanCache) {
+  auto reference = session_->ExecuteSql("SELECT COUNT(*) AS n FROM emp");
+  ASSERT_TRUE(reference.ok());
+  const int64_t hits_before = db_->plan_cache()->hits();
+  auto p = session_->SubmitSql("SELECT COUNT(*) AS n FROM emp");
+  ASSERT_TRUE(p.ok());
+  auto res = p->Wait();
+  ASSERT_TRUE(res.ok());
+  ExpectSameRows(*reference, *res, "ad-hoc async");
+  EXPECT_EQ(db_->plan_cache()->hits(), hits_before);
+  // Parse errors surface synchronously at Submit; semantic errors (the
+  // frontend resolves columns at Build) surface at Wait as a failed query.
+  EXPECT_FALSE(session_->SubmitSql("SELEC nope FROM emp").ok());
+  auto bad = session_->SubmitSql("SELECT nope FROM emp");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->Wait().ok());
+}
+
+TEST_F(ServingTest, AdmissionQueueBackpressure) {
+  db_->config().scheduler_workers = 1;
+  db_->config().admission_queue_cap = 2;
+  auto prepared = session_->Prepare("SELECT COUNT(*) AS n FROM emp");
+  ASSERT_TRUE(prepared.ok());
+
+  // Block the lone worker so submissions stay queued deterministically.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  db_->scheduler()->Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  auto p1 = session_->Submit(*prepared);
+  auto p2 = session_->Submit(*prepared);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  auto p3 = session_->Submit(*prepared);  // over the cap
+  ASSERT_FALSE(p3.ok());
+  EXPECT_EQ(p3.status().code(), StatusCode::kResourceExhausted);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ASSERT_TRUE(p1->Wait().ok());
+  ASSERT_TRUE(p2->Wait().ok());
+  // Slots released: admission works again.
+  auto p4 = session_->Submit(*prepared);
+  ASSERT_TRUE(p4.ok());
+  ASSERT_TRUE(p4->Wait().ok());
+  db_->config().scheduler_workers = 0;
+  db_->config().admission_queue_cap = 0;
+}
+
+TEST_F(ServingTest, CancelQueuedQueryNeverRuns) {
+  db_->config().scheduler_workers = 1;
+  auto prepared = session_->Prepare("SELECT COUNT(*) AS n FROM emp");
+  ASSERT_TRUE(prepared.ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  db_->scheduler()->Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  auto pending = session_->Submit(*prepared);
+  ASSERT_TRUE(pending.ok());
+  // Still queued (the worker is blocked): registry agrees.
+  bool queued = false;
+  for (const auto& q : db_->queries()->List()) {
+    queued |= q.id == pending->id() && q.state == QueryState::kQueued;
+  }
+  EXPECT_TRUE(queued);
+  pending->Cancel();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  auto res = pending->Wait();
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsCancelled());
+  bool cancelled = false;
+  for (const auto& q : db_->queries()->List()) {
+    cancelled |= q.id == pending->id() && q.state == QueryState::kCancelled;
+  }
+  EXPECT_TRUE(cancelled);
+  db_->config().scheduler_workers = 0;
+}
+
+TEST_F(ServingTest, CancelMidFlightAsyncQuery) {
+  // A fat self-join (5000 x 50 matches = 250k output rows, then sorted)
+  // runs long enough that cancellation lands mid-execution; the pipeline
+  // cancellation machinery must unwind it to kCancelled.
+  RegisterFact("fat", 5000, 100);
+  AlgebraPtr plan = OrderNode(
+      JoinNode(ScanNode("fat", {"fk"}), ScanNode("fat"), JoinType::kInner,
+               {"fk"}, {"fk"}),
+      {{"val", true}});
+  auto prepared = session_->PreparePlan(std::move(plan), "fat-self-join");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  auto pending = session_->Submit(*prepared);
+  ASSERT_TRUE(pending.ok());
+  // Wait for it to actually start, then cancel.
+  for (int spin = 0; spin < 50000 && !pending->done(); spin++) {
+    bool running = false;
+    for (const auto& q : db_->queries()->Running()) {
+      running |= q.id == pending->id();
+    }
+    if (running) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  pending->Cancel();
+  auto res = pending->Wait();
+  // Overwhelmingly the cancel lands mid-flight (the join materializes
+  // 250k rows); accept the rare completed-first race but never an error.
+  if (!res.ok()) {
+    EXPECT_TRUE(res.status().IsCancelled()) << res.status().ToString();
+  }
+  EXPECT_EQ(db_->async_inflight(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive quota controller
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveQuotaTest, SharesSplitAndRejoin) {
+  TaskScheduler sched(2);
+  AdaptiveQuotaController ctl(&sched, 8);
+  auto q1 = ctl.Register();
+  EXPECT_EQ(ctl.active_queries(), 1);
+  EXPECT_EQ(q1->limit(), 8);  // lone query gets the whole budget
+  auto q2 = ctl.Register();
+  EXPECT_EQ(q1->limit(), 4);
+  EXPECT_EQ(q2->limit(), 4);
+  auto q3 = ctl.Register();
+  EXPECT_EQ(q1->limit(), 2);  // 8/3, floor
+  q3.reset();
+  EXPECT_EQ(q1->limit(), 4);  // shares grow back on unregister
+  q2.reset();
+  EXPECT_EQ(q1->limit(), 8);
+  // The share never reaches zero however many queries register.
+  std::vector<std::shared_ptr<TaskQuota>> crowd;
+  for (int i = 0; i < 20; i++) crowd.push_back(ctl.Register());
+  EXPECT_EQ(q1->limit(), 1);
+  EXPECT_GE(q1->Acquire(4), 1);  // degrades toward serial, never blocks
+  q1->Release(1);
+}
+
+TEST(AdaptiveQuotaTest, AutoBudgetSizesToWorkers) {
+  TaskScheduler sched(3);
+  AdaptiveQuotaController ctl(&sched, 0);
+  EXPECT_EQ(ctl.global_budget(), 6);  // 2x workers
+}
+
+TEST(AdaptiveQuotaTest, PressureHalvesSharesAndRecovers) {
+  TaskScheduler sched(1);
+  AdaptiveQuotaController ctl(&sched, 8);
+  auto quota = ctl.Register();
+  EXPECT_EQ(quota->limit(), 8);
+
+  // Saturate the pool: the lone worker blocks, tasks pile up behind it,
+  // and nobody is idle enough to steal — textbook pressure.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> done{0};
+  sched.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    done.fetch_add(1);
+  });
+  for (int i = 0; i < 8; i++) {
+    sched.Submit([&] { done.fetch_add(1); });
+  }
+  for (int spin = 0; spin < 5000 && sched.queue_depth() <= 2; spin++) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_GT(sched.queue_depth(), 2);
+
+  quota->Release(quota->Acquire(1));  // observer samples the pressure
+  EXPECT_TRUE(ctl.pressured());
+  EXPECT_EQ(quota->limit(), 4);  // halved under pressure
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (int spin = 0; spin < 50000 && done.load() < 9; spin++) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_EQ(done.load(), 9);
+
+  quota->Release(quota->Acquire(1));  // queue drained: pressure clears
+  EXPECT_FALSE(ctl.pressured());
+  EXPECT_EQ(quota->limit(), 8);
+}
+
+TEST_F(ServingTest, FatQueryCannotStarvePointQueries) {
+  // A fat self-join and a swarm of point queries share one 4-worker pool
+  // under a global budget. The controller must split shares while both
+  // run (rebalances move), and every result must still be exact.
+  RegisterFact("fat", 5000, 100);
+  db_->config().max_parallelism = 4;
+  db_->config().scheduler_workers = 4;
+  db_->config().query_task_quota = 8;
+
+  auto point_sql = "SELECT salary FROM emp WHERE id = 371";
+  auto point_ref = session_->ExecuteSql(point_sql);
+  ASSERT_TRUE(point_ref.ok());
+
+  AlgebraPtr fat_plan = OrderNode(
+      JoinNode(ScanNode("fat", {"fk"}), ScanNode("fat"), JoinType::kInner,
+               {"fk"}, {"fk"}),
+      {{"val", true}});
+  auto fat = session_->PreparePlan(std::move(fat_plan), "fat");
+  ASSERT_TRUE(fat.ok());
+  auto point = session_->Prepare(point_sql);
+  ASSERT_TRUE(point.ok());
+
+  const int64_t rebalances_before = db_->quota_controller()->rebalances();
+  auto fat_pending = session_->Submit(*fat);
+  ASSERT_TRUE(fat_pending.ok());
+  std::atomic<int> point_failures{0};
+  std::vector<std::thread> pointers;
+  for (int t = 0; t < 4; t++) {
+    pointers.emplace_back([&, t] {
+      Session s(db_.get());
+      for (int i = 0; i < 25; i++) {
+        auto res = s.ExecutePrepared(*point);
+        if (!res.ok() || res->rows.size() != 1 ||
+            !res->rows[0][0].SqlEquals(point_ref->rows[0][0])) {
+          point_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : pointers) t.join();
+  auto fat_res = fat_pending->Wait();
+  ASSERT_TRUE(fat_res.ok()) << fat_res.status().ToString();
+  EXPECT_EQ(fat_res->rows.size(), 250000u);
+  EXPECT_EQ(point_failures.load(), 0);
+  // Register/unregister churn rebalanced shares many times over.
+  EXPECT_GT(db_->quota_controller()->rebalances(), rebalances_before + 100);
+  EXPECT_EQ(db_->quota_controller()->active_queries(), 0);
+  db_->config().max_parallelism = 0;
+  db_->config().scheduler_workers = 0;
+  db_->config().query_task_quota = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-session stress: results bit-identical to the serial reference
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, ConcurrentSessionsMixedWorkloadMatchesSerialReference) {
+  const int sessions = ServingSessions();
+  const std::vector<std::string> sqls = {
+      "SELECT dept, SUM(salary) AS s, COUNT(*) AS c FROM emp "
+      "GROUP BY dept ORDER BY dept",
+      "SELECT id, salary FROM emp WHERE id < 50 ORDER BY id",
+      "SELECT COUNT(*) AS n FROM emp WHERE salary BETWEEN 1100 AND 1199",
+      "SELECT salary FROM emp WHERE id = 371",
+      "SELECT COUNT(bonus) AS nb FROM emp",
+  };
+  // Serial reference first (parallel plans + adaptive quota stay on for
+  // the stress run; exact-binary-fraction data keeps sums bit-identical).
+  std::vector<QueryResult> reference;
+  for (const auto& sql : sqls) {
+    auto r = session_->ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    reference.push_back(std::move(*r));
+  }
+
+  db_->config().max_parallelism = 3;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  auto check = [&](const Result<QueryResult>& res, size_t qi) {
+    if (!res.ok()) {
+      errors.fetch_add(1);
+      return;
+    }
+    const QueryResult& want = reference[qi];
+    if (res->rows.size() != want.rows.size()) {
+      mismatches.fetch_add(1);
+      return;
+    }
+    for (size_t i = 0; i < want.rows.size(); i++) {
+      for (size_t c = 0; c < want.rows[i].size(); c++) {
+        if (!res->rows[i][c].SqlEquals(want.rows[i][c])) {
+          mismatches.fetch_add(1);
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < sessions; t++) {
+    threads.emplace_back([&, t] {
+      Session s(db_.get());
+      for (int iter = 0; iter < 6; iter++) {
+        const size_t qi = (t + iter) % sqls.size();
+        switch ((t + iter) % 3) {
+          case 0: {  // prepared, synchronous (plan-cache path)
+            auto prepared = s.Prepare(sqls[qi]);
+            if (!prepared.ok()) {
+              errors.fetch_add(1);
+              break;
+            }
+            check(s.ExecutePrepared(*prepared), qi);
+            break;
+          }
+          case 1:  // ad-hoc, synchronous (full frontend path)
+            check(s.ExecuteSql(sqls[qi]), qi);
+            break;
+          case 2: {  // prepared, asynchronous
+            auto prepared = s.Prepare(sqls[qi]);
+            if (!prepared.ok()) {
+              errors.fetch_add(1);
+              break;
+            }
+            auto pending = s.Submit(*prepared);
+            if (!pending.ok()) {
+              errors.fetch_add(1);
+              break;
+            }
+            check(pending->Wait(), qi);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  db_->config().max_parallelism = 0;
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(db_->async_inflight(), 0);
+  EXPECT_EQ(db_->queries()->Running().size(), 0u);
+  // The cache served the repeated statements: far fewer misses than
+  // executions (each distinct sql compiles at most a handful of times
+  // under races), and plenty of hits.
+  EXPECT_GT(db_->plan_cache()->hits(), 0);
+  EXPECT_LE(db_->plan_cache()->size(),
+            static_cast<int64_t>(db_->plan_cache()->capacity()));
+}
+
+TEST_F(ServingTest, WireMonitorServesConcurrentlyWithQueries) {
+  // The monitoring endpoint answers over a pipe WHILE sessions hammer the
+  // registry — listing snapshots must always decode cleanly (TSan guards
+  // the registry/counters races).
+  int to_server[2], to_client[2];
+  ASSERT_EQ(pipe(to_server), 0);
+  ASSERT_EQ(pipe(to_client), 0);
+  MonitorEndpoint endpoint(db_->queries(), db_->counters(), db_->events());
+  std::thread server(
+      [&] { (void)endpoint.ServeStream(to_server[0], to_client[1]); });
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; t++) {
+    workers.emplace_back([&] {
+      Session s(db_.get());
+      while (!stop.load()) {
+        auto prepared = s.Prepare("SELECT COUNT(*) AS n FROM emp");
+        if (!prepared.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        auto pending = s.Submit(*prepared);
+        if (pending.ok()) {
+          if (!pending->Wait().ok()) errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  int64_t listed_total = 0;
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(
+        WriteFrame(to_server[1], EncodeRequest(WireOpcode::kListQueries))
+            .ok());
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFrame(to_client[0], &payload).ok());
+    std::vector<QueryInfo> queries;
+    ASSERT_TRUE(DecodeQueryList(payload, &queries).ok());
+    listed_total += static_cast<int64_t>(queries.size());
+
+    ASSERT_TRUE(
+        WriteFrame(to_server[1], EncodeRequest(WireOpcode::kCounters)).ok());
+    ASSERT_TRUE(ReadFrame(to_client[0], &payload).ok());
+    std::map<std::string, int64_t> counters;
+    ASSERT_TRUE(DecodeCounters(payload, &counters).ok());
+  }
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  close(to_server[1]);
+  server.join();
+  close(to_server[0]);
+  close(to_client[0]);
+  close(to_client[1]);
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_GT(listed_total, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core serving: concurrent spilling queries stay correct
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, ConcurrentSpillingQueriesStayCorrectAndDrainTracker) {
+  RegisterDim("dim", 6000);           // > kTinyBuildRows: radix merge path
+  RegisterFact("fact", 20000, 6000);  // every fact row matches
+  auto plan = [] {
+    AlgebraPtr join = JoinNode(ScanNode("dim"), ScanNode("fact"),
+                               JoinType::kInner, {"k"}, {"fk"});
+    AlgebraPtr aggr = AggrNode(std::move(join), {{"label", Col("label")}},
+                               {{AggKind::kSum, Col("val"), "s"},
+                                {AggKind::kCount, nullptr, "c"}});
+    return OrderNode(std::move(aggr), {{"label", true}});
+  };
+  auto reference = session_->Execute(plan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->rows.size(), 7u);  // labels d0..d6
+
+  db_->config().max_parallelism = 2;
+  db_->config().memory_limit = 1 << 20;  // tight: joins must spill
+  db_->config().enable_spill = true;
+  const int sessions = std::max(4, ServingSessions() / 2);
+  std::atomic<int> errors{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < sessions; t++) {
+    threads.emplace_back([&] {
+      Session s(db_.get());
+      auto res = s.Execute(plan());
+      if (!res.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      for (size_t i = 0; i < reference->rows.size(); i++) {
+        for (size_t c = 0; c < reference->rows[i].size(); c++) {
+          if (!res->rows[i][c].SqlEquals(reference->rows[i][c])) {
+            mismatches.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every query's reservations unwound: the process-wide tracker is
+  // fully drained, nothing leaked across the concurrent spills.
+  EXPECT_EQ(db_->memory()->used(), 0);
+  db_->config().max_parallelism = 0;
+  db_->config().memory_limit = 0;
+}
+
+}  // namespace
+}  // namespace x100
