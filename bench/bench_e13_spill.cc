@@ -91,7 +91,7 @@ int64_t SpilledBytes(const QueryProfile& p) {
 int main() {
   bench::Header("E13", "memory-accounted spill-to-disk (out-of-core)");
   EngineConfig cfg;
-  cfg.buffer_pool_blocks = 1024;
+  cfg.buffer_pool_bytes = 1024 * kDiskBlockBytes;
   cfg.max_parallelism = 4;
   cfg.scheduler_workers = 4;
   Database db(cfg);

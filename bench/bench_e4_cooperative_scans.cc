@@ -1,7 +1,15 @@
 // E4 — Cooperative Scans [7]: N staggered concurrent scans over one table
 // through a bandwidth-limited disk; the ABM relevance policy vs the
-// sequential attach-LRU baseline. Reported: chunk loads, disk bytes read,
-// average per-query latency.
+// sequential attach-LRU baseline. Reported: chunk loads, device bytes
+// read, average per-query latency.
+//
+// Set X100_DATA_PATH=<dir> to run against the durable file-backed column
+// store instead of the in-RAM SimulatedDisk: each run builds its table in
+// a fresh subdirectory, scans fault blocks in from the real file, and the
+// bench removes its files afterwards (CI asserts nothing is left behind).
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <thread>
 
 #include "bench_util.h"
@@ -21,57 +29,85 @@ struct RunResult {
   double wall;
 };
 
-RunResult RunPolicy(ScanScheduler* sched, int n_queries) {
-  // Table: 24 groups x 4K rows of i64+f64; pool of 8 group-equivalents.
-  EngineConfig cfg;
-  cfg.disk_bandwidth = 100ll << 20;  // 100 MB/s channel
-  cfg.buffer_pool_blocks = 16;
-  Database db(cfg);
-  auto b = db.CreateTable(
-      "t", Schema({Field("k", TypeId::kI64), Field("v", TypeId::kF64)}),
-      Layout::kDsm, 4096);
-  Rng rng(7);
-  for (int i = 0; i < 24 * 4096; i++) {
-    (void)b->AppendRow(
-        {Value::I64(rng.Uniform(0, 1 << 30)), Value::F64(rng.NextDouble())});
-  }
-  {
-    auto t = b->Finish();
-    (void)db.RegisterTable(std::move(t).value());
-  }
-  UpdatableTable* table = *db.GetTable("t");
-  db.disk()->ResetStats();
+int g_run_seq = 0;
 
-  std::vector<double> latencies(n_queries);
-  std::vector<std::thread> threads;
-  bench::Timer wall;
-  for (int q = 0; q < n_queries; q++) {
-    threads.emplace_back([&, q] {
-      // Staggered arrivals.
-      std::this_thread::sleep_for(std::chrono::milliseconds(8 * q));
-      bench::Timer t;
-      ExecContext ctx;
-      ScanOptions opts;
-      opts.columns = {0, 1};
-      opts.scheduler = sched;
-      ScanOp scan(table->View(), table->SnapshotPdt(), db.buffers(),
-                  std::move(opts));
-      auto res = CollectRows(&scan, &ctx);
-      if (!res.ok()) std::abort();
-      latencies[q] = t.Seconds();
-    });
+RunResult RunPolicy(ScanScheduler* sched, int n_queries) {
+  // Table: 24 groups x 4K rows of i64+f64; pool of ~8 group-equivalents.
+  EngineConfig cfg;
+  cfg.disk_bandwidth = 100ll << 20;  // 100 MB/s channel (RAM-backed mode)
+  cfg.buffer_pool_bytes = 16 * kDiskBlockBytes;
+  // File-backed mode: a fresh subdirectory per run so repeated runs never
+  // collide with a catalog left by the previous one.
+  std::string data_dir;
+  const char* data_root = std::getenv("X100_DATA_PATH");
+  if (data_root != nullptr && *data_root != '\0') {
+    data_dir = std::string(data_root) + "/e4-" + std::to_string(::getpid()) +
+               "-" + std::to_string(g_run_seq++);
+    if (::mkdir(data_dir.c_str(), 0700) != 0) std::abort();
+    cfg.data_path = data_dir;
   }
-  for (auto& t : threads) t.join();
-  double avg = 0;
-  for (double l : latencies) avg += l;
-  return RunResult{sched->chunk_loads(), db.disk()->bytes_read(),
-                   avg / n_queries, wall.Seconds()};
+
+  RunResult result;
+  {
+    Database db(cfg);
+    if (!db.open_status().ok()) std::abort();
+    auto b = db.CreateTable(
+        "t", Schema({Field("k", TypeId::kI64), Field("v", TypeId::kF64)}),
+        Layout::kDsm, 4096);
+    Rng rng(7);
+    for (int i = 0; i < 24 * 4096; i++) {
+      (void)b->AppendRow({Value::I64(rng.Uniform(0, 1 << 30)),
+                          Value::F64(rng.NextDouble())});
+    }
+    {
+      auto t = b->Finish();
+      (void)db.RegisterTable(std::move(t).value());
+    }
+    UpdatableTable* table = *db.GetTable("t");
+    const int64_t bytes_base = db.block_device()->bytes_read();
+
+    std::vector<double> latencies(n_queries);
+    std::vector<std::thread> threads;
+    bench::Timer wall;
+    for (int q = 0; q < n_queries; q++) {
+      threads.emplace_back([&, q] {
+        // Staggered arrivals.
+        std::this_thread::sleep_for(std::chrono::milliseconds(8 * q));
+        bench::Timer t;
+        ExecContext ctx;
+        ScanOptions opts;
+        opts.columns = {0, 1};
+        opts.scheduler = sched;
+        ScanOp scan(table->View(), table->SnapshotPdt(), db.buffers(),
+                    std::move(opts));
+        auto res = CollectRows(&scan, &ctx);
+        if (!res.ok()) std::abort();
+        latencies[q] = t.Seconds();
+      });
+    }
+    for (auto& t : threads) t.join();
+    double avg = 0;
+    for (double l : latencies) avg += l;
+    result = RunResult{sched->chunk_loads(),
+                       db.block_device()->bytes_read() - bytes_base,
+                       avg / n_queries, wall.Seconds()};
+  }
+  if (!data_dir.empty()) {
+    ::unlink((data_dir + "/x100-data.blocks").c_str());
+    ::unlink((data_dir + "/x100-catalog.bin").c_str());
+    ::rmdir(data_dir.c_str());
+  }
+  return result;
 }
 
 }  // namespace
 
 int main() {
-  bench::Header("E4", "Cooperative Scans: ABM relevance vs attach-LRU");
+  const bool file_backed = std::getenv("X100_DATA_PATH") != nullptr &&
+                           *std::getenv("X100_DATA_PATH") != '\0';
+  bench::Header("E4", file_backed
+                          ? "Cooperative Scans (file-backed column store)"
+                          : "Cooperative Scans: ABM relevance vs attach-LRU");
   std::printf("%-8s %-18s %10s %12s %12s %10s\n", "queries", "policy",
               "loads", "MB read", "avg lat(s)", "wall(s)");
   for (int n_queries : {2, 4, 8}) {

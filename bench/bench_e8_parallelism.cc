@@ -65,7 +65,7 @@ int main() {
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("host hardware threads: %u\n\n", cores);
   EngineConfig cfg;
-  cfg.buffer_pool_blocks = 1024;
+  cfg.buffer_pool_bytes = 1024 * kDiskBlockBytes;
   Database db(cfg);
   if (!tpch::Generate(&db, 0.02).ok()) return 1;
   Session session(&db);

@@ -40,7 +40,7 @@ int main() {
   bench::Header("E9", "query cancellation latency");
   EngineConfig cfg;
   cfg.disk_bandwidth = 200ll << 20;  // force IO waits into the scan path
-  cfg.buffer_pool_blocks = 4;        // almost no caching: every scan does IO
+  cfg.buffer_pool_bytes = 4 * kDiskBlockBytes;  // almost no caching: every scan does IO
   Database db(cfg);
   if (!tpch::Generate(&db, 0.02).ok()) return 1;
   Session session(&db);

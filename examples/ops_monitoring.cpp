@@ -23,7 +23,7 @@ using namespace x100;
 int main() {
   EngineConfig cfg;
   cfg.disk_bandwidth = 300ll << 20;  // throttled disk: queries take a while
-  cfg.buffer_pool_blocks = 8;
+  cfg.buffer_pool_bytes = 8 * kDiskBlockBytes;
   Database db(cfg);
   if (!tpch::Generate(&db, 0.005).ok()) return 1;
   Session session(&db);
@@ -117,11 +117,14 @@ int main() {
 
   std::printf(
       "\nplan cache: %lld hits / %lld misses; buffer pool: %lld hits / "
-      "%lld misses; disk: %.1f MB read\n",
+      "%lld misses (%lld evictions, %lld coalesced reads); disk: %.1f MB "
+      "read\n",
       static_cast<long long>(db.plan_cache()->hits()),
       static_cast<long long>(db.plan_cache()->misses()),
       static_cast<long long>(db.buffers()->hits()),
       static_cast<long long>(db.buffers()->misses()),
+      static_cast<long long>(db.buffers()->evictions()),
+      static_cast<long long>(db.buffers()->single_flight_waits()),
       db.disk()->bytes_read() / 1e6);
   return 0;
 }

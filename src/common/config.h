@@ -100,8 +100,21 @@ struct EngineConfig {
   /// every setting with bit-identical results (hashes included — see
   /// src/simd/simd_kernels.h).
   SimdMode simd_level = SimdMode::kAuto;
-  /// Buffer pool capacity in blocks.
-  int buffer_pool_blocks = 256;
+  /// Buffer pool capacity in BYTES (< 0 = auto: the X100_BUFFER_POOL
+  /// environment knob when set — plain bytes or a binary suffix like
+  /// "4MiB"; see Database::ResolvedBufferPoolBytes — else 64 MiB). 0 is a
+  /// legal degenerate pool: every unpinned block is evicted immediately,
+  /// but pinned working sets still resolve (pin-during-insert).
+  int64_t buffer_pool_bytes = -1;
+  /// Directory for the durable file-backed column store + catalog. Empty
+  /// (the default) keeps base tables on the in-RAM SimulatedDisk;
+  /// non-empty routes table blocks to
+  /// `<data_path>/x100-data.blocks` (storage/file_block_device.h) and
+  /// persists the catalog to `<data_path>/x100-catalog.bin`, so a
+  /// Database reopened on the same path serves the same tables cold. The
+  /// directory must exist — a configured-but-unusable data path fails
+  /// Database construction loudly (see Database::open_status()).
+  std::string data_path;
   /// Use cooperative scans (ABM relevance policy) instead of attach-LRU.
   bool cooperative_scans = true;
   /// Simulated disk bandwidth in bytes/sec (0 = infinite, i.e. memcpy).

@@ -58,7 +58,7 @@ struct Reader {
   bool TakePodVec(size_t n, std::vector<T>* v) {
     if (n > remaining() / sizeof(T)) return false;
     v->resize(n);
-    std::memcpy(v->data(), data + pos, n * sizeof(T));
+    if (n > 0) std::memcpy(v->data(), data + pos, n * sizeof(T));
     pos += n * sizeof(T);
     return true;
   }

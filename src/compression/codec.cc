@@ -452,7 +452,7 @@ Status DecompressStrColumn(const uint8_t* data, size_t len, StringHeap* heap,
     const uint32_t l = ReadValue<uint32_t>(p);
     if (p + l > end) return Status::IoError("pdict bytes truncated");
     char* dst = heap->Allocate(l);
-    std::memcpy(dst, p, l);
+    if (l > 0) std::memcpy(dst, p, l);  // Allocate(0) may return null
     entries[e] = StrRef(dst, l);
     p += l;
   }

@@ -32,7 +32,9 @@
 #include "monitor/monitor.h"
 #include "pdt/transaction.h"
 #include "storage/buffer_manager.h"
+#include "storage/catalog.h"
 #include "storage/coop_scan.h"
+#include "storage/file_block_device.h"
 #include "storage/file_spill_device.h"
 #include "storage/simulated_disk.h"
 
@@ -44,9 +46,19 @@ class Database {
       : config_(config),
         memory_(ResolvedMemoryLimit(config.memory_limit)),
         disk_(config.disk_bandwidth),
-        buffers_(&disk_, config.buffer_pool_blocks),
+        data_device_(OpenDataDevice(config.data_path, &open_status_)),
+        buffers_(data_device_ != nullptr
+                     ? static_cast<BlockDevice*>(data_device_.get())
+                     : static_cast<BlockDevice*>(&disk_),
+                 ResolvedBufferPoolBytes(config.buffer_pool_bytes)),
         plan_cache_(config.plan_cache_capacity) {
     queries_.set_history_cap(config.query_history_cap);
+    if (open_status_.ok() && data_device_ != nullptr) {
+      open_status_ = LoadCatalogIntoTables();
+    }
+    if (!open_status_.ok()) {
+      events_.Error("database open failed: " + open_status_.ToString());
+    }
   }
 
   ~Database() {
@@ -81,6 +93,47 @@ class Database {
       return 0;
     }
     return v;
+  }
+
+  /// The buffer pool byte budget: config.buffer_pool_bytes when >= 0, or
+  /// — when the config leaves it negative (auto) — the X100_BUFFER_POOL
+  /// environment knob, which lets CI run whole test suites under a tight
+  /// pool (e.g. "4MiB") so eviction paths are exercised without per-test
+  /// setup. Accepts plain bytes or a binary suffix (K/Ki/KiB, M/Mi/MiB,
+  /// G/Gi/GiB — all powers of 1024). Unset or malformed (warned once)
+  /// falls back to 64 MiB.
+  static int64_t ResolvedBufferPoolBytes(int64_t configured) {
+    if (configured >= 0) return configured;
+    constexpr int64_t kDefault = 64ll * 1024 * 1024;
+    const char* env = std::getenv("X100_BUFFER_POOL");
+    if (env == nullptr || *env == '\0') return kDefault;
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    int64_t mult = 0;
+    if (end != env && v >= 0) {
+      const std::string suffix(end);
+      if (suffix.empty()) {
+        mult = 1;
+      } else if (suffix == "K" || suffix == "Ki" || suffix == "KiB") {
+        mult = 1024;
+      } else if (suffix == "M" || suffix == "Mi" || suffix == "MiB") {
+        mult = 1024 * 1024;
+      } else if (suffix == "G" || suffix == "Gi" || suffix == "GiB") {
+        mult = 1024ll * 1024 * 1024;
+      }
+    }
+    if (mult == 0) {
+      static bool warned = false;
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "x100: ignoring malformed X100_BUFFER_POOL=\"%s\" "
+                     "(expected bytes or a binary suffix, e.g. 4MiB)\n",
+                     env);
+      }
+      return kDefault;
+    }
+    return static_cast<int64_t>(v) * mult;
   }
 
   /// The spill directory: config.spill_path, or — when the config leaves
@@ -127,24 +180,30 @@ class Database {
   }
 
   /// Starts a table definition; finish with RegisterTable(builder.Finish()).
+  /// Blocks go to the durable device when data_path is configured, else to
+  /// the SimulatedDisk.
   std::unique_ptr<TableBuilder> CreateTable(const std::string& name,
                                             Schema schema, Layout layout,
                                             int64_t group_rows = 0) {
     return std::make_unique<TableBuilder>(name, std::move(schema), layout,
-                                          &disk_, group_rows);
+                                          block_device(), group_rows);
   }
 
   Result<UpdatableTable*> RegisterTable(std::unique_ptr<Table> table) {
     const std::string name = table->name();
-    std::lock_guard<std::mutex> lock(tables_mu_);
-    if (tables_.count(name)) {
-      return Status::AlreadyExists("table " + name + " already exists");
+    UpdatableTable* ptr = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(tables_mu_);
+      if (tables_.count(name)) {
+        return Status::AlreadyExists("table " + name + " already exists");
+      }
+      auto updatable = std::make_unique<UpdatableTable>(std::move(table));
+      ptr = updatable.get();
+      tables_[name] = std::move(updatable);
+      catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     }
-    auto updatable = std::make_unique<UpdatableTable>(std::move(table));
-    UpdatableTable* ptr = updatable.get();
-    tables_[name] = std::move(updatable);
-    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     events_.Info("created table " + name);
+    X100_RETURN_IF_ERROR(SaveCatalog());
     return ptr;
   }
 
@@ -154,16 +213,57 @@ class Database {
   /// unreachable by name. Bumps the catalog version, so plans cached
   /// against the old catalog are invalidated on next lookup.
   Status DropTable(const std::string& name) {
-    std::lock_guard<std::mutex> lock(tables_mu_);
-    auto it = tables_.find(name);
-    if (it == tables_.end()) {
-      return Status::NotFound("table not found: " + name);
+    {
+      std::lock_guard<std::mutex> lock(tables_mu_);
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::NotFound("table not found: " + name);
+      }
+      retired_tables_.push_back(std::move(it->second));
+      tables_.erase(it);
+      catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     }
-    retired_tables_.push_back(std::move(it->second));
-    tables_.erase(it);
-    catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     events_.Info("dropped table " + name);
-    return Status::OK();
+    return SaveCatalog();
+  }
+
+  /// Quiesced checkpoint of one table (pdt/transaction.h) followed by a
+  /// catalog save, so the rewritten block map is durable. This is the
+  /// durability boundary: deltas committed but not yet checkpointed live
+  /// only in the in-memory read-PDT and do NOT survive a restart.
+  Status Checkpoint(const std::string& name) {
+    UpdatableTable* table = nullptr;
+    X100_ASSIGN_OR_RETURN(table, GetTable(name));
+    X100_RETURN_IF_ERROR(txn_manager_.Checkpoint(table, &buffers_));
+    return SaveCatalog();
+  }
+
+  /// Serializes every table's schema + block map to
+  /// `<data_path>/x100-catalog.bin` (no-op without a data_path). The data
+  /// file is synced first so the catalog never references blocks that are
+  /// not yet stable.
+  Status SaveCatalog() {
+    if (data_device_ == nullptr) return Status::OK();
+    std::vector<CatalogTable> cat;
+    {
+      std::lock_guard<std::mutex> lock(tables_mu_);
+      cat.reserve(tables_.size());
+      for (const auto& [name, ut] : tables_) {
+        const Table* base = ut->base();
+        CatalogTable t;
+        t.name = name;
+        t.schema = base->schema();
+        t.layout = base->layout();
+        t.num_rows = base->num_rows();
+        t.groups.reserve(base->num_groups());
+        for (int g = 0; g < base->num_groups(); g++) {
+          t.groups.push_back(base->group(g));
+        }
+        cat.push_back(std::move(t));
+      }
+    }
+    X100_RETURN_IF_ERROR(data_device_->Sync());
+    return x100::SaveCatalog(config_.data_path, cat);
   }
 
   Result<UpdatableTable*> GetTable(const std::string& name) {
@@ -280,6 +380,20 @@ class Database {
   MemoryTracker* memory() { return &memory_; }
 
   SimulatedDisk* disk() { return &disk_; }
+  /// The device base-table blocks live on: the durable FileBlockDevice
+  /// when data_path is configured, else the SimulatedDisk.
+  BlockDevice* block_device() {
+    return data_device_ != nullptr
+               ? static_cast<BlockDevice*>(data_device_.get())
+               : static_cast<BlockDevice*>(&disk_);
+  }
+  /// The durable device if one is open (tests install fault hooks through
+  /// this); nullptr in RAM-backed mode.
+  FileBlockDevice* data_device() { return data_device_.get(); }
+  /// Construction outcome: data-device open + catalog load. A Database
+  /// whose open_status() is non-OK has an empty catalog and must not be
+  /// written through (the durable state on disk is left untouched).
+  const Status& open_status() const { return open_status_; }
   BufferManager* buffers() { return &buffers_; }
   TransactionManager* txn_manager() { return &txn_manager_; }
   EventLog* events() { return &events_; }
@@ -287,12 +401,50 @@ class Database {
   Counters* counters() { return &counters_; }
 
  private:
+  static std::unique_ptr<FileBlockDevice> OpenDataDevice(
+      const std::string& data_path, Status* status) {
+    if (data_path.empty()) return nullptr;
+    auto dev = FileBlockDevice::Open(data_path);
+    if (!dev.ok()) {
+      *status = dev.status();
+      return nullptr;
+    }
+    return std::move(dev).value();
+  }
+
+  /// Rebuilds Table images from the persisted catalog and teaches the
+  /// data device which slots are live (free-list restore). Ctor-only.
+  Status LoadCatalogIntoTables() {
+    std::vector<CatalogTable> cat;
+    X100_ASSIGN_OR_RETURN(cat, LoadCatalog(config_.data_path));
+    std::vector<BlockId> live;
+    {
+      std::lock_guard<std::mutex> lock(tables_mu_);
+      for (CatalogTable& t : cat) {
+        const std::string name = t.name;
+        auto table =
+            Table::Restore(std::move(t.name), std::move(t.schema), t.layout,
+                           data_device_.get(), std::move(t.groups), t.num_rows);
+        for (BlockId b : table->CollectBlockIds()) live.push_back(b);
+        tables_[name] = std::make_unique<UpdatableTable>(std::move(table));
+      }
+    }
+    data_device_->RestoreAllocated(live);
+    if (!cat.empty()) {
+      events_.Info("catalog loaded: " + std::to_string(cat.size()) +
+                   " table(s) from " + config_.data_path);
+    }
+    return Status::OK();
+  }
+
   EngineConfig config_;
   MemoryTracker memory_;
   std::mutex scheduler_mu_;
   std::unique_ptr<TaskScheduler> own_scheduler_;
   std::vector<std::unique_ptr<TaskScheduler>> retired_schedulers_;
   SimulatedDisk disk_;
+  Status open_status_;  // before data_device_: its initializer writes here
+  std::unique_ptr<FileBlockDevice> data_device_;
   std::mutex spill_device_mu_;
   std::unique_ptr<FileSpillDevice> file_spill_device_;
   std::vector<std::unique_ptr<FileSpillDevice>> retired_spill_devices_;

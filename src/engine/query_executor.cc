@@ -55,6 +55,8 @@ Result<QueryResult> QueryExecutor::RunRewritten(const AlgebraPtr& plan,
   db_->memory()->set_limit(
       Database::ResolvedMemoryLimit(db_->config().memory_limit));
   db_->queries()->set_history_cap(db_->config().query_history_cap);
+  db_->buffers()->set_capacity_bytes(
+      Database::ResolvedBufferPoolBytes(db_->config().buffer_pool_bytes));
   MemoryTracker query_memory(/*limit=*/0, db_->memory());
   ExecContext ctx;
   ctx.vector_size = db_->config().vector_size;
@@ -108,6 +110,20 @@ Result<QueryResult> QueryExecutor::RunRewritten(const AlgebraPtr& plan,
                       (status.ok() ? "finished" : status.ToString()));
   db_->counters()->Add("queries.total", 1);
   if (!status.ok()) db_->counters()->Add("queries.failed", 1);
+  // Storage-layer gauges for the monitoring surface: buffer pool state
+  // and cumulative device traffic as of this query's completion.
+  BufferManager* bm = db_->buffers();
+  Counters* counters = db_->counters();
+  counters->Set("buffer.hits", bm->hits());
+  counters->Set("buffer.misses", bm->misses());
+  counters->Set("buffer.evictions", bm->evictions());
+  counters->Set("buffer.single_flight_waits", bm->single_flight_waits());
+  counters->Set("buffer.bytes_cached", bm->bytes_cached());
+  counters->Set("buffer.pinned_bytes", bm->pinned_bytes());
+  counters->Set("buffer.peak_bytes", bm->peak_bytes());
+  counters->Set("device.blocks_read", bm->device()->blocks_read());
+  counters->Set("device.bytes_read", bm->device()->bytes_read());
+  counters->Set("device.bytes_written", bm->device()->bytes_written());
   return result;
 }
 

@@ -205,6 +205,12 @@ class Counters {
     std::lock_guard<std::mutex> lock(mu_);
     counters_[name] += delta;
   }
+  /// Absolute gauge write (buffer pool occupancy, device totals): the
+  /// source owns the running value; Set publishes the latest snapshot.
+  void Set(const std::string& name, int64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] = value;
+  }
   int64_t Get(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);

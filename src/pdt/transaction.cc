@@ -161,8 +161,13 @@ Status TransactionManager::Checkpoint(UpdatableTable* table,
   view.layers = {pdt.get()};
   TableReader reader(base.get(), buffers);
 
+  // Partial rewrite: only block groups with deltas are re-emitted; clean
+  // groups are adopted verbatim (their blocks stay on the device and
+  // their MinMax metadata is reused). On a mostly-clean table this is
+  // the paper's "background update propagation" cost model — checkpoint
+  // IO proportional to the touched fraction, not the table size.
   TableBuilder builder(base->name(), base->schema(), base->layout(),
-                       base->disk());
+                       base->device());
   Status status = Status::OK();
   auto emit_stable_range = [&](int64_t a, int64_t b) {
     for (int64_t sid = a; sid < b && status.ok(); sid++) {
@@ -174,38 +179,78 @@ Status TransactionManager::Checkpoint(UpdatableTable* table,
       status = builder.AppendRow(*row);
     }
   };
-  view.ForEachVisible(
-      0, base->num_rows(), /*include_tail=*/true,
-      [&](int64_t a, int64_t b) {
-        if (status.ok()) emit_stable_range(a, b);
-      },
-      [&](const VisibleSlot& slot) {
-        if (!status.ok()) return;
-        if (slot.is_insert) {
-          std::vector<Value> row = slot.row->values;
-          for (const auto& [col, v] : slot.mods) row[col] = *v;
-          status = builder.AppendRow(row);
-        } else {
-          auto row = ReadStableRow(base.get(), &reader, slot.sid, slot.mods);
-          if (!row.ok()) {
-            status = row.status();
-            return;
-          }
-          status = builder.AppendRow(*row);
-        }
-      });
+  auto on_clean_run = [&](int64_t a, int64_t b) {
+    if (status.ok()) emit_stable_range(a, b);
+  };
+  auto on_slot = [&](const VisibleSlot& slot) {
+    if (!status.ok()) return;
+    if (slot.is_insert) {
+      std::vector<Value> row = slot.row->values;
+      for (const auto& [col, v] : slot.mods) row[col] = *v;
+      status = builder.AppendRow(row);
+    } else {
+      auto row = ReadStableRow(base.get(), &reader, slot.sid, slot.mods);
+      if (!row.ok()) {
+        status = row.status();
+        return;
+      }
+      status = builder.AppendRow(*row);
+    }
+  };
+
+  std::vector<BlockId> retired;  // blocks of rewritten (dirty) groups
+  const int ngroups = base->num_groups();
+  for (int g = 0; g < ngroups && status.ok(); g++) {
+    const GroupMeta& gm = base->group(g);
+    const int64_t lo = gm.first_sid;
+    const int64_t hi = gm.first_sid + gm.rows;
+    const bool last = g == ngroups - 1;
+    // Dirty test mirrors ScanOp::GroupCanMatch: any delta anchored in the
+    // group's SID range (the last group also owns tail appends at
+    // sid == num_rows).
+    bool dirty = false;
+    pdt->ForEachDelta(lo, last ? hi + 1 : hi,
+                      [&](int64_t, const PdtDelta&) { dirty = true; });
+    if (!dirty) {
+      status = builder.AppendStoredGroup(gm);
+      continue;
+    }
+    Table::AppendGroupBlockIds(gm, &retired);
+    view.ForEachVisible(lo, hi, /*include_tail=*/last, on_clean_run,
+                        on_slot);
+    // Close the rewritten group at the original boundary so neighbouring
+    // clean groups keep alignment with their stored SID ranges.
+    if (status.ok()) status = builder.Flush();
+  }
+  if (status.ok() && ngroups == 0) {
+    // Empty base image: the whole table is tail inserts.
+    view.ForEachVisible(0, 0, /*include_tail=*/true, on_clean_run, on_slot);
+    if (status.ok()) status = builder.Flush();
+  }
+  // On failure the builder's dtor frees every block it wrote.
   X100_RETURN_IF_ERROR(status);
+  const std::vector<BlockId> fresh = builder.blocks_written();
   auto rebuilt = builder.Finish();
   X100_RETURN_IF_ERROR(rebuilt.status());
 
   std::lock_guard<std::mutex> lock(table->mu_);
   if (table->base_ != base || table->read_pdt_ != pdt) {
+    // The new image loses the race: reclaim the blocks it wrote (Finish
+    // disarmed the builder's own cleanup).
+    for (BlockId id : fresh) base->device()->FreeBlock(id);
     return Status::TxnConflict("commits raced the checkpoint; retry");
   }
   table->base_ = std::shared_ptr<Table>(std::move(rebuilt).value());
   table->read_pdt_ = std::make_shared<Pdt>(table->base_->num_rows());
   table->version_++;
   table->commit_log_.clear();
+  // Retire the replaced groups' blocks: drop any cached copies, then free
+  // the device slots for recycling. Safe under the documented quiesce
+  // contract — no reader still resolves the old image.
+  for (BlockId id : retired) {
+    buffers->Invalidate(id);
+    base->device()->FreeBlock(id);
+  }
   return Status::OK();
 }
 

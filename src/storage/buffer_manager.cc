@@ -1,0 +1,194 @@
+#include "storage/buffer_manager.h"
+
+#include <chrono>
+
+namespace x100 {
+
+Result<BufferManager::Pin> BufferManager::PinExistingLocked(BlockId id,
+                                                            Entry* e) {
+  if (e->pin_count == 0) {
+    lru_.erase(e->lru_pos);
+    pinned_bytes_ += e->bytes;
+    if (pinned_bytes_ > peak_pinned_bytes_) peak_pinned_bytes_ = pinned_bytes_;
+  }
+  e->pin_count++;
+  return Pin(this, id, e->generation, e->data);
+}
+
+Result<BufferManager::Pin> BufferManager::PinBlock(BlockId id,
+                                                   CancellationToken* cancel) {
+  bool counted = false;  // hit/miss/wait: once per caller, not per loop
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) {
+      if (!counted) hits_.fetch_add(1, std::memory_order_relaxed);
+      return PinExistingLocked(id, &it->second);
+    }
+    auto inf_it = inflight_.find(id);
+    if (inf_it != inflight_.end()) {
+      // Single flight: another thread is already reading this block —
+      // wait for its IO instead of issuing a duplicate one.
+      if (!counted) {
+        single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+        counted = true;
+      }
+      std::shared_ptr<Inflight> inf = inf_it->second;
+      inf->waiters++;
+      while (!inf->done) {
+        if (cancel != nullptr) {
+          const Status s = cancel->Check();
+          if (!s.ok()) {
+            inf->waiters--;
+            return s;
+          }
+        }
+        inf->cv.wait_for(lock, std::chrono::milliseconds(10));
+      }
+      inf->waiters--;
+      if (!inf->status.ok()) return inf->status;
+      // The loader installed the block, but a tiny pool may already have
+      // evicted it between install and this wake-up. Re-check the cache;
+      // if gone, install the loader's bytes ourselves — never re-read.
+      auto again = cache_.find(id);
+      if (again != cache_.end()) return PinExistingLocked(id, &again->second);
+      Entry e;
+      e.data = inf->data;
+      e.bytes = static_cast<int64_t>(inf->data->size());
+      e.pin_count = 1;
+      e.generation = next_generation_++;
+      bytes_cached_ += e.bytes;
+      pinned_bytes_ += e.bytes;
+      if (bytes_cached_ > peak_bytes_) peak_bytes_ = bytes_cached_;
+      if (pinned_bytes_ > peak_pinned_bytes_)
+        peak_pinned_bytes_ = pinned_bytes_;
+      auto [nit, ok] = cache_.emplace(id, std::move(e));
+      (void)ok;
+      Pin pin(this, id, nit->second.generation, nit->second.data);
+      EvictLocked();  // the new entry is pinned, so it cannot be a victim
+      return pin;
+    }
+    // Miss with no read in flight: this thread becomes the loader.
+    if (!counted) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      counted = true;
+    }
+    auto inf = std::make_shared<Inflight>();
+    inflight_.emplace(id, inf);
+    lock.unlock();
+    // Device IO outside the lock: the (simulated or real) wait must not
+    // block cache hits on other blocks.
+    auto read = device_->ReadBlock(id, cancel);
+    lock.lock();
+    inflight_.erase(id);
+    if (!read.ok()) {
+      inf->done = true;
+      inf->status = read.status();
+      inf->cv.notify_all();
+      return read.status();
+    }
+    auto data = std::make_shared<const std::vector<uint8_t>>(
+        std::move(read).value());
+    inf->done = true;
+    inf->data = data;
+    inf->cv.notify_all();
+    // Pin-during-insert: install the entry already pinned so EvictLocked
+    // cannot choose the block this caller just paid IO for — the old code
+    // could evict its own insert on tiny pools and then dereference the
+    // erased entry.
+    Entry e;
+    e.data = data;
+    e.bytes = static_cast<int64_t>(data->size());
+    e.pin_count = 1;
+    e.generation = next_generation_++;
+    bytes_cached_ += e.bytes;
+    pinned_bytes_ += e.bytes;
+    if (bytes_cached_ > peak_bytes_) peak_bytes_ = bytes_cached_;
+    if (pinned_bytes_ > peak_pinned_bytes_) peak_pinned_bytes_ = pinned_bytes_;
+    auto [nit, ok] = cache_.emplace(id, std::move(e));
+    (void)ok;
+    Pin pin(this, id, nit->second.generation, nit->second.data);
+    EvictLocked();
+    return pin;
+  }
+}
+
+Result<std::shared_ptr<const std::vector<uint8_t>>> BufferManager::GetBlock(
+    BlockId id, CancellationToken* cancel) {
+  Pin pin;
+  X100_ASSIGN_OR_RETURN(pin, PinBlock(id, cancel));
+  std::shared_ptr<const std::vector<uint8_t>> data(
+      pin.data_);  // keeps the bytes alive past the unpin below
+  pin.Release();
+  return data;
+}
+
+void BufferManager::Unpin(BlockId id, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(id);
+  // Generation mismatch: the entry this pin referred to was invalidated
+  // (and possibly the id reloaded as a NEW entry) — a stale unpin must
+  // not touch the newer entry's pin count.
+  if (it == cache_.end() || it->second.generation != generation) return;
+  Entry& e = it->second;
+  e.pin_count--;
+  if (e.pin_count == 0) {
+    pinned_bytes_ -= e.bytes;
+    lru_.push_front(id);
+    e.lru_pos = lru_.begin();
+    EvictLocked();  // the pool may have been over budget on pins alone
+  }
+}
+
+void BufferManager::EvictLocked() {
+  while (bytes_cached_ > capacity_bytes_ && !lru_.empty()) {
+    const BlockId victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    bytes_cached_ -= it->second.bytes;
+    cache_.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool BufferManager::Contains(BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.count(id) != 0;
+}
+
+void BufferManager::Invalidate(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(id);
+  if (it == cache_.end()) return;
+  Entry& e = it->second;
+  if (e.pin_count == 0) {
+    lru_.erase(e.lru_pos);
+  } else {
+    // Outstanding pins keep their shared_ptr bytes; their later Unpins
+    // miss the generation and no-op, so settle the accounting here.
+    pinned_bytes_ -= e.bytes;
+  }
+  bytes_cached_ -= e.bytes;
+  cache_.erase(it);
+}
+
+void BufferManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.pin_count > 0) {
+      ++it;
+      continue;
+    }
+    lru_.erase(it->second.lru_pos);
+    bytes_cached_ -= it->second.bytes;
+    it = cache_.erase(it);
+  }
+}
+
+void BufferManager::set_capacity_bytes(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = bytes;
+  EvictLocked();
+}
+
+}  // namespace x100

@@ -1,13 +1,35 @@
-// BufferManager: an LRU cache of disk blocks with pin counting.
+// BufferManager: a byte-budgeted LRU cache of device blocks with pin
+// counting and single-flight reads.
 //
 // This is the "classic" buffer layer; the Cooperative Scans Active Buffer
 // Manager (coop_scan.h) implements the chunk-level relevance policy from
 // [7] on top of table block-groups and uses this cache only as its block
 // store.
+//
+// Contract:
+//  * Capacity is in BYTES (EngineConfig::buffer_pool_bytes), consistent
+//    with spill/memory accounting everywhere else in the engine. Block
+//    count was never the scarce resource — bytes are.
+//  * Pinned blocks are immune to eviction. PinBlock returns an RAII Pin
+//    whose destruction unpins; TableReader pins every block of the chunk
+//    it is assembling, so the resident set can exceed the budget only by
+//    that pinned working set: bytes_cached <= capacity + pinned_bytes,
+//    always.
+//  * Eviction is LRU over UNPINNED blocks only. A block enters the LRU
+//    when its last pin drops; a newly-faulted block is installed pinned
+//    (pin-during-insert), so a zero/tiny-capacity pool serves the caller
+//    the block it just paid IO for instead of evicting it mid-hand-over.
+//  * Reads are single-flight: concurrent misses on one block coalesce
+//    onto one device IO; the rest wait on a condition variable and take
+//    the loaded bytes (counted as single_flight_waits, not extra misses).
+//  * Cached blocks are shared (shared_ptr) so eviction never invalidates
+//    a reader already holding the data.
 #ifndef X100_STORAGE_BUFFER_MANAGER_H_
 #define X100_STORAGE_BUFFER_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -16,105 +38,158 @@
 
 #include "common/cancellation.h"
 #include "common/result.h"
-#include "storage/simulated_disk.h"
+#include "storage/block_device.h"
 
 namespace x100 {
 
 class BufferManager {
  public:
-  BufferManager(SimulatedDisk* disk, int capacity_blocks)
-      : disk_(disk), capacity_(capacity_blocks) {}
+  /// RAII pin handle: while alive, the block cannot be evicted. Move-only;
+  /// destruction (or Release) unpins. `data()` stays valid for the
+  /// handle's lifetime even if the entry is invalidated underneath it.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& o) noexcept { *this = std::move(o); }
+    Pin& operator=(Pin&& o) noexcept {
+      Release();
+      bm_ = o.bm_;
+      id_ = o.id_;
+      generation_ = o.generation_;
+      data_ = std::move(o.data_);
+      o.bm_ = nullptr;
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
 
-  /// Returns the block's bytes, reading through the cache. Cached blocks
-  /// are shared (shared_ptr) so eviction never invalidates readers.
+    void Release() {
+      if (bm_ != nullptr) bm_->Unpin(id_, generation_);
+      bm_ = nullptr;
+      data_.reset();
+    }
+
+    bool valid() const { return data_ != nullptr; }
+    BlockId id() const { return id_; }
+    const std::vector<uint8_t>& data() const { return *data_; }
+
+   private:
+    friend class BufferManager;
+    Pin(BufferManager* bm, BlockId id, uint64_t generation,
+        std::shared_ptr<const std::vector<uint8_t>> data)
+        : bm_(bm), id_(id), generation_(generation), data_(std::move(data)) {}
+
+    BufferManager* bm_ = nullptr;
+    BlockId id_ = 0;
+    uint64_t generation_ = 0;
+    std::shared_ptr<const std::vector<uint8_t>> data_;
+  };
+
+  BufferManager(BlockDevice* device, int64_t capacity_bytes)
+      : device_(device), capacity_bytes_(capacity_bytes) {}
+
+  /// Faults the block in (single-flight) and returns it pinned.
+  Result<Pin> PinBlock(BlockId id, CancellationToken* cancel = nullptr);
+
+  /// Read-through without holding a pin: the returned shared_ptr keeps
+  /// the bytes alive for this caller, but the entry is immediately
+  /// evictable.
   Result<std::shared_ptr<const std::vector<uint8_t>>> GetBlock(
-      BlockId id, CancellationToken* cancel = nullptr) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = cache_.find(id);
-      if (it != cache_.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        Touch(id);
-        return it->second.data;
-      }
-      misses_.fetch_add(1, std::memory_order_relaxed);
-    }
-    // Read outside the lock: the simulated IO wait must not block hits.
-    auto read = disk_->ReadBlock(id, cancel);
-    if (!read.ok()) return read.status();
-    auto data = std::make_shared<const std::vector<uint8_t>>(
-        std::move(read).value());
-    std::lock_guard<std::mutex> lock(mu_);
-    auto [it, inserted] = cache_.try_emplace(id);
-    if (inserted) {
-      it->second.data = data;
-      lru_.push_front(id);
-      it->second.lru_pos = lru_.begin();
-      EvictIfNeeded();
-    }
-    return it->second.data;
-  }
+      BlockId id, CancellationToken* cancel = nullptr);
 
-  bool Contains(BlockId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.count(id) != 0;
-  }
+  bool Contains(BlockId id) const;
 
   /// Drops a block from the cache if present (checkpoint invalidation).
-  void Invalidate(BlockId id) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(id);
-    if (it == cache_.end()) return;
-    lru_.erase(it->second.lru_pos);
-    cache_.erase(it);
-  }
+  /// Outstanding Pins keep their bytes alive and unpin harmlessly — the
+  /// entry's generation tag makes a stale Unpin a no-op even if the id is
+  /// reloaded afterwards.
+  void Invalidate(BlockId id);
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    cache_.clear();
-    lru_.clear();
-  }
+  /// Drops every unpinned entry; pinned entries stay (their bytes are in
+  /// use).
+  void Clear();
+
+  /// Adjusts the byte budget; evicts immediately if shrinking.
+  void set_capacity_bytes(int64_t bytes);
 
   // Atomic: monitors read these while concurrent scans fault blocks in.
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  int64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Misses that coalesced onto another thread's in-flight read.
+  int64_t single_flight_waits() const {
+    return single_flight_waits_.load(std::memory_order_relaxed);
+  }
+
+  int64_t capacity_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_bytes_;
+  }
+  int64_t bytes_cached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_cached_;
+  }
+  int64_t pinned_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pinned_bytes_;
+  }
+  /// High-water marks; peak_bytes <= capacity + peak_pinned_bytes is the
+  /// pool's core invariant (asserted by tests).
+  int64_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_bytes_;
+  }
+  int64_t peak_pinned_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_pinned_bytes_;
   }
   int size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int>(cache_.size());
   }
-  int capacity() const { return capacity_; }
-  SimulatedDisk* disk() { return disk_; }
+  BlockDevice* device() { return device_; }
 
  private:
   struct Entry {
     std::shared_ptr<const std::vector<uint8_t>> data;
-    std::list<BlockId>::iterator lru_pos;
+    int64_t bytes = 0;
+    int pin_count = 0;
+    uint64_t generation = 0;
+    std::list<BlockId>::iterator lru_pos;  // valid only when pin_count == 0
   };
 
-  void Touch(BlockId id) {
-    auto it = cache_.find(id);
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(id);
-    it->second.lru_pos = lru_.begin();
-  }
+  /// One read in progress; later missers wait on `cv` instead of issuing
+  /// their own device IO.
+  struct Inflight {
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const std::vector<uint8_t>> data;
+    int waiters = 0;
+  };
 
-  void EvictIfNeeded() {
-    while (static_cast<int>(cache_.size()) > capacity_ && !lru_.empty()) {
-      const BlockId victim = lru_.back();
-      lru_.pop_back();
-      cache_.erase(victim);
-    }
-  }
+  void Unpin(BlockId id, uint64_t generation);
+  void EvictLocked();
+  Result<Pin> PinExistingLocked(BlockId id, Entry* e);
 
-  SimulatedDisk* disk_;
-  int capacity_;
+  BlockDevice* device_;
   mutable std::mutex mu_;
+  int64_t capacity_bytes_;
+  int64_t bytes_cached_ = 0;
+  int64_t pinned_bytes_ = 0;
+  int64_t peak_bytes_ = 0;
+  int64_t peak_pinned_bytes_ = 0;
+  uint64_t next_generation_ = 1;
   std::unordered_map<BlockId, Entry> cache_;
-  std::list<BlockId> lru_;
+  std::unordered_map<BlockId, std::shared_ptr<Inflight>> inflight_;
+  std::list<BlockId> lru_;  // unpinned entries only, MRU at front
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> single_flight_waits_{0};
 };
 
 }  // namespace x100

@@ -1,0 +1,240 @@
+#include "storage/catalog.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/pod_serde.h"
+
+namespace x100 {
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x58434154u;  // "XCAT"
+constexpr uint32_t kCatalogVersion = 1;
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void AppendString(std::vector<uint8_t>* out, const std::string& s) {
+  serde::AppendPod(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool TakeString(serde::Reader* r, std::string* s) {
+  uint32_t n = 0;
+  if (!r->TakePod(&n)) return false;
+  const uint8_t* p = nullptr;
+  if (!r->Take(n, &p)) return false;
+  s->assign(reinterpret_cast<const char*>(p), n);
+  return true;
+}
+
+void AppendBlockRun(std::vector<uint8_t>* out,
+                    const std::vector<BlockId>& blocks) {
+  serde::AppendPod(out, static_cast<uint32_t>(blocks.size()));
+  serde::AppendPodVec(out, blocks);
+}
+
+bool TakeBlockRun(serde::Reader* r, std::vector<BlockId>* blocks) {
+  uint32_t n = 0;
+  if (!r->TakePod(&n)) return false;
+  return r->TakePodVec(n, blocks);
+}
+
+void AppendChunkLoc(std::vector<uint8_t>* out, const ChunkLoc& loc) {
+  AppendBlockRun(out, loc.blocks);
+  serde::AppendPod(out, loc.offset);
+  serde::AppendPod(out, loc.length);
+}
+
+bool TakeChunkLoc(serde::Reader* r, ChunkLoc* loc) {
+  return TakeBlockRun(r, &loc->blocks) && r->TakePod(&loc->offset) &&
+         r->TakePod(&loc->length);
+}
+
+}  // namespace
+
+std::string CatalogPath(const std::string& dir) {
+  return dir + "/x100-catalog.bin";
+}
+
+Status SaveCatalog(const std::string& dir,
+                   const std::vector<CatalogTable>& tables) {
+  std::vector<uint8_t> buf;
+  serde::AppendPod(&buf, kCatalogMagic);
+  serde::AppendPod(&buf, kCatalogVersion);
+  serde::AppendPod(&buf, static_cast<uint32_t>(tables.size()));
+  for (const CatalogTable& t : tables) {
+    AppendString(&buf, t.name);
+    serde::AppendPod(&buf, static_cast<uint8_t>(t.layout));
+    serde::AppendPod(&buf, t.num_rows);
+    serde::AppendPod(&buf, static_cast<uint32_t>(t.schema.num_fields()));
+    for (const Field& f : t.schema.fields()) {
+      AppendString(&buf, f.name);
+      serde::AppendPod(&buf, static_cast<uint8_t>(f.type));
+      serde::AppendPod(&buf, static_cast<uint8_t>(f.nullable ? 1 : 0));
+    }
+    serde::AppendPod(&buf, static_cast<uint32_t>(t.groups.size()));
+    for (const GroupMeta& g : t.groups) {
+      serde::AppendPod(&buf, g.first_sid);
+      serde::AppendPod(&buf, g.rows);
+      AppendBlockRun(&buf, g.pax_blocks);
+      serde::AppendPod(&buf, static_cast<uint32_t>(g.cols.size()));
+      for (const ColumnChunkMeta& c : g.cols) {
+        AppendChunkLoc(&buf, c.loc);
+        serde::AppendPod(&buf, static_cast<uint8_t>(c.has_min_max ? 1 : 0));
+        serde::AppendPod(&buf, c.imin);
+        serde::AppendPod(&buf, c.imax);
+        serde::AppendPod(&buf, c.dmin);
+        serde::AppendPod(&buf, c.dmax);
+        serde::AppendPod(&buf, static_cast<uint8_t>(c.has_nulls ? 1 : 0));
+        AppendChunkLoc(&buf, c.null_loc);
+      }
+    }
+  }
+  serde::AppendPod(&buf, HashBytes(buf.data(), buf.size()));
+
+  // Atomic replace: write the full image to a temp file, fsync, rename.
+  // The catalog on disk is always either the old or the new complete
+  // image — a crash mid-save can never leave a half-written block map.
+  const std::string path = CatalogPath(dir);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot create catalog temp " + tmp));
+  }
+  auto fail = [&](Status s) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  };
+  size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(Status::IoError(ErrnoMessage("catalog write failed")));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fdatasync(fd) != 0) {
+    return fail(Status::IoError(ErrnoMessage("catalog fsync failed")));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("catalog close failed"));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("catalog rename failed"));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<CatalogTable>> LoadCatalog(const std::string& dir) {
+  const std::string path = CatalogPath(dir);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::vector<CatalogTable>{};  // fresh db
+    return Status::IoError(ErrnoMessage("cannot open catalog " + path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Status::IoError(ErrnoMessage("fstat " + path));
+    ::close(fd);
+    return s;
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::read(fd, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Status::IoError(ErrnoMessage("catalog read failed"));
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  buf.resize(done);
+
+  auto corrupt = [&](const std::string& why) {
+    return Status::IoError("corrupt catalog " + path + ": " + why);
+  };
+  if (buf.size() < sizeof(uint64_t)) return corrupt("shorter than checksum");
+  const size_t body = buf.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, buf.data() + body, sizeof(stored));
+  if (HashBytes(buf.data(), body) != stored) {
+    return corrupt("checksum mismatch (torn or tampered file)");
+  }
+  serde::Reader r{buf.data(), body};
+  uint32_t magic = 0, version = 0, num_tables = 0;
+  if (!r.TakePod(&magic) || magic != kCatalogMagic) {
+    return corrupt("bad magic");
+  }
+  if (!r.TakePod(&version) || version != kCatalogVersion) {
+    return corrupt("unsupported version");
+  }
+  if (!r.TakePod(&num_tables)) return corrupt("truncated header");
+  std::vector<CatalogTable> tables;
+  tables.reserve(num_tables);
+  for (uint32_t ti = 0; ti < num_tables; ti++) {
+    CatalogTable t;
+    uint8_t layout = 0;
+    uint32_t num_fields = 0, num_groups = 0;
+    if (!TakeString(&r, &t.name) || !r.TakePod(&layout) ||
+        !r.TakePod(&t.num_rows) || !r.TakePod(&num_fields)) {
+      return corrupt("truncated table header");
+    }
+    t.layout = static_cast<Layout>(layout);
+    for (uint32_t fi = 0; fi < num_fields; fi++) {
+      std::string fname;
+      uint8_t type = 0, nullable = 0;
+      if (!TakeString(&r, &fname) || !r.TakePod(&type) ||
+          !r.TakePod(&nullable)) {
+        return corrupt("truncated field");
+      }
+      t.schema.AddField(
+          Field(std::move(fname), static_cast<TypeId>(type), nullable != 0));
+    }
+    if (!r.TakePod(&num_groups)) return corrupt("truncated group count");
+    t.groups.reserve(num_groups);
+    for (uint32_t gi = 0; gi < num_groups; gi++) {
+      GroupMeta g;
+      uint32_t num_cols = 0;
+      if (!r.TakePod(&g.first_sid) || !r.TakePod(&g.rows) ||
+          !TakeBlockRun(&r, &g.pax_blocks) || !r.TakePod(&num_cols)) {
+        return corrupt("truncated group");
+      }
+      g.cols.resize(num_cols);
+      for (uint32_t ci = 0; ci < num_cols; ci++) {
+        ColumnChunkMeta& c = g.cols[ci];
+        uint8_t has_mm = 0, has_nulls = 0;
+        if (!TakeChunkLoc(&r, &c.loc) || !r.TakePod(&has_mm) ||
+            !r.TakePod(&c.imin) || !r.TakePod(&c.imax) ||
+            !r.TakePod(&c.dmin) || !r.TakePod(&c.dmax) ||
+            !r.TakePod(&has_nulls) || !TakeChunkLoc(&r, &c.null_loc)) {
+          return corrupt("truncated column meta");
+        }
+        c.has_min_max = has_mm != 0;
+        c.has_nulls = has_nulls != 0;
+      }
+      t.groups.push_back(std::move(g));
+    }
+    tables.push_back(std::move(t));
+  }
+  if (r.remaining() != 0) return corrupt("trailing bytes after last table");
+  return tables;
+}
+
+}  // namespace x100

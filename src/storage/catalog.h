@@ -1,0 +1,58 @@
+// Catalog persistence: serializes every table's schema + block map so a
+// Database reopened on the same data_path rebuilds its Table images and
+// serves bit-identical results cold.
+//
+// Format (binary, little-endian host PODs via common/pod_serde.h):
+//
+//   [u32 magic 'XCAT'][u32 version]
+//   [u32 num_tables] then per table:
+//     name, layout, num_rows
+//     schema: per field (name, type, nullable)
+//     groups: per group (first_sid, rows, pax block run,
+//             per column: ChunkLoc + MinMax + null ChunkLoc)
+//   [u64 HashBytes checksum over everything above]
+//
+// The trailing checksum plus serde::Reader's bounds-checked reads mean a
+// torn or corrupt catalog fails the load with kIoError — it never
+// fabricates a block map that would read garbage slots. Writes go
+// through a temp file + rename so the catalog on disk is always either
+// the old complete image or the new complete image (atomic replace).
+//
+// The catalog is deliberately decoupled from Database: it deals only in
+// (name, schema, layout, groups, num_rows) tuples against a BlockDevice.
+#ifndef X100_STORAGE_CATALOG_H_
+#define X100_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace x100 {
+
+/// One table's catalog image.
+struct CatalogTable {
+  std::string name;
+  Schema schema;
+  Layout layout = Layout::kDsm;
+  int64_t num_rows = 0;
+  std::vector<GroupMeta> groups;
+};
+
+/// Serializes `tables` to `<dir>/x100-catalog.bin` (atomic tmp+rename).
+Status SaveCatalog(const std::string& dir,
+                   const std::vector<CatalogTable>& tables);
+
+/// Loads `<dir>/x100-catalog.bin`. A missing file is NOT an error — it
+/// returns an empty list (fresh database). A present-but-corrupt file is
+/// kIoError.
+Result<std::vector<CatalogTable>> LoadCatalog(const std::string& dir);
+
+/// The catalog file's path under `dir` (tests assert on its cleanup).
+std::string CatalogPath(const std::string& dir);
+
+}  // namespace x100
+
+#endif  // X100_STORAGE_CATALOG_H_

@@ -24,31 +24,33 @@
 #include "common/config.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/block_device.h"
 #include "storage/spill_device.h"
 
 namespace x100 {
 
-class SimulatedDisk : public SpillDevice {
+class SimulatedDisk : public BlockDevice, public SpillDevice {
  public:
   /// bandwidth_bytes_per_sec == 0 means infinite (pure memcpy).
   explicit SimulatedDisk(int64_t bandwidth_bytes_per_sec = 0)
       : bandwidth_(bandwidth_bytes_per_sec) {}
 
   /// Appends a block (any size up to kDiskBlockBytes); returns its id.
-  BlockId WriteBlock(std::vector<uint8_t> data) {
+  /// Never fails (RAM-backed), but carries the BlockDevice contract's
+  /// Result so callers handle the file-backed device identically.
+  Result<BlockId> WriteBlock(std::vector<uint8_t> data) override {
     std::lock_guard<std::mutex> lock(mu_);
     blocks_.push_back(std::move(data));
     bytes_written_ += blocks_.back().size();
-    return blocks_.size() - 1;
+    return BlockId{blocks_.size() - 1};
   }
 
-  /// Releases a block's storage (SpillFile reclamation: spilled blobs die
-  /// with their query, and this device keeps "disk" contents in RAM, so
-  /// without a free path every spilling query would grow the process
-  /// forever). Ids stay stable — freed slots are never reused — and a
-  /// read of a freed block returns empty bytes, which the SpillFile
-  /// layer rejects as truncation.
-  void FreeBlock(BlockId id) {
+  /// Releases a block's storage (spill reclamation and checkpoint group
+  /// retirement; this device keeps "disk" contents in RAM, so without a
+  /// free path every spilling query would grow the process forever). Ids
+  /// stay stable — freed slots are never reused — and a read of a freed
+  /// block returns empty bytes, which callers reject as truncation.
+  void FreeBlock(BlockId id) override {
     std::lock_guard<std::mutex> lock(mu_);
     if (id < blocks_.size()) {
       bytes_freed_ += blocks_[id].size();
@@ -58,8 +60,8 @@ class SimulatedDisk : public SpillDevice {
 
   /// Reads a block. Charges simulated IO time; the wait is interruptible
   /// via `cancel` (may be nullptr). Returns a *copy* of the block bytes.
-  Result<std::vector<uint8_t>> ReadBlock(BlockId id,
-                                         CancellationToken* cancel = nullptr) {
+  Result<std::vector<uint8_t>> ReadBlock(
+      BlockId id, CancellationToken* cancel = nullptr) override {
     std::vector<uint8_t> data;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -80,7 +82,8 @@ class SimulatedDisk : public SpillDevice {
   // freed, so spill hygiene must be measurable separately).
   Result<BlockId> WriteSpill(std::vector<uint8_t> data) override {
     const int64_t n = static_cast<int64_t>(data.size());
-    const BlockId id = WriteBlock(std::move(data));
+    BlockId id = 0;
+    X100_ASSIGN_OR_RETURN(id, WriteBlock(std::move(data)));
     spill_written_.fetch_add(n, std::memory_order_relaxed);
     spill_in_use_.fetch_add(n, std::memory_order_relaxed);
     return id;
@@ -113,9 +116,9 @@ class SimulatedDisk : public SpillDevice {
     return spill_in_use_.load(std::memory_order_relaxed);
   }
 
-  int64_t blocks_read() const { return blocks_read_.load(); }
-  int64_t bytes_read() const { return bytes_read_.load(); }
-  int64_t bytes_written() const { return bytes_written_; }
+  int64_t blocks_read() const override { return blocks_read_.load(); }
+  int64_t bytes_read() const override { return bytes_read_.load(); }
+  int64_t bytes_written() const override { return bytes_written_; }
   int64_t bytes_freed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return bytes_freed_;

@@ -7,16 +7,23 @@ namespace x100 {
 
 namespace {
 
-/// Splits `bytes` into disk blocks of at most kDiskBlockBytes.
-std::vector<BlockId> PlaceBytes(SimulatedDisk* disk,
-                                const std::vector<uint8_t>& bytes) {
+/// Splits `bytes` into device blocks of at most kDiskBlockBytes. Every
+/// written id is also appended to `written` so the caller can reclaim
+/// them if the group placement fails partway.
+Result<std::vector<BlockId>> PlaceBytes(BlockDevice* device,
+                                        const std::vector<uint8_t>& bytes,
+                                        std::vector<BlockId>* written) {
   std::vector<BlockId> blocks;
   size_t off = 0;
   do {
     const size_t len =
         std::min<size_t>(bytes.size() - off, kDiskBlockBytes);
-    blocks.push_back(disk->WriteBlock(
-        std::vector<uint8_t>(bytes.begin() + off, bytes.begin() + off + len)));
+    BlockId id = 0;
+    X100_ASSIGN_OR_RETURN(
+        id, device->WriteBlock(std::vector<uint8_t>(
+                bytes.begin() + off, bytes.begin() + off + len)));
+    blocks.push_back(id);
+    written->push_back(id);
     off += len;
   } while (off < bytes.size());
   return blocks;
@@ -88,15 +95,24 @@ struct TableBuilder::Staging {
 };
 
 TableBuilder::TableBuilder(std::string name, Schema schema, Layout layout,
-                           SimulatedDisk* disk, int64_t group_rows)
+                           BlockDevice* device, int64_t group_rows)
     : table_(std::make_unique<Table>(std::move(name), std::move(schema),
-                                     layout, disk)),
+                                     layout, device)),
       group_rows_(group_rows > 0 ? group_rows : kBlockGroupRows),
       staging_(std::make_unique<Staging>()) {
   staging_->cols.resize(table_->schema().num_fields());
 }
 
-TableBuilder::~TableBuilder() = default;
+TableBuilder::~TableBuilder() {
+  // An unfinished build (error unwind, aborted checkpoint) must not leak
+  // device blocks: a durable file would otherwise grow with every failed
+  // attempt. Table may be null if Finish() moved it out but `finished_`
+  // guards that path anyway.
+  if (finished_) return;
+  BlockDevice* device = table_ ? table_->device() : nullptr;
+  if (device == nullptr) return;
+  for (BlockId id : blocks_written_) device->FreeBlock(id);
+}
 
 Status TableBuilder::AppendRow(const std::vector<Value>& row) {
   const Schema& schema = table_->schema();
@@ -280,13 +296,17 @@ Status TableBuilder::FlushGroup() {
     }
   }
 
-  // Place on disk.
-  SimulatedDisk* disk = table_->disk();
+  // Place on the device. A failed write aborts the group; the blocks
+  // already placed stay in blocks_written_ and are freed by the dtor.
+  BlockDevice* device = table_->device();
   if (table_->layout() == Layout::kDsm) {
     for (int c = 0; c < schema.num_fields(); c++) {
-      gm.cols[c].loc.blocks = PlaceBytes(disk, payloads[c]);
+      X100_ASSIGN_OR_RETURN(gm.cols[c].loc.blocks,
+                            PlaceBytes(device, payloads[c], &blocks_written_));
       if (gm.cols[c].has_nulls) {
-        gm.cols[c].null_loc.blocks = PlaceBytes(disk, null_payloads[c]);
+        X100_ASSIGN_OR_RETURN(
+            gm.cols[c].null_loc.blocks,
+            PlaceBytes(device, null_payloads[c], &blocks_written_));
       }
     }
   } else {
@@ -301,7 +321,8 @@ Status TableBuilder::FlushGroup() {
                       null_payloads[c].end());
       }
     }
-    gm.pax_blocks = PlaceBytes(disk, region);
+    X100_ASSIGN_OR_RETURN(gm.pax_blocks,
+                          PlaceBytes(device, region, &blocks_written_));
   }
 
   table_->groups_.push_back(std::move(gm));
@@ -311,8 +332,18 @@ Status TableBuilder::FlushGroup() {
   return Status::OK();
 }
 
+Status TableBuilder::AppendStoredGroup(const GroupMeta& gm) {
+  X100_RETURN_IF_ERROR(FlushGroup());  // preserve row order
+  GroupMeta copy = gm;
+  copy.first_sid = table_->num_rows_;
+  table_->num_rows_ += copy.rows;
+  table_->groups_.push_back(std::move(copy));
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Table>> TableBuilder::Finish() {
   X100_RETURN_IF_ERROR(FlushGroup());
+  finished_ = true;
   return std::move(table_);
 }
 
@@ -325,15 +356,17 @@ Result<std::vector<uint8_t>> TableReader::ReadChunkBytes(
   std::vector<uint8_t> bytes;
   bytes.reserve(loc.length);
   if (!gm.pax_blocks.empty()) {
-    // PAX: the group region is one IO unit — fetch all region blocks (the
-    // buffer manager makes later columns of the same group cache hits),
-    // then slice this chunk's byte range.
-    std::vector<std::shared_ptr<const std::vector<uint8_t>>> region;
+    // PAX: the group region is one IO unit — pin all region blocks (the
+    // buffer manager makes later columns of the same group cache hits,
+    // and the pins keep the region resident while it is sliced), then
+    // slice this chunk's byte range. These pins are the "one pinned
+    // working set" the pool budget may be exceeded by.
+    std::vector<BufferManager::Pin> region;
     region.reserve(gm.pax_blocks.size());
     for (BlockId b : gm.pax_blocks) {
-      auto blk = buffers_->GetBlock(b, cancel);
-      if (!blk.ok()) return blk.status();
-      region.push_back(std::move(blk).value());
+      BufferManager::Pin pin;
+      X100_ASSIGN_OR_RETURN(pin, buffers_->PinBlock(b, cancel));
+      region.push_back(std::move(pin));
     }
     uint64_t remaining = loc.length;
     uint64_t pos = loc.offset;
@@ -341,17 +374,20 @@ Result<std::vector<uint8_t>> TableReader::ReadChunkBytes(
       const size_t bi = pos / kDiskBlockBytes;
       const size_t off = pos % kDiskBlockBytes;
       if (bi >= region.size()) return Status::IoError("pax region overrun");
-      const auto& blk = *region[bi];
+      const auto& blk = region[bi].data();
       const size_t take = std::min<uint64_t>(remaining, blk.size() - off);
       bytes.insert(bytes.end(), blk.begin() + off, blk.begin() + off + take);
       pos += take;
       remaining -= take;
     }
   } else {
+    // DSM: blocks are consumed one at a time; the pin lives only while
+    // the block's bytes are appended, so the working set is one block.
     for (BlockId b : loc.blocks) {
-      auto blk = buffers_->GetBlock(b, cancel);
-      if (!blk.ok()) return blk.status();
-      bytes.insert(bytes.end(), (*blk)->begin(), (*blk)->end());
+      BufferManager::Pin pin;
+      X100_ASSIGN_OR_RETURN(pin, buffers_->PinBlock(b, cancel));
+      const auto& blk = pin.data();
+      bytes.insert(bytes.end(), blk.begin(), blk.end());
     }
     bytes.resize(loc.length);
   }

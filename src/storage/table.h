@@ -31,8 +31,8 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "compression/codec.h"
+#include "storage/block_device.h"
 #include "storage/buffer_manager.h"
-#include "storage/simulated_disk.h"
 #include "vector/batch.h"
 #include "vector/schema.h"
 
@@ -72,11 +72,11 @@ enum class RangeOp { kEq, kLt, kLe, kGt, kGe };
 /// An immutable stored table image. Updates are layered on top by PDTs.
 class Table {
  public:
-  Table(std::string name, Schema schema, Layout layout, SimulatedDisk* disk)
+  Table(std::string name, Schema schema, Layout layout, BlockDevice* device)
       : name_(std::move(name)),
         schema_(std::move(schema)),
         layout_(layout),
-        disk_(disk) {}
+        device_(device) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -84,7 +84,39 @@ class Table {
   int64_t num_rows() const { return num_rows_; }
   int num_groups() const { return static_cast<int>(groups_.size()); }
   const GroupMeta& group(int g) const { return groups_[g]; }
-  SimulatedDisk* disk() const { return disk_; }
+  BlockDevice* device() const { return device_; }
+
+  /// Rebuilds a table image from catalog metadata — the groups were
+  /// placed on `device` by an earlier process; no data IO happens here.
+  static std::unique_ptr<Table> Restore(std::string name, Schema schema,
+                                        Layout layout, BlockDevice* device,
+                                        std::vector<GroupMeta> groups,
+                                        int64_t num_rows) {
+    auto t = std::make_unique<Table>(std::move(name), std::move(schema),
+                                     layout, device);
+    t->groups_ = std::move(groups);
+    t->num_rows_ = num_rows;
+    return t;
+  }
+
+  /// Every block id group `g` references (PAX region or DSM runs + null
+  /// chunks) — checkpoint retirement and catalog restore both need this.
+  static void AppendGroupBlockIds(const GroupMeta& gm,
+                                  std::vector<BlockId>* out) {
+    out->insert(out->end(), gm.pax_blocks.begin(), gm.pax_blocks.end());
+    for (const ColumnChunkMeta& c : gm.cols) {
+      out->insert(out->end(), c.loc.blocks.begin(), c.loc.blocks.end());
+      out->insert(out->end(), c.null_loc.blocks.begin(),
+                  c.null_loc.blocks.end());
+    }
+  }
+
+  /// All live block ids of the table.
+  std::vector<BlockId> CollectBlockIds() const {
+    std::vector<BlockId> out;
+    for (const GroupMeta& g : groups_) AppendGroupBlockIds(g, &out);
+    return out;
+  }
 
   /// MinMax pushdown: can group `g` contain rows with `col OP value`?
   /// Conservative (true when unknown / non-numeric / NULL-bearing check).
@@ -98,17 +130,20 @@ class Table {
   std::string name_;
   Schema schema_;
   Layout layout_;
-  SimulatedDisk* disk_;
+  BlockDevice* device_;
   std::vector<GroupMeta> groups_;
   int64_t num_rows_ = 0;
 };
 
-/// Builds a table group-by-group: stage rows, compress, place on disk.
+/// Builds a table group-by-group: stage rows, compress, place on device.
+/// If the builder is destroyed without Finish() (a failed build or an
+/// aborted checkpoint), every block it wrote is freed — a durable device
+/// must not accrete orphan slots from unwound work.
 class TableBuilder {
  public:
   /// group_rows lets tests use small groups; 0 = kBlockGroupRows.
   TableBuilder(std::string name, Schema schema, Layout layout,
-               SimulatedDisk* disk, int64_t group_rows = 0);
+               BlockDevice* device, int64_t group_rows = 0);
   ~TableBuilder();
 
   /// Appends one row; `row` must match the schema (Value::Null for NULLs in
@@ -118,8 +153,25 @@ class TableBuilder {
   /// Appends all live rows of a batch.
   Status AppendBatch(const Batch& batch);
 
+  /// Flushes staged rows as a (possibly short) group now. Checkpoints use
+  /// this to close a rewritten group at the original group boundary so
+  /// clean groups on either side keep their SID ranges.
+  Status Flush() { return FlushGroup(); }
+
+  /// Adopts an already-stored group verbatim (block reuse): the group's
+  /// blocks stay where they are, only the metadata is appended with
+  /// first_sid rebased to the current row count. Staged rows are flushed
+  /// first so ordering is preserved.
+  Status AppendStoredGroup(const GroupMeta& gm);
+
   /// Flushes the final partial group and returns the table.
   Result<std::unique_ptr<Table>> Finish();
+
+  /// Blocks newly written by this builder so far (excludes blocks adopted
+  /// via AppendStoredGroup — those belong to the old image).
+  const std::vector<BlockId>& blocks_written() const {
+    return blocks_written_;
+  }
 
  private:
   struct Staging;
@@ -128,6 +180,8 @@ class TableBuilder {
   std::unique_ptr<Table> table_;
   int64_t group_rows_;
   std::unique_ptr<Staging> staging_;
+  std::vector<BlockId> blocks_written_;
+  bool finished_ = false;
 };
 
 /// Reads one group's columns, decompressing through the buffer manager.

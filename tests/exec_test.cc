@@ -18,6 +18,7 @@
 #include "common/task_scheduler.h"
 #include "pdt/transaction.h"
 #include "storage/morsel.h"
+#include "storage/simulated_disk.h"
 
 namespace x100 {
 namespace {
@@ -577,7 +578,7 @@ class ScanTest : public ::testing::Test {
     auto t = b.Finish();
     ASSERT_TRUE(t.ok());
     table_ = std::make_unique<UpdatableTable>(std::move(t).value());
-    buffers_ = std::make_unique<BufferManager>(&disk_, 128);
+    buffers_ = std::make_unique<BufferManager>(&disk_, 64 << 20);
   }
 
   std::unique_ptr<ScanOp> MakeScan(std::vector<int> cols,

@@ -9,6 +9,7 @@
 #include "pdt/pdt.h"
 #include "pdt/transaction.h"
 #include "pdt/view.h"
+#include "storage/simulated_disk.h"
 
 namespace x100 {
 namespace {
@@ -272,7 +273,7 @@ class TxnTest : public ::testing::Test {
     auto t = b.Finish();
     ASSERT_TRUE(t.ok());
     table_ = std::make_unique<UpdatableTable>(std::move(t).value());
-    buffers_ = std::make_unique<BufferManager>(&disk_, 64);
+    buffers_ = std::make_unique<BufferManager>(&disk_, 64 << 20);
   }
 
   Result<std::vector<Value>> ReadCommitted(int64_t rid) {
@@ -416,7 +417,7 @@ TEST(PdtPropertyTest, RandomOpsMatchNaiveModel) {
   auto t = b.Finish();
   ASSERT_TRUE(t.ok());
   UpdatableTable table(std::move(t).value());
-  BufferManager buffers(&disk, 64);
+  BufferManager buffers(&disk, 64 << 20);
   TransactionManager tm;
 
   Rng rng(77);
