@@ -190,6 +190,7 @@ class Database {
   }
 
   Result<UpdatableTable*> RegisterTable(std::unique_ptr<Table> table) {
+    X100_RETURN_IF_ERROR(open_status_);
     const std::string name = table->name();
     UpdatableTable* ptr = nullptr;
     {
@@ -203,7 +204,24 @@ class Database {
       catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     }
     events_.Info("created table " + name);
-    X100_RETURN_IF_ERROR(SaveCatalog());
+    const Status saved = SaveCatalog();
+    if (!saved.ok()) {
+      // A failed operation must not leave memory and disk diverged: undo
+      // the registration. The object is retired, not destroyed — a racing
+      // GetTable may already have resolved the name to it.
+      {
+        std::lock_guard<std::mutex> lock(tables_mu_);
+        auto it = tables_.find(name);
+        if (it != tables_.end() && it->second.get() == ptr) {
+          retired_tables_.push_back(std::move(it->second));
+          tables_.erase(it);
+        }
+        catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      events_.Error("rolled back table " + name +
+                    " (catalog save failed): " + saved.ToString());
+      return saved;
+    }
     return ptr;
   }
 
@@ -213,18 +231,42 @@ class Database {
   /// unreachable by name. Bumps the catalog version, so plans cached
   /// against the old catalog are invalidated on next lookup.
   Status DropTable(const std::string& name) {
+    X100_RETURN_IF_ERROR(open_status_);
+    UpdatableTable* dropped = nullptr;
     {
       std::lock_guard<std::mutex> lock(tables_mu_);
       auto it = tables_.find(name);
       if (it == tables_.end()) {
         return Status::NotFound("table not found: " + name);
       }
+      dropped = it->second.get();
       retired_tables_.push_back(std::move(it->second));
       tables_.erase(it);
       catalog_version_.fetch_add(1, std::memory_order_acq_rel);
     }
     events_.Info("dropped table " + name);
-    return SaveCatalog();
+    const Status saved = SaveCatalog();
+    if (!saved.ok()) {
+      // The durable catalog still lists the table; resurrect it in memory
+      // so a failed drop leaves both sides agreeing that it exists.
+      {
+        std::lock_guard<std::mutex> lock(tables_mu_);
+        for (auto it = retired_tables_.begin(); it != retired_tables_.end();
+             ++it) {
+          if (it->get() == dropped) {
+            if (tables_.count(name) == 0) {
+              tables_[name] = std::move(*it);
+              retired_tables_.erase(it);
+            }
+            break;
+          }
+        }
+        catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      events_.Error("rolled back drop of " + name +
+                    " (catalog save failed): " + saved.ToString());
+    }
+    return saved;
   }
 
   /// Quiesced checkpoint of one table (pdt/transaction.h) followed by a
@@ -232,10 +274,24 @@ class Database {
   /// durability boundary: deltas committed but not yet checkpointed live
   /// only in the in-memory read-PDT and do NOT survive a restart.
   Status Checkpoint(const std::string& name) {
+    X100_RETURN_IF_ERROR(open_status_);
     UpdatableTable* table = nullptr;
     X100_ASSIGN_OR_RETURN(table, GetTable(name));
-    X100_RETURN_IF_ERROR(txn_manager_.Checkpoint(table, &buffers_));
-    return SaveCatalog();
+    std::vector<BlockId> retired;
+    X100_RETURN_IF_ERROR(txn_manager_.Checkpoint(table, &buffers_, &retired));
+    const Status saved = SaveCatalog();
+    if (!saved.ok()) {
+      // The durable (old) catalog still references the retired slots;
+      // recycling one under a concurrent write would make a reopened
+      // Database serve the wrong block's bytes. Leave them allocated —
+      // they are reclaimed by the free-list restore on the next open.
+      events_.Error("checkpoint of " + name + " not durable, keeping " +
+                    std::to_string(retired.size()) +
+                    " retired block(s) allocated: " + saved.ToString());
+      return saved;
+    }
+    for (BlockId id : retired) block_device()->FreeBlock(id);
+    return Status::OK();
   }
 
   /// Serializes every table's schema + block map to
@@ -391,8 +447,10 @@ class Database {
   /// this); nullptr in RAM-backed mode.
   FileBlockDevice* data_device() { return data_device_.get(); }
   /// Construction outcome: data-device open + catalog load. A Database
-  /// whose open_status() is non-OK has an empty catalog and must not be
-  /// written through (the durable state on disk is left untouched).
+  /// whose open_status() is non-OK has an empty catalog; the write entry
+  /// points (RegisterTable/DropTable/Checkpoint) refuse with this status,
+  /// so the durable state on disk is left untouched and a caller cannot
+  /// accidentally run a volatile database believing it durable.
   const Status& open_status() const { return open_status_; }
   BufferManager* buffers() { return &buffers_; }
   TransactionManager* txn_manager() { return &txn_manager_; }

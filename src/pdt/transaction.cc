@@ -147,7 +147,8 @@ Status TransactionManager::Commit(Transaction* txn) {
 }
 
 Status TransactionManager::Checkpoint(UpdatableTable* table,
-                                      BufferManager* buffers) {
+                                      BufferManager* buffers,
+                                      std::vector<BlockId>* retired_out) {
   // Snapshot the current committed image.
   std::shared_ptr<Table> base;
   std::shared_ptr<const Pdt> pdt;
@@ -244,12 +245,17 @@ Status TransactionManager::Checkpoint(UpdatableTable* table,
   table->read_pdt_ = std::make_shared<Pdt>(table->base_->num_rows());
   table->version_++;
   table->commit_log_.clear();
-  // Retire the replaced groups' blocks: drop any cached copies, then free
-  // the device slots for recycling. Safe under the documented quiesce
-  // contract — no reader still resolves the old image.
-  for (BlockId id : retired) {
-    buffers->Invalidate(id);
-    base->device()->FreeBlock(id);
+  // Retire the replaced groups' blocks: drop any cached copies now (safe
+  // under the documented quiesce contract — no reader still resolves the
+  // old image). Freeing the device slots is a separate decision: a caller
+  // with a durable catalog must keep them allocated until the new block
+  // map is persisted, so slot recycling can never hand the old catalog's
+  // block ids to fresh writes (see the header comment).
+  for (BlockId id : retired) buffers->Invalidate(id);
+  if (retired_out != nullptr) {
+    retired_out->insert(retired_out->end(), retired.begin(), retired.end());
+  } else {
+    for (BlockId id : retired) base->device()->FreeBlock(id);
   }
   return Status::OK();
 }

@@ -137,7 +137,17 @@ class TransactionManager {
   /// Rewrites the base image with all committed deltas applied; read-PDT
   /// becomes empty over the new SID space. Fails if any transaction is
   /// expected to survive re-anchoring (callers must quiesce first).
-  Status Checkpoint(UpdatableTable* table, BufferManager* buffers);
+  ///
+  /// Blocks of rewritten (dirty) groups are dropped from the buffer cache
+  /// here, but their device slots must not be recycled while a durable
+  /// catalog still references them — a crash before the new block map is
+  /// persisted would leave that catalog pointing at freed (possibly
+  /// rewritten) slots. Callers that persist a catalog pass `retired_out`
+  /// and free the listed blocks only after the save succeeds
+  /// (Database::Checkpoint). With a null `retired_out` — no durable
+  /// catalog to protect — the blocks are freed before returning.
+  Status Checkpoint(UpdatableTable* table, BufferManager* buffers,
+                    std::vector<BlockId>* retired_out = nullptr);
 };
 
 }  // namespace x100

@@ -92,6 +92,16 @@ Result<BufferManager::Pin> BufferManager::PinBlock(BlockId id,
     inf->done = true;
     inf->data = data;
     inf->cv.notify_all();
+    // While our IO ran, a waiter parked on a PREVIOUS in-flight read of
+    // this id may have re-installed the block (its re-install path checks
+    // only the cache, not inflight_). Installing over it would double-
+    // count bytes_cached_/pinned_bytes_ and return a pin that never
+    // incremented the live entry's count — adopt the existing entry
+    // instead.
+    auto again = cache_.find(id);
+    if (again != cache_.end()) {
+      return PinExistingLocked(id, &again->second);
+    }
     // Pin-during-insert: install the entry already pinned so EvictLocked
     // cannot choose the block this caller just paid IO for — the old code
     // could evict its own insert on tiny pools and then dereference the

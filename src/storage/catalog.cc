@@ -135,6 +135,20 @@ Status SaveCatalog(const std::string& dir,
     ::unlink(tmp.c_str());
     return Status::IoError(ErrnoMessage("catalog rename failed"));
   }
+  // The rename is only durable once the directory entry itself reaches
+  // stable storage: without this fsync, power loss can revert the
+  // committed catalog to the old image — or lose it entirely on first
+  // creation — despite the atomic replace above.
+  const int dfd = ::open(dir.c_str(), O_DIRECTORY | O_RDONLY);
+  if (dfd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open catalog dir " + dir));
+  }
+  if (::fsync(dfd) != 0) {
+    const Status s = Status::IoError(ErrnoMessage("catalog dir fsync failed"));
+    ::close(dfd);
+    return s;
+  }
+  ::close(dfd);
   return Status::OK();
 }
 

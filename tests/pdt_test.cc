@@ -401,6 +401,35 @@ TEST_F(TxnTest, CheckpointRewritesBaseAndEmptiesPdt) {
   EXPECT_EQ((*tail)[0].AsI64(), 777);
 }
 
+TEST_F(TxnTest, CheckpointDefersRetiredBlockFreesToCaller) {
+  auto txn = tm_.Begin(table_.get());
+  ASSERT_TRUE(txn->Update(0, 1, Value::Str("dirty")).ok());
+  ASSERT_TRUE(tm_.Commit(txn.get()).ok());
+
+  std::vector<BlockId> retired;
+  ASSERT_TRUE(tm_.Checkpoint(table_.get(), buffers_.get(), &retired).ok());
+  ASSERT_FALSE(retired.empty());
+  // Cached copies are dropped immediately, but the device slots must stay
+  // allocated until the caller has persisted the new block map — freeing
+  // them earlier would let a recycled slot shadow a block the durable
+  // catalog still references.
+  EXPECT_EQ(disk_.bytes_freed(), 0);
+  for (BlockId id : retired) {
+    EXPECT_FALSE(buffers_->Contains(id));
+    disk_.FreeBlock(id);
+  }
+  EXPECT_GT(disk_.bytes_freed(), 0);
+}
+
+TEST_F(TxnTest, CheckpointWithoutRetiredOutFreesImmediately) {
+  auto txn = tm_.Begin(table_.get());
+  ASSERT_TRUE(txn->Update(0, 1, Value::Str("dirty")).ok());
+  ASSERT_TRUE(tm_.Commit(txn.get()).ok());
+  ASSERT_TRUE(tm_.Checkpoint(table_.get(), buffers_.get()).ok());
+  // No durable catalog to protect: the legacy path frees on the spot.
+  EXPECT_GT(disk_.bytes_freed(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Randomized property test: PDT stack vs naive model over a stored table
 // ---------------------------------------------------------------------------

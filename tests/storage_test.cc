@@ -107,6 +107,34 @@ TEST(BufferManagerTest, SharedPtrSurvivesEviction) {
   EXPECT_EQ((**blk)[0], 42);         // still readable
 }
 
+TEST(BufferManagerTest, TinyPoolConcurrentHammerKeepsAccountingExact) {
+  // Capacity 0: every block is evicted the moment its last pin drops, so
+  // loaders, single-flight waiters and their re-install paths constantly
+  // collide on the same id. A loader that installs over an entry a waiter
+  // re-installed while its IO ran would double-count bytes and underflow
+  // the other side's pin count — the end state below would be nonzero.
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 0);
+  BlockId id = *disk.WriteBlock({1, 2, 3, 4});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; i++) {
+        auto pin = bm.PinBlock(id);
+        if (!pin.ok()) {
+          EXPECT_TRUE(pin.ok()) << pin.status().ToString();
+          return;
+        }
+        EXPECT_EQ(pin->data()[0], 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bm.pinned_bytes(), 0);
+  EXPECT_EQ(bm.bytes_cached(), 0);
+  EXPECT_EQ(bm.size(), 0);
+}
+
 TEST(BufferManagerTest, InvalidateDropsBlock) {
   SimulatedDisk disk;
   BufferManager bm(&disk, 4);
@@ -807,6 +835,59 @@ TEST(RestartTest, SecondCheckpointRecyclesRetiredSlots) {
   RemoveTree(dir);
 }
 
+TEST(RestartTest, CatalogSaveFailureRollsBackDdlAndKeepsRetiredSlots) {
+  const std::string dir = MakeTempDir();
+  EngineConfig cfg;
+  cfg.data_path = dir;
+  Database db(cfg);
+  ASSERT_TRUE(db.open_status().ok());
+  auto build = [&](const std::string& name) {
+    auto b = db.CreateTable(name, Schema({Field("x", TypeId::kI64)}),
+                            Layout::kDsm, 64);
+    for (int i = 0; i < 64; i++) {
+      EXPECT_TRUE(b->AppendRow({Value::I64(i)}).ok());
+    }
+    auto t = b->Finish();
+    EXPECT_TRUE(t.ok());
+    return std::move(t).value();
+  };
+  ASSERT_TRUE(db.RegisterTable(build("t1")).ok());
+
+  // Yank the directory out from under the catalog: the data-file fd stays
+  // valid (writes and syncs still work), but SaveCatalog's temp-file
+  // creation now fails — every durable DDL/checkpoint must report the
+  // failure AND leave memory consistent with the surviving (old) catalog.
+  RemoveTree(dir);
+
+  // RegisterTable: failure rolls the registration back.
+  EXPECT_FALSE(db.RegisterTable(build("t2")).ok());
+  EXPECT_EQ(db.GetTable("t2").status().code(), StatusCode::kNotFound);
+
+  // DropTable: failure resurrects the table.
+  EXPECT_FALSE(db.DropTable("t1").ok());
+  EXPECT_TRUE(db.GetTable("t1").ok());
+
+  // Checkpoint: failure must NOT free the retired slots — the durable
+  // catalog still references them, so a recycled slot could serve the
+  // wrong block to a reopened database. With the slots kept allocated, a
+  // fresh write cannot recycle anything.
+  {
+    UpdatableTable* ut = *db.GetTable("t1");
+    auto txn = db.txn_manager()->Begin(ut);
+    ASSERT_TRUE(txn->Update(0, 0, Value::I64(-1)).ok());
+    ASSERT_TRUE(db.txn_manager()->Commit(txn.get()).ok());
+  }
+  EXPECT_FALSE(db.Checkpoint("t1").ok());
+  ASSERT_TRUE(db.data_device()->WriteBlock({1, 2, 3}).ok());
+  EXPECT_EQ(db.data_device()->slots_recycled(), 0);
+  // The in-memory image stays queryable and carries the checkpointed
+  // update (durability failed, consistency did not).
+  std::vector<std::string> rows = SnapshotTable(&db, "t1");
+  ASSERT_EQ(rows.size(), 64u);
+  EXPECT_EQ(rows[0], "-1|");
+  RemoveTree(dir);
+}
+
 TEST(RestartTest, CorruptCatalogFailsOpenLoudly) {
   const std::string dir = MakeTempDir();
   EngineConfig cfg;
@@ -842,6 +923,17 @@ TEST(RestartTest, MissingDataPathFailsOpenLoudly) {
   cfg.data_path = "/nonexistent/x100/dir";
   Database db(cfg);
   EXPECT_FALSE(db.open_status().ok());
+  // Write entry points refuse with the open failure instead of silently
+  // running a volatile database the caller believes is durable.
+  auto b = db.CreateTable("t", Schema({Field("x", TypeId::kI64)}),
+                          Layout::kDsm, 64);
+  ASSERT_TRUE(b->AppendRow({Value::I64(1)}).ok());
+  auto t = b->Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(db.RegisterTable(std::move(t).value()).status().code(),
+            db.open_status().code());
+  EXPECT_EQ(db.DropTable("t").code(), db.open_status().code());
+  EXPECT_EQ(db.Checkpoint("t").code(), db.open_status().code());
 }
 
 }  // namespace
