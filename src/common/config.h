@@ -106,6 +106,14 @@ struct EngineConfig {
   /// legal degenerate pool: every unpinned block is evicted immediately,
   /// but pinned working sets still resolve (pin-during-insert).
   int64_t buffer_pool_bytes = -1;
+  /// Read-ahead budget in BYTES: the slice of the buffer pool that
+  /// prefetched-but-unread blocks (plus the Grace pair streamer's
+  /// ahead-of-probe spill reads) may occupy. They are first in line for
+  /// eviction, so read-ahead never displaces blocks a query already
+  /// touched. < 0 = auto (a quarter of the resolved pool capacity);
+  /// 0 disables prefetch entirely (cold reads become synchronous again,
+  /// the PR 8 behaviour). See docs/STORAGE.md §"Read-ahead".
+  int64_t prefetch_budget_bytes = -1;
   /// Directory for the durable file-backed column store + catalog. Empty
   /// (the default) keeps base tables on the in-RAM SimulatedDisk;
   /// non-empty routes table blocks to
@@ -117,7 +125,10 @@ struct EngineConfig {
   std::string data_path;
   /// Use cooperative scans (ABM relevance policy) instead of attach-LRU.
   bool cooperative_scans = true;
-  /// Simulated disk bandwidth in bytes/sec (0 = infinite, i.e. memcpy).
+  /// Device bandwidth in bytes/sec (0 = infinite). Throttles the in-RAM
+  /// SimulatedDisk and, when `data_path` is set, the file-backed device's
+  /// reads too — a single shared IO channel, so benchmarks can model a
+  /// cold medium regardless of the page cache.
   int64_t disk_bandwidth = 0;
 };
 

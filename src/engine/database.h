@@ -46,13 +46,15 @@ class Database {
       : config_(config),
         memory_(ResolvedMemoryLimit(config.memory_limit)),
         disk_(config.disk_bandwidth),
-        data_device_(OpenDataDevice(config.data_path, &open_status_)),
+        data_device_(OpenDataDevice(config.data_path, config.disk_bandwidth,
+                                    &open_status_)),
         buffers_(data_device_ != nullptr
                      ? static_cast<BlockDevice*>(data_device_.get())
                      : static_cast<BlockDevice*>(&disk_),
                  ResolvedBufferPoolBytes(config.buffer_pool_bytes)),
         plan_cache_(config.plan_cache_capacity) {
     queries_.set_history_cap(config.query_history_cap);
+    buffers_.set_prefetch_budget_bytes(config.prefetch_budget_bytes);
     if (open_status_.ok() && data_device_ != nullptr) {
       open_status_ = LoadCatalogIntoTables();
     }
@@ -460,9 +462,10 @@ class Database {
 
  private:
   static std::unique_ptr<FileBlockDevice> OpenDataDevice(
-      const std::string& data_path, Status* status) {
+      const std::string& data_path, int64_t bandwidth_bytes_per_sec,
+      Status* status) {
     if (data_path.empty()) return nullptr;
-    auto dev = FileBlockDevice::Open(data_path);
+    auto dev = FileBlockDevice::Open(data_path, bandwidth_bytes_per_sec);
     if (!dev.ok()) {
       *status = dev.status();
       return nullptr;

@@ -57,6 +57,8 @@ Result<QueryResult> QueryExecutor::RunRewritten(const AlgebraPtr& plan,
   db_->queries()->set_history_cap(db_->config().query_history_cap);
   db_->buffers()->set_capacity_bytes(
       Database::ResolvedBufferPoolBytes(db_->config().buffer_pool_bytes));
+  db_->buffers()->set_prefetch_budget_bytes(
+      db_->config().prefetch_budget_bytes);
   MemoryTracker query_memory(/*limit=*/0, db_->memory());
   ExecContext ctx;
   ctx.vector_size = db_->config().vector_size;
@@ -66,6 +68,7 @@ Result<QueryResult> QueryExecutor::RunRewritten(const AlgebraPtr& plan,
   ctx.scheduler = db_->scheduler();
   ctx.quota = quota.get();
   ctx.memory = &query_memory;
+  ctx.buffers = db_->buffers();
   if (db_->config().enable_spill) {
     // A configured-but-unusable spill path (missing directory, no
     // permission) fails the query here, loudly — silently falling back
@@ -118,6 +121,10 @@ Result<QueryResult> QueryExecutor::RunRewritten(const AlgebraPtr& plan,
   counters->Set("buffer.misses", bm->misses());
   counters->Set("buffer.evictions", bm->evictions());
   counters->Set("buffer.single_flight_waits", bm->single_flight_waits());
+  counters->Set("buffer.prefetch_issued", bm->prefetch_issued());
+  counters->Set("buffer.prefetch_hits", bm->prefetch_hits());
+  counters->Set("buffer.prefetch_wasted", bm->prefetch_wasted());
+  counters->Set("buffer.prefetch_inflight", bm->prefetch_inflight());
   counters->Set("buffer.bytes_cached", bm->bytes_cached());
   counters->Set("buffer.pinned_bytes", bm->pinned_bytes());
   counters->Set("buffer.peak_bytes", bm->peak_bytes());

@@ -8,6 +8,7 @@
 #include "common/pod_serde.h"
 #include "common/task_scheduler.h"
 #include "primitives/hash_kernels.h"
+#include "storage/buffer_manager.h"
 
 namespace x100 {
 
@@ -712,14 +713,20 @@ std::vector<int> JoinBuildState::DeferredPairList() const {
   return pairs;
 }
 
-Result<int64_t> JoinBuildState::LoadDeferredPartition(int p,
-                                                      ExecContext* ctx) {
+Result<int64_t> JoinBuildState::LoadDeferredPartition(
+    int p, ExecContext* ctx, std::vector<std::vector<uint8_t>>* preloaded) {
   Partition& part = partitions_[p];
   part.rows = std::make_unique<RowBuffer>(build_schema_);
   part.hashes.clear();
-  for (const SpillFile& file : spilled_[p]) {
+  const bool use_preloaded =
+      preloaded != nullptr && preloaded->size() == spilled_[p].size();
+  for (size_t i = 0; i < spilled_[p].size(); i++) {
     std::vector<uint8_t> blob;
-    X100_ASSIGN_OR_RETURN(blob, file.ReadAll(ctx->cancel));
+    if (use_preloaded) {
+      blob = std::move((*preloaded)[i]);
+    } else {
+      X100_ASSIGN_OR_RETURN(blob, spilled_[p][i].ReadAll(ctx->cancel));
+    }
     X100_RETURN_IF_ERROR(AppendBuildChunk(build_schema_, blob,
                                           part.rows.get(), &part.hashes));
   }
@@ -776,6 +783,15 @@ Status JoinProber::Open(ExecContext* ctx) {
 }
 
 void JoinProber::Close(ExecContext* ctx) {
+  DropPairPrefetch();
+  if (ctx != nullptr && pair_prefetch_issued_ > 0) {
+    OperatorProfile prof;
+    prof.op = "JoinPairPrefetch";
+    prof.rows = pair_prefetch_adopted_;  // pairs whose IO was hidden
+    prof.spills = pair_prefetch_issued_;
+    ctx->RecordOperator(std::move(prof));
+    pair_prefetch_issued_ = pair_prefetch_adopted_ = 0;
+  }
   if (ctx != nullptr && probe_spill_chunks_ > 0) {
     OperatorProfile prof;
     prof.op = "JoinProbeSpill";
@@ -958,8 +974,35 @@ Status JoinProber::StartPair(ExecContext* ctx) {
   const int p = pair_parts_[pair_idx_];
   pair_t0_ = NowNs();
   pair_rows_ = 0;
+  has_adopted_probe_blob_ = false;
+  adopted_probe_blob_.clear();
+  // Adopt the read-ahead if it targeted this pair. Error parking rule:
+  // a background read failure surfaces when a demand read actually needs
+  // the bytes — and starting this pair IS that demand, so a real IO
+  // error propagates here instead of being silently retried (a corrupt
+  // spill chunk must fail the query whether read ahead or on demand).
+  // Only a cancelled group falls back to the synchronous loads, whose
+  // own cancel checks decide.
+  std::vector<std::vector<uint8_t>> blobs;
+  std::vector<std::vector<uint8_t>>* preloaded = nullptr;
+  if (next_pair_.part == p && next_pair_.tasks != nullptr) {
+    const Status s = next_pair_.tasks->Wait();
+    if (s.ok()) {
+      blobs = std::move(next_pair_.build_blobs);
+      preloaded = &blobs;
+      if (next_pair_.has_probe_blob) {
+        adopted_probe_blob_ = std::move(next_pair_.probe_blob);
+        has_adopted_probe_blob_ = true;
+      }
+      pair_prefetch_adopted_++;
+    } else if (!s.IsCancelled()) {
+      DropPairPrefetch();
+      return s;
+    }
+  }
+  DropPairPrefetch();  // refund the budget: the blobs are demand-owned now
   X100_ASSIGN_OR_RETURN(pair_build_bytes_,
-                        state_->LoadDeferredPartition(p, ctx));
+                        state_->LoadDeferredPartition(p, ctx, preloaded));
   pair_mem_.Init(ctx->memory);
   pair_mem_hwm_ = pair_build_bytes_;
   pair_chunk_ = 0;
@@ -968,7 +1011,67 @@ Status JoinProber::StartPair(ExecContext* ctx) {
   if (pair_batch_ == nullptr) {
     pair_batch_ = std::make_unique<Batch>(*probe_schema_, ctx->vector_size);
   }
+  // This pair is resident and about to probe — start the next pair's
+  // spill reads behind it.
+  MaybePrefetchNextPair(ctx);
   return Status::OK();
+}
+
+void JoinProber::MaybePrefetchNextPair(ExecContext* ctx) {
+  if (pair_idx_ + 1 >= pair_parts_.size()) return;
+  if (ctx->buffers == nullptr || ctx->scheduler == nullptr) return;
+  if (!ctx->buffers->prefetch_enabled()) return;
+  const int p = pair_parts_[pair_idx_ + 1];
+  const std::vector<SpillFile>& build = state_->build_chunks(p);
+  const std::vector<SpillFile>& probe = state_->probe_chunks(p);
+  int64_t bytes = 0;
+  for (const SpillFile& f : build) bytes += f.bytes();
+  if (!probe.empty()) bytes += probe[0].bytes();
+  if (bytes <= 0) return;
+  // Ahead-of-demand bytes ride the buffer pool's read-ahead budget, not
+  // the query memory limit — during the pair phase the resident pair
+  // already sits at the documented memory floor, so a TryReserve there
+  // would structurally never succeed. Refused charge = no prefetch.
+  if (!ctx->buffers->TryChargePrefetchBytes(bytes)) return;
+  next_pair_.part = p;
+  next_pair_.charged_bytes = bytes;
+  next_pair_.buffers = ctx->buffers;
+  next_pair_.build_blobs.assign(build.size(), {});
+  next_pair_.has_probe_blob = !probe.empty();
+  next_pair_.probe_blob.clear();
+  next_pair_.tasks =
+      std::make_unique<TaskGroup>(ctx->scheduler, ctx->cancel);
+  pair_prefetch_issued_++;
+  PairPrefetch* pf = &next_pair_;
+  CancellationToken* cancel = ctx->cancel;
+  next_pair_.tasks->Spawn([this, pf, p, cancel]() -> Status {
+    const std::vector<SpillFile>& bchunks = state_->build_chunks(p);
+    for (size_t i = 0; i < bchunks.size(); i++) {
+      X100_ASSIGN_OR_RETURN(pf->build_blobs[i], bchunks[i].ReadAll(cancel));
+    }
+    if (pf->has_probe_blob) {
+      X100_ASSIGN_OR_RETURN(pf->probe_blob,
+                            state_->probe_chunks(p)[0].ReadAll(cancel));
+    }
+    return Status::OK();
+  });
+}
+
+void JoinProber::DropPairPrefetch() {
+  if (next_pair_.tasks != nullptr) {
+    next_pair_.tasks->Cancel();
+    next_pair_.tasks->Wait();
+    next_pair_.tasks.reset();
+  }
+  if (next_pair_.charged_bytes > 0 && next_pair_.buffers != nullptr) {
+    next_pair_.buffers->ReleasePrefetchBytes(next_pair_.charged_bytes);
+  }
+  next_pair_.part = -1;
+  next_pair_.charged_bytes = 0;
+  next_pair_.buffers = nullptr;
+  next_pair_.build_blobs.clear();
+  next_pair_.probe_blob.clear();
+  next_pair_.has_probe_blob = false;
 }
 
 Status JoinProber::FinishPair(ExecContext* ctx) {
@@ -992,7 +1095,13 @@ Result<bool> JoinProber::NextPairChunk(ExecContext* ctx) {
   pair_mem_.ShrinkTo(0);
   if (pair_chunk_ >= chunks.size()) return false;
   std::vector<uint8_t> blob;
-  X100_ASSIGN_OR_RETURN(blob, chunks[pair_chunk_].ReadAll(ctx->cancel));
+  if (pair_chunk_ == 0 && has_adopted_probe_blob_) {
+    blob = std::move(adopted_probe_blob_);
+    has_adopted_probe_blob_ = false;
+    adopted_probe_blob_.clear();
+  } else {
+    X100_ASSIGN_OR_RETURN(blob, chunks[pair_chunk_].ReadAll(ctx->cancel));
+  }
   std::unique_ptr<RowBuffer> rb;
   X100_ASSIGN_OR_RETURN(
       rb, RowBuffer::Deserialize(*probe_schema_, blob.data(), blob.size()));

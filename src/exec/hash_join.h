@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/task_scheduler.h"
 #include "exec/operator.h"
 #include "exec/row_buffer.h"
 #include "simd/prefetch.h"
@@ -175,13 +176,26 @@ class JoinBuildState {
   /// Loads deferred partition `p` resident: merges its build spill
   /// chunks, indexes them, and force-charges the result as the pair's
   /// minimum working set. Returns the resident bytes charged. Call only
-  /// as the last finisher, one partition at a time.
-  Result<int64_t> LoadDeferredPartition(int p, ExecContext* ctx);
+  /// as the last finisher, one partition at a time. `preloaded`, when
+  /// non-null and sized like build_chunks(p), supplies the chunk blobs
+  /// already read ahead (the pair prefetcher) — they are consumed in
+  /// chunk order instead of re-reading the spill device.
+  Result<int64_t> LoadDeferredPartition(
+      int p, ExecContext* ctx,
+      std::vector<std::vector<uint8_t>>* preloaded = nullptr);
 
   /// This pair's probe chunks (every prober's, concatenated). Valid
   /// between LoadDeferredPartition(p) and ReleaseDeferredPartition(p).
   const std::vector<SpillFile>& probe_chunks(int p) const {
     return probe_spilled_[p];
+  }
+
+  /// Partition `p`'s build-side spill chunks (read-ahead peeks at the
+  /// next pair's files while the current pair probes). Safe without
+  /// spill_mu_ in the pair phase: the drain barrier has long passed and
+  /// the last finisher is the only thread left touching spill state.
+  const std::vector<SpillFile>& build_chunks(int p) const {
+    return spilled_[p];
   }
 
   /// Drops partition `p`'s resident build side, its reservation and its
@@ -280,6 +294,16 @@ class JoinProber {
   Status StartPair(ExecContext* ctx);
   Status FinishPair(ExecContext* ctx);
   Result<bool> NextPairChunk(ExecContext* ctx);  // false: pair exhausted
+  /// Overlap: after pair_idx_'s build is resident, read the NEXT pair's
+  /// build chunks + first probe chunk on a background task so its IO
+  /// hides behind this pair's probing. The bytes are charged against the
+  /// buffer pool's read-ahead budget (ctx->buffers) — NOT the query
+  /// memory limit, whose documented floor is one resident pair; when the
+  /// charge is refused the next pair simply loads synchronously.
+  void MaybePrefetchNextPair(ExecContext* ctx);
+  /// Cancels + joins any in-flight pair prefetch and returns its budget
+  /// charge. Safe to call at any point (Close, error unwind).
+  void DropPairPrefetch();
 
   JoinBuildState* state_ = nullptr;
   std::vector<int> probe_keys_;
@@ -323,6 +347,24 @@ class JoinProber {
   int64_t pair_mem_hwm_ = 0;
   int64_t pair_rows_ = 0;
   int64_t pair_t0_ = 0;
+
+  /// One in-flight read-ahead of a deferred pair's spill chunks. The
+  /// TaskGroup owns the background read; the blobs are adopted by the
+  /// next StartPair (build) and its first NextPairChunk (probe).
+  struct PairPrefetch {
+    int part = -1;
+    std::unique_ptr<TaskGroup> tasks;
+    std::vector<std::vector<uint8_t>> build_blobs;
+    std::vector<uint8_t> probe_blob;
+    bool has_probe_blob = false;
+    int64_t charged_bytes = 0;
+    BufferManager* buffers = nullptr;  // budget to refund on release
+  };
+  PairPrefetch next_pair_;
+  std::vector<uint8_t> adopted_probe_blob_;  // chunk 0, read ahead
+  bool has_adopted_probe_blob_ = false;
+  int64_t pair_prefetch_issued_ = 0;
+  int64_t pair_prefetch_adopted_ = 0;
 };
 
 /// Output schema of a join: probe columns, then (inner/left-outer) build

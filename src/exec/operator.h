@@ -32,6 +32,7 @@ class TaskScheduler;   // common/task_scheduler.h
 class TaskQuota;       // common/task_scheduler.h
 class MemoryTracker;   // common/memory_tracker.h
 class SpillDevice;     // storage/spill_device.h
+class BufferManager;   // storage/buffer_manager.h
 
 /// Per-query execution context shared by all operators of a plan.
 struct ExecContext {
@@ -59,6 +60,12 @@ struct ExecContext {
   /// configured with a spill_path. nullptr = spilling disabled: a failed
   /// reservation surfaces kResourceExhausted instead.
   SpillDevice* spill_device = nullptr;
+  /// Buffer pool serving this query's table blocks. Operators that can
+  /// overlap IO with compute (scan read-ahead, Grace pair prefetch) use
+  /// it to issue background reads and to budget ahead-of-demand bytes;
+  /// nullptr = no read-ahead (directly-built plans in tests keep exact,
+  /// synchronous IO counts).
+  BufferManager* buffers = nullptr;
   /// Running total of tuples produced by scans (load monitoring).
   std::atomic<int64_t> tuples_scanned{0};
   /// Block groups elided by MinMax pushdown across all scans.

@@ -40,10 +40,7 @@ bool ScanOp::GroupCanMatch(int g) const {
   // inside this group's SID range.
   const GroupMeta& gm = view_.base->group(g);
   for (const Pdt* layer : view_.layers) {
-    bool has = false;
-    layer->ForEachDelta(gm.first_sid, gm.first_sid + gm.rows,
-                        [&](int64_t, const PdtDelta&) { has = true; });
-    if (has) return true;
+    if (layer->HasDeltaIn(gm.first_sid, gm.first_sid + gm.rows)) return true;
   }
   for (const ScanPredicate& p : opts_.predicates) {
     if (!view_.base->GroupMayMatch(g, p.table_col, p.op, p.value)) {
@@ -80,7 +77,56 @@ bool ScanOp::NextGroupId(int* g) {
   return false;
 }
 
+int ScanOp::PeekNextGroupId(int ahead) const {
+  if (opts_.use_subset) {
+    const size_t idx = subset_idx_ + static_cast<size_t>(ahead);
+    return idx < opts_.group_subset.size() ? opts_.group_subset[idx] : -1;
+  }
+  if (opts_.morsels != nullptr) {
+    const int g = opts_.morsels->PeekNext();
+    return g < 0 ? -1 : g + ahead;  // advisory: other workers claim too
+  }
+  // Cooperative scheduling: the relevance policy picks the group at claim
+  // time, so there is nothing sound to peek.
+  if (opts_.scheduler != nullptr) return -1;
+  return seq_next_group_ + ahead;
+}
+
+void ScanOp::PrefetchNextGroup() {
+  if (ctx_->buffers == nullptr || !buffers_->prefetch_enabled()) return;
+  // Two groups of lookahead: one group overlaps fully only while decode
+  // time exceeds device time; the second absorbs the jitter when the two
+  // are balanced. Prefetch() itself skips resident/in-flight blocks and
+  // the budget gate bounds what actually issues, so re-requesting the
+  // same window every group is cheap and retries reads the budget
+  // refused last time.
+  for (int ahead = 0; ahead < 2; ahead++) {
+    const int g = PeekNextGroupId(ahead);
+    if (g < 0 || g >= view_.base->num_groups()) continue;
+    if (!GroupCanMatch(g)) continue;  // MinMax will skip it: no IO to hide
+    const GroupMeta& gm = view_.base->group(g);
+    if (view_.base->layout() == Layout::kPax) {
+      for (BlockId b : gm.pax_blocks) buffers_->Prefetch(b, ctx_->scheduler);
+      continue;
+    }
+    for (int c : opts_.columns) {
+      const ColumnChunkMeta& cm = gm.cols[c];
+      for (BlockId b : cm.loc.blocks) buffers_->Prefetch(b, ctx_->scheduler);
+      for (BlockId b : cm.null_loc.blocks) {
+        buffers_->Prefetch(b, ctx_->scheduler);
+      }
+    }
+  }
+}
+
 Status ScanOp::LoadGroup(int g) {
+  // Overlap: start the upcoming groups' block reads in the background
+  // BEFORE this group's demand pins. This group's blocks were (usually)
+  // prefetched a cycle ago and sit at the front of the read-ahead FIFO,
+  // so issuing the next window first costs the demand path nothing — but
+  // issuing it only after the decode below leaves the device idle for
+  // exactly that decode time, every group.
+  PrefetchNextGroup();
   const GroupMeta& gm = view_.base->group(g);
   const int rows = static_cast<int>(gm.rows);
   for (size_t k = 0; k < opts_.columns.size(); k++) {

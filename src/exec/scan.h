@@ -79,6 +79,17 @@ class ScanOp : public Operator {
   Status LoadGroup(int g);      // decode columns + build merge segments
   Status LoadTail();            // inserts anchored past the last stable row
   bool NextGroupId(int* g);     // scheduler/subset iteration
+  /// The group this scan expects to load `ahead` steps from now (0 =
+  /// next). -1 if unknowable, e.g. cooperative scheduling where the
+  /// policy decides at claim time. May run past the table end — callers
+  /// bounds-check.
+  int PeekNextGroupId(int ahead) const;
+  /// Read-ahead: issue background reads for the peeked upcoming groups'
+  /// block regions (PAX) or scanned-column runs (DSM) so their IO
+  /// overlaps this group's decode+merge. No-op without ctx->buffers or
+  /// when the pool's prefetch budget is 0 — directly-built test plans
+  /// keep exact synchronous IO counts.
+  void PrefetchNextGroup();
   void FillFromRun(int64_t a, int64_t b, int count, int out_base);
   Status FillFromSlot(const Slot& slot, int out_base);
   bool GroupCanMatch(int g) const;

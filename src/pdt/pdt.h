@@ -140,6 +140,15 @@ class Pdt {
                     const std::function<void(int64_t, const PdtDelta&)>& fn)
       const;
 
+  /// True when any delta SID lies in [lo, hi). One map probe — the
+  /// early-exit test MinMax skipping needs (a scan asks this once per
+  /// block group; ForEachDelta would walk every delta in the range just
+  /// to learn "at least one").
+  bool HasDeltaIn(int64_t lo, int64_t hi) const {
+    const auto it = by_sid_.lower_bound(lo);
+    return it != by_sid_.end() && it->first < hi;
+  }
+
   /// Deep copy (clone-on-commit snapshot isolation, transaction.h).
   std::unique_ptr<Pdt> Clone() const;
 

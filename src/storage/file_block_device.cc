@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/config.h"
 #include "common/hash.h"
@@ -27,7 +29,7 @@ constexpr int64_t kSlotStride =
 }  // namespace
 
 Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
-    const std::string& dir) {
+    const std::string& dir, int64_t bandwidth_bytes_per_sec) {
   const std::string path = dir + "/x100-data.blocks";
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0600);
   if (fd < 0) {
@@ -50,7 +52,28 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
   }
   const int64_t next_slot = st.st_size / kSlotStride;
   return std::unique_ptr<FileBlockDevice>(
-      new FileBlockDevice(fd, path, next_slot));
+      new FileBlockDevice(fd, path, next_slot, bandwidth_bytes_per_sec));
+}
+
+Status FileBlockDevice::ChargeIo(size_t bytes, CancellationToken* cancel) {
+  if (bandwidth_ <= 0) return Status::OK();
+  using Clock = std::chrono::steady_clock;
+  const auto cost = std::chrono::nanoseconds(static_cast<int64_t>(
+      1e9 * static_cast<double>(bytes) / static_cast<double>(bandwidth_)));
+  Clock::time_point wait_until;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    const auto now = Clock::now();
+    if (busy_until_ < now) busy_until_ = now;
+    busy_until_ += cost;
+    wait_until = busy_until_;
+  }
+  const auto now = Clock::now();
+  if (wait_until <= now) return Status::OK();
+  const auto wait = wait_until - now;
+  if (cancel != nullptr) return cancel->WaitFor(wait);
+  std::this_thread::sleep_for(wait);
+  return Status::OK();
 }
 
 FileBlockDevice::~FileBlockDevice() {
@@ -218,6 +241,10 @@ Result<std::vector<uint8_t>> FileBlockDevice::ReadBlock(
     return Status::IoError("corrupt data block " + std::to_string(id) +
                            ": checksum mismatch on read");
   }
+  // Throttle AFTER the verified transfer so the charged bytes are the
+  // payload actually delivered; the page cache makes the pread itself
+  // near-instant, the channel wait is the modeled device time.
+  X100_RETURN_IF_ERROR(ChargeIo(data.size(), cancel));
   blocks_read_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(static_cast<int64_t>(data.size()),
                         std::memory_order_relaxed);

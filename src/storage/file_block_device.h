@@ -29,6 +29,7 @@
 #define X100_STORAGE_FILE_BLOCK_DEVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -56,9 +57,12 @@ class FileBlockDevice : public BlockDevice {
   /// exist — a missing or unwritable data_path is a loud configuration
   /// error, not a silent fallback to RAM. An existing file's size must be
   /// a whole number of slots; anything else is a torn/foreign file and
-  /// fails the open.
+  /// fails the open. `bandwidth_bytes_per_sec` > 0 throttles reads to
+  /// that rate over a single shared channel (EngineConfig::disk_bandwidth
+  /// — same model as SimulatedDisk), so benchmarks see a cold medium
+  /// regardless of the OS page cache; 0 = unthrottled.
   static Result<std::unique_ptr<FileBlockDevice>> Open(
-      const std::string& dir);
+      const std::string& dir, int64_t bandwidth_bytes_per_sec = 0);
 
   ~FileBlockDevice() override;  // closes the fd; does NOT unlink
 
@@ -105,8 +109,17 @@ class FileBlockDevice : public BlockDevice {
   static constexpr int64_t kSlotHeaderBytes = 16;
 
  private:
-  FileBlockDevice(int fd, std::string path, int64_t next_slot)
-      : fd_(fd), path_(std::move(path)), next_slot_(next_slot) {}
+  FileBlockDevice(int fd, std::string path, int64_t next_slot,
+                  int64_t bandwidth)
+      : fd_(fd),
+        path_(std::move(path)),
+        next_slot_(next_slot),
+        bandwidth_(bandwidth) {}
+
+  /// Serializes throttled IO on one simulated channel (cf. SimulatedDisk):
+  /// each transfer extends busy_until_ by bytes/bandwidth and waits its
+  /// turn (interruptibly when a cancel token is supplied).
+  Status ChargeIo(size_t bytes, CancellationToken* cancel);
 
   int fd_;
   std::string path_;
@@ -114,6 +127,9 @@ class FileBlockDevice : public BlockDevice {
   mutable std::mutex mu_;  // slot allocation only; pread/pwrite run outside
   std::vector<int64_t> free_slots_;
   int64_t next_slot_;
+  const int64_t bandwidth_;  // bytes/sec; 0 = unthrottled
+  std::mutex io_mu_;
+  std::chrono::steady_clock::time_point busy_until_{};
   FaultHook fault_hook_;
 
   std::atomic<int64_t> blocks_read_{0};

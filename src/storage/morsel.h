@@ -31,6 +31,14 @@ class MorselSource {
     return g < num_groups_ ? g : -1;
   }
 
+  /// The group the next NextGroup() call would hand out; -1 when
+  /// exhausted. Advisory only (another clone may claim it first) — the
+  /// scan's read-ahead peeks here to warm the pool for whoever wins.
+  int PeekNext() const {
+    const int g = next_.load(std::memory_order_relaxed);
+    return g < num_groups_ ? g : -1;
+  }
+
   /// True for exactly one caller: that scan merges the PDT tail inserts.
   bool ClaimTail() {
     return !tail_claimed_.exchange(true, std::memory_order_acq_rel);

@@ -471,6 +471,52 @@ TEST_F(GraceProbeTest, ProbeSideOutOfCoreSweepMatchesInMemory) {
   db_->config().memory_limit = 0;
 }
 
+TEST_F(GraceProbeTest, ReadAheadKeepsOutOfCoreJoinBitIdentical) {
+  // Read-ahead must be pure overlap: scans prefetching the next group and
+  // the Grace pair streamer preloading the next deferred pair's spill
+  // chunks cannot change a single byte of the result.
+  SetWorkers(1);
+  db_->config().radix_bits = 0;
+  db_->config().memory_limit = 0;
+  db_->memory()->ResetPeak();
+  auto reference = session_->Execute(RootJoinPlan());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  SortRows(&reference.value());
+  const int64_t peak = db_->memory()->peak();
+  ASSERT_GT(peak, 0);
+
+  int64_t pair_prefetches = 0;
+  for (const int workers : {1, 8}) {
+    for (const bool prefetch : {false, true}) {
+      const std::string what = std::string("prefetch=") +
+                               (prefetch ? "on" : "off") +
+                               " workers=" + std::to_string(workers);
+      SetWorkers(workers);
+      db_->config().radix_bits = 4;
+      db_->config().memory_limit = peak / 24;
+      db_->config().prefetch_budget_bytes = prefetch ? -1 : 0;
+      auto res = session_->Execute(RootJoinPlan());
+      ASSERT_TRUE(res.ok()) << what << ": " << res.status().ToString();
+      SortRows(&res.value());
+      ExpectSameRows(*reference, *res, what);
+      ExpectTrackerDrained(what);
+      EXPECT_GT(SumSpill(res->profile, "JoinProbeSpill"), 0) << what;
+      if (prefetch) {
+        for (const OperatorProfile& e : res->profile.operators) {
+          if (e.op == "JoinPairPrefetch") pair_prefetches += e.spills;
+        }
+      }
+    }
+  }
+  // The overlap actually engaged: deferred pairs were streamed ahead in
+  // the prefetch-on runs, not just permitted to be.
+  EXPECT_GT(pair_prefetches, 0);
+  SetWorkers(0);
+  db_->config().radix_bits = -1;
+  db_->config().memory_limit = 0;
+  db_->config().prefetch_budget_bytes = -1;
+}
+
 TEST_F(GraceProbeTest, FinerRadixShrinksThePairFloor) {
   // The Grace memory bound is ONE partition pair: more partitions ->
   // smaller pairs -> lower peak. radix_bits = 0 cannot subdivide (the

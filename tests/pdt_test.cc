@@ -109,6 +109,27 @@ TEST(PdtTest, OutOfRangeRids) {
   EXPECT_EQ(pdt.DeleteAt(10).code(), StatusCode::kOutOfRange);
 }
 
+TEST(PdtTest, HasDeltaInAgreesWithForEachDelta) {
+  // The scan-side MinMax gate asks "any delta in this group's SID range?"
+  // once per group; HasDeltaIn must answer exactly what a full
+  // ForEachDelta walk would, on empty PDTs, boundaries, and interior hits.
+  Pdt pdt(100);
+  EXPECT_FALSE(pdt.HasDeltaIn(0, 100));
+  ASSERT_TRUE(pdt.InsertAt(50, Row(7)).ok());
+  ASSERT_TRUE(pdt.DeleteAt(10).ok());
+  ASSERT_TRUE(pdt.ModifyAt(90, 0, Value::I64(-1)).ok());
+  const int64_t windows[][2] = {{0, 100}, {0, 10},   {0, 11},  {10, 11},
+                                {11, 50}, {50, 51},  {51, 90}, {90, 91},
+                                {91, 100}, {0, 0},   {50, 50}, {100, 200}};
+  for (const auto& w : windows) {
+    int walked = 0;
+    pdt.ForEachDelta(w[0], w[1],
+                     [&](int64_t, const PdtDelta&) { walked++; });
+    EXPECT_EQ(pdt.HasDeltaIn(w[0], w[1]), walked > 0)
+        << "[" << w[0] << ", " << w[1] << ")";
+  }
+}
+
 TEST(PdtTest, MixedOpsKeepRidArithmeticConsistent) {
   // Interleave inserts and deletes and verify against a naive model.
   Pdt pdt(20);

@@ -133,6 +133,9 @@ TEST(BufferManagerTest, TinyPoolConcurrentHammerKeepsAccountingExact) {
   EXPECT_EQ(bm.pinned_bytes(), 0);
   EXPECT_EQ(bm.bytes_cached(), 0);
   EXPECT_EQ(bm.size(), 0);
+  // Every PinBlock call is counted exactly once: a call is a hit, a miss,
+  // or a single-flight wait — never zero of them, never two.
+  EXPECT_EQ(bm.hits() + bm.misses() + bm.single_flight_waits(), 8 * 500);
 }
 
 TEST(BufferManagerTest, InvalidateDropsBlock) {
@@ -529,6 +532,8 @@ TEST(BufferPoolContractTest, SingleFlightCoalescesConcurrentMisses) {
   EXPECT_EQ(disk.blocks_read(), 1);  // the thundering herd made ONE read
   EXPECT_EQ(bm.misses(), 1);
   EXPECT_EQ(bm.hits() + bm.single_flight_waits(), kThreads - 1);
+  // Exact accounting: all 16 calls counted, each exactly once.
+  EXPECT_EQ(bm.hits() + bm.misses() + bm.single_flight_waits(), kThreads);
 }
 
 TEST(BufferPoolContractTest, ScanPeakStaysWithinBudgetPlusPins) {
@@ -562,6 +567,120 @@ TEST(BufferPoolContractTest, ScanPeakStaysWithinBudgetPlusPins) {
   }
   EXPECT_GT(bm.evictions(), 0);  // the pool actually cycled
   EXPECT_LE(bm.peak_bytes(), pool + bm.peak_pinned_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Read-ahead: background prefetch through the pool
+// ---------------------------------------------------------------------------
+
+TEST(PrefetchTest, PrefetchInstallsUnpinnedAndDemandCountsHit) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 1 << 20);
+  BlockId a = *disk.WriteBlock(std::vector<uint8_t>(64 * 1024, 9));
+  bm.Prefetch(a);
+  bm.DrainPrefetches();
+  EXPECT_EQ(bm.prefetch_issued(), 1);
+  EXPECT_TRUE(bm.Contains(a));
+  EXPECT_EQ(bm.pinned_bytes(), 0);  // installed unpinned
+  EXPECT_EQ(bm.prefetch_inflight(), 1);  // resident but not yet demanded
+  // A second Prefetch of a resident block is a no-op, not a new issue.
+  bm.Prefetch(a);
+  bm.DrainPrefetches();
+  EXPECT_EQ(bm.prefetch_issued(), 1);
+  // The demand read is a pool hit — no second device read.
+  auto pin = bm.PinBlock(a);
+  ASSERT_TRUE(pin.ok());
+  EXPECT_EQ(pin->data()[0], 9);
+  EXPECT_EQ(disk.blocks_read(), 1);
+  EXPECT_EQ(bm.hits(), 1);
+  EXPECT_EQ(bm.prefetch_hits(), 1);
+  EXPECT_EQ(bm.prefetch_inflight(), 0);
+}
+
+TEST(PrefetchTest, ZeroBudgetDisablesPrefetch) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 1 << 20);
+  bm.set_prefetch_budget_bytes(0);
+  EXPECT_FALSE(bm.prefetch_enabled());
+  BlockId a = *disk.WriteBlock({1});
+  bm.Prefetch(a);
+  bm.DrainPrefetches();
+  EXPECT_EQ(bm.prefetch_issued(), 0);
+  EXPECT_EQ(disk.blocks_read(), 0);
+  EXPECT_FALSE(bm.Contains(a));
+}
+
+TEST(PrefetchTest, DemandDuringInflightPrefetchMakesOneRead) {
+  // Slow device: the demand lands while the prefetch read is (at most)
+  // in flight. Whether the demand adopts the running read, claims a
+  // not-yet-started one, or finds the block already resident, exactly
+  // one device read happens and the prefetch counts as a hit.
+  SimulatedDisk disk(1 << 20);  // 1 MiB/s -> the 64 KiB read takes ~60 ms
+  BufferManager bm(&disk, 1 << 20);
+  BlockId a = *disk.WriteBlock(std::vector<uint8_t>(64 * 1024, 5));
+  bm.Prefetch(a);
+  auto pin = bm.PinBlock(a);
+  ASSERT_TRUE(pin.ok());
+  EXPECT_EQ(pin->data()[0], 5);
+  bm.DrainPrefetches();
+  EXPECT_EQ(disk.blocks_read(), 1);
+  EXPECT_EQ(bm.prefetch_issued(), 1);
+  EXPECT_EQ(bm.prefetch_hits(), 1);
+  EXPECT_EQ(bm.prefetch_wasted(), 0);
+  // The one PinBlock call was counted exactly once, whichever path it took.
+  EXPECT_EQ(bm.hits() + bm.misses() + bm.single_flight_waits(), 1);
+}
+
+TEST(PrefetchTest, BudgetCapsUnreadSliceAndRefusesOverflow) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 2 * 64 * 1024);  // room for two 64 KiB blocks
+  bm.set_prefetch_budget_bytes(kDiskBlockBytes);
+  BlockId a = *disk.WriteBlock(std::vector<uint8_t>(64 * 1024, 1));
+  BlockId b = *disk.WriteBlock(std::vector<uint8_t>(64 * 1024, 2));
+  BlockId c = *disk.WriteBlock(std::vector<uint8_t>(64 * 1024, 3));
+  bm.Prefetch(a);
+  bm.DrainPrefetches();
+  ASSERT_TRUE(bm.Contains(a));
+  // With a's unread bytes charged, another block's worth does not fit:
+  // the prefetch is refused, and refusals are not counted as issued.
+  bm.Prefetch(b);
+  bm.DrainPrefetches();
+  EXPECT_EQ(bm.prefetch_issued(), 1);
+  EXPECT_FALSE(bm.Contains(b));
+  // Demand reads overflow the pool: capacity pressure victimizes the
+  // used LRU (b), never the unread next block the prefetch just paid
+  // for — a stays resident.
+  ASSERT_TRUE(bm.GetBlock(b).ok());
+  ASSERT_TRUE(bm.GetBlock(c).ok());
+  EXPECT_TRUE(bm.Contains(a));
+  EXPECT_FALSE(bm.Contains(b));
+  EXPECT_TRUE(bm.Contains(c));
+  EXPECT_EQ(bm.prefetch_wasted(), 0);
+  // Shrinking the budget sheds the unread slice immediately; the evicted
+  // unread block counts as wasted.
+  bm.set_prefetch_budget_bytes(0);
+  EXPECT_FALSE(bm.Contains(a));
+  EXPECT_EQ(bm.prefetch_wasted(), 1);
+  EXPECT_EQ(bm.prefetch_inflight(), 0);  // issued == hits + wasted
+}
+
+TEST(PrefetchTest, ExternalBudgetSharing) {
+  SimulatedDisk disk;
+  BufferManager bm(&disk, 1 << 20);
+  bm.set_prefetch_budget_bytes(1 << 20);
+  // An external prefetcher (the Grace pair streamer) charges the same
+  // budget even though its bytes never enter the pool.
+  EXPECT_TRUE(bm.TryChargePrefetchBytes(1 << 20));
+  EXPECT_FALSE(bm.TryChargePrefetchBytes(1));
+  BlockId a = *disk.WriteBlock({1});
+  bm.Prefetch(a);  // refused: budget fully charged externally
+  bm.DrainPrefetches();
+  EXPECT_EQ(bm.prefetch_issued(), 0);
+  bm.ReleasePrefetchBytes(1 << 20);
+  bm.Prefetch(a);
+  bm.DrainPrefetches();
+  EXPECT_EQ(bm.prefetch_issued(), 1);
+  EXPECT_TRUE(bm.Contains(a));
 }
 
 // ---------------------------------------------------------------------------
@@ -698,6 +817,82 @@ TEST(FileBlockDeviceTest, RejectsTornFile) {
   ASSERT_EQ(::truncate((dir + "/x100-data.blocks").c_str(), 100), 0);
   EXPECT_EQ(FileBlockDevice::Open(dir).status().code(),
             StatusCode::kIoError);
+  RemoveTree(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Read-ahead under injected IO faults: a failed background read must
+// never abort the process or fail queries that don't demand the block.
+// ---------------------------------------------------------------------------
+
+TEST(PrefetchFaultTest, BackgroundFailureIsParkedAndRetryHeals) {
+  const std::string dir = MakeTempDir();
+  auto dev = FileBlockDevice::Open(dir);
+  ASSERT_TRUE(dev.ok());
+  BlockId good = *(*dev)->WriteBlock(std::vector<uint8_t>(100, 1));
+  BlockId bad = *(*dev)->WriteBlock(std::vector<uint8_t>(1000, 2));
+  const int64_t pool = 1 << 20;
+  BufferManager bm(dev->get(), pool);
+
+  struct FaultCase {
+    const char* name;
+    FileBlockDevice::FaultHook hook;
+  };
+  const FaultCase faults[] = {
+      {"eio",
+       [bad](FileBlockDevice::Op op, BlockId id, std::vector<uint8_t>*) {
+         return op == FileBlockDevice::Op::kRead && id == bad
+                    ? Status::IoError("injected EIO")
+                    : Status::OK();
+       }},
+      {"short-read",
+       [bad](FileBlockDevice::Op op, BlockId id, std::vector<uint8_t>* d) {
+         if (op == FileBlockDevice::Op::kRead && id == bad) d->resize(4);
+         return Status::OK();
+       }},
+      {"corrupt-checksum",
+       [bad](FileBlockDevice::Op op, BlockId id, std::vector<uint8_t>* d) {
+         if (op == FileBlockDevice::Op::kRead && id == bad)
+           (*d)[FileBlockDevice::kSlotHeaderBytes] ^= 0x01;
+         return Status::OK();
+       }},
+  };
+  int64_t expect_issued = 0;
+  int64_t expect_wasted = 0;
+  for (const FaultCase& fc : faults) {
+    SCOPED_TRACE(fc.name);
+    (*dev)->set_fault_hook(fc.hook);
+    bm.Prefetch(bad);
+    bm.DrainPrefetches();
+    // The background failure was parked, not raised: nothing resident,
+    // no crash, and the failure counts as a wasted prefetch.
+    expect_issued++;
+    expect_wasted++;
+    EXPECT_FALSE(bm.Contains(bad));
+    EXPECT_EQ(bm.prefetch_issued(), expect_issued);
+    EXPECT_EQ(bm.prefetch_wasted(), expect_wasted);
+    EXPECT_EQ(bm.prefetch_inflight(), 0);
+    // Unrelated demand reads are unaffected.
+    auto g = bm.PinBlock(good);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->data()[0], 1);
+    g->Release();
+    // Demanding the failed block surfaces the parked error exactly once.
+    auto p = bm.PinBlock(bad);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::kIoError);
+    // A retry issues a fresh device read; with the fault cleared it heals.
+    (*dev)->set_fault_hook(nullptr);
+    auto healed = bm.PinBlock(bad);
+    ASSERT_TRUE(healed.ok());
+    EXPECT_EQ(healed->data().size(), 1000u);
+    EXPECT_EQ(healed->data()[0], 2);
+    healed->Release();
+    // Pool drains back to its invariant between rounds.
+    EXPECT_EQ(bm.pinned_bytes(), 0);
+    EXPECT_LE(bm.bytes_cached(), pool);
+    bm.Invalidate(bad);
+  }
   RemoveTree(dir);
 }
 
